@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces the Section 5.2 / 3.3.3 overprediction-cutoff result:
+ * Ocean's swinging barrier intervals defeat last-value prediction;
+ * without the cutoff, external wake-ups (plus flush and compulsory
+ * misses from overkill sleep states) degrade performance by up to
+ * ~12% in the paper; the 10% threshold contains the loss within
+ * ~3.5%. Sweeps the threshold.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace tb;
+    const harness::SystemConfig sys =
+        harness::SystemConfig::paperDefault();
+    bench::banner(
+        "Ablation — overprediction cutoff threshold (Ocean)", sys);
+
+    const workloads::AppProfile app = workloads::appByName("Ocean");
+    const auto base =
+        harness::runExperiment(sys, app, harness::ConfigKind::Baseline);
+
+    std::printf("%-12s %10s %10s %9s %9s %9s\n", "threshold", "time",
+                "energy", "cutoffs", "sleeps", "spins");
+    std::printf("%-12s %9.1f%% %9.1f%% %9s %9s %9s\n", "baseline",
+                100.0, 100.0, "-", "-", "-");
+
+    const double thresholds[] = {-1.0, 0.05, 0.10, 0.20, 0.50};
+    for (double th : thresholds) {
+        thrifty::ThriftyConfig cfg = thrifty::ThriftyConfig::thrifty();
+        cfg.overpredictionThreshold = th;
+        harness::RunOptions opt;
+        opt.customConfig = &cfg;
+        const auto r = harness::runExperiment(
+            sys, app, harness::ConfigKind::Thrifty, opt);
+        char label[32];
+        if (th < 0)
+            std::snprintf(label, sizeof(label), "disabled");
+        else
+            std::snprintf(label, sizeof(label), "%.0f%% of BIT",
+                          100.0 * th);
+        std::printf("%-12s %9.1f%% %9.1f%% %9llu %9llu %9llu\n",
+                    label,
+                    100.0 * static_cast<double>(r.execTime) /
+                        static_cast<double>(base.execTime),
+                    100.0 * r.totalEnergy() / base.totalEnergy(),
+                    static_cast<unsigned long long>(r.sync.cutoffs),
+                    static_cast<unsigned long long>(r.sync.sleeps),
+                    static_cast<unsigned long long>(r.sync.spins));
+        std::fflush(stdout);
+    }
+
+    std::printf("\nPaper reference: without the cutoff Ocean degrades "
+                "by up to ~12%%; the 10%%\nthreshold contains losses "
+                "within ~3.5%% (and Ocean 'ends up spinning quite a "
+                "bit\nat these barriers').\n");
+    return 0;
+}

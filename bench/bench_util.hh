@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction binaries.
+ */
+
+#ifndef TB_BENCH_BENCH_UTIL_HH_
+#define TB_BENCH_BENCH_UTIL_HH_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "workloads/app_profile.hh"
+
+namespace tb {
+namespace bench {
+
+/** The five configurations in figure order (B, H, O, T, I). */
+inline std::vector<harness::ConfigKind>
+figureConfigs()
+{
+    return {harness::ConfigKind::Baseline,
+            harness::ConfigKind::ThriftyHalt,
+            harness::ConfigKind::OracleHalt,
+            harness::ConfigKind::Thrifty, harness::ConfigKind::Ideal};
+}
+
+/** Run every figure configuration of @p app on @p sys. */
+inline std::vector<harness::ExperimentResult>
+runAllConfigs(const harness::SystemConfig& sys,
+              const workloads::AppProfile& app)
+{
+    std::vector<harness::ExperimentResult> out;
+    for (harness::ConfigKind k : figureConfigs())
+        out.push_back(harness::runExperiment(sys, app, k));
+    return out;
+}
+
+/** Standard banner for every bench binary. */
+inline void
+banner(const std::string& title, const harness::SystemConfig& sys)
+{
+    std::cout << "==============================================="
+                 "=====================\n"
+              << title << "\n"
+              << "The Thrifty Barrier (HPCA 2004) reproduction\n"
+              << "==============================================="
+                 "=====================\n";
+    harness::report::printArchitecture(std::cout, sys);
+    std::cout << '\n';
+}
+
+} // namespace bench
+} // namespace tb
+
+#endif // TB_BENCH_BENCH_UTIL_HH_

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Extension bench (paper future work, Section 7): the thrifty
+ * mechanism applied to locks. Contended critical sections of varying
+ * length, comparing a plain test-and-test-and-set spin lock against
+ * the thrifty lock (predict wait, sleep, wake on the release's
+ * invalidation).
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hh"
+#include "thrifty/thrifty_lock.hh"
+
+namespace {
+
+using namespace tb;
+
+struct Outcome
+{
+    double energy;
+    Tick span;
+    std::uint64_t sleeps;
+};
+
+Outcome
+run(Tick hold, Tick think, unsigned rounds, bool thrifty_states)
+{
+    harness::Machine m(harness::SystemConfig::small(4)); // 16 threads
+    thrifty::ThriftyLock lock(
+        m.eventQueue(), m.config().numNodes(), m.memory(),
+        thrifty_states ? power::SleepStateTable::paperDefault()
+                       : power::SleepStateTable(),
+        "lk");
+    const unsigned n = m.config().numNodes();
+
+    std::function<void(ThreadId, unsigned)> loop = [&](ThreadId tid,
+                                                       unsigned r) {
+        if (r >= rounds)
+            return;
+        m.thread(tid).compute(think, [&, tid, r]() {
+            lock.acquire(m.thread(tid), [&, tid, r]() {
+                m.thread(tid).compute(hold, [&, tid, r]() {
+                    lock.release(m.thread(tid), [&, tid, r]() {
+                        loop(tid, r + 1);
+                    });
+                });
+            });
+        });
+    };
+    for (ThreadId t = 0; t < n; ++t)
+        loop(t, 0);
+    const Tick span = m.run();
+    return Outcome{m.totalEnergy().totalEnergy(), span,
+                   lock.statistics().sleeps};
+}
+
+} // namespace
+
+int
+main()
+{
+    const harness::SystemConfig sys = harness::SystemConfig::small(4);
+    tb::bench::banner(
+        "Extension — thrifty locks (paper future work, Section 7)",
+        sys);
+
+    std::printf("16 threads, 6 acquisitions each, think time = "
+                "hold/4.\n\n");
+    std::printf("%14s %12s %12s %10s %12s\n", "critical sect.",
+                "spin energy", "thrifty", "saving", "sleeps");
+
+    for (Tick hold :
+         {Tick{20 * kMicrosecond}, Tick{100 * kMicrosecond},
+          Tick{500 * kMicrosecond}, Tick{2 * kMillisecond}}) {
+        const Outcome spin = run(hold, hold / 4, 6, false);
+        const Outcome thrifty = run(hold, hold / 4, 6, true);
+        std::printf("%11llu us %11.3f J %11.3f J %9.1f%% %12llu\n",
+                    static_cast<unsigned long long>(hold /
+                                                    tb::kMicrosecond),
+                    spin.energy, thrifty.energy,
+                    100.0 * (1.0 - thrifty.energy / spin.energy),
+                    static_cast<unsigned long long>(thrifty.sleeps));
+        std::printf("%14s time: spin %.2fms vs thrifty %.2fms "
+                    "(%+.2f%%)\n",
+                    "",
+                    tb::ticksToSeconds(spin.span) * 1e3,
+                    tb::ticksToSeconds(thrifty.span) * 1e3,
+                    100.0 * (static_cast<double>(thrifty.span) /
+                                 static_cast<double>(spin.span) -
+                             1.0));
+        std::fflush(stdout);
+    }
+
+    std::printf("\nWith 16 contenders the queue behind a long "
+                "critical section is deep; sleeping\nwaiters convert "
+                "most of that spin energy into deep-sleep residency "
+                "at ~1%%\ntime cost. For short critical sections the "
+                "trade-off inverts: every handoff\nto a sleeping "
+                "waiter pays an upward transition, which is why locks "
+                "are a\nharder target than barriers (no "
+                "thread-independent interval to predict) —\nexactly "
+                "the open question the paper left as future work.\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Extension bench: central vs combining-tree thrifty barrier at 64
+ * nodes. The central barrier serializes 64 check-in fetch-ops at one
+ * home and invalidates 63 sharers of one flag line on release — the
+ * overhead floor that even perfectly balanced apps pay (see the
+ * Table 2 notes in EXPERIMENTS.md). The tree spreads both across
+ * groups. Measures raw barrier overhead (balanced threads: the whole
+ * interval is overhead) and the thrifty story on an imbalanced
+ * workload, across radices.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hh"
+#include "sim/random.hh"
+#include "thrifty/thrifty_barrier.hh"
+#include "thrifty/tree_barrier.hh"
+
+namespace {
+
+using namespace tb;
+
+struct Outcome
+{
+    Tick span;
+    double energy;
+    std::uint64_t sleeps;
+};
+
+/** Run `iters` rounds; delay 0 => perfectly balanced arrivals. */
+Outcome
+run(unsigned radix /* 0 = central */, double skew_cv, unsigned iters,
+    const thrifty::ThriftyConfig& cfg)
+{
+    harness::Machine m(harness::SystemConfig::paperDefault());
+    const unsigned n = m.config().numNodes();
+    thrifty::SyncStats stats;
+    thrifty::ThriftyRuntime rt(n, cfg, stats);
+
+    std::unique_ptr<thrifty::Barrier> barrier;
+    if (radix == 0) {
+        barrier = std::make_unique<thrifty::ThriftyBarrier>(
+            m.eventQueue(), 0x1, rt, m.memory(), "central");
+    } else {
+        barrier = std::make_unique<thrifty::TreeBarrier>(
+            m.eventQueue(), 0x1, rt, m.memory(), radix, "tree");
+    }
+
+    Random rng(7);
+    std::vector<double> skew(n, 1.0);
+    for (auto& s : skew)
+        s = rng.lognormalMeanCv(1.0, skew_cv);
+
+    std::function<void(ThreadId, unsigned)> round = [&](ThreadId tid,
+                                                        unsigned it) {
+        if (it >= iters)
+            return;
+        const Tick busy = static_cast<Tick>(
+            500.0 * kMicrosecond * skew[tid]);
+        m.thread(tid).compute(busy, [&, tid, it]() {
+            barrier->arrive(m.thread(tid),
+                            [&, tid, it]() { round(tid, it + 1); });
+        });
+    };
+    for (ThreadId t = 0; t < n; ++t)
+        round(t, 0);
+    const Tick span = m.run();
+    return Outcome{span, m.totalEnergy().totalEnergy(), stats.sleeps};
+}
+
+} // namespace
+
+int
+main()
+{
+    const harness::SystemConfig sys =
+        harness::SystemConfig::paperDefault();
+    tb::bench::banner(
+        "Extension — central vs combining-tree thrifty barrier", sys);
+
+    const unsigned iters = 20;
+    thrifty::ThriftyConfig cfg = thrifty::ThriftyConfig::thrifty();
+
+    std::printf("1) Pure barrier overhead (perfectly balanced "
+                "threads, 64 nodes):\n");
+    std::printf("   %-12s %14s\n", "barrier", "per-instance");
+    {
+        const Outcome central = run(0, 0.0, iters, cfg);
+        const Tick base_compute = 500 * kMicrosecond * iters;
+        std::printf("   %-12s %11.2f us\n", "central",
+                    static_cast<double>(central.span - base_compute) /
+                        iters / kMicrosecond);
+        for (unsigned radix : {2u, 4u, 8u}) {
+            const Outcome tree = run(radix, 0.0, iters, cfg);
+            char label[16];
+            std::snprintf(label, sizeof(label), "tree r=%u", radix);
+            std::printf("   %-12s %11.2f us\n", label,
+                        static_cast<double>(tree.span - base_compute) /
+                            iters / kMicrosecond);
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\n2) Thrifty story on an imbalanced workload "
+                "(skew cv 0.25):\n");
+    std::printf("   %-12s %10s %12s %10s\n", "barrier", "time",
+                "energy", "sleeps");
+    thrifty::ThriftyConfig spin = cfg;
+    spin.states = power::SleepStateTable();
+    const Outcome base = run(0, 0.25, iters, spin); // central, spin
+    std::printf("   %-12s %9.2f%% %11.2fJ %10s\n", "central-spin",
+                100.0, base.energy, "-");
+    for (unsigned radix : {0u, 4u}) {
+        const Outcome t = run(radix, 0.25, iters, cfg);
+        std::printf("   %-12s %9.2f%% %11.2fJ %10llu\n",
+                    radix == 0 ? "central-T" : "tree4-T",
+                    100.0 * static_cast<double>(t.span) /
+                        static_cast<double>(base.span),
+                    t.energy,
+                    static_cast<unsigned long long>(t.sleeps));
+        std::fflush(stdout);
+    }
+
+    std::printf("\nThe tree cuts the fixed barrier overhead (check-in "
+                "serialization + release\nfan-out); thrifty sleeping "
+                "composes with it unchanged — waiters at every tree\n"
+                "level predict and sleep on their own group's flag.\n");
+    return 0;
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's primitives:
+ * event queue throughput, cache-array operations, predictor lookups,
+ * network sends, coherent accesses, and a full barrier round. These
+ * gate the host-side cost of the simulation itself (the figure
+ * benches run tens of millions of events).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/machine.hh"
+#include "mem/cache_array.hh"
+#include "mem/memory_system.hh"
+#include "noc/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "thrifty/conventional_barrier.hh"
+#include "thrifty/thrifty_barrier.hh"
+
+namespace {
+
+using namespace tb;
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    EventQueue eq;
+    int sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleIn(static_cast<Tick>(i * 13 % 97),
+                          [&]() { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventQueueCancel(benchmark::State& state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        EventHandle h = eq.scheduleIn(1000, []() {});
+        h.cancel();
+        eq.run();
+    }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void
+BM_CacheArrayLookup(benchmark::State& state)
+{
+    mem::CacheArray c(mem::CacheGeometry{64 * 1024, 8, 64});
+    for (unsigned i = 0; i < 512; ++i) {
+        const Addr a =
+            ((static_cast<Addr>(i) * 64 * 17 + (i << 13)) % (1 << 20)) &
+            ~Addr{63};
+        if (!c.find(a))
+            c.insert(a, mem::LineState::Shared);
+    }
+    Addr probe = 0;
+    for (auto _ : state) {
+        probe = (probe + 4096 + 64) & ((1 << 20) - 1);
+        benchmark::DoNotOptimize(c.find(probe & ~Addr{63}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_CacheArrayInsertEvict(benchmark::State& state)
+{
+    mem::CacheArray c(mem::CacheGeometry{16 * 1024, 2, 64});
+    Addr a = 0;
+    for (auto _ : state) {
+        a += 64;
+        if (!c.find(a))
+            benchmark::DoNotOptimize(
+                c.insert(a, mem::LineState::Modified));
+    }
+}
+BENCHMARK(BM_CacheArrayInsertEvict);
+
+void
+BM_PredictorLookupUpdate(benchmark::State& state)
+{
+    thrifty::LastValuePredictor p;
+    for (unsigned pc = 0; pc < 64; ++pc)
+        p.update(pc, pc * 1000);
+    unsigned pc = 0;
+    for (auto _ : state) {
+        pc = (pc + 1) % 64;
+        benchmark::DoNotOptimize(p.predict(pc, pc % 64));
+        p.update(pc, pc * 999);
+    }
+}
+BENCHMARK(BM_PredictorLookupUpdate);
+
+void
+BM_NetworkSend(benchmark::State& state)
+{
+    EventQueue eq;
+    noc::NetworkConfig cfg;
+    cfg.dimension = 6;
+    noc::Network net(eq, cfg);
+    Random rng(3);
+    for (auto _ : state) {
+        const NodeId s = static_cast<NodeId>(rng.uniformInt(64));
+        const NodeId d = static_cast<NodeId>(rng.uniformInt(64));
+        net.send(s, d, 72, []() {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSend);
+
+void
+BM_CoherentRemoteLoad(benchmark::State& state)
+{
+    EventQueue eq;
+    noc::NetworkConfig ncfg;
+    ncfg.dimension = 3;
+    noc::Network net(eq, ncfg);
+    mem::MemorySystem mem(eq, net, mem::MemoryConfig{});
+    const Addr base = mem.addressMap().allocShared(1 << 20);
+    Addr a = base;
+    NodeId n = 0;
+    for (auto _ : state) {
+        a = base + ((a - base + 64) & ((1 << 20) - 64));
+        n = (n + 1) % 8;
+        bool done = false;
+        mem.controller(n).load(a, [&](std::uint64_t) { done = true; });
+        eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherentRemoteLoad);
+
+void
+BM_FullBarrierRound(benchmark::State& state)
+{
+    const unsigned dim = static_cast<unsigned>(state.range(0));
+    harness::Machine m(harness::SystemConfig::small(dim));
+    const unsigned n = m.config().numNodes();
+    thrifty::SyncStats stats;
+    thrifty::ConventionalBarrier b(m.eventQueue(), 0x1, n, m.memory(),
+                                   stats, "b");
+    for (auto _ : state) {
+        for (ThreadId t = 0; t < n; ++t) {
+            m.thread(t).compute((t + 1) * 1000, [&, t]() {
+                b.arrive(m.thread(t), []() {});
+            });
+        }
+        m.eventQueue().run();
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.SetLabel(std::to_string(n) + " threads");
+}
+BENCHMARK(BM_FullBarrierRound)->Arg(2)->Arg(3)->Arg(6);
+
+void
+BM_ThriftyBarrierRound(benchmark::State& state)
+{
+    harness::Machine m(harness::SystemConfig::small(3));
+    const unsigned n = m.config().numNodes();
+    thrifty::SyncStats stats;
+    thrifty::ThriftyRuntime rt(n, thrifty::ThriftyConfig::thrifty(),
+                               stats);
+    thrifty::ThriftyBarrier b(m.eventQueue(), 0x1, rt, m.memory(),
+                              "b");
+    for (auto _ : state) {
+        for (ThreadId t = 0; t < n; ++t) {
+            m.thread(t).compute(t == 0 ? 500000 : 1000, [&, t]() {
+                b.arrive(m.thread(t), []() {});
+            });
+        }
+        m.eventQueue().run();
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ThriftyBarrierRound);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Robustness of the headline result across workload seeds: the Figure
+ * 5/6 averages for the five target applications, re-measured with
+ * five different synthetic-workload seeds. The paper's claim should
+ * not hinge on one draw of the random streams.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace tb;
+    using harness::ConfigKind;
+    tb::bench::banner("Robustness — headline averages across seeds",
+                      harness::SystemConfig::paperDefault());
+
+    const std::vector<std::uint64_t> seeds = {1, 2, 3, 5, 8};
+    std::vector<double> halt_savings, thrifty_savings,
+        thrifty_slowdowns;
+
+    std::printf("%6s %16s %16s %14s\n", "seed", "H saving",
+                "T saving", "T slowdown");
+    for (std::uint64_t seed : seeds) {
+        harness::SystemConfig sys =
+            harness::SystemConfig::paperDefault();
+        sys.seed = seed;
+        double h_sum = 0.0, t_sum = 0.0, slow_sum = 0.0;
+        unsigned n = 0;
+        for (const auto& name : workloads::targetAppNames()) {
+            const auto app = workloads::appByName(name);
+            const auto base =
+                runExperiment(sys, app, ConfigKind::Baseline);
+            const auto h =
+                runExperiment(sys, app, ConfigKind::ThriftyHalt);
+            const auto t =
+                runExperiment(sys, app, ConfigKind::Thrifty);
+            h_sum += 1.0 - h.totalEnergy() / base.totalEnergy();
+            t_sum += 1.0 - t.totalEnergy() / base.totalEnergy();
+            slow_sum += static_cast<double>(t.execTime) /
+                            static_cast<double>(base.execTime) -
+                        1.0;
+            ++n;
+        }
+        halt_savings.push_back(100.0 * h_sum / n);
+        thrifty_savings.push_back(100.0 * t_sum / n);
+        thrifty_slowdowns.push_back(100.0 * slow_sum / n);
+        std::printf("%6llu %15.1f%% %15.1f%% %13.2f%%\n",
+                    static_cast<unsigned long long>(seed),
+                    halt_savings.back(), thrifty_savings.back(),
+                    thrifty_slowdowns.back());
+        std::fflush(stdout);
+    }
+
+    auto mean_sd = [](const std::vector<double>& v) {
+        double m = 0.0;
+        for (double x : v)
+            m += x;
+        m /= v.size();
+        double s2 = 0.0;
+        for (double x : v)
+            s2 += (x - m) * (x - m);
+        return std::pair<double, double>(
+            m, std::sqrt(s2 / v.size()));
+    };
+    const auto [hm, hs] = mean_sd(halt_savings);
+    const auto [tm, ts] = mean_sd(thrifty_savings);
+    const auto [sm, ss] = mean_sd(thrifty_slowdowns);
+
+    std::printf("\nacross seeds (mean +/- sd):\n");
+    std::printf("  Thrifty-Halt saving : %5.1f%% +/- %.1f\n", hm, hs);
+    std::printf("  Thrifty saving      : %5.1f%% +/- %.1f  (paper "
+                "~17%%)\n",
+                tm, ts);
+    std::printf("  Thrifty slowdown    : %5.2f%% +/- %.2f  (paper "
+                "~2%%)\n",
+                sm, ss);
+    return 0;
+}

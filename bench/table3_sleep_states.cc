@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Table 3: the low-power sleep states, their derived
+ * absolute powers under the TDPmax normalization, and a demonstration
+ * of the sleep() library call's best-fit selection.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "power/sleep_states.hh"
+
+int
+main()
+{
+    using namespace tb;
+    const harness::SystemConfig sys =
+        harness::SystemConfig::paperDefault();
+    bench::banner("Table 3 — low-power sleep states", sys);
+
+    const power::SleepStateTable table =
+        power::SleepStateTable::paperDefault();
+    const power::PowerParams& pp = sys.power;
+
+    std::printf("%-14s %10s %12s %7s %8s %10s\n", "State",
+                "P.savings", "Tr.latency", "Snoop?", "V.red.?",
+                "watts");
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const power::SleepState& s = table.at(i);
+        std::printf("%-14s %9.1f%% %9llu us %7s %8s %9.2fW\n",
+                    s.name.c_str(), 100.0 * (1.0 - s.powerFraction),
+                    static_cast<unsigned long long>(
+                        s.transitionLatency / kMicrosecond),
+                    s.snoopable ? "Yes" : "No",
+                    s.voltageReduced ? "Yes" : "No",
+                    pp.sleepWatts(s.powerFraction));
+    }
+    std::printf("\nFor reference: active compute %.2fW, spinloop "
+                "%.2fW (85%% of active).\n\n",
+                pp.activeWatts(), pp.spinWatts());
+
+    std::printf("sleep() best-fit selection vs predicted stall:\n");
+    for (Tick stall :
+         {Tick{5 * kMicrosecond}, Tick{20 * kMicrosecond},
+          Tick{30 * kMicrosecond}, Tick{50 * kMicrosecond},
+          Tick{70 * kMicrosecond}, Tick{200 * kMicrosecond},
+          Tick{2 * kMillisecond}}) {
+        const power::SleepState* s = table.select(stall);
+        std::printf("  stall %8llu us -> %s\n",
+                    static_cast<unsigned long long>(stall /
+                                                    kMicrosecond),
+                    s ? s->name.c_str() : "(spin: no state fits)");
+    }
+    return 0;
+}

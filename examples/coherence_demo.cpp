@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A guided tour of the coherence substrate and the thrifty barrier's
+ * hardware hooks, driving the cache controllers directly (no
+ * workload, no barrier objects): MESI state movement, the flag
+ * monitor's external wake-up, and the sleeping cache's deferred
+ * invalidations — the machinery of Section 3.3.
+ */
+
+#include <cstdio>
+
+#include "mem/memory_system.hh"
+#include "noc/network.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace tb;
+
+const char*
+st(mem::LineState s)
+{
+    return mem::lineStateName(s);
+}
+
+struct Demo
+{
+    EventQueue eq;
+    noc::Network net;
+    mem::MemorySystem mem;
+
+    Demo() : net(eq, netCfg()), mem(eq, net, mem::MemoryConfig{}) {}
+
+    static noc::NetworkConfig
+    netCfg()
+    {
+        noc::NetworkConfig c;
+        c.dimension = 2; // 4 nodes
+        return c;
+    }
+
+    std::uint64_t
+    load(NodeId n, Addr a)
+    {
+        std::uint64_t out = 0;
+        mem.controller(n).load(a, [&](std::uint64_t v) { out = v; });
+        eq.run();
+        return out;
+    }
+
+    void
+    store(NodeId n, Addr a, std::uint64_t v)
+    {
+        mem.controller(n).store(a, v, []() {});
+        eq.run();
+    }
+
+    void
+    states(Addr a, const char* label)
+    {
+        std::printf("  [%6.1fus] %-34s L2 states:",
+                    static_cast<double>(eq.now()) / kMicrosecond,
+                    label);
+        for (NodeId n = 0; n < 4; ++n)
+            std::printf(" n%u=%s", n, st(mem.controller(n).l2State(a)));
+        std::printf("\n");
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Demo d;
+    const Addr flag = d.mem.addressMap().allocShared(4096) + 64;
+
+    std::printf("== 1. MESI movement on a shared line ==\n");
+    d.load(0, flag);
+    d.states(flag, "node0 loads (miss -> Exclusive)");
+    d.load(1, flag);
+    d.states(flag, "node1 loads (owner downgrades)");
+    d.store(2, flag, 7);
+    d.states(flag, "node2 stores (sharers invalidated)");
+    d.load(3, flag);
+    d.states(flag, "node3 loads dirty line (M -> S + S)");
+
+    std::printf("\n== 2. External wake-up: the flag monitor ==\n");
+    // Node 1 plays the early-arriving thread: it arms the monitor for
+    // flag==8 and "sleeps"; node 0 plays the last thread and flips.
+    bool asleep = false;
+    d.mem.controller(1).setWakeHandler([&](mem::WakeReason r) {
+        std::printf("  [%6.1fus] node1 WOKEN (%s)\n",
+                    static_cast<double>(d.eq.now()) / kMicrosecond,
+                    mem::wakeReasonName(r));
+        asleep = false;
+        return d.eq.now();
+    });
+    d.mem.controller(1).armFlagMonitor(flag, 8, [&](bool already) {
+        std::printf("  [%6.1fus] node1 armed monitor (already "
+                    "flipped: %s) -> sleeping\n",
+                    static_cast<double>(d.eq.now()) / kMicrosecond,
+                    already ? "yes" : "no");
+        asleep = !already;
+    });
+    d.eq.run();
+    std::printf("  [%6.1fus] node0 flips the flag to 8...\n",
+                static_cast<double>(d.eq.now()) / kMicrosecond);
+    d.store(0, flag, 8);
+    std::printf("  node1 %s\n",
+                asleep ? "STILL ASLEEP (bug!)" : "is awake again");
+
+    std::printf("\n== 3. Deferred invalidations while non-snoopable "
+                "==\n");
+    const Addr data = flag + 128;
+    d.load(1, data);
+    d.load(3, data); // two sharers
+    d.mem.controller(1).setSnoopable(false);
+    std::printf("  node1's cache gated (deep sleep); node0 writes "
+                "the line...\n");
+    d.store(0, data, 99);
+    std::printf("  store completed (node1 acked without cache "
+                "access); deferred invals at node1: %zu\n",
+                d.mem.controller(1).deferredInvalidations());
+    d.mem.controller(1).setSnoopable(true);
+    std::printf("  node1 wakes: deferred invalidation applied, L2 "
+                "state = %s\n",
+                st(d.mem.controller(1).l2State(data)));
+    std::printf("  node1 reloads and sees the new value: %llu\n",
+                static_cast<unsigned long long>(d.load(1, data)));
+    return 0;
+}

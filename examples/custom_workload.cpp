@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Building custom workloads: sweep the barrier imbalance of a
+ * synthetic application and watch the thrifty barrier's savings grow
+ * with it — the paper's central proportionality ("energy waste is
+ * largely proportional to the barrier imbalance").
+ *
+ * Also demonstrates mixing a non-repeating prologue (FFT-style, where
+ * the PC-indexed predictor never warms up) with a predictable main
+ * loop.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "workloads/app_profile.hh"
+
+namespace {
+
+tb::workloads::AppProfile
+makeApp(double imbalance_cv)
+{
+    using namespace tb;
+    workloads::AppProfile app;
+    app.name = "sweep";
+
+    // A couple of one-shot initialization barriers: these always run
+    // conventionally (no history for their PCs).
+    for (unsigned i = 0; i < 2; ++i) {
+        workloads::PhaseSpec pre;
+        pre.pc = 0x9000 + i;
+        pre.meanCompute = 200 * kMicrosecond;
+        pre.imbalanceCv = imbalance_cv;
+        app.prologue.push_back(pre);
+    }
+
+    // The main loop: three barriers per iteration.
+    for (unsigned i = 0; i < 3; ++i) {
+        workloads::PhaseSpec p;
+        p.pc = 0x1000 + i;
+        p.meanCompute = (400 + 150 * i) * kMicrosecond;
+        p.imbalanceCv = imbalance_cv;
+        p.memAccesses = 16;
+        app.loop.push_back(p);
+    }
+    app.iterations = 10;
+    return app;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tb;
+    harness::SystemConfig sys = harness::SystemConfig::small(4);
+
+    std::printf("Imbalance sweep on a %u-node machine "
+                "(3-barrier loop + 2-barrier prologue):\n\n",
+                sys.numNodes());
+    std::printf("%12s %12s %12s %12s %10s\n", "imbalanceCv",
+                "measured", "energy", "time", "sleeps");
+
+    for (double cv : {0.0, 0.02, 0.05, 0.10, 0.20, 0.40}) {
+        const workloads::AppProfile app = makeApp(cv);
+        const auto base = harness::runExperiment(
+            sys, app, harness::ConfigKind::Baseline);
+        const auto thrifty = harness::runExperiment(
+            sys, app, harness::ConfigKind::Thrifty);
+        std::printf(
+            "%12.2f %11.1f%% %11.1f%% %11.2f%% %10llu\n", cv,
+            100.0 * base.imbalance(),
+            100.0 * thrifty.totalEnergy() / base.totalEnergy(),
+            100.0 * static_cast<double>(thrifty.execTime) /
+                static_cast<double>(base.execTime),
+            static_cast<unsigned long long>(thrifty.sync.sleeps));
+        std::fflush(stdout);
+    }
+
+    std::printf("\nEnergy (as %% of Baseline) falls as imbalance "
+                "grows; execution time stays\nwithin a couple of "
+                "percent throughout.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: simulate one imbalanced barrier application on a
+ * 16-node machine under the conventional (Baseline) barrier and the
+ * thrifty barrier, and compare energy and execution time.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "workloads/app_profile.hh"
+
+int
+main()
+{
+    using namespace tb;
+
+    // 1. Describe the machine. small(4) = 2^4 = 16 nodes; defaults
+    //    follow Table 1 of the paper (caches, NoC, DRAM, power).
+    harness::SystemConfig sys = harness::SystemConfig::small(4);
+    sys.seed = 2026;
+
+    // 2. Describe the application: two barriers per iteration, with
+    //    per-thread compute skew (the imbalance the thrifty barrier
+    //    converts into sleep time).
+    workloads::AppProfile app;
+    app.name = "quickstart";
+    workloads::PhaseSpec p;
+    p.pc = 0x1000;
+    p.meanCompute = 600 * kMicrosecond;
+    p.imbalanceCv = 0.20; // heavily imbalanced
+    app.loop.push_back(p);
+    p.pc = 0x1001;
+    p.meanCompute = 400 * kMicrosecond;
+    app.loop.push_back(p);
+    app.iterations = 12;
+
+    // 3. Run it under both barrier implementations.
+    const auto base =
+        harness::runExperiment(sys, app, harness::ConfigKind::Baseline);
+    const auto thrifty =
+        harness::runExperiment(sys, app, harness::ConfigKind::Thrifty);
+
+    // 4. Compare.
+    std::printf("threads            : %u\n", base.threads);
+    std::printf("barrier instances  : %llu\n",
+                static_cast<unsigned long long>(base.sync.instances));
+    std::printf("barrier imbalance  : %.1f%%\n",
+                100.0 * base.imbalance());
+    std::printf("\n%-22s %12s %12s\n", "", "Baseline", "Thrifty");
+    std::printf("%-22s %10.3f ms %10.3f ms\n", "execution time",
+                ticksToSeconds(base.execTime) * 1e3,
+                ticksToSeconds(thrifty.execTime) * 1e3);
+    std::printf("%-22s %11.2f J %11.2f J\n", "CPU energy",
+                base.totalEnergy(), thrifty.totalEnergy());
+    std::printf("%-22s %12s %11llu\n", "sleep episodes", "0",
+                static_cast<unsigned long long>(thrifty.sync.sleeps));
+    std::printf("\nthrifty barrier: %.1f%% energy saving at %.2f%% "
+                "slowdown\n",
+                100.0 * (1.0 - thrifty.totalEnergy() /
+                                   base.totalEnergy()),
+                100.0 * (static_cast<double>(thrifty.execTime) /
+                             static_cast<double>(base.execTime) -
+                         1.0));
+    return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Rebuild everything, run the test suite, and regenerate every table,
+# figure, ablation and extension result into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "== $name"
+    if [ "$name" = micro_primitives ]; then
+        "$b" --benchmark_min_time=0.1 | tee "results/$name.txt"
+    else
+        "$b" | tee "results/$name.txt"
+    fi
+done
+
+echo "All outputs in results/."

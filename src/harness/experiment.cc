@@ -1,0 +1,132 @@
+#include "harness/experiment.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "thrifty/conventional_barrier.hh"
+#include "thrifty/thrifty_barrier.hh"
+
+namespace tb {
+namespace harness {
+
+const char*
+configName(ConfigKind k)
+{
+    switch (k) {
+      case ConfigKind::Baseline:    return "Baseline";
+      case ConfigKind::ThriftyHalt: return "Thrifty-Halt";
+      case ConfigKind::OracleHalt:  return "Oracle-Halt";
+      case ConfigKind::Thrifty:     return "Thrifty";
+      case ConfigKind::Ideal:       return "Ideal";
+    }
+    return "?";
+}
+
+const char*
+configLetter(ConfigKind k)
+{
+    switch (k) {
+      case ConfigKind::Baseline:    return "B";
+      case ConfigKind::ThriftyHalt: return "H";
+      case ConfigKind::OracleHalt:  return "O";
+      case ConfigKind::Thrifty:     return "T";
+      case ConfigKind::Ideal:       return "I";
+    }
+    return "?";
+}
+
+thrifty::ThriftyConfig
+thriftyConfigFor(ConfigKind k)
+{
+    switch (k) {
+      case ConfigKind::ThriftyHalt:
+        return thrifty::ThriftyConfig::thriftyHalt();
+      case ConfigKind::OracleHalt:
+        return thrifty::ThriftyConfig::oracleHalt();
+      case ConfigKind::Thrifty:
+        return thrifty::ThriftyConfig::thrifty();
+      case ConfigKind::Ideal:
+        return thrifty::ThriftyConfig::idealConfig();
+      case ConfigKind::Baseline:
+        break;
+    }
+    panic("no thrifty configuration for ", configName(k));
+}
+
+ConfigBarrierProvider::ConfigBarrierProvider(
+    Machine& machine, ConfigKind k, const thrifty::ThriftyConfig* custom,
+    thrifty::SyncStats& sync_stats)
+    : m(machine), kind(k), stats(sync_stats)
+{
+    if (kind != ConfigKind::Baseline) {
+        const thrifty::ThriftyConfig cfg =
+            custom ? *custom : thriftyConfigFor(kind);
+        rt = std::make_unique<thrifty::ThriftyRuntime>(
+            m.config().numNodes(), cfg, stats);
+    }
+}
+
+thrifty::Barrier&
+ConfigBarrierProvider::barrierFor(thrifty::BarrierPc pc)
+{
+    auto it = barriers.find(pc);
+    if (it != barriers.end())
+        return *it->second;
+
+    std::unique_ptr<thrifty::Barrier> b;
+    const std::string name = "barrier" + std::to_string(pc);
+    if (kind == ConfigKind::Baseline) {
+        b = std::make_unique<thrifty::ConventionalBarrier>(
+            m.eventQueue(), pc, m.config().numNodes(), m.memory(),
+            stats, name);
+    } else {
+        b = std::make_unique<thrifty::ThriftyBarrier>(
+            m.eventQueue(), pc, *rt, m.memory(), name);
+    }
+    auto [pos, inserted] = barriers.emplace(pc, std::move(b));
+    (void)inserted;
+    return *pos->second;
+}
+
+ExperimentResult
+runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
+              ConfigKind kind, const RunOptions& options)
+{
+    Machine machine(sys);
+
+    thrifty::SyncStats sync;
+    sync.traceEnabled = options.trace;
+
+    ConfigBarrierProvider provider(machine, kind, options.customConfig,
+                                   sync);
+    workloads::SyntheticProgram program(
+        machine.eventQueue(), machine.memory(), machine.threadPtrs(),
+        app, provider, sys.seed);
+
+    program.start();
+    machine.run();
+
+    if (!program.finished())
+        panic("experiment deadlocked: ", app.name, " under ",
+              configName(kind));
+
+    ExperimentResult r;
+    r.app = app.name;
+    r.config = configName(kind);
+    r.execTime = program.finishTick();
+    r.threads = machine.config().numNodes();
+    r.sync = std::move(sync);
+
+    const power::EnergyAccount total = machine.totalEnergy();
+    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+        const auto b = static_cast<power::Bucket>(i);
+        r.energy[i] = total.energy(b);
+        r.time[i] = total.time(b);
+    }
+    if (options.statsOut)
+        machine.dumpStats(*options.statsOut);
+    return r;
+}
+
+} // namespace harness
+} // namespace tb

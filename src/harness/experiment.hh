@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Experiment runner: executes one (application, configuration) pair on
+ * a fresh machine and collects the measurements that Figures 5/6 and
+ * Table 2 are built from.
+ */
+
+#ifndef TB_HARNESS_EXPERIMENT_HH_
+#define TB_HARNESS_EXPERIMENT_HH_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/machine.hh"
+#include "thrifty/barrier.hh"
+#include "thrifty/thrifty_config.hh"
+#include "thrifty/thrifty_runtime.hh"
+#include "workloads/app_profile.hh"
+#include "workloads/synthetic_program.hh"
+
+namespace tb {
+namespace harness {
+
+/** The five evaluated configurations of Section 5.1. */
+enum class ConfigKind
+{
+    Baseline,    ///< conventional barriers (B)
+    ThriftyHalt, ///< thrifty, Halt only (H)
+    OracleHalt,  ///< perfect prediction, Halt only (O)
+    Thrifty,     ///< thrifty, all three states (T)
+    Ideal,       ///< perfect prediction, all states, no flush (I)
+};
+
+/** Long name ("Thrifty-Halt") of a configuration. */
+const char* configName(ConfigKind k);
+
+/** One-letter label used in the figures (B/H/O/T/I). */
+const char* configLetter(ConfigKind k);
+
+/** Thrifty configuration backing @p k (not valid for Baseline). */
+thrifty::ThriftyConfig thriftyConfigFor(ConfigKind k);
+
+/** Measurements from one run. */
+struct ExperimentResult
+{
+    std::string app;
+    std::string config;
+    /** Wall-clock of the parallel section (last thread finish). */
+    Tick execTime = 0;
+    /** Machine-wide energy per bucket, joules. */
+    std::array<double, power::kNumBuckets> energy{};
+    /** Machine-wide CPU-time per bucket, ticks. */
+    std::array<Tick, power::kNumBuckets> time{};
+    /** Synchronization statistics (and optional trace). */
+    thrifty::SyncStats sync;
+    /** Participating threads. */
+    unsigned threads = 0;
+
+    double
+    totalEnergy() const
+    {
+        double t = 0;
+        for (double e : energy)
+            t += e;
+        return t;
+    }
+
+    /**
+     * Barrier imbalance: aggregate stall time over aggregate thread
+     * execution time (the Table 2 metric).
+     */
+    double
+    imbalance() const
+    {
+        if (execTime == 0 || threads == 0)
+            return 0.0;
+        return sync.totalStallTicks /
+               (static_cast<double>(execTime) * threads);
+    }
+};
+
+/**
+ * BarrierProvider creating Baseline or thrifty barriers on demand,
+ * one per static PC, all sharing one runtime.
+ */
+class ConfigBarrierProvider : public workloads::BarrierProvider
+{
+  public:
+    /**
+     * @param machine Machine to build barriers in.
+     * @param kind    Which configuration's barriers to produce.
+     * @param custom  When non-null, overrides the preset thrifty
+     *                configuration (ablations); ignored for Baseline.
+     * @param stats   Stats sink shared by all barriers.
+     */
+    ConfigBarrierProvider(Machine& machine, ConfigKind kind,
+                          const thrifty::ThriftyConfig* custom,
+                          thrifty::SyncStats& stats);
+
+    thrifty::Barrier& barrierFor(thrifty::BarrierPc pc) override;
+
+    /** The shared thrifty runtime (null for Baseline). */
+    thrifty::ThriftyRuntime* runtime() { return rt.get(); }
+
+  private:
+    Machine& m;
+    ConfigKind kind;
+    thrifty::SyncStats& stats;
+    std::unique_ptr<thrifty::ThriftyRuntime> rt;
+    std::map<thrifty::BarrierPc, std::unique_ptr<thrifty::Barrier>>
+        barriers;
+};
+
+/** Options for one experiment run. */
+struct RunOptions
+{
+    bool trace = false; ///< record the per-departure barrier trace
+    /** Override the preset thrifty configuration (ablations). */
+    const thrifty::ThriftyConfig* customConfig = nullptr;
+    /** When set, dump all component statistics here after the run. */
+    std::ostream* statsOut = nullptr;
+};
+
+/**
+ * Run @p app under configuration @p kind on a fresh machine built
+ * from @p sys.
+ */
+ExperimentResult runExperiment(const SystemConfig& sys,
+                               const workloads::AppProfile& app,
+                               ConfigKind kind,
+                               const RunOptions& options = {});
+
+} // namespace harness
+} // namespace tb
+
+#endif // TB_HARNESS_EXPERIMENT_HH_

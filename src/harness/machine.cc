@@ -1,0 +1,90 @@
+#include "harness/machine.hh"
+
+#include <string>
+
+namespace tb {
+namespace harness {
+
+SystemConfig
+SystemConfig::paperDefault()
+{
+    SystemConfig c;
+    c.noc.dimension = 6; // 64 nodes
+    return c;
+}
+
+SystemConfig
+SystemConfig::small(unsigned dimension)
+{
+    SystemConfig c;
+    c.noc.dimension = dimension;
+    return c;
+}
+
+Machine::Machine(const SystemConfig& config)
+    : cfg(config)
+{
+    net = std::make_unique<noc::Network>(eq, cfg.noc);
+    mem_ = std::make_unique<mem::MemorySystem>(eq, *net, cfg.memory);
+    const unsigned n = cfg.numNodes();
+    cpus.reserve(n);
+    threads.reserve(n);
+    for (NodeId i = 0; i < n; ++i) {
+        const std::string prefix = "node" + std::to_string(i);
+        cpus.push_back(std::make_unique<cpu::Cpu>(
+            eq, i, mem_->controller(i), cfg.power, prefix + ".cpu"));
+        threads.push_back(std::make_unique<cpu::ThreadContext>(
+            eq, i, *cpus.back(), mem_->controller(i),
+            prefix + ".thread"));
+    }
+}
+
+std::vector<cpu::ThreadContext*>
+Machine::threadPtrs()
+{
+    std::vector<cpu::ThreadContext*> out;
+    out.reserve(threads.size());
+    for (auto& t : threads)
+        out.push_back(t.get());
+    return out;
+}
+
+Tick
+Machine::run()
+{
+    eq.run();
+    for (auto& c : cpus)
+        c->finalize();
+    return eq.now();
+}
+
+power::EnergyAccount
+Machine::totalEnergy() const
+{
+    power::EnergyAccount total;
+    for (const auto& c : cpus)
+        total.add(c->energy());
+    return total;
+}
+
+void
+Machine::dumpStats(std::ostream& os)
+{
+    os << "---------- " << net->name() << " ----------\n";
+    net->statistics().dump(os);
+    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+        os << "---------- " << mem_->controller(n).name()
+           << " ----------\n";
+        mem_->controller(n).statistics().dump(os);
+        os << "---------- " << mem_->directory(n).name()
+           << " ----------\n";
+        mem_->directory(n).statistics().dump(os);
+        os << "---------- " << mem_->dram(n).name() << " ----------\n";
+        mem_->dram(n).statistics().dump(os);
+        os << "---------- " << cpus[n]->name() << " ----------\n";
+        cpus[n]->statistics().dump(os);
+    }
+}
+
+} // namespace harness
+} // namespace tb

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Whole-machine assembly: Table 1's 64-node CC-NUMA multiprocessor as
+ * one object — event queue, hypercube network, coherent memory
+ * system, one CPU + thread context per node.
+ */
+
+#ifndef TB_HARNESS_MACHINE_HH_
+#define TB_HARNESS_MACHINE_HH_
+
+#include <memory>
+#include <vector>
+
+#include "cpu/cpu.hh"
+#include "cpu/thread_context.hh"
+#include "mem/memory_system.hh"
+#include "noc/network.hh"
+#include "power/energy_model.hh"
+#include "sim/event_queue.hh"
+
+namespace tb {
+namespace harness {
+
+/** Full-system configuration (defaults reproduce Table 1). */
+struct SystemConfig
+{
+    noc::NetworkConfig noc;       ///< 6-cube (64 nodes) by default
+    mem::MemoryConfig memory;     ///< caches/DRAM per Table 1
+    power::PowerParams power;     ///< TDPmax-relative power model
+    std::uint64_t seed = 1;       ///< workload randomness seed
+
+    unsigned numNodes() const { return noc.nodes(); }
+
+    /** The paper's machine (Table 1): 64 nodes. */
+    static SystemConfig paperDefault();
+
+    /** A small machine for tests (2^dimension nodes). */
+    static SystemConfig small(unsigned dimension);
+};
+
+/** One simulated multiprocessor. */
+class Machine
+{
+  public:
+    explicit Machine(const SystemConfig& config);
+
+    const SystemConfig& config() const { return cfg; }
+    EventQueue& eventQueue() { return eq; }
+    noc::Network& network() { return *net; }
+    mem::MemorySystem& memory() { return *mem_; }
+
+    cpu::Cpu& cpu(NodeId n) { return *cpus.at(n); }
+    cpu::ThreadContext& thread(ThreadId t) { return *threads.at(t); }
+
+    /** All thread contexts, in thread-id order. */
+    std::vector<cpu::ThreadContext*> threadPtrs();
+
+    /**
+     * Drain the event queue and close every CPU's accounting
+     * interval.
+     * @return the final simulated tick.
+     */
+    Tick run();
+
+    /** Machine-wide energy/time ledger (valid after run()). */
+    power::EnergyAccount totalEnergy() const;
+
+    /**
+     * Dump every component's statistics (network, DRAM, directories,
+     * controllers, CPUs) in gem5-style "name value" lines.
+     */
+    void dumpStats(std::ostream& os);
+
+  private:
+    SystemConfig cfg;
+    EventQueue eq;
+    std::unique_ptr<noc::Network> net;
+    std::unique_ptr<mem::MemorySystem> mem_;
+    std::vector<std::unique_ptr<cpu::Cpu>> cpus;
+    std::vector<std::unique_ptr<cpu::ThreadContext>> threads;
+};
+
+} // namespace harness
+} // namespace tb
+
+#endif // TB_HARNESS_MACHINE_HH_

@@ -1,0 +1,238 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace harness {
+namespace report {
+
+namespace {
+
+double
+totalOf(const ExperimentResult& r, bool use_energy)
+{
+    double t = 0.0;
+    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+        t += use_energy ? r.energy[i]
+                        : static_cast<double>(r.time[i]);
+    }
+    return t;
+}
+
+double
+partOf(const ExperimentResult& r, std::size_t i, bool use_energy)
+{
+    return use_energy ? r.energy[i] : static_cast<double>(r.time[i]);
+}
+
+} // namespace
+
+const ExperimentResult&
+baselineOf(const std::vector<ExperimentResult>& results)
+{
+    for (const auto& r : results) {
+        if (r.config == "Baseline")
+            return r;
+    }
+    fatal("result group has no Baseline run");
+}
+
+double
+normalizedTotal(const ExperimentResult& r,
+                const ExperimentResult& baseline, bool use_energy)
+{
+    const double base = totalOf(baseline, use_energy);
+    if (base <= 0.0)
+        return 0.0;
+    return 100.0 * totalOf(r, use_energy) / base;
+}
+
+void
+printArchitecture(std::ostream& os, const SystemConfig& sys)
+{
+    const auto& mc = sys.memory.controller;
+    os << "Architecture (Table 1): " << sys.numNodes()
+       << "-node CC-NUMA, hypercube dim " << sys.noc.dimension << "\n"
+       << "  L1 " << mc.l1.sizeBytes / 1024 << "kB/" << mc.l1.assoc
+       << "-way, L2 " << mc.l2.sizeBytes / 1024 << "kB/" << mc.l2.assoc
+       << "-way, " << mc.l1.lineBytes << "B lines; RT "
+       << mc.l1Rt / kNanosecond << "ns/" << mc.l2Rt / kNanosecond
+       << "ns\n"
+       << "  DRAM "
+       << sys.memory.dram.accessLatency / kNanosecond
+       << "ns row miss; NoC pin-to-pin "
+       << sys.noc.pinToPin / kNanosecond << "ns, marshal "
+       << sys.noc.marshal / kNanosecond << "ns\n"
+       << "  CPU TDPmax " << sys.power.tdpMax << "W, active "
+       << sys.power.activeWatts() << "W, spin "
+       << sys.power.spinWatts() << "W\n";
+}
+
+void
+printBreakdownGroup(std::ostream& os,
+                    const std::vector<ExperimentResult>& results,
+                    bool use_energy)
+{
+    if (results.empty())
+        return;
+    const ExperimentResult& base = baselineOf(results);
+    const double base_total = totalOf(base, use_energy);
+
+    os << results.front().app << " — normalized "
+       << (use_energy ? "energy" : "execution time")
+       << " (% of Baseline)\n";
+    os << "  " << std::left << std::setw(14) << "config"
+       << std::right << std::setw(9) << "total";
+    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+        os << std::setw(11)
+           << power::bucketName(static_cast<power::Bucket>(i));
+    }
+    os << '\n';
+
+    for (const auto& r : results) {
+        os << "  " << std::left << std::setw(14) << r.config
+           << std::right << std::fixed << std::setprecision(1)
+           << std::setw(8) << normalizedTotal(r, base, use_energy)
+           << '%';
+        for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+            const double pct =
+                base_total > 0.0
+                    ? 100.0 * partOf(r, i, use_energy) / base_total
+                    : 0.0;
+            os << std::setw(10) << pct << '%';
+        }
+        os << '\n';
+    }
+}
+
+void
+printStackedBars(std::ostream& os,
+                 const std::vector<ExperimentResult>& results,
+                 bool use_energy, unsigned width)
+{
+    if (results.empty())
+        return;
+    const ExperimentResult& base = baselineOf(results);
+    const double base_total = totalOf(base, use_energy);
+    if (base_total <= 0.0)
+        return;
+    static const char glyph[power::kNumBuckets] = {'#', '%', '+', '.'};
+
+    for (const auto& r : results) {
+        os << "  " << std::left << std::setw(14) << r.config << " |";
+        unsigned printed = 0;
+        for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+            const double frac = partOf(r, i, use_energy) / base_total;
+            const unsigned cells = static_cast<unsigned>(
+                std::lround(frac * width));
+            for (unsigned c = 0; c < cells; ++c)
+                os << glyph[i];
+            printed += cells;
+        }
+        os << "  " << std::fixed << std::setprecision(1)
+           << 100.0 * totalOf(r, use_energy) / base_total << "%\n";
+        (void)printed;
+    }
+    os << "  legend: # Compute  % Spin  + Transition  . Sleep\n";
+}
+
+void
+printSummary(std::ostream& os,
+             const std::vector<std::vector<ExperimentResult>>& groups,
+             const std::vector<std::string>& apps_included)
+{
+    // config name -> (sum of normalized energy, sum of normalized
+    // time, count)
+    struct Acc
+    {
+        double energy = 0.0;
+        double time = 0.0;
+        unsigned n = 0;
+    };
+    std::vector<std::pair<std::string, Acc>> accs;
+
+    auto acc_for = [&](const std::string& cfg) -> Acc& {
+        for (auto& [name, a] : accs) {
+            if (name == cfg)
+                return a;
+        }
+        accs.emplace_back(cfg, Acc{});
+        return accs.back().second;
+    };
+
+    for (const auto& group : groups) {
+        if (group.empty())
+            continue;
+        if (std::find(apps_included.begin(), apps_included.end(),
+                      group.front().app) == apps_included.end()) {
+            continue;
+        }
+        const ExperimentResult& base = baselineOf(group);
+        for (const auto& r : group) {
+            Acc& a = acc_for(r.config);
+            a.energy += normalizedTotal(r, base, true);
+            a.time += normalizedTotal(r, base, false);
+            ++a.n;
+        }
+    }
+
+    os << "Averages over {";
+    for (std::size_t i = 0; i < apps_included.size(); ++i)
+        os << (i ? ", " : "") << apps_included[i];
+    os << "}:\n";
+    for (const auto& [name, a] : accs) {
+        if (a.n == 0)
+            continue;
+        const double e = a.energy / a.n;
+        const double t = a.time / a.n;
+        os << "  " << std::left << std::setw(14) << name << std::fixed
+           << std::setprecision(1) << "energy " << std::setw(5) << e
+           << "% (saving " << std::setw(5) << 100.0 - e
+           << "%)   time " << std::setw(5) << t << "% (slowdown "
+           << std::setw(5) << t - 100.0 << "%)\n";
+    }
+}
+
+void
+printJson(std::ostream& os, const ExperimentResult& r)
+{
+    os << "{\n"
+       << "  \"app\": \"" << r.app << "\",\n"
+       << "  \"config\": \"" << r.config << "\",\n"
+       << "  \"threads\": " << r.threads << ",\n"
+       << "  \"exec_time_s\": " << std::setprecision(12)
+       << ticksToSeconds(r.execTime) << ",\n"
+       << "  \"imbalance\": " << r.imbalance() << ",\n"
+       << "  \"energy_j\": {";
+    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+        os << (i ? ", " : "") << '"'
+           << power::bucketName(static_cast<power::Bucket>(i))
+           << "\": " << r.energy[i];
+    }
+    os << "},\n  \"time_s\": {";
+    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+        os << (i ? ", " : "") << '"'
+           << power::bucketName(static_cast<power::Bucket>(i))
+           << "\": " << ticksToSeconds(r.time[i]);
+    }
+    os << "},\n"
+       << "  \"sync\": {"
+       << "\"instances\": " << r.sync.instances
+       << ", \"arrivals\": " << r.sync.arrivals
+       << ", \"sleeps\": " << r.sync.sleeps
+       << ", \"spins\": " << r.sync.spins
+       << ", \"cutoffs\": " << r.sync.cutoffs
+       << ", \"filtered_updates\": " << r.sync.filteredUpdates
+       << ", \"residual_spins\": " << r.sync.residualSpins
+       << ", \"total_stall_s\": "
+       << ticksToSeconds(static_cast<Tick>(r.sync.totalStallTicks))
+       << "}\n}\n";
+}
+
+} // namespace report
+} // namespace harness
+} // namespace tb

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Text rendering of the paper's tables and figures.
+ *
+ * Figures 5 and 6 are stacked normalized bars (energy / execution
+ * time, five configurations per application, four segments per bar);
+ * here they render as aligned tables plus ASCII stacked bars so the
+ * bench binaries reproduce the same rows/series on a terminal.
+ */
+
+#ifndef TB_HARNESS_REPORT_HH_
+#define TB_HARNESS_REPORT_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace tb {
+namespace harness {
+namespace report {
+
+/** Print the Table 1 architecture banner for @p sys. */
+void printArchitecture(std::ostream& os, const SystemConfig& sys);
+
+/**
+ * Print one application's normalized breakdown (one row per
+ * configuration). @p results must contain the Baseline run; every
+ * row is normalized to it. @p use_energy selects Figure 5 (energy)
+ * vs Figure 6 (time).
+ */
+void printBreakdownGroup(std::ostream& os,
+                         const std::vector<ExperimentResult>& results,
+                         bool use_energy);
+
+/** ASCII stacked bar (#=Compute %=Spin +=Transition .=Sleep). */
+void printStackedBars(std::ostream& os,
+                      const std::vector<ExperimentResult>& results,
+                      bool use_energy, unsigned width = 60);
+
+/**
+ * Headline summary (Section 5.1): average energy saving and slowdown
+ * vs Baseline per configuration, over the given apps.
+ * @p groups is one vector of results (including Baseline) per app.
+ */
+void printSummary(
+    std::ostream& os,
+    const std::vector<std::vector<ExperimentResult>>& groups,
+    const std::vector<std::string>& apps_included);
+
+/** Normalized total (percent of Baseline) for one result. */
+double normalizedTotal(const ExperimentResult& r,
+                       const ExperimentResult& baseline,
+                       bool use_energy);
+
+/** Find the Baseline entry in a result group. */
+const ExperimentResult&
+baselineOf(const std::vector<ExperimentResult>& results);
+
+/**
+ * Emit one result as a JSON object (machine-readable output for the
+ * CLI tool and external plotting scripts).
+ */
+void printJson(std::ostream& os, const ExperimentResult& r);
+
+} // namespace report
+} // namespace harness
+} // namespace tb
+
+#endif // TB_HARNESS_REPORT_HH_

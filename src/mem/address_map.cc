@@ -1,0 +1,71 @@
+#include "mem/address_map.hh"
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace mem {
+
+AddressMap::AddressMap(unsigned num_nodes)
+    : numNodes(num_nodes)
+{
+    if (num_nodes == 0)
+        fatal("address map needs at least one node");
+}
+
+Addr
+AddressMap::allocPages(std::size_t bytes, bool shared, NodeId fixed_home)
+{
+    if (bytes == 0)
+        fatal("zero-byte allocation");
+    const std::size_t n_pages = (bytes + kPageBytes - 1) / kPageBytes;
+    const Addr base = nextPage;
+    for (std::size_t i = 0; i < n_pages; ++i) {
+        NodeId h = shared
+                       ? static_cast<NodeId>(nextSharedHome++ % numNodes)
+                       : fixed_home;
+        pages.emplace(nextPage, PageInfo{h, shared});
+        nextPage += kPageBytes;
+    }
+    return base;
+}
+
+Addr
+AddressMap::allocShared(std::size_t bytes)
+{
+    return allocPages(bytes, true, 0);
+}
+
+Addr
+AddressMap::allocPrivate(NodeId owner, std::size_t bytes)
+{
+    if (owner >= numNodes)
+        fatal("private allocation for nonexistent node ", owner);
+    return allocPages(bytes, false, owner);
+}
+
+NodeId
+AddressMap::home(Addr a) const
+{
+    auto it = pages.find(pageAddr(a));
+    if (it == pages.end())
+        panic("home lookup of unmapped address ", a);
+    return it->second.home;
+}
+
+bool
+AddressMap::isShared(Addr a) const
+{
+    auto it = pages.find(pageAddr(a));
+    if (it == pages.end())
+        panic("isShared lookup of unmapped address ", a);
+    return it->second.shared;
+}
+
+bool
+AddressMap::isMapped(Addr a) const
+{
+    return pages.count(pageAddr(a)) != 0;
+}
+
+} // namespace mem
+} // namespace tb

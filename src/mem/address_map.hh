@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CC-NUMA page placement and address allocation.
+ *
+ * Following the paper's setup: "Shared data pages are distributed in a
+ * round-robin fashion among the nodes, and private data pages are
+ * allocated locally." Workloads allocate regions through this map; the
+ * coherence fabric asks it for the home node of every line.
+ */
+
+#ifndef TB_MEM_ADDRESS_MAP_HH_
+#define TB_MEM_ADDRESS_MAP_HH_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_types.hh"
+#include "sim/types.hh"
+
+namespace tb {
+namespace mem {
+
+/** Page-granular NUMA placement directory. */
+class AddressMap
+{
+  public:
+    /** @param num_nodes number of home nodes in the machine. */
+    explicit AddressMap(unsigned num_nodes);
+
+    /**
+     * Allocate @p bytes of shared memory (page-aligned); the pages are
+     * homed round-robin across all nodes.
+     * @return base address of the region.
+     */
+    Addr allocShared(std::size_t bytes);
+
+    /**
+     * Allocate @p bytes of private memory homed entirely at
+     * @p owner's node.
+     */
+    Addr allocPrivate(NodeId owner, std::size_t bytes);
+
+    /** Home node of the page containing @p a. */
+    NodeId home(Addr a) const;
+
+    /** True if @p a lies in a shared region. */
+    bool isShared(Addr a) const;
+
+    /** True if @p a has been allocated at all. */
+    bool isMapped(Addr a) const;
+
+    /** Total bytes allocated so far (page-rounded). */
+    std::size_t allocatedBytes() const { return nextPage - kBaseAddr; }
+
+  private:
+    struct PageInfo
+    {
+        NodeId home;
+        bool shared;
+    };
+
+    /** Keep address 0 unmapped so it can act as a null value. */
+    static constexpr Addr kBaseAddr = kPageBytes;
+
+    Addr allocPages(std::size_t bytes, bool shared, NodeId fixed_home);
+
+    unsigned numNodes;
+    Addr nextPage = kBaseAddr;
+    unsigned nextSharedHome = 0;
+    std::unordered_map<Addr, PageInfo> pages; ///< keyed by page base
+};
+
+} // namespace mem
+} // namespace tb
+
+#endif // TB_MEM_ADDRESS_MAP_HH_

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Global memory value backend.
+ *
+ * The simulator moves *timing*, not data, through the network; the
+ * coherent value of every word lives here. Loads read the backend when
+ * they complete; stores and atomics update it when the directory (the
+ * serialization point) grants them. Because the whole machine runs in
+ * one host thread and every conflicting access is serialized at the
+ * line's home directory, this is an accurate model of the coherent
+ * memory image.
+ */
+
+#ifndef TB_MEM_BACKEND_HH_
+#define TB_MEM_BACKEND_HH_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace tb {
+namespace mem {
+
+/** Sparse word-granular memory image (zero-initialized). */
+class Backend
+{
+  public:
+    /** Read the 64-bit word at @p a (must be 8-byte aligned). */
+    std::uint64_t
+    read(Addr a) const
+    {
+        auto it = words.find(a);
+        return it == words.end() ? 0 : it->second;
+    }
+
+    /** Write the 64-bit word at @p a. */
+    void write(Addr a, std::uint64_t v) { words[a] = v; }
+
+    /** Add @p delta to the word at @p a; returns the *old* value. */
+    std::uint64_t
+    fetchAdd(Addr a, std::uint64_t delta)
+    {
+        std::uint64_t old = read(a);
+        write(a, old + delta);
+        return old;
+    }
+
+    /** Number of distinct words ever written. */
+    std::size_t footprint() const { return words.size(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words;
+};
+
+} // namespace mem
+} // namespace tb
+
+#endif // TB_MEM_BACKEND_HH_

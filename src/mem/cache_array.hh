@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Set-associative cache tag/state array with true-LRU replacement.
+ *
+ * Purely structural: no timing, no protocol. The CacheController
+ * composes two of these (L1, L2) with the coherence engine and the
+ * clocked access latencies from Table 1.
+ */
+
+#ifndef TB_MEM_CACHE_ARRAY_HH_
+#define TB_MEM_CACHE_ARRAY_HH_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/mem_types.hh"
+#include "sim/types.hh"
+
+namespace tb {
+namespace mem {
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    unsigned sizeBytes = 16 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = kLineBytes;
+
+    unsigned
+    numSets() const
+    {
+        return sizeBytes / (assoc * lineBytes);
+    }
+};
+
+/** Tag + MESI state array. */
+class CacheArray
+{
+  public:
+    /** One way of one set. */
+    struct Line
+    {
+        Addr addr = 0; ///< line-aligned address
+        LineState state = LineState::Invalid;
+        std::uint64_t lru = 0; ///< larger == more recently used
+    };
+
+    /** Evicted line descriptor returned by insert(). */
+    struct Victim
+    {
+        bool valid = false;
+        Addr addr = 0;
+        LineState state = LineState::Invalid;
+    };
+
+    explicit CacheArray(const CacheGeometry& geometry);
+
+    /** Geometry this array was built with. */
+    const CacheGeometry& geometry() const { return geom; }
+
+    /**
+     * Look up @p line (line-aligned). Returns the entry or nullptr.
+     * Does not touch LRU; call touch() on a real access.
+     */
+    Line* find(Addr line);
+    const Line* find(Addr line) const;
+
+    /** Mark @p entry most-recently used. */
+    void touch(Line& entry) { entry.lru = ++lruClock; }
+
+    /**
+     * Allocate a way for @p line in state @p st, evicting the LRU
+     * victim if the set is full. @p line must not already be present.
+     * @return the victim descriptor (valid==false if a free way
+     *         existed).
+     */
+    Victim insert(Addr line, LineState st);
+
+    /** Drop @p line if present. @return true if it was present. */
+    bool invalidate(Addr line);
+
+    /** Visit every valid line (used by the sleep flush). */
+    void
+    forEachValid(const std::function<void(Line&)>& fn)
+    {
+        for (auto& l : lines) {
+            if (l.state != LineState::Invalid)
+                fn(l);
+        }
+    }
+
+    /** Count of valid lines. */
+    unsigned validCount() const;
+
+  private:
+    std::size_t setBase(Addr line) const;
+
+    CacheGeometry geom;
+    std::vector<Line> lines; ///< numSets * assoc, set-major
+    std::uint64_t lruClock = 0;
+};
+
+} // namespace mem
+} // namespace tb
+
+#endif // TB_MEM_CACHE_ARRAY_HH_

@@ -1,0 +1,41 @@
+#include "mem/dram.hh"
+
+#include <utility>
+
+namespace tb {
+namespace mem {
+
+Dram::Dram(EventQueue& queue, const DramConfig& config, std::string name)
+    : SimObject(queue, std::move(name)), cfg(config)
+{}
+
+Tick
+Dram::reserveBus(Tick earliest)
+{
+    Tick start = std::max(earliest, busFreeAt);
+    if (start > earliest) {
+        statsGroup.scalar("busStallTicks") +=
+            static_cast<double>(start - earliest);
+    }
+    busFreeAt = start + cfg.busTransfer;
+    return busFreeAt;
+}
+
+void
+Dram::read(std::function<void()> done)
+{
+    statsGroup.scalar("reads").inc();
+    const Tick data_ready = curTick() + cfg.accessLatency;
+    const Tick finish = reserveBus(data_ready);
+    eq.schedule(finish, std::move(done));
+}
+
+void
+Dram::write()
+{
+    statsGroup.scalar("writes").inc();
+    reserveBus(curTick());
+}
+
+} // namespace mem
+} // namespace tb

@@ -1,0 +1,57 @@
+#include "mem/fabric.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace mem {
+
+Fabric::Fabric(noc::Network& network, AddressMap& address_map)
+    : net(network), map(address_map)
+{
+    controllers.assign(net.config().nodes(), nullptr);
+    directories.assign(net.config().nodes(), nullptr);
+}
+
+void
+Fabric::registerController(NodeId node, MsgSink& sink)
+{
+    if (node >= controllers.size())
+        fatal("controller registration outside topology: ", node);
+    controllers[node] = &sink;
+}
+
+void
+Fabric::registerDirectory(NodeId node, MsgSink& sink)
+{
+    if (node >= directories.size())
+        fatal("directory registration outside topology: ", node);
+    directories[node] = &sink;
+}
+
+void
+Fabric::toDirectory(NodeId from, Msg msg)
+{
+    const NodeId dst = map.home(msg.line);
+    MsgSink* sink = directories.at(dst);
+    if (!sink)
+        panic("no directory registered at node ", dst);
+    const unsigned bytes = msg.bytes();
+    net.send(from, dst, bytes,
+             [sink, m = std::move(msg)]() { sink->receive(m); });
+}
+
+void
+Fabric::toController(NodeId from, NodeId dst, Msg msg)
+{
+    MsgSink* sink = controllers.at(dst);
+    if (!sink)
+        panic("no controller registered at node ", dst);
+    const unsigned bytes = msg.bytes();
+    net.send(from, dst, bytes,
+             [sink, m = std::move(msg)]() { sink->receive(m); });
+}
+
+} // namespace mem
+} // namespace tb

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Coherence-message routing layer over the interconnect.
+ *
+ * Controllers and directories register themselves per node; the fabric
+ * computes the home node of each request from the address map, charges
+ * the message to the NoC, and delivers it to the registered sink when
+ * it arrives. This keeps protocol agents ignorant of topology and the
+ * network ignorant of protocol payloads.
+ */
+
+#ifndef TB_MEM_FABRIC_HH_
+#define TB_MEM_FABRIC_HH_
+
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "mem/mem_types.hh"
+#include "noc/network.hh"
+
+namespace tb {
+namespace mem {
+
+/** Routes coherence messages between per-node agents over the NoC. */
+class Fabric
+{
+  public:
+    Fabric(noc::Network& network, AddressMap& address_map);
+
+    /** Register the cache controller for @p node. */
+    void registerController(NodeId node, MsgSink& sink);
+
+    /** Register the directory slice for @p node. */
+    void registerDirectory(NodeId node, MsgSink& sink);
+
+    /** Send @p msg from @p from to the directory homing msg.line. */
+    void toDirectory(NodeId from, Msg msg);
+
+    /** Send @p msg from @p from to node @p dst's cache controller. */
+    void toController(NodeId from, NodeId dst, Msg msg);
+
+    /** Home node of the line @p a belongs to. */
+    NodeId home(Addr a) const { return map.home(a); }
+
+    /** The placement map (for shared/private queries). */
+    const AddressMap& addressMap() const { return map; }
+
+  private:
+    noc::Network& net;
+    AddressMap& map;
+    std::vector<MsgSink*> controllers;
+    std::vector<MsgSink*> directories;
+};
+
+} // namespace mem
+} // namespace tb
+
+#endif // TB_MEM_FABRIC_HH_

@@ -1,0 +1,84 @@
+#include "mem/mem_types.hh"
+
+namespace tb {
+namespace mem {
+
+const char*
+lineStateName(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid:   return "I";
+      case LineState::Shared:    return "S";
+      case LineState::Exclusive: return "E";
+      case LineState::Modified:  return "M";
+    }
+    return "?";
+}
+
+const char*
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:          return "GetS";
+      case MsgType::GetX:          return "GetX";
+      case MsgType::Upgrade:       return "Upgrade";
+      case MsgType::PutM:          return "PutM";
+      case MsgType::AtomicRmw:     return "AtomicRmw";
+      case MsgType::FwdGetS:       return "FwdGetS";
+      case MsgType::FwdGetX:       return "FwdGetX";
+      case MsgType::Inv:           return "Inv";
+      case MsgType::OwnerData:     return "OwnerData";
+      case MsgType::OwnerStale:    return "OwnerStale";
+      case MsgType::OwnerHandled:  return "OwnerHandled";
+      case MsgType::InvAck:        return "InvAck";
+      case MsgType::DataShared:    return "DataShared";
+      case MsgType::DataExclusive: return "DataExclusive";
+      case MsgType::DataModified:  return "DataModified";
+      case MsgType::UpgradeAck:    return "UpgradeAck";
+      case MsgType::RmwResult:     return "RmwResult";
+      case MsgType::WbAck:         return "WbAck";
+    }
+    return "?";
+}
+
+namespace {
+Addr g_trace_line = ~Addr{0};
+bool g_trace_on = false;
+} // namespace
+
+void
+setProtocolTraceLine(Addr line)
+{
+    g_trace_line = lineAddr(line);
+    g_trace_on = true;
+}
+
+void
+clearProtocolTrace()
+{
+    g_trace_on = false;
+}
+
+bool
+protocolTraced(Addr line)
+{
+    return g_trace_on && lineAddr(line) == g_trace_line;
+}
+
+unsigned
+Msg::bytes() const
+{
+    switch (type) {
+      case MsgType::PutM:
+      case MsgType::OwnerData:
+      case MsgType::DataShared:
+      case MsgType::DataExclusive:
+      case MsgType::DataModified:
+        return kDataBytes;
+      default:
+        return kCtrlBytes;
+    }
+}
+
+} // namespace mem
+} // namespace tb

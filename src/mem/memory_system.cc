@@ -1,0 +1,33 @@
+#include "mem/memory_system.hh"
+
+#include <string>
+
+namespace tb {
+namespace mem {
+
+MemorySystem::MemorySystem(EventQueue& queue, noc::Network& network,
+                           const MemoryConfig& config)
+    : nodes(network.config().nodes()),
+      map(nodes),
+      fab(network, map)
+{
+    drams.reserve(nodes);
+    directories.reserve(nodes);
+    controllers.reserve(nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+        const std::string prefix = "node" + std::to_string(n);
+        drams.push_back(std::make_unique<Dram>(queue, config.dram,
+                                               prefix + ".dram"));
+        directories.push_back(std::make_unique<Directory>(
+            queue, n, nodes, fab, values, *drams.back(),
+            prefix + ".dir", config.threeHopForwarding));
+        controllers.push_back(std::make_unique<CacheController>(
+            queue, n, fab, values, config.controller,
+            prefix + ".ctrl"));
+        fab.registerDirectory(n, *directories.back());
+        fab.registerController(n, *controllers.back());
+    }
+}
+
+} // namespace mem
+} // namespace tb

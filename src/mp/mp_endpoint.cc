@@ -1,0 +1,54 @@
+#include "mp/mp_endpoint.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace mp {
+
+MpEndpoint::MpEndpoint(EventQueue& queue, NodeId node,
+                       noc::Network& network, std::string name)
+    : SimObject(queue, std::move(name)), nodeId(node), net(network)
+{}
+
+void
+MpEndpoint::send(NodeId dst, MpMessage msg)
+{
+    if (!fabric)
+        panic(name(), ": endpoint not attached to a fabric");
+    msg.src = nodeId;
+    statsGroup.scalar("sent").inc();
+    // Delivery runs at the destination endpoint when the last flit
+    // arrives; the network preserves per-pair ordering.
+    net.send(nodeId, dst, msg.bytes, [this, dst, msg]() {
+        fabric->endpoint(dst).deliver(msg);
+    });
+}
+
+void
+MpEndpoint::deliver(const MpMessage& msg)
+{
+    statsGroup.scalar("received").inc();
+    if (wakeOnMessage) {
+        auto wake = std::move(wakeOnMessage);
+        wakeOnMessage = nullptr;
+        wake();
+    }
+    for (auto& h : handlers)
+        h(msg);
+}
+
+MpFabric::MpFabric(EventQueue& queue, noc::Network& network)
+{
+    const unsigned n = network.config().nodes();
+    endpoints.reserve(n);
+    for (NodeId i = 0; i < n; ++i) {
+        endpoints.push_back(std::make_unique<MpEndpoint>(
+            queue, i, network, "node" + std::to_string(i) + ".nic"));
+        endpoints.back()->fabric = this;
+    }
+}
+
+} // namespace mp
+} // namespace tb

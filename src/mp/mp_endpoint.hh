@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Message-passing endpoints over the interconnect.
+ *
+ * The paper notes the thrifty barrier "is conceptually viable in
+ * other environments such as message-passing machines" (Section 1).
+ * This module provides the substrate to demonstrate that: one NIC-like
+ * endpoint per node exchanging explicit, typed messages over the same
+ * hypercube network the coherence protocol uses — no shared memory,
+ * no coherence. An endpoint can be armed to *wake the CPU* when a
+ * message arrives, playing the role the flag invalidation plays in
+ * the shared-memory design.
+ */
+
+#ifndef TB_MP_MP_ENDPOINT_HH_
+#define TB_MP_MP_ENDPOINT_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "noc/network.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tb {
+namespace mp {
+
+/** An application-level message. */
+struct MpMessage
+{
+    std::uint32_t tag = 0;    ///< application-defined kind
+    std::uint64_t a = 0;      ///< payload word A
+    std::uint64_t b = 0;      ///< payload word B
+    NodeId src = kInvalidNode;
+    unsigned bytes = 32;      ///< wire size charged to the network
+};
+
+/** One node's NIC. */
+class MpEndpoint : public SimObject
+{
+  public:
+    using Handler = std::function<void(const MpMessage&)>;
+
+    MpEndpoint(EventQueue& queue, NodeId node, noc::Network& network,
+               std::string name);
+
+    NodeId node() const { return nodeId; }
+
+    /** Install the message delivery handler. */
+    void setHandler(Handler h)
+    {
+        handlers.clear();
+        handlers.push_back(std::move(h));
+    }
+
+    /** Add a delivery handler (all registered handlers see every
+     *  message; each filters by its own tags/ids). */
+    void addHandler(Handler h) { handlers.push_back(std::move(h)); }
+
+    /** Send @p msg to node @p dst (src filled in automatically). */
+    void send(NodeId dst, MpMessage msg);
+
+    /**
+     * Arm the NIC wake-up: the next delivered message (any tag)
+     * triggers @p wake before the handler runs. One-shot.
+     */
+    void
+    armWakeOnMessage(std::function<void()> wake)
+    {
+        wakeOnMessage = std::move(wake);
+    }
+
+    /** Disarm the NIC wake-up. */
+    void disarmWakeOnMessage() { wakeOnMessage = nullptr; }
+
+    const stats::StatGroup& statistics() const { return statsGroup; }
+
+  private:
+    friend class MpFabric;
+    void deliver(const MpMessage& msg);
+
+    NodeId nodeId;
+    noc::Network& net;
+    class MpFabric* fabric = nullptr; ///< set by the owning fabric
+    std::vector<Handler> handlers;
+    std::function<void()> wakeOnMessage;
+    stats::StatGroup statsGroup;
+};
+
+/** Builds and owns one endpoint per node of a network. */
+class MpFabric
+{
+  public:
+    explicit MpFabric(EventQueue& queue, noc::Network& network);
+
+    MpEndpoint& endpoint(NodeId n) { return *endpoints.at(n); }
+    unsigned numNodes() const
+    {
+        return static_cast<unsigned>(endpoints.size());
+    }
+
+  private:
+    std::vector<std::unique_ptr<MpEndpoint>> endpoints;
+};
+
+} // namespace mp
+} // namespace tb
+
+#endif // TB_MP_MP_ENDPOINT_HH_

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Hypercube wormhole interconnect model (Table 1 of the paper).
+ *
+ * The modeled machine connects 2^k nodes in a k-cube with pipelined
+ * 250 MHz routers, 16 ns pin-to-pin latency per hop, and 16 ns of
+ * (un)marshaling at each endpoint. Routing is deterministic
+ * dimension-order (e-cube), so paths are unique and deadlock-free.
+ *
+ * Wormhole timing approximation for a message of B bytes over h hops:
+ *
+ *   marshal(16 ns)
+ *   + per hop: wait for the output link, then header pin-to-pin (16 ns)
+ *   + (flits - 1) * flit cycle  (body pipelines behind the header)
+ *   + unmarshal(16 ns)
+ *
+ * Each directed link is reserved for the message's serialization time,
+ * which is how contention appears (subsequent messages on the same link
+ * queue behind it, like blocked worms holding the channel).
+ */
+
+#ifndef TB_NOC_NETWORK_HH_
+#define TB_NOC_NETWORK_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tb {
+namespace noc {
+
+/** Static configuration of the interconnect. */
+struct NetworkConfig
+{
+    /** Hypercube dimension; node count is 2^dimension. */
+    unsigned dimension = 6;
+    /** Header latency across one hop (pin-to-pin), in ticks. */
+    Tick pinToPin = 16 * kNanosecond;
+    /** Marshaling cost at each endpoint (applied twice), in ticks. */
+    Tick marshal = 16 * kNanosecond;
+    /** Router clock period (250 MHz => 4 ns), in ticks. */
+    Tick routerPeriod = 4 * kNanosecond;
+    /** Bytes moved per router cycle per link (flit width). */
+    unsigned flitBytes = 16;
+    /** Model per-link contention (disable for latency-only studies). */
+    bool modelContention = true;
+
+    /** Number of nodes (2^dimension). */
+    unsigned nodes() const { return 1u << dimension; }
+};
+
+/**
+ * The interconnection network.
+ *
+ * Endpoints register a delivery handler; senders hand the network a
+ * completion closure that runs, at the destination's side, when the
+ * last flit arrives. Payloads live in the closure, which keeps this
+ * module independent of the coherence-protocol message types.
+ */
+class Network : public SimObject
+{
+  public:
+    /** Callback invoked at the destination when a message arrives. */
+    using Deliver = std::function<void()>;
+
+    Network(EventQueue& queue, const NetworkConfig& config,
+            std::string name = "noc");
+
+    /** Static configuration. */
+    const NetworkConfig& config() const { return cfg; }
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p on_deliver runs when the
+     * message fully arrives. src == dst is allowed (local loopback,
+     * charged marshal + unmarshal only).
+     */
+    void send(NodeId src, NodeId dst, unsigned bytes, Deliver on_deliver);
+
+    /** Hamming distance — number of hops between two nodes. */
+    unsigned hops(NodeId a, NodeId b) const;
+
+    /**
+     * Contention-free latency of a @p bytes message over @p n_hops
+     * hops. Useful for tests and analytic sanity checks.
+     */
+    Tick zeroLoadLatency(unsigned n_hops, unsigned bytes) const;
+
+    /** Aggregate statistics for this network. */
+    const stats::StatGroup& statistics() const { return statsGroup; }
+
+  private:
+    /** Number of router cycles needed to serialize @p bytes. */
+    unsigned flits(unsigned bytes) const;
+
+    /** Index of the directed link leaving @p node along @p dim. */
+    std::size_t linkIndex(NodeId node, unsigned dim) const;
+
+    NetworkConfig cfg;
+    /** Earliest tick each directed link is free again. */
+    std::vector<Tick> linkFreeAt;
+    /**
+     * Last delivery tick per (src, dst) pair. Messages between the
+     * same endpoints are delivered in send order (single-virtual-
+     * channel wormhole networks preserve point-to-point ordering; the
+     * directory protocol relies on it: a forwarded intervention must
+     * not overtake the data grant that precedes it).
+     */
+    std::vector<Tick> pairLastDelivery;
+    stats::StatGroup statsGroup;
+};
+
+} // namespace noc
+} // namespace tb
+
+#endif // TB_NOC_NETWORK_HH_

@@ -1,0 +1,77 @@
+#include "power/energy_model.hh"
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace power {
+
+const char*
+bucketName(Bucket b)
+{
+    switch (b) {
+      case Bucket::Compute:    return "Compute";
+      case Bucket::Spin:       return "Spin";
+      case Bucket::Transition: return "Transition";
+      case Bucket::Sleep:      return "Sleep";
+    }
+    return "?";
+}
+
+void
+EnergyAccount::accrue(Bucket b, Tick duration, double watts)
+{
+    if (watts < 0.0)
+        panic("negative power");
+    const auto i = static_cast<std::size_t>(b);
+    joules[i] += watts * ticksToSeconds(duration);
+    ticks[i] += duration;
+}
+
+double
+EnergyAccount::energy(Bucket b) const
+{
+    return joules[static_cast<std::size_t>(b)];
+}
+
+Tick
+EnergyAccount::time(Bucket b) const
+{
+    return ticks[static_cast<std::size_t>(b)];
+}
+
+double
+EnergyAccount::totalEnergy() const
+{
+    double t = 0.0;
+    for (double j : joules)
+        t += j;
+    return t;
+}
+
+Tick
+EnergyAccount::totalTime() const
+{
+    Tick t = 0;
+    for (Tick x : ticks)
+        t += x;
+    return t;
+}
+
+void
+EnergyAccount::add(const EnergyAccount& other)
+{
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        joules[i] += other.joules[i];
+        ticks[i] += other.ticks[i];
+    }
+}
+
+void
+EnergyAccount::clear()
+{
+    joules.fill(0.0);
+    ticks.fill(0);
+}
+
+} // namespace power
+} // namespace tb

@@ -1,0 +1,76 @@
+#include "power/sleep_states.hh"
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace power {
+
+namespace {
+
+SleepState
+makeState(const char* name, double savings, Tick latency, bool snoop,
+          bool vred)
+{
+    SleepState s;
+    s.name = name;
+    s.powerFraction = 1.0 - savings;
+    s.transitionLatency = latency;
+    s.snoopable = snoop;
+    s.voltageReduced = vred;
+    return s;
+}
+
+} // namespace
+
+SleepStateTable::SleepStateTable(std::vector<SleepState> states)
+    : table(std::move(states))
+{
+    for (std::size_t i = 1; i < table.size(); ++i) {
+        if (table[i].transitionLatency < table[i - 1].transitionLatency)
+            fatal("sleep-state table must be ordered light to deep "
+                  "(by transition latency)");
+        if (table[i].powerFraction > table[i - 1].powerFraction)
+            fatal("deeper sleep states must not consume more power");
+    }
+}
+
+SleepStateTable
+SleepStateTable::paperDefault()
+{
+    return SleepStateTable({
+        makeState("Sleep1(Halt)", 0.702, 10 * kMicrosecond, true, false),
+        makeState("Sleep2", 0.792, 15 * kMicrosecond, false, false),
+        makeState("Sleep3", 0.978, 35 * kMicrosecond, false, true),
+    });
+}
+
+SleepStateTable
+SleepStateTable::haltOnly()
+{
+    return SleepStateTable({
+        makeState("Sleep1(Halt)", 0.702, 10 * kMicrosecond, true, false),
+    });
+}
+
+SleepStateTable
+SleepStateTable::haltPlusSleep2()
+{
+    return SleepStateTable({
+        makeState("Sleep1(Halt)", 0.702, 10 * kMicrosecond, true, false),
+        makeState("Sleep2", 0.792, 15 * kMicrosecond, false, false),
+    });
+}
+
+const SleepState*
+SleepStateTable::select(Tick predicted_stall) const
+{
+    const SleepState* best = nullptr;
+    for (const auto& s : table) {
+        if (2 * s.transitionLatency <= predicted_stall)
+            best = &s;
+    }
+    return best;
+}
+
+} // namespace power
+} // namespace tb

@@ -1,0 +1,98 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tb {
+
+bool
+EventHandle::scheduled() const
+{
+    return event && !event->canceled && !event->fired;
+}
+
+void
+EventHandle::cancel()
+{
+    if (event && !event->fired && !event->canceled) {
+        event->canceled = true;
+        if (event->owner)
+            --event->owner->livePending;
+    }
+}
+
+Tick
+EventHandle::when() const
+{
+    return event ? event->when : kTickNever;
+}
+
+EventHandle
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    if (when < curTick) {
+        panic("scheduling event in the past: when=", when,
+              " now=", curTick);
+    }
+    if (!cb)
+        panic("scheduling event with empty callback");
+
+    auto ev = std::make_shared<EventHandle::Event>();
+    ev->when = when;
+    ev->priority = priority;
+    ev->seq = nextSeq++;
+    ev->callback = std::move(cb);
+    ev->owner = this;
+    heap.push(ev);
+    ++livePending;
+    return EventHandle(ev);
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap.empty() && heap.top()->canceled)
+        heap.pop();
+}
+
+bool
+EventQueue::empty() const
+{
+    skipDead();
+    return heap.empty();
+}
+
+bool
+EventQueue::runOne()
+{
+    skipDead();
+    if (heap.empty())
+        return false;
+
+    EventPtr ev = heap.top();
+    heap.pop();
+    curTick = ev->when;
+    ev->fired = true;
+    --livePending;
+    ++executed;
+    // Move the callback out so self-rescheduling callbacks can't be
+    // clobbered while running, and captured state dies promptly.
+    auto cb = std::move(ev->callback);
+    cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick until)
+{
+    for (;;) {
+        skipDead();
+        if (heap.empty() || heap.top()->when > until)
+            break;
+        runOne();
+    }
+    return curTick;
+}
+
+} // namespace tb

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are totally ordered by (tick, priority, insertion sequence), so
+ * a given seed always produces bit-identical simulations. Cancelation is
+ * lazy: an EventHandle marks its event dead and the queue drops it when
+ * it reaches the head. The thrifty barrier's hybrid wake-up relies on
+ * this to let the external and internal wake-up mechanisms cancel each
+ * other (Section 3.3.2 of the paper).
+ */
+
+#ifndef TB_SIM_EVENT_QUEUE_HH_
+#define TB_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tb {
+
+class EventQueue;
+
+/**
+ * A cancelable reference to a scheduled event.
+ *
+ * Default-constructed handles refer to nothing; all operations on them
+ * are harmless no-ops. Handles are cheap to copy (shared ownership of a
+ * small control block).
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if the event is still pending (not fired, not canceled). */
+    bool scheduled() const;
+
+    /** Cancel the event if still pending. Safe to call repeatedly. */
+    void cancel();
+
+    /** Tick the event is (or was) scheduled for; kTickNever if none. */
+    Tick when() const;
+
+  private:
+    friend class EventQueue;
+
+    struct Event
+    {
+        Tick when = kTickNever;
+        int priority = 0;
+        std::uint64_t seq = 0;
+        std::function<void()> callback;
+        bool canceled = false;
+        bool fired = false;
+        /**
+         * Owning queue; used only to keep the live-event count exact
+         * on cancelation. A handle must not be canceled after its
+         * queue has been destroyed (the queue owns the simulation and
+         * outlives all model objects in practice).
+         */
+        EventQueue* owner = nullptr;
+    };
+
+    explicit EventHandle(std::shared_ptr<Event> ev) : event(std::move(ev)) {}
+
+    std::shared_ptr<Event> event;
+};
+
+/**
+ * The central event queue driving one simulation.
+ *
+ * Not thread-safe: the entire simulated machine runs in one host
+ * thread, which is what makes determinism cheap.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @param when      Absolute tick; must be >= now().
+     * @param cb        Callback executed when the event fires.
+     * @param priority  Ties at the same tick run in ascending priority,
+     *                  then insertion order.
+     * @return a handle that can cancel the event.
+     */
+    EventHandle schedule(Tick when, Callback cb, int priority = 0);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    EventHandle
+    scheduleIn(Tick delta, Callback cb, int priority = 0)
+    {
+        return schedule(curTick + delta, std::move(cb), priority);
+    }
+
+    /**
+     * Execute the single next pending event.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue drains or simulated time would exceed
+     * @p until (events at exactly @p until still run).
+     * @return the tick of the last executed event, or now() if none ran.
+     */
+    Tick run(Tick until = kTickNever);
+
+    /** True when no live events are pending. */
+    bool empty() const;
+
+    /** Number of live (non-canceled) pending events. */
+    std::size_t pending() const { return livePending; }
+
+    /** Total events executed since construction. */
+    std::uint64_t eventsExecuted() const { return executed; }
+
+  private:
+    friend class EventHandle;
+
+    using EventPtr = std::shared_ptr<EventHandle::Event>;
+
+    struct Later
+    {
+        bool
+        operator()(const EventPtr& a, const EventPtr& b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->seq > b->seq;
+        }
+    };
+
+    /** Drop canceled events from the head of the heap. */
+    void skipDead() const;
+
+    mutable std::priority_queue<EventPtr, std::vector<EventPtr>, Later>
+        heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+    std::size_t livePending = 0;
+};
+
+} // namespace tb
+
+#endif // TB_SIM_EVENT_QUEUE_HH_

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic random-number generation for workload synthesis.
+ *
+ * Every stochastic decision in the simulator flows through a Random
+ * stream seeded explicitly from the experiment configuration, so that
+ * two runs with the same seed are bit-identical. The generator is
+ * xoshiro256** (public domain, Blackman & Vigna), small and fast.
+ */
+
+#ifndef TB_SIM_RANDOM_HH_
+#define TB_SIM_RANDOM_HH_
+
+#include <cmath>
+#include <cstdint>
+
+namespace tb {
+
+/** A self-contained xoshiro256** random stream. */
+class Random
+{
+  public:
+    /** Seed the stream; distinct seeds give decorrelated streams. */
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // Expand the single seed through SplitMix64, the recommended
+        // seeding procedure for xoshiro generators.
+        std::uint64_t x = seed;
+        for (auto& word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Lemire's nearly-divisionless bounded generation.
+        __uint128_t m =
+            static_cast<__uint128_t>(next()) * static_cast<__uint128_t>(n);
+        std::uint64_t l = static_cast<std::uint64_t>(m);
+        if (l < n) {
+            std::uint64_t t = (0 - n) % n;
+            while (l < t) {
+                m = static_cast<__uint128_t>(next()) *
+                    static_cast<__uint128_t>(n);
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    normal()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        while (u1 <= 0.0)
+            u1 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    }
+
+    /** Normal with given mean and standard deviation. */
+    double
+    normal(double mean, double sigma)
+    {
+        return mean + sigma * normal();
+    }
+
+    /**
+     * Lognormal with given *linear-domain* mean and coefficient of
+     * variation (sigma/mean). Used for per-thread compute-time skew.
+     */
+    double
+    lognormalMeanCv(double mean, double cv)
+    {
+        if (cv <= 0.0)
+            return mean;
+        const double s2 = std::log(1.0 + cv * cv);
+        const double mu = std::log(mean) - 0.5 * s2;
+        return std::exp(normal(mu, std::sqrt(s2)));
+    }
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace tb
+
+#endif // TB_SIM_RANDOM_HH_

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Base class for all named model components.
+ *
+ * A SimObject owns a name (for logs/stats prefixes) and a reference to
+ * the simulation's EventQueue. The queue is shared by the whole machine
+ * model, so SimObjects must not outlive it.
+ */
+
+#ifndef TB_SIM_SIM_OBJECT_HH_
+#define TB_SIM_SIM_OBJECT_HH_
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace tb {
+
+/** Common base for model components (caches, routers, CPUs, ...). */
+class SimObject
+{
+  public:
+    /**
+     * @param queue Event queue driving this simulation.
+     * @param name  Hierarchical, dot-separated instance name.
+     */
+    SimObject(EventQueue& queue, std::string name)
+        : eq(queue), objName(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject&) = delete;
+    SimObject& operator=(const SimObject&) = delete;
+
+    /** Instance name, e.g.\ "node12.l1". */
+    const std::string& name() const { return objName; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return eq.now(); }
+
+    /** The simulation's event queue. */
+    EventQueue& eventQueue() { return eq; }
+
+  protected:
+    EventQueue& eq;
+
+  private:
+    std::string objName;
+};
+
+} // namespace tb
+
+#endif // TB_SIM_SIM_OBJECT_HH_

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A small named-statistics package in the spirit of gem5's stats.
+ *
+ * Model objects register Scalar / Distribution stats against a
+ * StatGroup; the group renders a text report. Everything is plain
+ * value-semantics; no global registry, so independent simulations can
+ * coexist in one process (important for the benchmark harness, which
+ * runs dozens of configurations back to back).
+ */
+
+#ifndef TB_SIM_STATS_HH_
+#define TB_SIM_STATS_HH_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tb {
+namespace stats {
+
+/** A named accumulating scalar. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar& operator+=(double v) { value_ += v; return *this; }
+    Scalar& operator=(double v) { value_ = v; return *this; }
+    void inc(double v = 1.0) { value_ += v; }
+
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running distribution: count/sum/min/max/mean/stddev. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++n;
+        sum += v;
+        sumSq += v * v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    std::uint64_t count() const { return n; }
+    double total() const { return sum; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+    /** Population standard deviation. */
+    double
+    stddev() const
+    {
+        if (n == 0)
+            return 0.0;
+        const double m = mean();
+        const double var =
+            std::max(0.0, sumSq / static_cast<double>(n) - m * m);
+        return std::sqrt(var);
+    }
+
+    /** Coefficient of variation (stddev / mean), 0 when mean == 0. */
+    double
+    cv() const
+    {
+        const double m = mean();
+        return m != 0.0 ? stddev() / m : 0.0;
+    }
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/** A flat namespace of named stats belonging to one simulation. */
+class StatGroup
+{
+  public:
+    /** Get-or-create a scalar stat. */
+    Scalar& scalar(const std::string& name) { return scalars[name]; }
+
+    /** Get-or-create a distribution stat. */
+    Distribution&
+    distribution(const std::string& name)
+    {
+        return dists[name];
+    }
+
+    /** Read a scalar; 0 if absent. */
+    double
+    scalarValue(const std::string& name) const
+    {
+        auto it = scalars.find(name);
+        return it == scalars.end() ? 0.0 : it->second.value();
+    }
+
+    /** True if a scalar with this name has been created. */
+    bool
+    hasScalar(const std::string& name) const
+    {
+        return scalars.count(name) != 0;
+    }
+
+    /** Render all stats, sorted by name, to @p os. */
+    void dump(std::ostream& os) const;
+
+    /** Drop all stats. */
+    void
+    clear()
+    {
+        scalars.clear();
+        dists.clear();
+    }
+
+  private:
+    std::map<std::string, Scalar> scalars;
+    std::map<std::string, Distribution> dists;
+};
+
+} // namespace stats
+} // namespace tb
+
+#endif // TB_SIM_STATS_HH_

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fundamental simulation types and time-unit helpers.
+ *
+ * The simulator counts time in integer *ticks*, where one tick is one
+ * picosecond. This resolution expresses every clock domain in the
+ * modeled machine (Table 1 of the paper) exactly:
+ *   - 1 GHz CPU / L1      -> 1000 ticks per cycle
+ *   - 500 MHz L2          -> 2000 ticks per cycle
+ *   - 250 MHz bus/router  -> 4000 ticks per cycle
+ */
+
+#ifndef TB_SIM_TYPES_HH_
+#define TB_SIM_TYPES_HH_
+
+#include <cstdint>
+
+namespace tb {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a node (processor + caches + directory slice). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a software thread (== NodeId in the dedicated setup). */
+using ThreadId = std::uint32_t;
+
+/** A physical memory address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+inline constexpr Tick kTickNever = ~Tick{0};
+
+/** Sentinel for an invalid node. */
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/** One nanosecond in ticks. */
+inline constexpr Tick kNanosecond = 1000;
+
+/** One microsecond in ticks. */
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+
+/** One millisecond in ticks. */
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+
+/** One second in ticks. */
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Convert a tick count to (floating) seconds. */
+inline constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert (floating) seconds to the nearest tick count. */
+inline constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/**
+ * A clock domain: converts between cycles and ticks for one frequency.
+ *
+ * Frequencies are expressed through an exact integer period in ticks,
+ * so all conversions are exact for the frequencies in Table 1.
+ */
+class ClockDomain
+{
+  public:
+    /** Construct from a period in ticks (e.g.\ 1000 for 1 GHz). */
+    explicit constexpr ClockDomain(Tick period_ticks)
+        : period(period_ticks)
+    {}
+
+    /** Period of one cycle in ticks. */
+    constexpr Tick periodTicks() const { return period; }
+
+    /** Frequency in Hz. */
+    constexpr double
+    frequencyHz() const
+    {
+        return static_cast<double>(kSecond) / static_cast<double>(period);
+    }
+
+    /** Convert a cycle count to ticks. */
+    constexpr Tick cyclesToTicks(Cycles c) const { return c * period; }
+
+    /** Convert ticks to whole elapsed cycles (floor). */
+    constexpr Cycles ticksToCycles(Tick t) const { return t / period; }
+
+    /** Round a tick up to the next edge of this clock (>= t). */
+    constexpr Tick
+    nextEdge(Tick t) const
+    {
+        Tick rem = t % period;
+        return rem == 0 ? t : t + (period - rem);
+    }
+
+  private:
+    Tick period;
+};
+
+} // namespace tb
+
+#endif // TB_SIM_TYPES_HH_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Public barrier interface and synchronization instrumentation.
+ *
+ * A Barrier object models one *static* barrier in the program (one
+ * call site / PC). Threads call arrive() and are continued past the
+ * barrier when every participant has checked in. Conventional and
+ * thrifty barriers implement the same interface and may coexist in
+ * one program, mirroring the paper's drop-in-macro deployment story.
+ */
+
+#ifndef TB_THRIFTY_BARRIER_HH_
+#define TB_THRIFTY_BARRIER_HH_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/thread_context.hh"
+#include "sim/types.hh"
+#include "thrifty/bit_predictor.hh"
+
+namespace tb {
+namespace thrifty {
+
+/** Per-departure trace record (drives Figure 3 and debugging). */
+struct BarrierTraceEntry
+{
+    BarrierPc pc = 0;
+    std::uint64_t instance = 0; ///< dynamic instance index of this PC
+    ThreadId tid = 0;
+    Tick bit = 0;     ///< interval time of this instance (published)
+    Tick compute = 0; ///< thread's compute time within the interval
+    Tick stall = 0;   ///< thread's barrier stall time (bit - compute)
+};
+
+/** Aggregate synchronization statistics shared by an experiment. */
+struct SyncStats
+{
+    /** Sum over (thread, instance) of time from arrival to release. */
+    double totalStallTicks = 0.0;
+    /** Dynamic barrier instances completed (all PCs). */
+    std::uint64_t instances = 0;
+    /** Thread arrivals processed. */
+    std::uint64_t arrivals = 0;
+    /** Sleep attempts that actually entered a low-power state. */
+    std::uint64_t sleeps = 0;
+    /** Arrivals that spun (no/insufficient prediction, cutoff, last). */
+    std::uint64_t spins = 0;
+    /** Times the overprediction cutoff disabled a (pc, thread). */
+    std::uint64_t cutoffs = 0;
+    /** BIT samples rejected by the underprediction filter. */
+    std::uint64_t filteredUpdates = 0;
+    /** Ticks spent in residual spin after a sleep's wake-up. */
+    double residualSpinTicks = 0.0;
+    /** Residual-spin episodes (== sleeps that had to verify the flag). */
+    std::uint64_t residualSpins = 0;
+
+    /** Optional per-departure trace. */
+    bool traceEnabled = false;
+    std::vector<BarrierTraceEntry> trace;
+};
+
+/** Abstract barrier (one static call site). */
+class Barrier
+{
+  public:
+    virtual ~Barrier() = default;
+
+    /**
+     * Thread @p tc arrives at this barrier; @p cont runs when the
+     * thread departs past it.
+     */
+    virtual void arrive(cpu::ThreadContext& tc,
+                        std::function<void()> cont) = 0;
+
+    /** The static identifier (PC) of this barrier. */
+    virtual BarrierPc pc() const = 0;
+};
+
+} // namespace thrifty
+} // namespace tb
+
+#endif // TB_THRIFTY_BARRIER_HH_

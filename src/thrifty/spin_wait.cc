@@ -1,0 +1,54 @@
+#include "thrifty/spin_wait.hh"
+
+#include <memory>
+#include <utility>
+
+namespace tb {
+namespace thrifty {
+
+namespace {
+
+/** Self-rescheduling spin step shared through a small control block. */
+struct SpinLoop : std::enable_shared_from_this<SpinLoop>
+{
+    cpu::ThreadContext& tc;
+    Addr flag;
+    std::uint64_t want;
+    std::function<void()> cont;
+
+    SpinLoop(cpu::ThreadContext& t, Addr f, std::uint64_t w,
+             std::function<void()> c)
+        : tc(t), flag(f), want(w), cont(std::move(c))
+    {}
+
+    void
+    step()
+    {
+        auto self = shared_from_this();
+        tc.load(flag, [self](std::uint64_t v) {
+            if (v == self->want) {
+                self->tc.cpu().endSpin();
+                self->cont();
+                return;
+            }
+            // Cache hit loop until the protocol yanks the line.
+            self->tc.controller().watchLine(self->flag,
+                                            [self]() { self->step(); });
+        });
+    }
+};
+
+} // namespace
+
+void
+spinOnFlag(cpu::ThreadContext& tc, Addr flag, std::uint64_t want,
+           std::function<void()> cont)
+{
+    tc.cpu().beginSpin();
+    auto loop =
+        std::make_shared<SpinLoop>(tc, flag, want, std::move(cont));
+    loop->step();
+}
+
+} // namespace thrifty
+} // namespace tb

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Event-driven model of a cache-coherent spinloop.
+ *
+ * A spinning thread loads the flag once (installing a shared copy),
+ * then hits in its cache on every iteration; nothing observable
+ * happens until the coherence protocol invalidates the line, at which
+ * point the next "iteration" misses and fetches the fresh value. The
+ * simulator therefore models the spin as: load -> (value mismatch) ->
+ * watch the line -> on invalidation reload -> recheck. Timing and
+ * traffic are identical to iterating the loop; the CPU accrues spin
+ * power for the whole dwell through Cpu::beginSpin()/endSpin().
+ */
+
+#ifndef TB_THRIFTY_SPIN_WAIT_HH_
+#define TB_THRIFTY_SPIN_WAIT_HH_
+
+#include <cstdint>
+#include <functional>
+
+#include "cpu/thread_context.hh"
+#include "sim/types.hh"
+
+namespace tb {
+namespace thrifty {
+
+/**
+ * Spin until the word at @p flag reads @p want, then continue.
+ * Assumes the CPU is Active on entry; it is Active again when
+ * @p cont runs.
+ */
+void spinOnFlag(cpu::ThreadContext& tc, Addr flag, std::uint64_t want,
+                std::function<void()> cont);
+
+} // namespace thrifty
+} // namespace tb
+
+#endif // TB_THRIFTY_SPIN_WAIT_HH_

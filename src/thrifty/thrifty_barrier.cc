@@ -1,0 +1,309 @@
+#include "thrifty/thrifty_barrier.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "thrifty/spin_wait.hh"
+
+namespace tb {
+namespace thrifty {
+
+ThriftyBarrier::ThriftyBarrier(EventQueue& queue, BarrierPc pc,
+                               ThriftyRuntime& rt,
+                               mem::MemorySystem& memory,
+                               std::string name)
+    : SimObject(queue, std::move(name)),
+      barrierPc(pc),
+      runtime(rt),
+      backend(memory.backend()),
+      total(rt.numThreads()),
+      localSense(total, 0),
+      arrivalTick(total, 0),
+      computeTime(total, 0),
+      wakeTick(total, kTickNever),
+      arrivalInstance(total, 0)
+{
+    // Count, flag and published-BIT live on three distinct lines of a
+    // shared page: check-in traffic and BIT reads must not disturb
+    // the spinners'/monitors' flag copies.
+    const Addr base = memory.addressMap().allocShared(mem::kPageBytes);
+    countAddr = base;
+    flagAddr = base + mem::kLineBytes;
+    bitAddr = base + 2 * mem::kLineBytes;
+}
+
+void
+ThriftyBarrier::arrive(cpu::ThreadContext& tc, std::function<void()> cont)
+{
+    const ThreadId tid = tc.tid();
+    if (tid >= total)
+        panic(name(), ": thread ", tid, " outside barrier population");
+
+    SyncStats& st = runtime.stats();
+    ++st.arrivals;
+    arrivalTick[tid] = curTick();
+    computeTime[tid] = curTick() - runtime.brts(tid);
+    wakeTick[tid] = kTickNever;
+    arrivalInstance[tid] = instanceIdx;
+
+    const std::uint64_t want = localSense[tid] ^ 1u;
+    localSense[tid] = static_cast<std::uint8_t>(want);
+
+    tc.atomic(
+        countAddr,
+        [this]() {
+            const std::uint64_t old = backend.read(countAddr);
+            backend.write(countAddr, old + 1 == total ? 0 : old + 1);
+            return old;
+        },
+        [this, &tc, tid, want,
+         cont = std::move(cont)](std::uint64_t old) mutable {
+            if (old + 1 == total)
+                lastArrival(tc, tid, want, std::move(cont));
+            else
+                earlyArrival(tc, tid, want, std::move(cont));
+        });
+}
+
+void
+ThriftyBarrier::lastArrival(cpu::ThreadContext& tc, ThreadId tid,
+                            std::uint64_t want,
+                            std::function<void()> cont)
+{
+    // The last thread computes the actual interval time from its own
+    // local release timestamp (Section 3.2.1) ...
+    const Tick actual_bit = curTick() - runtime.brts(tid);
+
+    // ... feeds the predictor, unless the sample is inordinately large
+    // (context switch / I/O filter, Section 3.4.2) ...
+    const ThriftyConfig& cfg = runtime.config();
+    bool skip_update = false;
+    if (cfg.underpredictionFilter > 0.0) {
+        if (auto prev = runtime.predictor().stored(barrierPc)) {
+            if (static_cast<double>(actual_bit) >
+                cfg.underpredictionFilter * static_cast<double>(*prev)) {
+                skip_update = true;
+                ++runtime.stats().filteredUpdates;
+            }
+        }
+    }
+    if (!skip_update)
+        runtime.predictor().update(barrierPc, actual_bit);
+
+    // ... publishes the BIT, and only then flips the flag (the
+    // sequencing models the write fence of the paper's footnote 1).
+    tc.store(bitAddr, actual_bit, [this, &tc, tid, want, actual_bit,
+                                   cont = std::move(cont)]() mutable {
+        tc.store(flagAddr, want,
+                 [this, tid, actual_bit, cont = std::move(cont)]() {
+                     ++instanceIdx;
+                     ++runtime.stats().instances;
+                     runtime.advanceBrts(tid, actual_bit);
+                     runtime.stats().totalStallTicks +=
+                         static_cast<double>(curTick() -
+                                             arrivalTick[tid]);
+                     releaseParked(actual_bit);
+                     traceDeparture(tid, actual_bit);
+                     cont();
+                 });
+    });
+}
+
+void
+ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
+                             std::uint64_t want,
+                             std::function<void()> cont)
+{
+    const ThriftyConfig& cfg = runtime.config();
+    SyncStats& st = runtime.stats();
+
+    if (cfg.oracle) {
+        park(tc, tid, std::move(cont));
+        return;
+    }
+
+    // Predict the stall ahead: estimated wake-up = BRTS + predicted
+    // BIT; stall = wake-up - now (Section 3.2.1).
+    const power::SleepState* state = nullptr;
+    Tick predicted_wake = 0;
+    if (auto bit = runtime.predictor().predict(barrierPc, tid)) {
+        predicted_wake = runtime.brts(tid) + *bit;
+        if (predicted_wake > curTick())
+            state = cfg.states.select(predicted_wake - curTick());
+    }
+
+    if (!state) {
+        // No/insufficient prediction, cutoff in force, or stall too
+        // short for any state: the sleep() call returns immediately
+        // and the thread spins the traditional way.
+        ++st.spins;
+        spinOnFlag(tc, flagAddr, want, [this, &tc, tid,
+                                        cont = std::move(cont)]() mutable {
+            depart(tc, tid, std::move(cont));
+        });
+        return;
+    }
+
+    // Program the flag monitor. It reads the flag in (making this node
+    // a sharer so the release's invalidation reaches it) and refuses
+    // the sleep if the flag already flipped.
+    tc.controller().armFlagMonitor(
+        flagAddr, want,
+        [this, &tc, tid, want, state, predicted_wake,
+         cont = std::move(cont)](bool already_flipped) mutable {
+            SyncStats& stats = runtime.stats();
+            if (already_flipped) {
+                // The thread never slept, so no wake-up timestamp is
+                // recorded (the cutoff only judges actual sleepers).
+                depart(tc, tid, std::move(cont));
+                return;
+            }
+
+            const ThriftyConfig& conf = runtime.config();
+            if (conf.wakeup != WakeupPolicy::External) {
+                // Fire early enough that the upward transition
+                // completes right at the predicted release.
+                const Tick lead = state->transitionLatency;
+                const Tick target =
+                    predicted_wake > curTick() + lead
+                        ? predicted_wake - lead
+                        : curTick();
+                tc.controller().armWakeTimer(target - curTick());
+            }
+            if (conf.wakeup == WakeupPolicy::Internal)
+                tc.controller().disarmFlagMonitor();
+
+            ++stats.sleeps;
+            tc.cpu().enterSleep(
+                *state,
+                [this, &tc, tid, want,
+                 cont = std::move(cont)](mem::WakeReason) mutable {
+                    wakeTick[tid] = curTick();
+                    // Residual spin: verify the flag actually flipped
+                    // (guards early wake-ups and false wake-ups).
+                    spinOnFlag(tc, flagAddr, want,
+                               [this, &tc, tid,
+                                cont = std::move(cont)]() mutable {
+                                   runtime.stats().residualSpinTicks +=
+                                       static_cast<double>(
+                                           curTick() - wakeTick[tid]);
+                                   ++runtime.stats().residualSpins;
+                                   depart(tc, tid, std::move(cont));
+                               });
+                });
+        });
+}
+
+void
+ThriftyBarrier::depart(cpu::ThreadContext& tc, ThreadId tid,
+                       std::function<void()> cont)
+{
+    // Load the published BIT and advance the local release timestamp;
+    // then check how late the wake-up was (Section 3.3.3).
+    tc.load(bitAddr, [this, tid, cont = std::move(cont)](
+                         std::uint64_t bit_val) mutable {
+        runtime.advanceBrts(tid, bit_val);
+        const Tick release_ts = runtime.brts(tid);
+        const ThriftyConfig& cfg = runtime.config();
+        if (wakeTick[tid] != kTickNever &&
+            cfg.overpredictionThreshold >= 0.0 &&
+            wakeTick[tid] > release_ts) {
+            const Tick penalty = wakeTick[tid] - release_ts;
+            if (static_cast<double>(penalty) >
+                cfg.overpredictionThreshold *
+                    static_cast<double>(bit_val)) {
+                runtime.predictor().disable(barrierPc, tid);
+                ++runtime.stats().cutoffs;
+            }
+        }
+        runtime.stats().totalStallTicks +=
+            static_cast<double>(curTick() - arrivalTick[tid]);
+        traceDeparture(tid, bit_val);
+        cont();
+    });
+}
+
+void
+ThriftyBarrier::park(cpu::ThreadContext& tc, ThreadId tid,
+                     std::function<void()> cont)
+{
+    tc.cpu().suspendAccounting();
+    parked.push_back(Parked{&tc, std::move(cont), tid, curTick()});
+}
+
+void
+ThriftyBarrier::accrueOracleDwell(cpu::Cpu& cpu, Tick stall)
+{
+    const power::PowerParams& pp = cpu.powerParams();
+    const ThriftyConfig& cfg = runtime.config();
+    SyncStats& st = runtime.stats();
+
+    // Perfect knowledge: pick the minimum-energy option between
+    // spinning the whole stall and each sleep state that fits.
+    double best_energy = pp.spinWatts() * ticksToSeconds(stall);
+    const power::SleepState* best = nullptr;
+    for (std::size_t i = 0; i < cfg.states.size(); ++i) {
+        const power::SleepState& s = cfg.states.at(i);
+        if (2 * s.transitionLatency > stall)
+            continue;
+        const double sleep_w = pp.sleepWatts(s.powerFraction);
+        const double trans_w = 0.5 * (pp.activeWatts() + sleep_w);
+        const double e =
+            trans_w * ticksToSeconds(2 * s.transitionLatency) +
+            sleep_w * ticksToSeconds(stall - 2 * s.transitionLatency);
+        if (e < best_energy) {
+            best_energy = e;
+            best = &s;
+        }
+    }
+
+    if (!best) {
+        cpu.accrueManual(power::Bucket::Spin, stall, pp.spinWatts());
+        ++st.spins;
+        return;
+    }
+    const double sleep_w = pp.sleepWatts(best->powerFraction);
+    const double trans_w = 0.5 * (pp.activeWatts() + sleep_w);
+    cpu.accrueManual(power::Bucket::Transition,
+                     2 * best->transitionLatency, trans_w);
+    cpu.accrueManual(power::Bucket::Sleep,
+                     stall - 2 * best->transitionLatency, sleep_w);
+    ++st.sleeps;
+}
+
+void
+ThriftyBarrier::releaseParked(Tick actual_bit)
+{
+    std::vector<Parked> batch = std::move(parked);
+    parked.clear();
+    for (auto& p : batch) {
+        const Tick stall = curTick() - p.arrival;
+        accrueOracleDwell(p.tc->cpu(), stall);
+        runtime.advanceBrts(p.tid, actual_bit);
+        runtime.stats().totalStallTicks += static_cast<double>(stall);
+        traceDeparture(p.tid, actual_bit);
+        p.tc->cpu().resumeAccounting();
+        // Perfect wake-up: the thread resumes exactly at the release.
+        eq.scheduleIn(0, std::move(p.cont));
+    }
+}
+
+void
+ThriftyBarrier::traceDeparture(ThreadId tid, Tick bit)
+{
+    SyncStats& st = runtime.stats();
+    if (!st.traceEnabled)
+        return;
+    BarrierTraceEntry e;
+    e.pc = barrierPc;
+    e.instance = arrivalInstance[tid];
+    e.tid = tid;
+    e.bit = bit;
+    e.compute = std::min(computeTime[tid], bit);
+    e.stall = bit - e.compute;
+    st.trace.push_back(e);
+}
+
+} // namespace thrifty
+} // namespace tb

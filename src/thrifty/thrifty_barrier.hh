@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The thrifty barrier (Sections 2-3 of the paper).
+ *
+ * An early-arriving thread:
+ *   1. checks in (atomic count at the home directory),
+ *   2. predicts the barrier interval time (PC-indexed), derives its
+ *      stall time by subtracting its compute time,
+ *   3. scans the sleep-state table for the deepest state whose
+ *      round-trip transition fits in the predicted stall,
+ *   4. arms the flag monitor in the cache controller (which reads the
+ *      flag in, refusing sleep if it already flipped), arms the
+ *      wake-up timer (internal/hybrid policy), flushes dirty shared
+ *      lines if the state cannot snoop, and transitions down,
+ *   5. on wake-up (external invalidation / timer / safety), verifies
+ *      the flag in a residual spin, then departs: it loads the
+ *      published BIT, advances its local BRTS, and applies the
+ *      overprediction cutoff if its wake-up was too late.
+ *
+ * The last thread computes the actual BIT from its own BRTS, feeds
+ * the predictor (unless the underprediction filter rejects the
+ * sample), publishes BIT, and flips the flag — whose invalidations
+ * are the external wake-up signal.
+ *
+ * Oracle/Ideal configurations (Section 5.1) replace steps 2-5 with
+ * perfect knowledge: early threads park until the release and their
+ * dwell is accounted analytically with zero mispredictions (and, for
+ * Ideal, zero flush overhead).
+ */
+
+#ifndef TB_THRIFTY_THRIFTY_BARRIER_HH_
+#define TB_THRIFTY_THRIFTY_BARRIER_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/thread_context.hh"
+#include "mem/memory_system.hh"
+#include "sim/sim_object.hh"
+#include "thrifty/barrier.hh"
+#include "thrifty/thrifty_runtime.hh"
+
+namespace tb {
+namespace thrifty {
+
+/** One static thrifty barrier. */
+class ThriftyBarrier : public Barrier, public SimObject
+{
+  public:
+    /**
+     * @param queue   Simulation event queue.
+     * @param pc      Static identifier of this barrier call site.
+     * @param runtime Shared thrifty runtime (predictor, BRTS, config).
+     * @param memory  Memory system to allocate barrier data in.
+     */
+    ThriftyBarrier(EventQueue& queue, BarrierPc pc,
+                   ThriftyRuntime& runtime, mem::MemorySystem& memory,
+                   std::string name);
+
+    void arrive(cpu::ThreadContext& tc,
+                std::function<void()> cont) override;
+
+    BarrierPc pc() const override { return barrierPc; }
+
+    /** Dynamic instances completed so far. */
+    std::uint64_t instances() const { return instanceIdx; }
+
+    /** Address of the barrier flag (tests arm monitors against it). */
+    Addr flagAddress() const { return flagAddr; }
+
+  private:
+    struct Parked
+    {
+        cpu::ThreadContext* tc;
+        std::function<void()> cont;
+        ThreadId tid;
+        Tick arrival;
+    };
+
+    /** Path of the last thread to check in. */
+    void lastArrival(cpu::ThreadContext& tc, ThreadId tid,
+                     std::uint64_t want, std::function<void()> cont);
+
+    /** Path of an early thread. */
+    void earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
+                      std::uint64_t want, std::function<void()> cont);
+
+    /** Early thread after the flag flipped: bookkeeping + continue. */
+    void depart(cpu::ThreadContext& tc, ThreadId tid,
+                std::function<void()> cont);
+
+    /** Oracle mode: park until release. */
+    void park(cpu::ThreadContext& tc, ThreadId tid,
+              std::function<void()> cont);
+
+    /** Oracle mode: analytic energy accounting of one parked dwell. */
+    void accrueOracleDwell(cpu::Cpu& cpu, Tick stall);
+
+    /** Release all parked threads at the current tick. */
+    void releaseParked(Tick actual_bit);
+
+    /** Append a trace record if tracing is on. */
+    void traceDeparture(ThreadId tid, Tick bit);
+
+    BarrierPc barrierPc;
+    ThriftyRuntime& runtime;
+    mem::Backend& backend;
+
+    Addr countAddr;
+    Addr flagAddr;
+    Addr bitAddr;
+
+    unsigned total;
+    std::vector<std::uint8_t> localSense;
+    std::vector<Tick> arrivalTick;
+    std::vector<Tick> computeTime;  ///< arrival - BRTS at arrival
+    std::vector<Tick> wakeTick;     ///< kTickNever if the thread spun
+    std::vector<std::uint64_t> arrivalInstance;
+    std::uint64_t instanceIdx = 0;
+    std::vector<Parked> parked;
+};
+
+} // namespace thrifty
+} // namespace tb
+
+#endif // TB_THRIFTY_THRIFTY_BARRIER_HH_

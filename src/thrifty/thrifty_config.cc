@@ -1,0 +1,50 @@
+#include "thrifty/thrifty_config.hh"
+
+namespace tb {
+namespace thrifty {
+
+const char*
+wakeupPolicyName(WakeupPolicy p)
+{
+    switch (p) {
+      case WakeupPolicy::External: return "external";
+      case WakeupPolicy::Internal: return "internal";
+      case WakeupPolicy::Hybrid:   return "hybrid";
+    }
+    return "?";
+}
+
+ThriftyConfig
+ThriftyConfig::thrifty()
+{
+    return ThriftyConfig{};
+}
+
+ThriftyConfig
+ThriftyConfig::thriftyHalt()
+{
+    ThriftyConfig c;
+    c.states = power::SleepStateTable::haltOnly();
+    return c;
+}
+
+ThriftyConfig
+ThriftyConfig::oracleHalt()
+{
+    ThriftyConfig c;
+    c.states = power::SleepStateTable::haltOnly();
+    c.oracle = true;
+    return c;
+}
+
+ThriftyConfig
+ThriftyConfig::idealConfig()
+{
+    ThriftyConfig c;
+    c.oracle = true;
+    c.ideal = true;
+    return c;
+}
+
+} // namespace thrifty
+} // namespace tb

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Configuration of the thrifty barrier mechanism.
+ *
+ * The five evaluated configurations of Section 5.1 are expressible as
+ * presets of this structure (plus ConventionalBarrier for Baseline):
+ *
+ *   Baseline      - ConventionalBarrier
+ *   Thrifty-Halt  - states = {Halt}, hybrid wake-up
+ *   Oracle-Halt   - states = {Halt}, oracle (perfect BIT prediction)
+ *   Thrifty       - states = {Halt, Sleep2, Sleep3}, hybrid wake-up
+ *   Ideal         - all states, oracle, no flush overhead
+ */
+
+#ifndef TB_THRIFTY_THRIFTY_CONFIG_HH_
+#define TB_THRIFTY_THRIFTY_CONFIG_HH_
+
+#include <string>
+
+#include "power/sleep_states.hh"
+
+namespace tb {
+namespace thrifty {
+
+/** How a dormant CPU is woken (Section 3.3). */
+enum class WakeupPolicy : std::uint8_t
+{
+    External, ///< coherence invalidation of the flag line only
+    Internal, ///< predicted-stall countdown timer only
+    Hybrid,   ///< both armed; first to fire cancels the other
+};
+
+/** Human-readable policy name. */
+const char* wakeupPolicyName(WakeupPolicy p);
+
+/** Tunables of the thrifty barrier. */
+struct ThriftyConfig
+{
+    /** Available low-power sleep states; empty means "always spin". */
+    power::SleepStateTable states = power::SleepStateTable::paperDefault();
+
+    /** Wake-up mechanism. */
+    WakeupPolicy wakeup = WakeupPolicy::Hybrid;
+
+    /**
+     * Overprediction threshold (Section 3.3.3): if a thread's
+     * wake-up lands later than this fraction of BIT past the release,
+     * prediction is disabled for that (thread, barrier). Negative
+     * disables the cutoff (the Ocean ablation). Paper default: 10%.
+     */
+    double overpredictionThreshold = 0.10;
+
+    /**
+     * Underprediction filter (Section 3.4.2): a measured BIT more
+     * than this factor above the stored value (context switch, I/O)
+     * does not update the predictor. <= 0 disables the filter.
+     */
+    double underpredictionFilter = 10.0;
+
+    /** Predictor family: "last-value" (paper) or "moving-average". */
+    std::string predictorKind = "last-value";
+
+    /**
+     * Oracle mode: BIT prediction is perfect and wake-up is exactly
+     * on time (Oracle-Halt / Ideal configurations). Implemented by
+     * parking early threads and accounting their dwell analytically.
+     */
+    bool oracle = false;
+
+    /** Ideal mode: oracle + no flushing overhead for any sleep state. */
+    bool ideal = false;
+
+    // ---- presets matching Section 5.1 -------------------------------
+
+    static ThriftyConfig thrifty();    ///< full mechanism (T)
+    static ThriftyConfig thriftyHalt(); ///< Halt only (H)
+    static ThriftyConfig oracleHalt(); ///< perfect-prediction Halt (O)
+    static ThriftyConfig idealConfig(); ///< theoretical bound (I)
+};
+
+} // namespace thrifty
+} // namespace tb
+
+#endif // TB_THRIFTY_THRIFTY_CONFIG_HH_

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-application thrifty-barrier runtime state.
+ *
+ * The BIT predictor table and the per-thread barrier release
+ * timestamps (BRTS) span *all* barriers of a program: BIT is the time
+ * between consecutive barrier releases regardless of which static
+ * barrier they belong to, and each thread's BRTS advances at every
+ * release (Section 3.2.1). All ThriftyBarrier instances of one
+ * program therefore share one runtime.
+ */
+
+#ifndef TB_THRIFTY_THRIFTY_RUNTIME_HH_
+#define TB_THRIFTY_THRIFTY_RUNTIME_HH_
+
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+#include "thrifty/barrier.hh"
+#include "thrifty/bit_predictor.hh"
+#include "thrifty/thrifty_config.hh"
+
+namespace tb {
+namespace thrifty {
+
+/** Shared state of all thrifty barriers in one program. */
+class ThriftyRuntime
+{
+  public:
+    /**
+     * @param num_threads Thread count of the program.
+     * @param config      Mechanism configuration.
+     * @param stats       Experiment-wide synchronization statistics.
+     */
+    ThriftyRuntime(unsigned num_threads, const ThriftyConfig& config,
+                   SyncStats& stats);
+
+    unsigned numThreads() const { return threads; }
+    const ThriftyConfig& config() const { return cfg; }
+    BitPredictor& predictor() { return *pred; }
+    const BitPredictor& predictor() const { return *pred; }
+    SyncStats& stats() { return syncStats; }
+
+    /** Thread @p tid's local release timestamp of the last barrier. */
+    Tick brts(ThreadId tid) const { return brts_.at(tid); }
+
+    /** Advance @p tid's release timestamp by a published BIT. */
+    void
+    advanceBrts(ThreadId tid, Tick bit)
+    {
+        brts_.at(tid) += bit;
+    }
+
+  private:
+    unsigned threads;
+    ThriftyConfig cfg;
+    std::unique_ptr<BitPredictor> pred;
+    SyncStats& syncStats;
+    std::vector<Tick> brts_;
+};
+
+} // namespace thrifty
+} // namespace tb
+
+#endif // TB_THRIFTY_THRIFTY_RUNTIME_HH_

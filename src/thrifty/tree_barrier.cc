@@ -1,0 +1,251 @@
+#include "thrifty/tree_barrier.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "thrifty/spin_wait.hh"
+
+namespace tb {
+namespace thrifty {
+
+TreeBarrier::TreeBarrier(EventQueue& queue, BarrierPc pc,
+                         ThriftyRuntime& rt, mem::MemorySystem& memory,
+                         unsigned radix_, std::string name)
+    : SimObject(queue, std::move(name)),
+      barrierPc(pc),
+      runtime(rt),
+      backend(memory.backend()),
+      radix(radix_),
+      total(rt.numThreads()),
+      arrivalTick(total, 0),
+      computeTime(total, 0),
+      wakeTick(total, kTickNever),
+      arrivalInstance(total, 0)
+{
+    if (radix < 2)
+        fatal(this->name(), ": tree radix must be >= 2");
+    if (runtime.config().oracle)
+        fatal(this->name(), ": oracle mode unsupported for the tree");
+
+    // Build levels bottom-up until a single group remains.
+    unsigned members = total;
+    for (;;) {
+        const unsigned n_groups = (members + radix - 1) / radix;
+        std::vector<Group> level(n_groups);
+        for (unsigned g = 0; g < n_groups; ++g) {
+            Group& grp = level[g];
+            grp.size = std::min(radix, members - g * radix);
+            grp.sense.assign(grp.size, 0);
+            const Addr base =
+                memory.addressMap().allocShared(mem::kPageBytes);
+            grp.count = base;
+            grp.flag = base + mem::kLineBytes;
+            grp.bit = base + 2 * mem::kLineBytes;
+        }
+        groups.push_back(std::move(level));
+        if (n_groups == 1)
+            break;
+        members = n_groups;
+    }
+}
+
+TreeBarrier::Group&
+TreeBarrier::groupAt(unsigned level, unsigned index)
+{
+    return groups.at(level).at(index);
+}
+
+void
+TreeBarrier::arrive(cpu::ThreadContext& tc, std::function<void()> cont)
+{
+    const ThreadId tid = tc.tid();
+    if (tid >= total)
+        panic(name(), ": thread ", tid, " outside barrier population");
+    SyncStats& st = runtime.stats();
+    ++st.arrivals;
+    arrivalTick[tid] = curTick();
+    computeTime[tid] = curTick() - runtime.brts(tid);
+    wakeTick[tid] = kTickNever;
+    arrivalInstance[tid] = instanceIdx;
+
+    ascend(tc, tid, 0, tid / radix, tid % radix,
+           [this, &tc, tid, cont = std::move(cont)](Tick bit) mutable {
+               finishThread(tc, tid, bit, std::move(cont));
+           });
+}
+
+void
+TreeBarrier::ascend(cpu::ThreadContext& tc, ThreadId tid,
+                    unsigned level, unsigned index, unsigned slot,
+                    std::function<void(Tick)> released)
+{
+    Group& g = groupAt(level, index);
+    const std::uint64_t want = g.sense.at(slot) ^ 1u;
+    g.sense[slot] = static_cast<std::uint8_t>(want);
+
+    tc.atomic(
+        g.count,
+        [this, &g]() {
+            const std::uint64_t old = backend.read(g.count);
+            backend.write(g.count, old + 1 == g.size ? 0 : old + 1);
+            return old;
+        },
+        [this, &tc, tid, level, index, want, &g,
+         released = std::move(released)](std::uint64_t old) mutable {
+            if (old + 1 < g.size) {
+                // Early in this group: thrifty-wait on the group
+                // flag, then pick up the propagated BIT.
+                thriftyWait(
+                    tc, tid, g, want,
+                    [this, &tc, &g,
+                     released = std::move(released)]() mutable {
+                        tc.load(g.bit,
+                                [released = std::move(released)](
+                                    std::uint64_t bit) mutable {
+                                    released(static_cast<Tick>(bit));
+                                });
+                    });
+                return;
+            }
+
+            // Last in this group: carry the check-in upward; when the
+            // release wave reaches us, flip this group's flag (after
+            // publishing the BIT) before continuing down.
+            auto release_down = [this, &tc, &g, want,
+                                 released = std::move(released)](
+                                    Tick bit) mutable {
+                releaseGroup(tc, g, want, bit,
+                             [released = std::move(released),
+                              bit]() mutable { released(bit); });
+            };
+
+            if (level + 1 < groups.size()) {
+                ascend(tc, tid, level + 1, index / radix,
+                       index % radix, std::move(release_down));
+                return;
+            }
+
+            // This group IS the root: its last arriver is the
+            // paper's "last thread".
+            const Tick actual_bit = curTick() - runtime.brts(tid);
+            const ThriftyConfig& cfg = runtime.config();
+            bool skip = false;
+            if (cfg.underpredictionFilter > 0.0) {
+                if (auto prev =
+                        runtime.predictor().stored(barrierPc)) {
+                    if (static_cast<double>(actual_bit) >
+                        cfg.underpredictionFilter *
+                            static_cast<double>(*prev)) {
+                        skip = true;
+                        ++runtime.stats().filteredUpdates;
+                    }
+                }
+            }
+            if (!skip)
+                runtime.predictor().update(barrierPc, actual_bit);
+            ++instanceIdx;
+            ++runtime.stats().instances;
+            release_down(actual_bit);
+        });
+}
+
+void
+TreeBarrier::thriftyWait(cpu::ThreadContext& tc, ThreadId tid,
+                         Group& group, std::uint64_t want,
+                         std::function<void()> cont)
+{
+    const ThriftyConfig& cfg = runtime.config();
+    SyncStats& st = runtime.stats();
+
+    const power::SleepState* state = nullptr;
+    Tick predicted_wake = 0;
+    if (auto bit = runtime.predictor().predict(barrierPc, tid)) {
+        predicted_wake = runtime.brts(tid) + *bit;
+        if (predicted_wake > curTick())
+            state = cfg.states.select(predicted_wake - curTick());
+    }
+
+    if (!state) {
+        ++st.spins;
+        spinOnFlag(tc, group.flag, want, std::move(cont));
+        return;
+    }
+
+    tc.controller().armFlagMonitor(
+        group.flag, want,
+        [this, &tc, tid, &group, want, state, predicted_wake,
+         cont = std::move(cont)](bool already_flipped) mutable {
+            if (already_flipped) {
+                cont();
+                return;
+            }
+            const ThriftyConfig& conf = runtime.config();
+            if (conf.wakeup != WakeupPolicy::External) {
+                const Tick lead = state->transitionLatency;
+                const Tick target =
+                    predicted_wake > curTick() + lead
+                        ? predicted_wake - lead
+                        : curTick();
+                tc.controller().armWakeTimer(target - curTick());
+            }
+            if (conf.wakeup == WakeupPolicy::Internal)
+                tc.controller().disarmFlagMonitor();
+            ++runtime.stats().sleeps;
+            tc.cpu().enterSleep(
+                *state, [this, &tc, tid, &group, want,
+                         cont = std::move(cont)](mem::WakeReason) mutable {
+                    wakeTick[tid] = curTick();
+                    spinOnFlag(tc, group.flag, want, std::move(cont));
+                });
+        });
+}
+
+void
+TreeBarrier::releaseGroup(cpu::ThreadContext& tc, Group& group,
+                          std::uint64_t want, Tick bit,
+                          std::function<void()> cont)
+{
+    tc.store(group.bit, bit,
+             [this, &tc, &group, want, cont = std::move(cont)]() mutable {
+                 tc.store(group.flag, want, std::move(cont));
+             });
+}
+
+void
+TreeBarrier::finishThread(cpu::ThreadContext& tc, ThreadId tid,
+                          Tick bit, std::function<void()> cont)
+{
+    (void)tc;
+    runtime.advanceBrts(tid, bit);
+    const Tick release_ts = runtime.brts(tid);
+    const ThriftyConfig& cfg = runtime.config();
+    if (wakeTick[tid] != kTickNever &&
+        cfg.overpredictionThreshold >= 0.0 &&
+        wakeTick[tid] > release_ts) {
+        const Tick penalty = wakeTick[tid] - release_ts;
+        if (static_cast<double>(penalty) >
+            cfg.overpredictionThreshold * static_cast<double>(bit)) {
+            runtime.predictor().disable(barrierPc, tid);
+            ++runtime.stats().cutoffs;
+        }
+    }
+    runtime.stats().totalStallTicks +=
+        static_cast<double>(curTick() - arrivalTick[tid]);
+
+    SyncStats& st = runtime.stats();
+    if (st.traceEnabled) {
+        BarrierTraceEntry e;
+        e.pc = barrierPc;
+        e.instance = arrivalInstance[tid];
+        e.tid = tid;
+        e.bit = bit;
+        e.compute = std::min(computeTime[tid], bit);
+        e.stall = e.bit - e.compute;
+        st.trace.push_back(e);
+    }
+    cont();
+}
+
+} // namespace thrifty
+} // namespace tb

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Synthetic SPLASH-2-like application profiles.
+ *
+ * We cannot run the SPLASH-2 binaries themselves (that would require a
+ * full ISA-level execution-driven simulator and the original inputs);
+ * what the thrifty barrier actually responds to is the *barrier
+ * structure* of an application: how many static barriers it has, how
+ * often they execute, how long the intervals between releases are, how
+ * much those intervals vary across instances, and how skewed the
+ * per-thread arrival times are (the imbalance). Each profile encodes
+ * those properties for one studied application, calibrated so the
+ * Baseline barrier imbalance lands near Table 2 of the paper and the
+ * qualitative per-app behaviours the evaluation discusses are present:
+ *
+ *  - Volrend: few big, badly imbalanced intervals (ideal for deep
+ *    sleep states);
+ *  - Ocean: many frequent barriers whose interval times swing hard
+ *    across instances (defeats last-value prediction; the cutoff
+ *    rescue case);
+ *  - FFT / Cholesky: a handful of *non-repeating* barriers, so the
+ *    PC-indexed predictor never warms up and Thrifty == Baseline.
+ */
+
+#ifndef TB_WORKLOADS_APP_PROFILE_HH_
+#define TB_WORKLOADS_APP_PROFILE_HH_
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "thrifty/bit_predictor.hh"
+
+namespace tb {
+namespace workloads {
+
+/** One static barrier and the computation phase preceding it. */
+struct PhaseSpec
+{
+    thrifty::BarrierPc pc = 0;
+    /** Mean per-thread compute time of the phase. */
+    Tick meanCompute = 500 * kMicrosecond;
+    /**
+     * Coefficient of variation of *persistent* per-thread compute-time
+     * skew (lognormal, drawn once per thread per barrier). This is
+     * the imbalance knob: the stall of an early thread is (max over
+     * threads) - (its own draw). Persistence mirrors SPMD reality —
+     * the same thread owns the same data partition every iteration —
+     * and is what makes the barrier interval time predictable
+     * (Section 3.2 of the paper).
+     */
+    double imbalanceCv = 0.10;
+    /**
+     * Per-(thread, instance) wobble on top of the persistent skew
+     * ("computation and data access costs shift among threads across
+     * instances", Section 3.2). Expressed as lognormal CV.
+     */
+    double threadWobbleCv = 0.01;
+    /**
+     * Instance-to-instance multiplicative jitter (lognormal cv),
+     * common to all threads of one instance: shifts the interval
+     * without changing the imbalance.
+     */
+    double instanceJitterCv = 0.02;
+    /** Probability an instance's interval swings (Ocean pattern). */
+    double swingProbability = 0.0;
+    /** Multiplier applied on a swing (alternating shrink/grow). */
+    double swingFactor = 1.0;
+    /**
+     * Probability that one (random) thread of an instance gets
+     * preempted — its compute time is multiplied by spikeFactor.
+     * Models the context-switch / I/O interference of Section 3.4.2
+     * that the underprediction filter exists to absorb.
+     */
+    double spikeProbability = 0.0;
+    /** Compute-time multiplier applied to the preempted thread. */
+    double spikeFactor = 40.0;
+    /** Memory accesses issued per thread during the phase. */
+    unsigned memAccesses = 24;
+    /** Fraction of accesses that target the shared region. */
+    double sharedFraction = 0.3;
+    /** Fraction of accesses that are stores. */
+    double writeFraction = 0.3;
+};
+
+/** A complete synthetic application. */
+struct AppProfile
+{
+    std::string name;
+    /** Table 2 barrier imbalance (fraction), for reference/reports. */
+    double paperImbalance = 0.0;
+    /** Barriers executed once, in order, before the main loop
+     *  (FFT/Cholesky style: unique PCs, no repetition). */
+    std::vector<PhaseSpec> prologue;
+    /** Barriers executed every iteration of the main loop. */
+    std::vector<PhaseSpec> loop;
+    /** Main-loop iterations. */
+    unsigned iterations = 16;
+    /** Bytes of shared data per application. */
+    std::size_t sharedBytes = 512 * 1024;
+    /** Bytes of private data per thread. */
+    std::size_t privateBytes = 32 * 1024;
+
+    /** Total dynamic barrier instances this profile produces. */
+    std::size_t
+    totalInstances() const
+    {
+        return prologue.size() + loop.size() * iterations;
+    }
+};
+
+/** The ten studied applications in Table 2 order. */
+std::vector<AppProfile> paperApps();
+
+/** Look up one profile by (case-sensitive) name. */
+AppProfile appByName(const std::string& name);
+
+/** The five "target" applications (imbalance >= 10%). */
+std::vector<std::string> targetAppNames();
+
+} // namespace workloads
+} // namespace tb
+
+#endif // TB_WORKLOADS_APP_PROFILE_HH_

@@ -1,0 +1,205 @@
+#include "workloads/synthetic_program.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace workloads {
+
+namespace {
+
+/** SplitMix-style combiner for deterministic sub-stream seeds. */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    std::uint64_t z = h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+SyntheticProgram::SyntheticProgram(EventQueue& queue,
+                                   mem::MemorySystem& memory_,
+                                   std::vector<cpu::ThreadContext*> threads,
+                                   const AppProfile& profile,
+                                   BarrierProvider& barriers,
+                                   std::uint64_t seed_)
+    : eq(queue),
+      memory(memory_),
+      tcs(std::move(threads)),
+      app(profile),
+      provider(barriers),
+      seed(seed_)
+{
+    if (tcs.empty())
+        fatal("synthetic program needs at least one thread");
+    if (app.totalInstances() == 0)
+        fatal("application profile '", app.name, "' has no barriers");
+
+    // The Step pointers reference this object's own profile copy, so
+    // they remain valid for the program's lifetime.
+    for (const auto& spec : app.prologue)
+        sequence.push_back(Step{&spec, 0});
+    for (unsigned it = 0; it < app.iterations; ++it) {
+        for (const auto& spec : app.loop)
+            sequence.push_back(Step{&spec, it});
+    }
+
+    sharedBase = memory.addressMap().allocShared(app.sharedBytes);
+    privateBase.reserve(tcs.size());
+    for (std::size_t t = 0; t < tcs.size(); ++t) {
+        privateBase.push_back(memory.addressMap().allocPrivate(
+            static_cast<NodeId>(t), app.privateBytes));
+    }
+}
+
+Random
+SyntheticProgram::streamFor(std::uint64_t a, std::uint64_t b,
+                            std::uint64_t c) const
+{
+    std::uint64_t h = mix(seed, a);
+    h = mix(h, b);
+    h = mix(h, c);
+    return Random(h);
+}
+
+double
+SyntheticProgram::instanceFactor(const PhaseSpec& spec,
+                                 std::uint64_t instance) const
+{
+    Random rng = streamFor(spec.pc, instance, 0x1157);
+    double f = rng.lognormalMeanCv(1.0, spec.instanceJitterCv);
+    if (spec.swingProbability > 0.0 &&
+        rng.chance(spec.swingProbability)) {
+        f *= rng.chance(0.5) ? spec.swingFactor
+                             : 1.0 / spec.swingFactor;
+    }
+    return f;
+}
+
+Tick
+SyntheticProgram::drawBusy(ThreadId tid, const Step& step) const
+{
+    const PhaseSpec& spec = *step.spec;
+    // Persistent partition skew: one draw per (barrier, thread).
+    Random base_rng = streamFor(spec.pc, 0x5eed, tid);
+    const double base = base_rng.lognormalMeanCv(1.0, spec.imbalanceCv);
+    // Instance-to-instance wobble per thread.
+    Random rng = streamFor(spec.pc, step.instance, 0xbeef + tid);
+    const double wobble =
+        rng.lognormalMeanCv(1.0, spec.threadWobbleCv);
+    double busy = static_cast<double>(spec.meanCompute) *
+                  instanceFactor(spec, step.instance) * base * wobble;
+
+    // OS interference (Section 3.4.2): one random thread of an
+    // affected instance is "preempted" and arrives inordinately late.
+    if (spec.spikeProbability > 0.0) {
+        Random spike_rng = streamFor(spec.pc, step.instance, 0x5b1ce);
+        if (spike_rng.chance(spec.spikeProbability) &&
+            spike_rng.uniformInt(tcs.size()) == tid) {
+            busy *= spec.spikeFactor;
+        }
+    }
+    return static_cast<Tick>(std::max(busy, 1.0));
+}
+
+void
+SyntheticProgram::start()
+{
+    for (std::size_t t = 0; t < tcs.size(); ++t)
+        runStep(static_cast<ThreadId>(t), 0);
+}
+
+void
+SyntheticProgram::runStep(ThreadId tid, std::size_t step_idx)
+{
+    if (stepIdx.size() != tcs.size())
+        stepIdx.assign(tcs.size(), 0);
+    stepIdx[tid] = step_idx;
+    if (step_idx >= sequence.size()) {
+        threadFinished(tid);
+        return;
+    }
+    const Step& step = sequence[step_idx];
+    const PhaseSpec& spec = *step.spec;
+    const Tick busy = drawBusy(tid, step);
+    const unsigned accesses = spec.memAccesses;
+    const Tick chunk = busy / (accesses + 1);
+
+    Random rng = streamFor(spec.pc, step.instance, 0xacce55 + tid);
+    runPhaseChunks(tid, step_idx, chunk == 0 ? 1 : chunk, accesses,
+                   rng);
+}
+
+void
+SyntheticProgram::runPhaseChunks(ThreadId tid, std::size_t step_idx,
+                                 Tick chunk, unsigned accesses_left,
+                                 Random rng)
+{
+    cpu::ThreadContext& tc = *tcs[tid];
+    tc.compute(chunk, [this, tid, step_idx, chunk, accesses_left,
+                       rng]() mutable {
+        if (accesses_left == 0) {
+            const Step& step = sequence[step_idx];
+            thrifty::Barrier& b = provider.barrierFor(step.spec->pc);
+            b.arrive(*tcs[tid], [this, tid, step_idx]() {
+                runStep(tid, step_idx + 1);
+            });
+            return;
+        }
+        issueAccess(tid, *sequence[step_idx].spec, rng,
+                    [this, tid, step_idx, chunk, accesses_left,
+                     rng]() mutable {
+                        runPhaseChunks(tid, step_idx, chunk,
+                                       accesses_left - 1, rng);
+                    });
+    });
+}
+
+void
+SyntheticProgram::issueAccess(ThreadId tid, const PhaseSpec& spec,
+                              Random& rng, std::function<void()> cont)
+{
+    cpu::ThreadContext& tc = *tcs[tid];
+    const bool shared = rng.chance(spec.sharedFraction);
+    const bool write = rng.chance(spec.writeFraction);
+    Addr base;
+    std::size_t span;
+    if (shared) {
+        base = sharedBase;
+        span = app.sharedBytes;
+    } else {
+        base = privateBase[tid];
+        span = app.privateBytes;
+    }
+    const Addr a = base + (rng.uniformInt(span / 8) * 8);
+
+    if (write) {
+        tc.store(a, rng.next(),
+                 [cont = std::move(cont)]() { cont(); });
+    } else {
+        tc.load(a, [cont = std::move(cont)](std::uint64_t) { cont(); });
+    }
+}
+
+void
+SyntheticProgram::threadFinished(ThreadId tid)
+{
+    tcs[tid]->markDone();
+    ++finishedThreads;
+    lastFinish = std::max(lastFinish, eq.now());
+}
+
+bool
+SyntheticProgram::finished() const
+{
+    return finishedThreads == tcs.size();
+}
+
+} // namespace workloads
+} // namespace tb

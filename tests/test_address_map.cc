@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for CC-NUMA page placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+#include "sim/logging.hh"
+
+namespace tb {
+namespace {
+
+using mem::AddressMap;
+using mem::kPageBytes;
+
+TEST(AddressMap, SharedPagesRoundRobin)
+{
+    AddressMap m(4);
+    const Addr base = m.allocShared(8 * kPageBytes);
+    for (unsigned p = 0; p < 8; ++p) {
+        EXPECT_EQ(m.home(base + p * kPageBytes), p % 4);
+        EXPECT_TRUE(m.isShared(base + p * kPageBytes));
+    }
+}
+
+TEST(AddressMap, RoundRobinContinuesAcrossAllocations)
+{
+    AddressMap m(4);
+    const Addr a = m.allocShared(kPageBytes);     // home 0
+    const Addr b = m.allocShared(kPageBytes);     // home 1
+    const Addr c = m.allocShared(2 * kPageBytes); // homes 2, 3
+    EXPECT_EQ(m.home(a), 0u);
+    EXPECT_EQ(m.home(b), 1u);
+    EXPECT_EQ(m.home(c), 2u);
+    EXPECT_EQ(m.home(c + kPageBytes), 3u);
+}
+
+TEST(AddressMap, PrivatePagesHomedAtOwner)
+{
+    AddressMap m(8);
+    const Addr p = m.allocPrivate(5, 3 * kPageBytes);
+    for (unsigned i = 0; i < 3; ++i) {
+        EXPECT_EQ(m.home(p + i * kPageBytes), 5u);
+        EXPECT_FALSE(m.isShared(p + i * kPageBytes));
+    }
+}
+
+TEST(AddressMap, SubPageAllocationsRoundUp)
+{
+    AddressMap m(2);
+    const Addr a = m.allocShared(100);
+    const Addr b = m.allocShared(100);
+    EXPECT_EQ(b - a, static_cast<Addr>(kPageBytes));
+}
+
+TEST(AddressMap, AddressesWithinPageShareHome)
+{
+    AddressMap m(4);
+    const Addr a = m.allocShared(kPageBytes);
+    EXPECT_EQ(m.home(a), m.home(a + 64));
+    EXPECT_EQ(m.home(a), m.home(a + kPageBytes - 1));
+}
+
+TEST(AddressMap, NullAddressNeverMapped)
+{
+    AddressMap m(2);
+    m.allocShared(kPageBytes);
+    EXPECT_FALSE(m.isMapped(0));
+}
+
+TEST(AddressMap, UnmappedLookupPanics)
+{
+    AddressMap m(2);
+    EXPECT_THROW(m.home(0x10000000), PanicError);
+    EXPECT_THROW(m.isShared(0x10000000), PanicError);
+}
+
+TEST(AddressMap, RejectsBadArguments)
+{
+    EXPECT_THROW(AddressMap(0), FatalError);
+    AddressMap m(2);
+    EXPECT_THROW(m.allocShared(0), FatalError);
+    EXPECT_THROW(m.allocPrivate(7, kPageBytes), FatalError);
+}
+
+TEST(AddressMap, AllocatedBytesTracksPages)
+{
+    AddressMap m(2);
+    m.allocShared(1);
+    m.allocPrivate(0, kPageBytes + 1);
+    EXPECT_EQ(m.allocatedBytes(), 3 * kPageBytes);
+}
+
+} // namespace
+} // namespace tb

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the memory value backend, the coherence message
+ * vocabulary, and the fabric routing layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backend.hh"
+#include "mem/fabric.hh"
+#include "mem/mem_types.hh"
+#include "noc/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace tb {
+namespace {
+
+using mem::Backend;
+using mem::Msg;
+using mem::MsgType;
+
+TEST(Backend, ZeroInitialized)
+{
+    Backend b;
+    EXPECT_EQ(b.read(0x1000), 0u);
+    EXPECT_EQ(b.footprint(), 0u);
+}
+
+TEST(Backend, WriteReadRoundTrip)
+{
+    Backend b;
+    b.write(0x1000, 42);
+    b.write(0x1008, 43);
+    EXPECT_EQ(b.read(0x1000), 42u);
+    EXPECT_EQ(b.read(0x1008), 43u);
+    EXPECT_EQ(b.footprint(), 2u);
+}
+
+TEST(Backend, FetchAddReturnsOld)
+{
+    Backend b;
+    EXPECT_EQ(b.fetchAdd(0x40, 5), 0u);
+    EXPECT_EQ(b.fetchAdd(0x40, 3), 5u);
+    EXPECT_EQ(b.read(0x40), 8u);
+}
+
+TEST(MemTypes, LineAndPageAlignment)
+{
+    EXPECT_EQ(mem::lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(mem::lineAddr(0x12340), 0x12340u);
+    EXPECT_EQ(mem::pageAddr(0x12345), 0x12000u);
+}
+
+TEST(MemTypes, MessageSizes)
+{
+    Msg m;
+    for (MsgType t : {MsgType::GetS, MsgType::GetX, MsgType::Upgrade,
+                      MsgType::AtomicRmw, MsgType::Inv,
+                      MsgType::InvAck, MsgType::UpgradeAck,
+                      MsgType::RmwResult, MsgType::WbAck,
+                      MsgType::FwdGetS, MsgType::FwdGetX,
+                      MsgType::OwnerStale}) {
+        m.type = t;
+        EXPECT_EQ(m.bytes(), mem::kCtrlBytes) << mem::msgTypeName(t);
+    }
+    for (MsgType t : {MsgType::PutM, MsgType::OwnerData,
+                      MsgType::DataShared, MsgType::DataExclusive,
+                      MsgType::DataModified}) {
+        m.type = t;
+        EXPECT_EQ(m.bytes(), mem::kDataBytes) << mem::msgTypeName(t);
+    }
+}
+
+TEST(MemTypes, NamesAreStable)
+{
+    EXPECT_STREQ(mem::lineStateName(mem::LineState::Invalid), "I");
+    EXPECT_STREQ(mem::lineStateName(mem::LineState::Shared), "S");
+    EXPECT_STREQ(mem::lineStateName(mem::LineState::Exclusive), "E");
+    EXPECT_STREQ(mem::lineStateName(mem::LineState::Modified), "M");
+    EXPECT_STREQ(mem::msgTypeName(MsgType::GetS), "GetS");
+    EXPECT_STREQ(mem::msgTypeName(MsgType::FwdGetX), "FwdGetX");
+}
+
+TEST(MemTypes, WritablePredicate)
+{
+    EXPECT_FALSE(mem::writable(mem::LineState::Invalid));
+    EXPECT_FALSE(mem::writable(mem::LineState::Shared));
+    EXPECT_TRUE(mem::writable(mem::LineState::Exclusive));
+    EXPECT_TRUE(mem::writable(mem::LineState::Modified));
+    EXPECT_FALSE(mem::valid(mem::LineState::Invalid));
+    EXPECT_TRUE(mem::valid(mem::LineState::Shared));
+}
+
+/** A sink recording what it received. */
+struct RecordingSink : mem::MsgSink
+{
+    std::vector<Msg> got;
+    void receive(const Msg& m) override { got.push_back(m); }
+};
+
+struct FabricRig
+{
+    EventQueue eq;
+    noc::Network net;
+    mem::AddressMap map;
+    mem::Fabric fabric;
+    RecordingSink ctrl0, ctrl1, dir0, dir1;
+
+    FabricRig()
+        : net(eq, cfg()), map(2), fabric(net, map)
+    {
+        fabric.registerController(0, ctrl0);
+        fabric.registerController(1, ctrl1);
+        fabric.registerDirectory(0, dir0);
+        fabric.registerDirectory(1, dir1);
+    }
+
+    static noc::NetworkConfig
+    cfg()
+    {
+        noc::NetworkConfig c;
+        c.dimension = 1;
+        return c;
+    }
+};
+
+TEST(Fabric, RoutesToHomeDirectory)
+{
+    FabricRig r;
+    // Two shared pages: homes 0 and 1.
+    const Addr p0 = r.map.allocShared(4096);
+    const Addr p1 = r.map.allocShared(4096);
+    EXPECT_EQ(r.fabric.home(p0), 0u);
+    EXPECT_EQ(r.fabric.home(p1), 1u);
+
+    r.fabric.toDirectory(1, mem::makeMsg(MsgType::GetS,
+                                         mem::lineAddr(p0), 1));
+    r.fabric.toDirectory(0, mem::makeMsg(MsgType::GetS,
+                                         mem::lineAddr(p1), 0));
+    r.eq.run();
+    ASSERT_EQ(r.dir0.got.size(), 1u);
+    ASSERT_EQ(r.dir1.got.size(), 1u);
+    EXPECT_EQ(r.dir0.got[0].src, 1u);
+    EXPECT_EQ(r.dir1.got[0].src, 0u);
+}
+
+TEST(Fabric, RoutesToController)
+{
+    FabricRig r;
+    const Addr p0 = r.map.allocShared(4096);
+    r.fabric.toController(0, 1,
+                          mem::makeMsg(MsgType::Inv, p0, 0));
+    r.eq.run();
+    ASSERT_EQ(r.ctrl1.got.size(), 1u);
+    EXPECT_EQ(r.ctrl1.got[0].type, MsgType::Inv);
+    EXPECT_TRUE(r.ctrl0.got.empty());
+}
+
+TEST(Fabric, UnregisteredSinkPanics)
+{
+    EventQueue eq;
+    noc::NetworkConfig c;
+    c.dimension = 1;
+    noc::Network net(eq, c);
+    mem::AddressMap map(2);
+    mem::Fabric fabric(net, map);
+    const Addr p = map.allocShared(4096);
+    EXPECT_THROW(
+        fabric.toDirectory(0, mem::makeMsg(MsgType::GetS, p, 0)),
+        PanicError);
+}
+
+} // namespace
+} // namespace tb

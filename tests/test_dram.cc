@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the DRAM timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "sim/event_queue.hh"
+
+namespace tb {
+namespace {
+
+TEST(Dram, SingleReadLatency)
+{
+    EventQueue eq;
+    mem::Dram d(eq, mem::DramConfig{}, "dram");
+    Tick done = 0;
+    d.read([&]() { done = eq.now(); });
+    eq.run();
+    // 60ns access + 16ns bus transfer.
+    EXPECT_EQ(done, 76 * kNanosecond);
+}
+
+TEST(Dram, ArrayAccessesOverlapBusSerializes)
+{
+    EventQueue eq;
+    mem::Dram d(eq, mem::DramConfig{}, "dram");
+    Tick first = 0, second = 0;
+    d.read([&]() { first = eq.now(); });
+    d.read([&]() { second = eq.now(); });
+    eq.run();
+    // Interleaved banks: both rows open concurrently; only the 16ns
+    // transfers serialize.
+    EXPECT_EQ(first, 76 * kNanosecond);
+    EXPECT_EQ(second, 92 * kNanosecond);
+}
+
+TEST(Dram, WriteOccupiesBus)
+{
+    EventQueue eq;
+    mem::Dram d(eq, mem::DramConfig{}, "dram");
+    d.write(); // bus busy [0, 16ns)
+    Tick done = 0;
+    d.read([&]() { done = eq.now(); });
+    eq.run();
+    // Read data ready at 60ns > 16ns: no extra stall.
+    EXPECT_EQ(done, 76 * kNanosecond);
+}
+
+TEST(Dram, BackToBackWritesStallReads)
+{
+    EventQueue eq;
+    mem::Dram d(eq, mem::DramConfig{}, "dram");
+    for (int i = 0; i < 6; ++i)
+        d.write(); // bus busy until 96ns
+    Tick done = 0;
+    d.read([&]() { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, (96 + 16) * kNanosecond);
+    EXPECT_GT(d.statistics().scalarValue("busStallTicks"), 0.0);
+}
+
+TEST(Dram, StatsCountAccesses)
+{
+    EventQueue eq;
+    mem::Dram d(eq, mem::DramConfig{}, "dram");
+    d.read([]() {});
+    d.read([]() {});
+    d.write();
+    eq.run();
+    EXPECT_DOUBLE_EQ(d.statistics().scalarValue("reads"), 2.0);
+    EXPECT_DOUBLE_EQ(d.statistics().scalarValue("writes"), 1.0);
+}
+
+TEST(Dram, CustomTiming)
+{
+    EventQueue eq;
+    mem::DramConfig cfg;
+    cfg.accessLatency = 100 * kNanosecond;
+    cfg.busTransfer = 10 * kNanosecond;
+    mem::Dram d(eq, cfg, "dram");
+    Tick done = 0;
+    d.read([&]() { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 110 * kNanosecond);
+}
+
+} // namespace
+} // namespace tb

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace tb {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&]() { order.push_back(1); }, 1);
+    eq.schedule(5, [&]() { order.push_back(0); }, 0);
+    eq.schedule(5, [&]() { order.push_back(2); }, 1);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, []() {}), PanicError);
+}
+
+TEST(EventQueue, EmptyCallbackPanics)
+{
+    EventQueue eq;
+    EXPECT_THROW(eq.schedule(1, EventQueue::Callback{}), PanicError);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventHandle h = eq.schedule(10, [&]() { ran = true; });
+    EXPECT_TRUE(h.scheduled());
+    h.cancel();
+    EXPECT_FALSE(h.scheduled());
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.eventsExecuted(), 0u);
+}
+
+TEST(EventQueue, CancelUpdatesPendingCount)
+{
+    EventQueue eq;
+    EventHandle a = eq.schedule(10, []() {});
+    EventHandle b = eq.schedule(20, []() {});
+    EXPECT_EQ(eq.pending(), 2u);
+    a.cancel();
+    EXPECT_EQ(eq.pending(), 1u);
+    a.cancel(); // double-cancel is a no-op
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    (void)b;
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp)
+{
+    EventQueue eq;
+    int count = 0;
+    EventHandle h = eq.schedule(10, [&]() { ++count; });
+    eq.run();
+    EXPECT_FALSE(h.scheduled());
+    h.cancel();
+    EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, RunUntilBound)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&]() { ++count; });
+    eq.schedule(20, [&]() { ++count; });
+    eq.schedule(30, [&]() { ++count; });
+    eq.run(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, SelfReschedulingCallback)
+{
+    EventQueue eq;
+    int fires = 0;
+    std::function<void()> tick = [&]() {
+        if (++fires < 5)
+            eq.scheduleIn(10, tick);
+    };
+    eq.scheduleIn(10, tick);
+    eq.run();
+    EXPECT_EQ(fires, 5);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, ScheduleInOffsetsFromNow)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&]() {
+        eq.scheduleIn(25, [&]() { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 125u);
+}
+
+TEST(EventQueue, DefaultHandleIsInert)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.scheduled());
+    EXPECT_EQ(h.when(), kTickNever);
+    h.cancel(); // must not crash
+}
+
+TEST(EventQueue, HandleReportsScheduledTick)
+{
+    EventQueue eq;
+    EventHandle h = eq.schedule(42, []() {});
+    EXPECT_EQ(h.when(), 42u);
+    eq.run();
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 999; i >= 0; --i) {
+        eq.schedule(static_cast<Tick>(i * 7 % 501), [&, i]() {
+            if (eq.now() < last)
+                monotone = false;
+            last = eq.now();
+            (void)i;
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(eq.eventsExecuted(), 1000u);
+}
+
+} // namespace
+} // namespace tb

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the machine assembly, experiment runner and report
+ * rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "harness/machine.hh"
+#include "harness/report.hh"
+#include "sim/logging.hh"
+#include "workloads/app_profile.hh"
+
+namespace tb {
+namespace {
+
+using harness::ConfigKind;
+using harness::ExperimentResult;
+using harness::Machine;
+using harness::SystemConfig;
+
+TEST(Machine, PaperDefaultIs64Nodes)
+{
+    const SystemConfig sys = SystemConfig::paperDefault();
+    EXPECT_EQ(sys.numNodes(), 64u);
+    EXPECT_EQ(sys.noc.dimension, 6u);
+    EXPECT_EQ(sys.memory.controller.l1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(sys.memory.controller.l2.sizeBytes, 64u * 1024);
+}
+
+TEST(Machine, BuildsOneCpuAndThreadPerNode)
+{
+    Machine m(SystemConfig::small(3));
+    EXPECT_EQ(m.threadPtrs().size(), 8u);
+    for (ThreadId t = 0; t < 8; ++t) {
+        EXPECT_EQ(m.thread(t).tid(), t);
+        EXPECT_EQ(m.cpu(t).node(), t);
+    }
+}
+
+TEST(Machine, RunFinalizesAccounting)
+{
+    Machine m(SystemConfig::small(1));
+    m.eventQueue().schedule(5 * kMillisecond, []() {});
+    const Tick end = m.run();
+    EXPECT_EQ(end, 5 * kMillisecond);
+    // Both CPUs accounted as active for the whole run.
+    const power::EnergyAccount total = m.totalEnergy();
+    EXPECT_EQ(total.totalTime(), 2 * 5 * kMillisecond);
+}
+
+TEST(ConfigNames, LettersAndNamesStable)
+{
+    using harness::configLetter;
+    using harness::configName;
+    EXPECT_STREQ(configName(ConfigKind::Baseline), "Baseline");
+    EXPECT_STREQ(configName(ConfigKind::ThriftyHalt), "Thrifty-Halt");
+    EXPECT_STREQ(configName(ConfigKind::OracleHalt), "Oracle-Halt");
+    EXPECT_STREQ(configName(ConfigKind::Thrifty), "Thrifty");
+    EXPECT_STREQ(configName(ConfigKind::Ideal), "Ideal");
+    EXPECT_STREQ(configLetter(ConfigKind::Baseline), "B");
+    EXPECT_STREQ(configLetter(ConfigKind::ThriftyHalt), "H");
+    EXPECT_STREQ(configLetter(ConfigKind::OracleHalt), "O");
+    EXPECT_STREQ(configLetter(ConfigKind::Thrifty), "T");
+    EXPECT_STREQ(configLetter(ConfigKind::Ideal), "I");
+}
+
+TEST(ConfigPresets, MatchSection51)
+{
+    const auto h = harness::thriftyConfigFor(ConfigKind::ThriftyHalt);
+    EXPECT_EQ(h.states.size(), 1u);
+    EXPECT_FALSE(h.oracle);
+
+    const auto o = harness::thriftyConfigFor(ConfigKind::OracleHalt);
+    EXPECT_EQ(o.states.size(), 1u);
+    EXPECT_TRUE(o.oracle);
+    EXPECT_FALSE(o.ideal);
+
+    const auto t = harness::thriftyConfigFor(ConfigKind::Thrifty);
+    EXPECT_EQ(t.states.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.overpredictionThreshold, 0.10);
+
+    const auto i = harness::thriftyConfigFor(ConfigKind::Ideal);
+    EXPECT_TRUE(i.oracle);
+    EXPECT_TRUE(i.ideal);
+
+    EXPECT_THROW(harness::thriftyConfigFor(ConfigKind::Baseline),
+                 PanicError);
+}
+
+workloads::AppProfile
+tinyApp()
+{
+    workloads::AppProfile a;
+    a.name = "tiny";
+    workloads::PhaseSpec p;
+    p.pc = 0x1;
+    p.meanCompute = 200 * kMicrosecond;
+    p.imbalanceCv = 0.2;
+    p.memAccesses = 4;
+    a.loop.push_back(p);
+    a.iterations = 4;
+    return a;
+}
+
+TEST(Experiment, ResultDerivations)
+{
+    const SystemConfig sys = SystemConfig::small(2);
+    const auto r =
+        harness::runExperiment(sys, tinyApp(), ConfigKind::Baseline);
+    EXPECT_EQ(r.app, "tiny");
+    EXPECT_EQ(r.config, "Baseline");
+    EXPECT_EQ(r.threads, 4u);
+    EXPECT_GT(r.totalEnergy(), 0.0);
+    EXPECT_GT(r.imbalance(), 0.0);
+    EXPECT_LT(r.imbalance(), 1.0);
+}
+
+TEST(Report, BreakdownNormalizesToBaseline)
+{
+    const SystemConfig sys = SystemConfig::small(2);
+    std::vector<ExperimentResult> group{
+        harness::runExperiment(sys, tinyApp(), ConfigKind::Baseline),
+        harness::runExperiment(sys, tinyApp(), ConfigKind::Thrifty)};
+
+    const auto& base = harness::report::baselineOf(group);
+    EXPECT_EQ(&base, &group[0]);
+    EXPECT_DOUBLE_EQ(
+        harness::report::normalizedTotal(base, base, true), 100.0);
+    EXPECT_DOUBLE_EQ(
+        harness::report::normalizedTotal(base, base, false), 100.0);
+
+    std::ostringstream os;
+    harness::report::printBreakdownGroup(os, group, true);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Baseline"), std::string::npos);
+    EXPECT_NE(out.find("Thrifty"), std::string::npos);
+    EXPECT_NE(out.find("Compute"), std::string::npos);
+    EXPECT_NE(out.find("100.0%"), std::string::npos);
+}
+
+TEST(Report, MissingBaselineFatal)
+{
+    const SystemConfig sys = SystemConfig::small(1);
+    std::vector<ExperimentResult> group{
+        harness::runExperiment(sys, tinyApp(), ConfigKind::Thrifty)};
+    EXPECT_THROW(harness::report::baselineOf(group), FatalError);
+}
+
+TEST(Report, JsonContainsAllFields)
+{
+    const SystemConfig sys = SystemConfig::small(1);
+    const auto r =
+        harness::runExperiment(sys, tinyApp(), ConfigKind::Thrifty);
+    std::ostringstream os;
+    harness::report::printJson(os, r);
+    const std::string j = os.str();
+    for (const char* key :
+         {"\"app\"", "\"config\"", "\"threads\"", "\"exec_time_s\"",
+          "\"imbalance\"", "\"energy_j\"", "\"time_s\"", "\"sync\"",
+          "\"instances\"", "\"sleeps\"", "\"cutoffs\""}) {
+        EXPECT_NE(j.find(key), std::string::npos) << key;
+    }
+    // Crude structural sanity: balanced braces.
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(Report, StackedBarsRenderLegend)
+{
+    const SystemConfig sys = SystemConfig::small(1);
+    std::vector<ExperimentResult> group{
+        harness::runExperiment(sys, tinyApp(), ConfigKind::Baseline)};
+    std::ostringstream os;
+    harness::report::printStackedBars(os, group, true);
+    EXPECT_NE(os.str().find("legend"), std::string::npos);
+}
+
+TEST(Experiment, CustomConfigOverridesPreset)
+{
+    const SystemConfig sys = SystemConfig::small(2);
+    thrifty::ThriftyConfig cfg = thrifty::ThriftyConfig::thrifty();
+    cfg.states = power::SleepStateTable(); // never sleep
+    harness::RunOptions opt;
+    opt.customConfig = &cfg;
+    const auto r = harness::runExperiment(sys, tinyApp(),
+                                          ConfigKind::Thrifty, opt);
+    EXPECT_EQ(r.sync.sleeps, 0u);
+}
+
+} // namespace
+} // namespace tb

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Full-system integration tests: complete machines running synthetic
+ * applications under every configuration, checking the paper's
+ * qualitative claims end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "sim/logging.hh"
+#include "workloads/app_profile.hh"
+
+namespace tb {
+namespace {
+
+using harness::ConfigKind;
+using harness::ExperimentResult;
+using harness::RunOptions;
+using harness::SystemConfig;
+using harness::runExperiment;
+using workloads::AppProfile;
+using workloads::PhaseSpec;
+
+/** A small, fast app for the 8-node test machine. */
+AppProfile
+miniApp(unsigned barriers, unsigned iterations, Tick mean_compute,
+        double imbalance_cv, double swing_prob = 0.0)
+{
+    AppProfile a;
+    a.name = "mini";
+    a.paperImbalance = 0.0;
+    for (unsigned i = 0; i < barriers; ++i) {
+        PhaseSpec p;
+        p.pc = 0x1000 + i;
+        p.meanCompute = mean_compute;
+        p.imbalanceCv = imbalance_cv;
+        p.memAccesses = 8;
+        p.swingProbability = swing_prob;
+        p.swingFactor = 6.0;
+        a.loop.push_back(p);
+    }
+    a.iterations = iterations;
+    a.sharedBytes = 64 * 1024;
+    a.privateBytes = 16 * 1024;
+    return a;
+}
+
+SystemConfig
+testSystem()
+{
+    SystemConfig sys = SystemConfig::small(3); // 8 nodes
+    sys.seed = 42;
+    return sys;
+}
+
+TEST(Integration, BaselineCompletesAndAccountingBalances)
+{
+    const SystemConfig sys = testSystem();
+    AppProfile app = miniApp(2, 6, 400 * kMicrosecond, 0.2);
+    ExperimentResult r =
+        runExperiment(sys, app, ConfigKind::Baseline);
+
+    EXPECT_GT(r.execTime, 0u);
+    EXPECT_EQ(r.sync.instances, 12u);
+    EXPECT_EQ(r.sync.arrivals, 12u * 8);
+    // Baseline never sleeps or transitions.
+    EXPECT_EQ(r.time[static_cast<int>(power::Bucket::Sleep)], 0u);
+    EXPECT_EQ(r.time[static_cast<int>(power::Bucket::Transition)], 0u);
+    EXPECT_GT(r.time[static_cast<int>(power::Bucket::Spin)], 0u);
+    EXPECT_GT(r.totalEnergy(), 0.0);
+}
+
+TEST(Integration, AllConfigsCompleteSameWorkload)
+{
+    const SystemConfig sys = testSystem();
+    AppProfile app = miniApp(2, 8, 400 * kMicrosecond, 0.3);
+    for (ConfigKind k :
+         {ConfigKind::Baseline, ConfigKind::ThriftyHalt,
+          ConfigKind::OracleHalt, ConfigKind::Thrifty,
+          ConfigKind::Ideal}) {
+        ExperimentResult r = runExperiment(sys, app, k);
+        EXPECT_EQ(r.sync.instances, 16u) << harness::configName(k);
+        EXPECT_GT(r.execTime, 0u) << harness::configName(k);
+    }
+}
+
+TEST(Integration, ThriftySavesEnergyOnImbalancedApp)
+{
+    const SystemConfig sys = testSystem();
+    AppProfile app = miniApp(2, 10, 600 * kMicrosecond, 0.5);
+
+    ExperimentResult base =
+        runExperiment(sys, app, ConfigKind::Baseline);
+    ExperimentResult thrifty =
+        runExperiment(sys, app, ConfigKind::Thrifty);
+
+    EXPECT_LT(thrifty.totalEnergy(), base.totalEnergy());
+    EXPECT_GT(thrifty.sync.sleeps, 0u);
+    // Performance degradation stays bounded (paper: ~2% on targets;
+    // allow slack on the tiny test machine).
+    EXPECT_LT(static_cast<double>(thrifty.execTime),
+              1.10 * static_cast<double>(base.execTime));
+}
+
+TEST(Integration, EnergyOrderingAcrossConfigs)
+{
+    const SystemConfig sys = testSystem();
+    AppProfile app = miniApp(2, 10, 800 * kMicrosecond, 0.5);
+
+    ExperimentResult base =
+        runExperiment(sys, app, ConfigKind::Baseline);
+    ExperimentResult halt =
+        runExperiment(sys, app, ConfigKind::ThriftyHalt);
+    ExperimentResult thrifty =
+        runExperiment(sys, app, ConfigKind::Thrifty);
+    ExperimentResult ideal =
+        runExperiment(sys, app, ConfigKind::Ideal);
+
+    // Ideal <= Thrifty <= Thrifty-Halt <= Baseline (the Figure 5
+    // ordering on imbalanced apps). Small tolerance for noise.
+    EXPECT_LE(ideal.totalEnergy(), 1.02 * thrifty.totalEnergy());
+    EXPECT_LE(thrifty.totalEnergy(), 1.02 * halt.totalEnergy());
+    EXPECT_LT(halt.totalEnergy(), base.totalEnergy());
+}
+
+TEST(Integration, OracleHaltNeverSlower)
+{
+    const SystemConfig sys = testSystem();
+    AppProfile app = miniApp(2, 8, 500 * kMicrosecond, 0.4);
+
+    ExperimentResult base =
+        runExperiment(sys, app, ConfigKind::Baseline);
+    ExperimentResult oracle =
+        runExperiment(sys, app, ConfigKind::OracleHalt);
+
+    // Perfect prediction: no mispredicted wake-ups, so execution time
+    // matches Baseline within the spin-exit noise.
+    EXPECT_LT(static_cast<double>(oracle.execTime),
+              1.02 * static_cast<double>(base.execTime));
+    EXPECT_LT(oracle.totalEnergy(), base.totalEnergy());
+}
+
+TEST(Integration, BalancedAppGainsLittle)
+{
+    const SystemConfig sys = testSystem();
+    AppProfile app = miniApp(2, 8, 400 * kMicrosecond, 0.02);
+
+    ExperimentResult base =
+        runExperiment(sys, app, ConfigKind::Baseline);
+    ExperimentResult thrifty =
+        runExperiment(sys, app, ConfigKind::Thrifty);
+
+    const double saving =
+        1.0 - thrifty.totalEnergy() / base.totalEnergy();
+    EXPECT_LT(saving, 0.10);
+    EXPECT_GT(saving, -0.05); // and must not cost much either
+}
+
+TEST(Integration, TraceRecordsBitComputeStall)
+{
+    const SystemConfig sys = testSystem();
+    AppProfile app = miniApp(3, 4, 300 * kMicrosecond, 0.3);
+    RunOptions opt;
+    opt.trace = true;
+    ExperimentResult r =
+        runExperiment(sys, app, ConfigKind::Thrifty, opt);
+
+    ASSERT_FALSE(r.sync.trace.empty());
+    // Every departure is traced: instances * threads.
+    EXPECT_EQ(r.sync.trace.size(), r.sync.instances * 8);
+    for (const auto& e : r.sync.trace) {
+        EXPECT_EQ(e.bit, e.compute + e.stall);
+        EXPECT_GT(e.bit, 0u);
+    }
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    const SystemConfig sys = testSystem();
+    AppProfile app = miniApp(2, 6, 400 * kMicrosecond, 0.3);
+    ExperimentResult a =
+        runExperiment(sys, app, ConfigKind::Thrifty);
+    ExperimentResult b =
+        runExperiment(sys, app, ConfigKind::Thrifty);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), b.totalEnergy());
+    EXPECT_EQ(a.sync.sleeps, b.sync.sleeps);
+}
+
+TEST(Integration, SwingingIntervalsTriggerCutoff)
+{
+    const SystemConfig sys = testSystem();
+    // Ocean-like: short intervals that swing 6x up/down.
+    AppProfile app = miniApp(3, 16, 120 * kMicrosecond, 0.15, 0.5);
+
+    ExperimentResult r = runExperiment(sys, app, ConfigKind::Thrifty);
+    EXPECT_GT(r.sync.cutoffs, 0u);
+
+    // Without the cutoff the same workload degrades more.
+    thrifty::ThriftyConfig no_cutoff = thrifty::ThriftyConfig::thrifty();
+    no_cutoff.overpredictionThreshold = -1.0;
+    RunOptions opt;
+    opt.customConfig = &no_cutoff;
+    ExperimentResult unguarded =
+        runExperiment(sys, app, ConfigKind::Thrifty, opt);
+    EXPECT_EQ(unguarded.sync.cutoffs, 0u);
+    EXPECT_LE(static_cast<double>(r.execTime),
+              1.01 * static_cast<double>(unguarded.execTime));
+}
+
+TEST(Integration, TimeAccountingCoversExecution)
+{
+    const SystemConfig sys = testSystem();
+    AppProfile app = miniApp(2, 6, 400 * kMicrosecond, 0.3);
+    ExperimentResult r = runExperiment(sys, app, ConfigKind::Thrifty);
+
+    Tick total = 0;
+    for (Tick t : r.time)
+        total += t;
+    // Every CPU is accounted from tick 0 to (at least) program end.
+    EXPECT_GE(total, static_cast<Tick>(0.99 * 8 *
+                                       static_cast<double>(r.execTime)));
+}
+
+} // namespace
+} // namespace tb

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the logging/error facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace {
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("broken invariant ", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", "x"), FatalError);
+}
+
+TEST(Logging, PanicMessageCarriesArguments)
+{
+    try {
+        panic("value=", 7, " name=", "foo");
+        FAIL() << "panic returned";
+    } catch (const PanicError& e) {
+        EXPECT_STREQ(e.what(), "panic: value=7 name=foo");
+    }
+}
+
+TEST(Logging, FatalMessagePrefixed)
+{
+    try {
+        fatal("nope");
+        FAIL() << "fatal returned";
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "fatal: nope");
+    }
+}
+
+TEST(Logging, PanicIsLogicErrorFatalIsRuntimeError)
+{
+    EXPECT_THROW(panic("x"), std::logic_error);
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(Logging, WarnCountsAndRespectsQuiet)
+{
+    setLogQuiet(true);
+    const std::uint64_t before = warnCount();
+    warn("something odd: ", 1);
+    warn("again");
+    EXPECT_EQ(warnCount(), before + 2);
+    inform("status only, not counted");
+    EXPECT_EQ(warnCount(), before + 2);
+    setLogQuiet(false);
+}
+
+} // namespace
+} // namespace tb

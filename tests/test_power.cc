@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the sleep-state table and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+#include "power/sleep_states.hh"
+#include "sim/logging.hh"
+
+namespace tb {
+namespace {
+
+using power::Bucket;
+using power::EnergyAccount;
+using power::PowerParams;
+using power::SleepState;
+using power::SleepStateTable;
+
+TEST(SleepStates, PaperDefaultMatchesTable3)
+{
+    SleepStateTable t = SleepStateTable::paperDefault();
+    ASSERT_EQ(t.size(), 3u);
+
+    EXPECT_EQ(t.at(0).name, "Sleep1(Halt)");
+    EXPECT_NEAR(t.at(0).powerFraction, 1.0 - 0.702, 1e-12);
+    EXPECT_EQ(t.at(0).transitionLatency, 10 * kMicrosecond);
+    EXPECT_TRUE(t.at(0).snoopable);
+    EXPECT_FALSE(t.at(0).voltageReduced);
+
+    EXPECT_NEAR(t.at(1).powerFraction, 1.0 - 0.792, 1e-12);
+    EXPECT_EQ(t.at(1).transitionLatency, 15 * kMicrosecond);
+    EXPECT_FALSE(t.at(1).snoopable);
+    EXPECT_FALSE(t.at(1).voltageReduced);
+
+    EXPECT_NEAR(t.at(2).powerFraction, 1.0 - 0.978, 1e-12);
+    EXPECT_EQ(t.at(2).transitionLatency, 35 * kMicrosecond);
+    EXPECT_FALSE(t.at(2).snoopable);
+    EXPECT_TRUE(t.at(2).voltageReduced);
+}
+
+TEST(SleepStates, SelectPicksDeepestThatFits)
+{
+    SleepStateTable t = SleepStateTable::paperDefault();
+    // Stall below the Halt round trip: nothing fits.
+    EXPECT_EQ(t.select(19 * kMicrosecond), nullptr);
+    // Exactly Halt's round trip.
+    ASSERT_NE(t.select(20 * kMicrosecond), nullptr);
+    EXPECT_EQ(t.select(20 * kMicrosecond)->name, "Sleep1(Halt)");
+    // Fits Sleep2 (30us) but not Sleep3 (70us).
+    EXPECT_EQ(t.select(50 * kMicrosecond)->name, "Sleep2");
+    // Deep stall: Sleep3.
+    EXPECT_EQ(t.select(1 * kMillisecond)->name, "Sleep3");
+}
+
+TEST(SleepStates, HaltOnlyNeverPicksDeeper)
+{
+    SleepStateTable t = SleepStateTable::haltOnly();
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.select(1 * kMillisecond)->name, "Sleep1(Halt)");
+}
+
+TEST(SleepStates, EmptyTableSelectsNothing)
+{
+    SleepStateTable t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.select(1 * kMillisecond), nullptr);
+}
+
+TEST(SleepStates, RejectsMisorderedTable)
+{
+    SleepState light{"a", 0.3, 10 * kMicrosecond, true, false};
+    SleepState deep{"b", 0.1, 5 * kMicrosecond, false, false};
+    EXPECT_THROW(SleepStateTable({light, deep}), FatalError);
+    SleepState hungry{"c", 0.5, 20 * kMicrosecond, false, false};
+    EXPECT_THROW(SleepStateTable({light, hungry}), FatalError);
+}
+
+TEST(PowerParams, DerivedWatts)
+{
+    PowerParams p;
+    p.tdpMax = 30.0;
+    p.activeFraction = 0.80;
+    p.spinFraction = 0.85;
+    EXPECT_DOUBLE_EQ(p.activeWatts(), 24.0);
+    EXPECT_DOUBLE_EQ(p.spinWatts(), 20.4);
+    EXPECT_DOUBLE_EQ(p.sleepWatts(0.022), 0.66);
+}
+
+TEST(EnergyAccount, AccrualAndTotals)
+{
+    EnergyAccount a;
+    a.accrue(Bucket::Compute, kSecond, 10.0);     // 10 J
+    a.accrue(Bucket::Spin, kSecond / 2, 8.0);     // 4 J
+    a.accrue(Bucket::Sleep, 2 * kSecond, 0.5);    // 1 J
+    EXPECT_DOUBLE_EQ(a.energy(Bucket::Compute), 10.0);
+    EXPECT_DOUBLE_EQ(a.energy(Bucket::Spin), 4.0);
+    EXPECT_DOUBLE_EQ(a.energy(Bucket::Sleep), 1.0);
+    EXPECT_DOUBLE_EQ(a.energy(Bucket::Transition), 0.0);
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), 15.0);
+    EXPECT_EQ(a.totalTime(), 3 * kSecond + kSecond / 2);
+}
+
+TEST(EnergyAccount, BucketsArePartition)
+{
+    // The accounting identity: bucket sums equal totals exactly.
+    EnergyAccount a;
+    double joules = 0.0;
+    Tick ticks = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto b = static_cast<Bucket>(i % power::kNumBuckets);
+        const Tick d = (i + 1) * kMicrosecond;
+        const double w = 0.1 * i;
+        a.accrue(b, d, w);
+        joules += w * ticksToSeconds(d);
+        ticks += d;
+    }
+    EXPECT_NEAR(a.totalEnergy(), joules, 1e-12);
+    EXPECT_EQ(a.totalTime(), ticks);
+}
+
+TEST(EnergyAccount, MergeAndClear)
+{
+    EnergyAccount a, b;
+    a.accrue(Bucket::Compute, kSecond, 1.0);
+    b.accrue(Bucket::Compute, kSecond, 2.0);
+    b.accrue(Bucket::Sleep, kSecond, 0.5);
+    a.add(b);
+    EXPECT_DOUBLE_EQ(a.energy(Bucket::Compute), 3.0);
+    EXPECT_DOUBLE_EQ(a.energy(Bucket::Sleep), 0.5);
+    a.clear();
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), 0.0);
+    EXPECT_EQ(a.totalTime(), 0u);
+}
+
+TEST(EnergyAccount, NegativePowerPanics)
+{
+    EnergyAccount a;
+    EXPECT_THROW(a.accrue(Bucket::Compute, 1, -1.0), PanicError);
+}
+
+TEST(Buckets, NamesStable)
+{
+    EXPECT_STREQ(power::bucketName(Bucket::Compute), "Compute");
+    EXPECT_STREQ(power::bucketName(Bucket::Spin), "Spin");
+    EXPECT_STREQ(power::bucketName(Bucket::Transition), "Transition");
+    EXPECT_STREQ(power::bucketName(Bucket::Sleep), "Sleep");
+}
+
+} // namespace
+} // namespace tb

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the BIT predictors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "thrifty/bit_predictor.hh"
+
+namespace tb {
+namespace {
+
+using thrifty::LastValuePredictor;
+using thrifty::MovingAveragePredictor;
+using thrifty::makePredictor;
+
+TEST(LastValue, NoHistoryNoPrediction)
+{
+    LastValuePredictor p;
+    EXPECT_FALSE(p.predict(0x100, 0).has_value());
+    EXPECT_FALSE(p.stored(0x100).has_value());
+}
+
+TEST(LastValue, PredictsLastSample)
+{
+    LastValuePredictor p;
+    p.update(0x100, 500);
+    EXPECT_EQ(p.predict(0x100, 3).value(), 500u);
+    p.update(0x100, 800);
+    EXPECT_EQ(p.predict(0x100, 3).value(), 800u);
+    EXPECT_EQ(p.stored(0x100).value(), 800u);
+}
+
+TEST(LastValue, PcIndexedIndependence)
+{
+    LastValuePredictor p;
+    p.update(0x100, 500);
+    p.update(0x200, 900);
+    EXPECT_EQ(p.predict(0x100, 0).value(), 500u);
+    EXPECT_EQ(p.predict(0x200, 0).value(), 900u);
+    EXPECT_FALSE(p.predict(0x300, 0).has_value());
+}
+
+TEST(LastValue, DisableBitIsPerThreadPerPc)
+{
+    LastValuePredictor p;
+    p.update(0x100, 500);
+    p.update(0x200, 700);
+    p.disable(0x100, 5);
+    EXPECT_TRUE(p.disabled(0x100, 5));
+    EXPECT_FALSE(p.disabled(0x100, 6));
+    EXPECT_FALSE(p.disabled(0x200, 5));
+    EXPECT_FALSE(p.predict(0x100, 5).has_value());
+    EXPECT_TRUE(p.predict(0x100, 6).has_value());
+    EXPECT_TRUE(p.predict(0x200, 5).has_value());
+}
+
+TEST(LastValue, DisablePersistsAcrossUpdates)
+{
+    LastValuePredictor p;
+    p.update(0x100, 500);
+    p.disable(0x100, 2);
+    p.update(0x100, 900);
+    EXPECT_FALSE(p.predict(0x100, 2).has_value());
+}
+
+TEST(LastValue, ThreadIdBeyond64Fatal)
+{
+    LastValuePredictor p;
+    p.update(0x100, 500);
+    EXPECT_THROW(p.predict(0x100, 64), FatalError);
+    EXPECT_THROW(p.disable(0x100, 64), FatalError);
+}
+
+TEST(MovingAverage, FirstSampleSeeds)
+{
+    MovingAveragePredictor p(0.5);
+    p.update(0x1, 1000);
+    EXPECT_EQ(p.predict(0x1, 0).value(), 1000u);
+}
+
+TEST(MovingAverage, ConvergesToward)
+{
+    MovingAveragePredictor p(0.5);
+    p.update(0x1, 1000);
+    p.update(0x1, 2000);
+    EXPECT_EQ(p.predict(0x1, 0).value(), 1500u);
+    p.update(0x1, 2000);
+    EXPECT_EQ(p.predict(0x1, 0).value(), 1750u);
+}
+
+TEST(MovingAverage, SmootherThanLastValueOnSwing)
+{
+    MovingAveragePredictor ma(0.5);
+    LastValuePredictor lv;
+    for (Tick v : {1000u, 1000u, 6000u}) {
+        ma.update(0x1, v);
+        lv.update(0x1, v);
+    }
+    // After a 6x swing, the EWMA reacts only partially.
+    EXPECT_LT(ma.predict(0x1, 0).value(), lv.predict(0x1, 0).value());
+}
+
+TEST(MovingAverage, BadAlphaFatal)
+{
+    EXPECT_THROW(MovingAveragePredictor(0.0), FatalError);
+    EXPECT_THROW(MovingAveragePredictor(1.5), FatalError);
+}
+
+TEST(Factory, MakesKnownKinds)
+{
+    EXPECT_EQ(makePredictor("last-value")->name(), "last-value");
+    EXPECT_EQ(makePredictor("moving-average")->name(),
+              "moving-average");
+    EXPECT_THROW(makePredictor("nonsense"), FatalError);
+}
+
+} // namespace
+} // namespace tb

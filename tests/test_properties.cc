@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Property-based tests: invariants that must hold across swept
+ * parameter spaces and randomized schedules, driven through
+ * parameterized gtest suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/machine.hh"
+#include "mem/memory_system.hh"
+#include "power/sleep_states.hh"
+#include "sim/random.hh"
+#include "thrifty/thrifty_barrier.hh"
+
+namespace tb {
+namespace {
+
+using harness::ConfigKind;
+using harness::Machine;
+using harness::SystemConfig;
+
+// ----------------------------------------------------------------------
+// Property: the network never delivers earlier than its zero-load
+// latency, and zero-load latency is monotone in hops and size.
+// ----------------------------------------------------------------------
+
+class NetworkLatencyProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(NetworkLatencyProperty, DeliveryNeverBeatsZeroLoad)
+{
+    const unsigned dim = GetParam();
+    EventQueue eq;
+    noc::NetworkConfig cfg;
+    cfg.dimension = dim;
+    noc::Network net(eq, cfg);
+    Random rng(dim * 17 + 1);
+    const unsigned n = cfg.nodes();
+
+    std::vector<std::pair<Tick, Tick>> checks; // (actual, floor)
+    for (int i = 0; i < 200; ++i) {
+        const NodeId src = static_cast<NodeId>(rng.uniformInt(n));
+        const NodeId dst = static_cast<NodeId>(rng.uniformInt(n));
+        const unsigned bytes =
+            8 + static_cast<unsigned>(rng.uniformInt(256));
+        const Tick sent = eq.now();
+        const Tick floor = net.zeroLoadLatency(net.hops(src, dst),
+                                               bytes);
+        net.send(src, dst, bytes, [&checks, sent, floor, &eq]() {
+            checks.emplace_back(eq.now() - sent, floor);
+        });
+    }
+    eq.run();
+    ASSERT_EQ(checks.size(), 200u);
+    for (const auto& [actual, floor] : checks)
+        EXPECT_GE(actual, floor);
+}
+
+TEST_P(NetworkLatencyProperty, ZeroLoadMonotone)
+{
+    const unsigned dim = GetParam();
+    EventQueue eq;
+    noc::NetworkConfig cfg;
+    cfg.dimension = dim;
+    noc::Network net(eq, cfg);
+    for (unsigned h = 1; h <= dim; ++h)
+        EXPECT_GT(net.zeroLoadLatency(h, 64),
+                  net.zeroLoadLatency(h - 1, 64));
+    for (unsigned b = 64; b <= 1024; b *= 2)
+        EXPECT_GE(net.zeroLoadLatency(2, b * 2),
+                  net.zeroLoadLatency(2, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NetworkLatencyProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u));
+
+// ----------------------------------------------------------------------
+// Property: under a randomized coherent access mix, the memory value
+// observed by any reader equals the most recent completed store, and
+// directory/controller states stay consistent.
+// ----------------------------------------------------------------------
+
+class CoherenceValueProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(CoherenceValueProperty, SequentialValueSemantics)
+{
+    const unsigned seed = GetParam();
+    EventQueue eq;
+    noc::NetworkConfig ncfg;
+    ncfg.dimension = 3;
+    noc::Network net(eq, ncfg);
+    mem::MemorySystem mem(eq, net, mem::MemoryConfig{});
+    const Addr base = mem.addressMap().allocShared(8 * 4096);
+    Random rng(seed);
+
+    // Issue one access at a time (sequential), checking read values
+    // against a software model of the word.
+    std::uint64_t model[8] = {};
+    for (int i = 0; i < 300; ++i) {
+        const unsigned word = static_cast<unsigned>(rng.uniformInt(8));
+        const Addr a = base + word * 2048;
+        const NodeId n = static_cast<NodeId>(rng.uniformInt(8));
+        if (rng.chance(0.45)) {
+            const std::uint64_t v = rng.next();
+            bool done = false;
+            mem.controller(n).store(a, v, [&]() { done = true; });
+            eq.run();
+            ASSERT_TRUE(done);
+            model[word] = v;
+        } else if (rng.chance(0.15)) {
+            std::optional<std::uint64_t> old;
+            mem.controller(n).atomicRmw(
+                a, [&mem, a]() { return mem.backend().fetchAdd(a, 3); },
+                [&](std::uint64_t o) { old = o; });
+            eq.run();
+            ASSERT_TRUE(old.has_value());
+            EXPECT_EQ(*old, model[word]);
+            model[word] += 3;
+        } else {
+            std::optional<std::uint64_t> got;
+            mem.controller(n).load(a,
+                                   [&](std::uint64_t v) { got = v; });
+            eq.run();
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, model[word]) << "word " << word;
+        }
+    }
+}
+
+TEST_P(CoherenceValueProperty, SingleWriterInvariant)
+{
+    const unsigned seed = GetParam();
+    EventQueue eq;
+    noc::NetworkConfig ncfg;
+    ncfg.dimension = 2;
+    noc::Network net(eq, ncfg);
+    mem::MemorySystem mem(eq, net, mem::MemoryConfig{});
+    const Addr a = mem.addressMap().allocShared(4096);
+    Random rng(seed ^ 0xabcd);
+
+    for (int i = 0; i < 120; ++i) {
+        const NodeId n = static_cast<NodeId>(rng.uniformInt(4));
+        if (rng.chance(0.5)) {
+            bool done = false;
+            mem.controller(n).store(a, i, [&]() { done = true; });
+            eq.run();
+            ASSERT_TRUE(done);
+        } else {
+            std::optional<std::uint64_t> got;
+            mem.controller(n).load(a,
+                                   [&](std::uint64_t v) { got = v; });
+            eq.run();
+            ASSERT_TRUE(got.has_value());
+        }
+        // Invariant: at most one cache holds the line writable, and
+        // if one does, nobody else holds it at all.
+        unsigned writable_copies = 0, copies = 0;
+        for (NodeId c = 0; c < 4; ++c) {
+            const mem::LineState s = mem.controller(c).l2State(a);
+            if (s != mem::LineState::Invalid)
+                ++copies;
+            if (mem::writable(s))
+                ++writable_copies;
+        }
+        EXPECT_LE(writable_copies, 1u);
+        if (writable_copies == 1) {
+            EXPECT_EQ(copies, 1u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceValueProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ----------------------------------------------------------------------
+// Property: sleep-state selection returns the deepest feasible state.
+// ----------------------------------------------------------------------
+
+class SleepSelectProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SleepSelectProperty, DeepestFeasibleChosen)
+{
+    power::SleepStateTable t = power::SleepStateTable::paperDefault();
+    Random rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        const Tick stall = rng.uniformInt(120 * kMicrosecond);
+        const power::SleepState* s = t.select(stall);
+        if (s) {
+            EXPECT_LE(2 * s->transitionLatency, stall);
+            // No deeper state also fits.
+            for (std::size_t j = 0; j < t.size(); ++j) {
+                const power::SleepState& other = t.at(j);
+                if (other.transitionLatency > s->transitionLatency) {
+                    EXPECT_GT(2 * other.transitionLatency, stall);
+                }
+            }
+        } else {
+            for (std::size_t j = 0; j < t.size(); ++j)
+                EXPECT_GT(2 * t.at(j).transitionLatency, stall);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SleepSelectProperty,
+                         ::testing::Values(11u, 22u, 33u));
+
+// ----------------------------------------------------------------------
+// Property: barrier correctness under randomized schedules — no
+// thread passes instance k before every thread reached instance k —
+// for every configuration and machine size.
+// ----------------------------------------------------------------------
+
+struct BarrierPropertyParam
+{
+    unsigned dim;
+    ConfigKind kind;
+    unsigned seed;
+};
+
+class BarrierCorrectnessProperty
+    : public ::testing::TestWithParam<BarrierPropertyParam>
+{};
+
+TEST_P(BarrierCorrectnessProperty, NoEarlyPass)
+{
+    const auto& p = GetParam();
+    Machine m(SystemConfig::small(p.dim));
+    const unsigned n = m.config().numNodes();
+    const unsigned instances = 7;
+
+    thrifty::SyncStats stats;
+    harness::ConfigBarrierProvider provider(m, p.kind, nullptr, stats);
+    thrifty::Barrier& b = provider.barrierFor(0x99);
+
+    Random rng(p.seed);
+    // Pre-draw random compute times.
+    std::vector<std::vector<Tick>> delay(instances,
+                                         std::vector<Tick>(n));
+    for (auto& inst : delay) {
+        for (auto& d : inst)
+            d = 10 * kMicrosecond + rng.uniformInt(2 * kMillisecond);
+    }
+
+    std::vector<unsigned> reached(n, 0); // arrivals per thread
+    std::vector<unsigned> passed(n, 0);  // departures per thread
+    bool violated = false;
+
+    std::function<void(ThreadId, unsigned)> round = [&](ThreadId tid,
+                                                        unsigned inst) {
+        if (inst >= instances)
+            return;
+        m.thread(tid).compute(delay[inst][tid], [&, tid, inst]() {
+            reached[tid] = inst + 1;
+            b.arrive(m.thread(tid), [&, tid, inst]() {
+                // Barrier semantics: when anyone departs instance
+                // `inst`, every thread must have arrived at it.
+                for (unsigned t = 0; t < n; ++t) {
+                    if (reached[t] < inst + 1)
+                        violated = true;
+                }
+                passed[tid] = inst + 1;
+                round(tid, inst + 1);
+            });
+        });
+    };
+    for (ThreadId t = 0; t < n; ++t)
+        round(t, 0);
+    m.run();
+
+    EXPECT_FALSE(violated);
+    for (unsigned t = 0; t < n; ++t)
+        EXPECT_EQ(passed[t], instances) << "thread " << t;
+}
+
+std::vector<BarrierPropertyParam>
+barrierMatrix()
+{
+    std::vector<BarrierPropertyParam> out;
+    for (unsigned dim : {1u, 2u, 3u}) {
+        for (ConfigKind k :
+             {ConfigKind::Baseline, ConfigKind::ThriftyHalt,
+              ConfigKind::OracleHalt, ConfigKind::Thrifty,
+              ConfigKind::Ideal}) {
+            for (unsigned seed : {1u, 2u})
+                out.push_back({dim, k, seed});
+        }
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BarrierCorrectnessProperty,
+    ::testing::ValuesIn(barrierMatrix()),
+    [](const auto& info) {
+        const auto& p = info.param;
+        std::string n = harness::configName(p.kind);
+        for (auto& c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n + "_dim" + std::to_string(p.dim) + "_s" +
+               std::to_string(p.seed);
+    });
+
+// ----------------------------------------------------------------------
+// Property: machine-wide accounting — time buckets of every finished
+// run cover each CPU's lifetime, and energy is positive and bounded
+// by TDPmax * time.
+// ----------------------------------------------------------------------
+
+class AccountingProperty : public ::testing::TestWithParam<ConfigKind>
+{};
+
+TEST_P(AccountingProperty, EnergyBoundedByTdp)
+{
+    SystemConfig sys = SystemConfig::small(2);
+    workloads::AppProfile app =
+        workloads::appByName("Radiosity");
+    app.iterations = 4;
+    auto r = harness::runExperiment(sys, app, GetParam());
+
+    Tick total_time = 0;
+    double total_energy = 0.0;
+    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+        total_time += r.time[i];
+        total_energy += r.energy[i];
+        EXPECT_GE(r.energy[i], 0.0);
+    }
+    EXPECT_GT(total_energy, 0.0);
+    // Upper bound: everything at TDPmax the whole time.
+    EXPECT_LE(total_energy,
+              sys.power.tdpMax * ticksToSeconds(total_time) + 1e-9);
+    // Lower bound: everything at the deepest sleep power.
+    EXPECT_GE(total_energy,
+              sys.power.tdpMax * 0.022 * ticksToSeconds(total_time));
+    // Time covers at least the parallel section on every CPU.
+    EXPECT_GE(total_time,
+              static_cast<Tick>(0.99 * 4 *
+                                static_cast<double>(r.execTime)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AccountingProperty,
+    ::testing::Values(ConfigKind::Baseline, ConfigKind::ThriftyHalt,
+                      ConfigKind::OracleHalt, ConfigKind::Thrifty,
+                      ConfigKind::Ideal),
+    [](const auto& info) {
+        std::string n = harness::configName(info.param);
+        for (auto& c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+// ----------------------------------------------------------------------
+// Property: randomized application profiles never deadlock, always
+// keep accounting sane, and thrifty never costs much more energy than
+// Baseline, under every configuration.
+// ----------------------------------------------------------------------
+
+class FuzzProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(FuzzProperty, RandomProfilesAllConfigs)
+{
+    Random rng(GetParam() * 7919 + 13);
+
+    workloads::AppProfile app;
+    app.name = "fuzz";
+    const unsigned n_prologue =
+        static_cast<unsigned>(rng.uniformInt(3));
+    for (unsigned i = 0; i < n_prologue; ++i) {
+        workloads::PhaseSpec p;
+        p.pc = 0xf000 + i;
+        p.meanCompute =
+            50 * kMicrosecond + rng.uniformInt(400 * kMicrosecond);
+        p.imbalanceCv = rng.uniform(0.0, 0.4);
+        p.memAccesses = static_cast<unsigned>(rng.uniformInt(12));
+        app.prologue.push_back(p);
+    }
+    const unsigned n_loop =
+        1 + static_cast<unsigned>(rng.uniformInt(4));
+    for (unsigned i = 0; i < n_loop; ++i) {
+        workloads::PhaseSpec p;
+        p.pc = 0xf100 + i;
+        p.meanCompute =
+            30 * kMicrosecond + rng.uniformInt(600 * kMicrosecond);
+        p.imbalanceCv = rng.uniform(0.0, 0.5);
+        p.instanceJitterCv = rng.uniform(0.0, 0.1);
+        p.memAccesses = static_cast<unsigned>(rng.uniformInt(16));
+        if (rng.chance(0.3)) {
+            p.swingProbability = rng.uniform(0.1, 0.5);
+            p.swingFactor = rng.uniform(2.0, 8.0);
+        }
+        if (rng.chance(0.3)) {
+            p.spikeProbability = rng.uniform(0.02, 0.15);
+            p.spikeFactor = rng.uniform(5.0, 50.0);
+        }
+        app.loop.push_back(p);
+    }
+    app.iterations = 3 + static_cast<unsigned>(rng.uniformInt(5));
+    app.sharedBytes = 64 * 1024;
+    app.privateBytes = 16 * 1024;
+
+    SystemConfig sys = SystemConfig::small(
+        1 + static_cast<unsigned>(rng.uniformInt(3)));
+    sys.seed = rng.next();
+
+    double base_energy = 0.0;
+    for (ConfigKind k :
+         {ConfigKind::Baseline, ConfigKind::ThriftyHalt,
+          ConfigKind::OracleHalt, ConfigKind::Thrifty,
+          ConfigKind::Ideal}) {
+        const auto r = harness::runExperiment(sys, app, k);
+        // Completion (runExperiment panics on deadlock).
+        EXPECT_EQ(r.sync.instances, app.totalInstances());
+        EXPECT_EQ(r.sync.arrivals,
+                  app.totalInstances() * sys.numNodes());
+        // Accounting sanity.
+        EXPECT_GT(r.totalEnergy(), 0.0);
+        EXPECT_GE(r.imbalance(), 0.0);
+        EXPECT_LE(r.imbalance(), 1.0);
+        if (k == ConfigKind::Baseline)
+            base_energy = r.totalEnergy();
+        else
+            EXPECT_LT(r.totalEnergy(), 1.15 * base_energy)
+                << harness::configName(k);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+} // namespace
+} // namespace tb

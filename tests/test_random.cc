@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the deterministic random streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace tb {
+namespace {
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(123);
+    Random b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DistinctSeedsDecorrelate)
+{
+    Random a(1);
+    Random b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, UniformRangeRespectsBounds)
+{
+    Random r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(3.0, 5.0);
+        ASSERT_GE(u, 3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Random, UniformIntBoundedAndCoversRange)
+{
+    Random r(11);
+    bool seen[10] = {};
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = r.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        seen[v] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Random, NormalMomentsRoughlyCorrect)
+{
+    Random r(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Random, LognormalMeanCvHitsTargets)
+{
+    Random r(17);
+    const double mean = 400.0, cv = 0.3;
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.lognormalMeanCv(mean, cv);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double m = sum / n;
+    const double sd = std::sqrt(sum_sq / n - m * m);
+    EXPECT_NEAR(m, mean, mean * 0.02);
+    EXPECT_NEAR(sd / m, cv, cv * 0.08);
+}
+
+TEST(Random, LognormalZeroCvIsConstant)
+{
+    Random r(19);
+    EXPECT_DOUBLE_EQ(r.lognormalMeanCv(123.0, 0.0), 123.0);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random r(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Random, ChanceFrequencyTracksProbability)
+{
+    Random r(29);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+} // namespace
+} // namespace tb

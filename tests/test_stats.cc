@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace tb {
+namespace {
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::Scalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s.inc();
+    s.inc(2.5);
+    s += 1.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s = 7.0;
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Distribution d;
+    for (double v : {2.0, 4.0, 6.0, 8.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.total(), 20.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+    EXPECT_NEAR(d.stddev(), 2.2360679, 1e-6);
+    EXPECT_NEAR(d.cv(), 0.4472135, 1e-6);
+}
+
+TEST(Stats, EmptyDistributionIsZero)
+{
+    stats::Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.cv(), 0.0);
+}
+
+TEST(Stats, GroupGetOrCreate)
+{
+    stats::StatGroup g;
+    g.scalar("a").inc(3.0);
+    g.scalar("a").inc(4.0);
+    EXPECT_DOUBLE_EQ(g.scalarValue("a"), 7.0);
+    EXPECT_DOUBLE_EQ(g.scalarValue("missing"), 0.0);
+    EXPECT_TRUE(g.hasScalar("a"));
+    EXPECT_FALSE(g.hasScalar("missing"));
+}
+
+TEST(Stats, GroupDumpContainsNamesSorted)
+{
+    stats::StatGroup g;
+    g.scalar("zeta") = 1.0;
+    g.scalar("alpha") = 2.0;
+    g.distribution("lat").sample(5.0);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("zeta"), std::string::npos);
+    EXPECT_NE(out.find("lat.mean"), std::string::npos);
+    EXPECT_LT(out.find("alpha"), out.find("zeta"));
+}
+
+TEST(Stats, GroupClear)
+{
+    stats::StatGroup g;
+    g.scalar("x") = 5.0;
+    g.clear();
+    EXPECT_FALSE(g.hasScalar("x"));
+}
+
+} // namespace
+} // namespace tb

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit + property tests for the thrifty lock extension (the paper's
+ * future-work direction: sleep-on-wait for locks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "harness/machine.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "thrifty/thrifty_lock.hh"
+
+namespace tb {
+namespace {
+
+using harness::Machine;
+using harness::SystemConfig;
+using thrifty::ThriftyLock;
+
+struct Rig
+{
+    Machine m{SystemConfig::small(2)}; // 4 threads
+    std::unique_ptr<ThriftyLock> lock;
+
+    explicit Rig(power::SleepStateTable states =
+                     power::SleepStateTable::paperDefault())
+    {
+        lock = std::make_unique<ThriftyLock>(m.eventQueue(), 4,
+                                             m.memory(),
+                                             std::move(states), "lk");
+    }
+
+    /** Each thread acquires, holds for @p hold, releases, @p rounds
+     *  times; returns the max concurrent holders ever observed. */
+    unsigned
+    contend(unsigned rounds, Tick hold)
+    {
+        unsigned inside = 0, max_inside = 0, completed = 0;
+        std::function<void(ThreadId, unsigned)> loop =
+            [&](ThreadId tid, unsigned r) {
+                if (r >= rounds) {
+                    ++completed;
+                    return;
+                }
+                lock->acquire(m.thread(tid), [&, tid, r]() {
+                    ++inside;
+                    max_inside = std::max(max_inside, inside);
+                    m.thread(tid).compute(hold, [&, tid, r]() {
+                        --inside;
+                        lock->release(m.thread(tid), [&, tid, r]() {
+                            loop(tid, r + 1);
+                        });
+                    });
+                });
+            };
+        for (ThreadId t = 0; t < 4; ++t)
+            loop(t, 0);
+        m.run();
+        EXPECT_EQ(completed, 4u);
+        return max_inside;
+    }
+};
+
+TEST(ThriftyLock, UncontendedAcquireIsImmediate)
+{
+    Rig r;
+    bool in = false;
+    r.lock->acquire(r.m.thread(0), [&]() { in = true; });
+    r.m.eventQueue().run();
+    EXPECT_TRUE(in);
+    EXPECT_TRUE(r.lock->held());
+    EXPECT_EQ(r.lock->statistics().immediateAcquires, 1u);
+    r.lock->release(r.m.thread(0), []() {});
+    r.m.eventQueue().run();
+    EXPECT_FALSE(r.lock->held());
+}
+
+TEST(ThriftyLock, MutualExclusionUnderContention)
+{
+    Rig r;
+    const unsigned max_inside = r.contend(6, 200 * kMicrosecond);
+    EXPECT_EQ(max_inside, 1u);
+    EXPECT_EQ(r.lock->statistics().acquisitions, 24u);
+    EXPECT_FALSE(r.lock->held());
+}
+
+TEST(ThriftyLock, LongCriticalSectionsInduceSleep)
+{
+    Rig r;
+    // Long holds: after the first observed wait trains the predictor,
+    // waiters sleep instead of spinning.
+    r.contend(5, 800 * kMicrosecond);
+    EXPECT_GT(r.lock->statistics().sleeps, 0u);
+}
+
+TEST(ThriftyLock, ShortWaitsStayOnTheSpinPath)
+{
+    // Staggered arrivals and tiny critical sections: every wait is
+    // far below any state's round trip, so the conditional sleep
+    // (prediction and competitive fallback alike) must refuse.
+    Rig r;
+    unsigned completed = 0;
+    std::function<void(ThreadId, unsigned)> loop = [&](ThreadId tid,
+                                                       unsigned round) {
+        if (round >= 5) {
+            ++completed;
+            return;
+        }
+        r.m.thread(tid).compute(
+            50 * kMicrosecond + tid * 3 * kMicrosecond,
+            [&, tid, round]() {
+                r.lock->acquire(r.m.thread(tid), [&, tid, round]() {
+                    r.m.thread(tid).compute(
+                        2 * kMicrosecond, [&, tid, round]() {
+                            r.lock->release(r.m.thread(tid),
+                                            [&, tid, round]() {
+                                                loop(tid, round + 1);
+                                            });
+                        });
+                });
+            });
+    };
+    for (ThreadId t = 0; t < 4; ++t)
+        loop(t, 0);
+    r.m.run();
+    EXPECT_EQ(completed, 4u);
+    EXPECT_EQ(r.lock->statistics().sleeps, 0u);
+}
+
+TEST(ThriftyLock, EmptyStateTableIsPlainSpinLock)
+{
+    Rig r{power::SleepStateTable()};
+    const unsigned max_inside = r.contend(4, 500 * kMicrosecond);
+    EXPECT_EQ(max_inside, 1u);
+    EXPECT_EQ(r.lock->statistics().sleeps, 0u);
+    EXPECT_GT(r.lock->statistics().spinWaits, 0u);
+}
+
+TEST(ThriftyLock, SleepingSavesEnergyOnLongHolds)
+{
+    // Same contention pattern with and without sleep states.
+    double spin_energy = 0.0, thrifty_energy = 0.0;
+    {
+        Rig r{power::SleepStateTable()};
+        r.contend(6, 2 * kMillisecond);
+        spin_energy = r.m.totalEnergy().totalEnergy();
+    }
+    {
+        Rig r;
+        r.contend(6, 2 * kMillisecond);
+        thrifty_energy = r.m.totalEnergy().totalEnergy();
+    }
+    EXPECT_LT(thrifty_energy, spin_energy);
+}
+
+TEST(ThriftyLock, ReleaseOfFreeLockPanics)
+{
+    Rig r;
+    EXPECT_THROW(r.lock->release(r.m.thread(0), []() {}), PanicError);
+}
+
+TEST(ThriftyLock, OutOfRangeThreadPanics)
+{
+    Machine m(SystemConfig::small(3)); // 8 threads available
+    ThriftyLock lk(m.eventQueue(), 2, m.memory(),
+                   power::SleepStateTable::paperDefault(), "lk");
+    EXPECT_THROW(lk.acquire(m.thread(5), []() {}), PanicError);
+}
+
+/** Property: randomized hold/think times never break exclusion. */
+class LockProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(LockProperty, RandomizedExclusion)
+{
+    Rig r;
+    Random rng(GetParam());
+    unsigned inside = 0;
+    bool violated = false;
+    unsigned completed = 0;
+    std::function<void(ThreadId, unsigned)> loop = [&](ThreadId tid,
+                                                       unsigned round) {
+        if (round >= 5) {
+            ++completed;
+            return;
+        }
+        const Tick think = 1 + rng.uniformInt(600 * kMicrosecond);
+        const Tick hold = 1 + rng.uniformInt(900 * kMicrosecond);
+        r.m.thread(tid).compute(think, [&, tid, round, hold]() {
+            r.lock->acquire(r.m.thread(tid), [&, tid, round, hold]() {
+                if (++inside > 1)
+                    violated = true;
+                r.m.thread(tid).compute(hold, [&, tid, round]() {
+                    --inside;
+                    r.lock->release(r.m.thread(tid), [&, tid, round]() {
+                        loop(tid, round + 1);
+                    });
+                });
+            });
+        });
+    };
+    for (ThreadId t = 0; t < 4; ++t)
+        loop(t, 0);
+    r.m.run();
+    EXPECT_FALSE(violated);
+    EXPECT_EQ(completed, 4u);
+    EXPECT_FALSE(r.lock->held());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockProperty,
+                         ::testing::Values(3u, 7u, 21u, 42u));
+
+} // namespace
+} // namespace tb

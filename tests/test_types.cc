@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for fundamental types, time conversion, and clock
+ * domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace tb {
+namespace {
+
+TEST(Types, TimeUnitConstants)
+{
+    EXPECT_EQ(kNanosecond, 1000u);
+    EXPECT_EQ(kMicrosecond, 1000u * 1000u);
+    EXPECT_EQ(kMillisecond, 1000u * 1000u * 1000u);
+    EXPECT_EQ(kSecond, 1000ull * 1000 * 1000 * 1000);
+}
+
+TEST(Types, TickSecondConversionRoundTrips)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kMillisecond), 1e-3);
+    EXPECT_EQ(secondsToTicks(1.0), kSecond);
+    EXPECT_EQ(secondsToTicks(2.5e-6), Tick{2500000});
+    EXPECT_EQ(secondsToTicks(ticksToSeconds(123456789)),
+              Tick{123456789});
+}
+
+TEST(ClockDomain, PaperFrequenciesExact)
+{
+    // Table 1 clock domains in ticks (picoseconds).
+    const ClockDomain cpu(1000);   // 1 GHz
+    const ClockDomain l2(2000);    // 500 MHz
+    const ClockDomain bus(4000);   // 250 MHz
+    EXPECT_DOUBLE_EQ(cpu.frequencyHz(), 1e9);
+    EXPECT_DOUBLE_EQ(l2.frequencyHz(), 5e8);
+    EXPECT_DOUBLE_EQ(bus.frequencyHz(), 2.5e8);
+}
+
+TEST(ClockDomain, CycleTickConversion)
+{
+    const ClockDomain c(1000);
+    EXPECT_EQ(c.cyclesToTicks(0), 0u);
+    EXPECT_EQ(c.cyclesToTicks(15), 15000u);
+    EXPECT_EQ(c.ticksToCycles(15999), 15u);
+    EXPECT_EQ(c.ticksToCycles(16000), 16u);
+}
+
+TEST(ClockDomain, NextEdgeRounding)
+{
+    const ClockDomain c(4000);
+    EXPECT_EQ(c.nextEdge(0), 0u);
+    EXPECT_EQ(c.nextEdge(1), 4000u);
+    EXPECT_EQ(c.nextEdge(4000), 4000u);
+    EXPECT_EQ(c.nextEdge(4001), 8000u);
+}
+
+TEST(Types, Sentinels)
+{
+    EXPECT_GT(kTickNever, kSecond * 1000000);
+    EXPECT_EQ(kInvalidNode, static_cast<NodeId>(~0u));
+}
+
+} // namespace
+} // namespace tb
