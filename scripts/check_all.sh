@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Correctness gauntlet: build and run the full test suite under every
+# sanitizer preset and with the protocol invariant checker armed by
+# default (TB_CHECK=ON). Each configuration builds into its own tree
+# under build-check/ so the presets never contaminate each other.
+#
+#   scripts/check_all.sh             # all presets
+#   scripts/check_all.sh address     # just one
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+    presets=(check address undefined thread)
+fi
+
+run_preset() {
+    local preset=$1
+    local dir=build-check/$preset
+    local -a flags
+
+    case $preset in
+      check)
+        # Debug + TB_CHECK=ON: every experiment in the suite runs
+        # with the invariant checker attached.
+        flags=(-DCMAKE_BUILD_TYPE=Debug -DTB_CHECK=ON)
+        ;;
+      address|undefined|thread)
+        flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo
+               -DTB_SANITIZE=$preset)
+        ;;
+      *)
+        echo "unknown preset '$preset'" >&2
+        echo "expected: check, address, undefined or thread" >&2
+        return 1
+        ;;
+    esac
+
+    echo "==== preset $preset ===="
+    cmake -B "$dir" -G Ninja "${flags[@]}"
+    cmake --build "$dir" -j
+    ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+for p in "${presets[@]}"; do
+    run_preset "$p"
+done
+
+echo "All presets clean: ${presets[*]}"

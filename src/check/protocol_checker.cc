@@ -1,0 +1,603 @@
+#include "check/protocol_checker.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace check {
+
+bool
+checkedByDefault()
+{
+#ifdef TB_CHECK_DEFAULT_ON
+    return true;
+#else
+    return false;
+#endif
+}
+
+namespace {
+
+const char*
+dirStateName(mem::DirState s)
+{
+    switch (s) {
+      case mem::DirState::Uncached:  return "Uncached";
+      case mem::DirState::Shared:    return "Shared";
+      case mem::DirState::Exclusive: return "Exclusive";
+    }
+    return "?";
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+std::string
+nodeName(NodeId n)
+{
+    return n == kInvalidNode ? std::string("-")
+                             : "node" + std::to_string(n);
+}
+
+} // namespace
+
+ProtocolChecker::ProtocolChecker(const CheckerConfig& config)
+    : cfg(config)
+{
+    if (cfg.numNodes == 0 || cfg.numNodes > 64)
+        fatal("ProtocolChecker supports 1..64 nodes, got ",
+              cfg.numNodes);
+    if (cfg.traceDepth == 0)
+        cfg.traceDepth = 1;
+    nodes.resize(cfg.numNodes);
+    ring.resize(cfg.traceDepth);
+}
+
+void
+ProtocolChecker::record(TraceEntry e)
+{
+    e.tick = now();
+    ring[ringNext] = e;
+    if (++ringNext == ring.size()) {
+        ringNext = 0;
+        ringWrapped = true;
+    }
+}
+
+std::string
+ProtocolChecker::renderEntry(const TraceEntry& e) const
+{
+    std::ostringstream os;
+    os << "  [" << std::setw(12) << e.tick << "] ";
+    switch (e.kind) {
+      case TraceEntry::Kind::Send:
+        os << "send    " << nodeName(e.a) << " -> " << nodeName(e.b)
+           << (e.aux ? " (dir)" : "") << " "
+           << mem::msgTypeName(e.type) << " line " << hex(e.line);
+        break;
+      case TraceEntry::Kind::Deliver:
+        os << "deliver at " << nodeName(e.a)
+           << (e.aux ? " (dir)" : "") << " "
+           << mem::msgTypeName(e.type) << " line " << hex(e.line);
+        break;
+      case TraceEntry::Kind::Cache:
+        os << "cache   " << nodeName(e.a) << " line " << hex(e.line)
+           << " -> "
+           << mem::lineStateName(static_cast<mem::LineState>(e.state));
+        break;
+      case TraceEntry::Kind::Dir:
+        os << "dir     line " << hex(e.line) << " stable "
+           << dirStateName(static_cast<mem::DirState>(e.state))
+           << " sharers=" << hex(e.aux) << " owner=" << nodeName(e.b);
+        break;
+      case TraceEntry::Kind::Store:
+        os << "store   " << nodeName(e.a) << " word " << hex(e.line)
+           << " := " << e.aux;
+        break;
+      case TraceEntry::Kind::Rmw:
+        os << "rmw     " << nodeName(e.a) << " word " << hex(e.line)
+           << " := " << e.aux;
+        break;
+      case TraceEntry::Kind::Wake:
+        os << "wake    " << nodeName(e.a) << " reason="
+           << mem::wakeReasonName(
+                  static_cast<mem::WakeReason>(e.state));
+        break;
+      case TraceEntry::Kind::Sleep:
+        os << "sleep   " << nodeName(e.a)
+           << (e.aux ? " enter" : " exit")
+           << (e.kind == TraceEntry::Kind::Sleep && e.aux
+                   ? (e.state ? " (snoopable)" : " (non-snooping)")
+                   : "");
+        break;
+    }
+    return os.str();
+}
+
+std::string
+ProtocolChecker::traceFor(Addr line) const
+{
+    const Addr l = mem::lineAddr(line);
+    std::ostringstream os;
+    os << "protocol trace for line " << hex(l) << ":\n";
+    const std::size_t n = ring.size();
+    const std::size_t count = ringWrapped ? n : ringNext;
+    const std::size_t start = ringWrapped ? ringNext : 0;
+    bool any = false;
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceEntry& e = ring[(start + i) % n];
+        if (mem::lineAddr(e.line) != l)
+            continue;
+        os << renderEntry(e) << "\n";
+        any = true;
+    }
+    if (!any)
+        os << "  (no recorded events)\n";
+    return os.str();
+}
+
+std::string
+ProtocolChecker::traceForNode(NodeId node) const
+{
+    std::ostringstream os;
+    os << "protocol trace for " << nodeName(node) << ":\n";
+    const std::size_t n = ring.size();
+    const std::size_t count = ringWrapped ? n : ringNext;
+    const std::size_t start = ringWrapped ? ringNext : 0;
+    bool any = false;
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceEntry& e = ring[(start + i) % n];
+        if (e.a != node && e.b != node)
+            continue;
+        os << renderEntry(e) << "\n";
+        any = true;
+    }
+    if (!any)
+        os << "  (no recorded events)\n";
+    return os.str();
+}
+
+void
+ProtocolChecker::lineViolation(Addr line, const std::string& what)
+{
+    panic("protocol invariant violated at tick ", now(), ": ", what,
+          "\n", traceFor(line));
+}
+
+void
+ProtocolChecker::nodeViolation(NodeId node, const std::string& what)
+{
+    panic("protocol invariant violated at tick ", now(), ": ", what,
+          "\n", traceForNode(node));
+}
+
+// ----------------------------------------------------------------------
+// Fabric hooks
+// ----------------------------------------------------------------------
+
+void
+ProtocolChecker::onMessageSent(NodeId from, NodeId to,
+                               const mem::Msg& msg, bool to_directory)
+{
+    ++messages;
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Send;
+    e.a = from;
+    e.b = to;
+    e.type = msg.type;
+    e.line = msg.line;
+    e.aux = to_directory ? 1 : 0;
+    record(e);
+}
+
+void
+ProtocolChecker::onMessageDelivered(NodeId at, const mem::Msg& msg,
+                                    bool at_directory)
+{
+    ++messages;
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Deliver;
+    e.a = at;
+    e.type = msg.type;
+    e.line = msg.line;
+    e.aux = at_directory ? 1 : 0;
+    record(e);
+}
+
+// ----------------------------------------------------------------------
+// SWMR and directory agreement
+// ----------------------------------------------------------------------
+
+void
+ProtocolChecker::onCacheLineState(NodeId node, Addr line,
+                                  mem::LineState state)
+{
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Cache;
+    e.a = node;
+    e.line = line;
+    e.state = static_cast<std::uint8_t>(state);
+    record(e);
+
+    LineShadow& sh = lines[mem::lineAddr(line)];
+    const std::uint64_t b = bit(node);
+    if (state == mem::LineState::Invalid) {
+        sh.valid &= ~b;
+        sh.excl &= ~b;
+        sh.mod &= ~b;
+    } else {
+        sh.valid |= b;
+        if (state == mem::LineState::Exclusive ||
+            state == mem::LineState::Modified) {
+            sh.excl |= b;
+        } else {
+            sh.excl &= ~b;
+        }
+        if (state == mem::LineState::Modified)
+            sh.mod |= b;
+        else
+            sh.mod &= ~b;
+    }
+
+    ++checks;
+    if (sh.excl & (sh.excl - 1)) {
+        lineViolation(line,
+                      "SWMR: multiple exclusive owners of line " +
+                          hex(mem::lineAddr(line)) + " (mask " +
+                          hex(sh.excl) + ")");
+    }
+    if (sh.excl && (sh.valid & ~sh.excl)) {
+        lineViolation(
+            line, "SWMR: exclusive copy of line " +
+                      hex(mem::lineAddr(line)) +
+                      " coexists with shared copies (valid " +
+                      hex(sh.valid) + ", exclusive " + hex(sh.excl) +
+                      ")");
+    }
+}
+
+void
+ProtocolChecker::onDirStable(Addr line, mem::DirState state,
+                             std::uint64_t sharers, NodeId owner)
+{
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Dir;
+    e.b = owner;
+    e.line = line;
+    e.state = static_cast<std::uint8_t>(state);
+    e.aux = sharers;
+    record(e);
+
+    auto it = lines.find(mem::lineAddr(line));
+    const LineShadow sh = it == lines.end() ? LineShadow{} : it->second;
+
+    ++checks;
+    switch (state) {
+      case mem::DirState::Uncached:
+        if (sh.valid) {
+            lineViolation(line, "directory closed line " +
+                                    hex(mem::lineAddr(line)) +
+                                    " as Uncached but copies remain "
+                                    "cached (mask " +
+                                    hex(sh.valid) + ")");
+        }
+        break;
+      case mem::DirState::Shared:
+        if (sh.valid & ~sharers) {
+            lineViolation(
+                line, "stale sharer vector for line " +
+                          hex(mem::lineAddr(line)) + ": cached mask " +
+                          hex(sh.valid) +
+                          " not covered by directory sharers " +
+                          hex(sharers));
+        }
+        if (sh.excl) {
+            lineViolation(line,
+                          "directory believes line " +
+                              hex(mem::lineAddr(line)) +
+                              " is Shared but an exclusive copy "
+                              "exists (mask " +
+                              hex(sh.excl) + ")");
+        }
+        break;
+      case mem::DirState::Exclusive:
+        if (owner == kInvalidNode || owner >= cfg.numNodes) {
+            lineViolation(line, "directory Exclusive registration of "
+                                "line " +
+                                    hex(mem::lineAddr(line)) +
+                                    " names invalid owner");
+        }
+        if (sh.valid & ~bit(owner)) {
+            lineViolation(
+                line, "directory registered line " +
+                          hex(mem::lineAddr(line)) + " Exclusive at " +
+                          nodeName(owner) +
+                          " but foreign copies exist (mask " +
+                          hex(sh.valid) + ")");
+        }
+        break;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Value consistency against the shadow image
+// ----------------------------------------------------------------------
+
+void
+ProtocolChecker::onLoadValue(NodeId node, Addr addr,
+                             std::uint64_t value)
+{
+    if (!cfg.checkValues)
+        return;
+    ++checks;
+    const auto it = shadowWords.find(addr);
+    const std::uint64_t expected =
+        it == shadowWords.end() ? 0 : it->second;
+    if (value != expected) {
+        lineViolation(addr,
+                      "load at " + nodeName(node) + " of word " +
+                          hex(addr) + " returned " +
+                          std::to_string(value) +
+                          " but the last serialized write left " +
+                          std::to_string(expected));
+    }
+}
+
+void
+ProtocolChecker::onStoreSerialized(NodeId node, Addr addr,
+                                   std::uint64_t value)
+{
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Store;
+    e.a = node;
+    e.line = addr;
+    e.aux = value;
+    record(e);
+    if (cfg.checkValues)
+        shadowWords[addr] = value;
+}
+
+void
+ProtocolChecker::onRmwSerialized(NodeId node, Addr addr,
+                                 std::uint64_t old, std::uint64_t now_v)
+{
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Rmw;
+    e.a = node;
+    e.line = addr;
+    e.aux = now_v;
+    record(e);
+
+    if (!cfg.checkValues)
+        return;
+    ++checks;
+    const auto it = shadowWords.find(addr);
+    const std::uint64_t expected =
+        it == shadowWords.end() ? 0 : it->second;
+    if (old != expected) {
+        lineViolation(addr,
+                      "atomic at " + nodeName(node) + " on word " +
+                          hex(addr) + " observed " +
+                          std::to_string(old) +
+                          " but the last serialized write left " +
+                          std::to_string(expected));
+    }
+    shadowWords[addr] = now_v;
+}
+
+// ----------------------------------------------------------------------
+// Sleep safety
+// ----------------------------------------------------------------------
+
+void
+ProtocolChecker::onInterventionReceived(NodeId node, Addr line)
+{
+    ++checks;
+    const auto key = std::make_pair(node, mem::lineAddr(line));
+    if (outstandingFwds.count(key)) {
+        lineViolation(line, "overlapping interventions for line " +
+                                hex(mem::lineAddr(line)) + " at " +
+                                nodeName(node) +
+                                " (home failed to serialize)");
+    }
+    outstandingFwds[key] = now();
+}
+
+void
+ProtocolChecker::onInterventionServed(NodeId node, Addr line)
+{
+    ++checks;
+    const auto key = std::make_pair(node, mem::lineAddr(line));
+    const auto it = outstandingFwds.find(key);
+    if (it == outstandingFwds.end()) {
+        lineViolation(line, "intervention reply for line " +
+                                hex(mem::lineAddr(line)) + " at " +
+                                nodeName(node) +
+                                " without a pending intervention");
+    }
+    const Tick waited = now() - it->second;
+    outstandingFwds.erase(it);
+    if (waited > cfg.interventionBudget) {
+        lineViolation(
+            line, "intervention for line " + hex(mem::lineAddr(line)) +
+                      " at " + nodeName(node) + " took " +
+                      std::to_string(waited) +
+                      " ticks, beyond the liveness budget of " +
+                      std::to_string(cfg.interventionBudget));
+    }
+}
+
+void
+ProtocolChecker::onSnoopableChange(NodeId node, bool snoopable)
+{
+    nodes.at(node).snoopable = snoopable;
+    if (snoopable)
+        return;
+    // Entering a non-snooping state: the pre-sleep flush must have
+    // written back every dirty line of a *shared* page -- a remote
+    // GetS would otherwise stall on a core that cannot answer.
+    if (!map)
+        return;
+    ++checks;
+    const std::uint64_t b = bit(node);
+    for (const auto& [line, sh] : lines) {
+        if ((sh.mod & b) && map->isShared(line)) {
+            lineViolation(line,
+                          nodeName(node) +
+                              " entered a non-snooping sleep state "
+                              "still holding dirty shared line " +
+                              hex(line));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Wake-up exclusivity (paper Section 3.3.2)
+// ----------------------------------------------------------------------
+
+void
+ProtocolChecker::onWakeTrigger(NodeId node, mem::WakeReason reason)
+{
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Wake;
+    e.a = node;
+    e.state = static_cast<std::uint8_t>(reason);
+    record(e);
+
+    NodeShadow& ns = nodes.at(node);
+    if (!ns.inEpisode)
+        return;
+    ++checks;
+    if (reason == mem::WakeReason::ExternalFlag) {
+        if (ns.timerFired) {
+            nodeViolation(node,
+                          "hybrid wake-up exclusivity: external flag "
+                          "wake-up fired after the internal timer in "
+                          "the same sleep episode of " +
+                              nodeName(node));
+        }
+        ns.externalFired = true;
+    } else if (reason == mem::WakeReason::Timer) {
+        if (ns.externalFired) {
+            nodeViolation(node,
+                          "hybrid wake-up exclusivity: internal timer "
+                          "fired after the external flag wake-up in "
+                          "the same sleep episode of " +
+                              nodeName(node));
+        }
+        ns.timerFired = true;
+    }
+}
+
+void
+ProtocolChecker::onSleepEnter(NodeId node, bool snoopable_state)
+{
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Sleep;
+    e.a = node;
+    e.state = snoopable_state ? 1 : 0;
+    e.aux = 1;
+    record(e);
+
+    NodeShadow& ns = nodes.at(node);
+    ns.inEpisode = true;
+    ns.externalFired = false;
+    ns.timerFired = false;
+}
+
+void
+ProtocolChecker::onSleepExit(NodeId node)
+{
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Sleep;
+    e.a = node;
+    e.aux = 0;
+    record(e);
+
+    nodes.at(node).inEpisode = false;
+}
+
+// ----------------------------------------------------------------------
+// Event-queue discipline
+// ----------------------------------------------------------------------
+
+void
+ProtocolChecker::onSchedule(Tick when, int priority, std::uint64_t seq,
+                            Tick now_t)
+{
+    ++checks;
+    if (when < now_t) {
+        panic("event-queue discipline: event seq ", seq,
+              " scheduled at tick ", when,
+              ", in the past of current tick ", now_t);
+    }
+    (void)priority;
+    ++liveEvents;
+}
+
+void
+ProtocolChecker::onExecute(Tick when, int priority, std::uint64_t seq)
+{
+    ++checks;
+    if (anyExecuted) {
+        const bool ordered =
+            when > lastExecWhen ||
+            (when == lastExecWhen &&
+             (priority != lastExecPrio || seq > lastExecSeq));
+        if (!ordered) {
+            panic("event-queue discipline: event (tick ", when,
+                  ", prio ", priority, ", seq ", seq,
+                  ") executed after (tick ", lastExecWhen, ", prio ",
+                  lastExecPrio, ", seq ", lastExecSeq,
+                  ") -- total order broken");
+        }
+    }
+    anyExecuted = true;
+    lastExecWhen = when;
+    lastExecPrio = priority;
+    lastExecSeq = seq;
+    --liveEvents;
+}
+
+void
+ProtocolChecker::onCancel(Tick when, std::uint64_t seq)
+{
+    (void)when;
+    (void)seq;
+    --liveEvents;
+}
+
+// ----------------------------------------------------------------------
+// End-of-run audit
+// ----------------------------------------------------------------------
+
+void
+ProtocolChecker::finalCheck()
+{
+    ++checks;
+    if (!outstandingFwds.empty()) {
+        const auto& [key, since] = *outstandingFwds.begin();
+        lineViolation(key.second,
+                      "liveness: intervention for line " +
+                          hex(key.second) + " at " +
+                          nodeName(key.first) +
+                          " (received at tick " +
+                          std::to_string(since) +
+                          ") was never answered");
+    }
+    if (liveEvents != 0) {
+        panic("event-queue discipline: ", liveEvents,
+              " event(s) unaccounted for after the queue drained "
+              "(schedule/execute/cancel imbalance)");
+    }
+}
+
+} // namespace check
+} // namespace tb

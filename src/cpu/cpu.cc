@@ -137,6 +137,8 @@ Cpu::enterSleep(const power::SleepState& s, OnWake on_wake)
     wakePending = false;
     abortEntry = false;
     statsGroup.scalar("sleepEntries." + s.name).inc();
+    if (auto* o = ctrl.checkObserver())
+        o->onSleepEnter(nodeId, s.snoopable);
 
     if (!s.snoopable) {
         switchTo(CpuState::Flushing);
@@ -184,6 +186,8 @@ Cpu::becomeActive()
 {
     switchTo(CpuState::Active);
     ctrl.setSnoopable(true);
+    if (auto* o = ctrl.checkObserver())
+        o->onSleepExit(nodeId);
     if (onWake) {
         OnWake cb = std::move(onWake);
         onWake = nullptr;

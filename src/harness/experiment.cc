@@ -1,7 +1,9 @@
 #include "harness/experiment.hh"
 
+#include <memory>
 #include <utility>
 
+#include "check/protocol_checker.hh"
 #include "sim/logging.hh"
 #include "thrifty/conventional_barrier.hh"
 #include "thrifty/thrifty_barrier.hh"
@@ -92,7 +94,19 @@ ExperimentResult
 runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
               ConfigKind kind, const RunOptions& options)
 {
+    // Declared before the machine: component destructors cancel
+    // pending events through the queue's observer, so the checker has
+    // to die last.
+    std::unique_ptr<check::ProtocolChecker> checker;
+    if (options.check || check::checkedByDefault()) {
+        check::CheckerConfig ccfg;
+        ccfg.numNodes = sys.numNodes();
+        checker = std::make_unique<check::ProtocolChecker>(ccfg);
+    }
+
     Machine machine(sys);
+    if (checker)
+        machine.attachChecker(*checker);
 
     thrifty::SyncStats sync;
     sync.traceEnabled = options.trace;
@@ -109,6 +123,8 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
     if (!program.finished())
         panic("experiment deadlocked: ", app.name, " under ",
               configName(kind));
+    if (checker)
+        checker->finalCheck();
 
     ExperimentResult r;
     r.app = app.name;

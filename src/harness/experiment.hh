@@ -118,6 +118,12 @@ class ConfigBarrierProvider : public workloads::BarrierProvider
 struct RunOptions
 {
     bool trace = false; ///< record the per-departure barrier trace
+    /**
+     * Arm the protocol invariant checker for this run (forced on;
+     * TB_CHECK=ON builds arm it even when false). Violations panic
+     * with a protocol trace.
+     */
+    bool check = false;
     /** Override the preset thrifty configuration (ablations). */
     const thrifty::ThriftyConfig* customConfig = nullptr;
     /** When set, dump all component statistics here after the run. */

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "check/protocol_checker.hh"
+
 namespace tb {
 namespace harness {
 
@@ -37,6 +39,15 @@ Machine::Machine(const SystemConfig& config)
             eq, i, *cpus.back(), mem_->controller(i),
             prefix + ".thread"));
     }
+}
+
+void
+Machine::attachChecker(check::ProtocolChecker& checker)
+{
+    checker.bindClock(&eq);
+    checker.bindAddressMap(&mem_->addressMap());
+    eq.setObserver(&checker);
+    mem_->attachObserver(&checker);
 }
 
 std::vector<cpu::ThreadContext*>

@@ -19,6 +19,9 @@
 #include "sim/event_queue.hh"
 
 namespace tb {
+
+namespace check { class ProtocolChecker; }
+
 namespace harness {
 
 /** Full-system configuration (defaults reproduce Table 1). */
@@ -54,6 +57,13 @@ class Machine
 
     /** All thread contexts, in thread-id order. */
     std::vector<cpu::ThreadContext*> threadPtrs();
+
+    /**
+     * Arm @p checker over the whole machine: event queue, fabric and
+     * every controller/directory slice. The checker must outlive the
+     * machine (destructors cancel pending events through it).
+     */
+    void attachChecker(check::ProtocolChecker& checker);
 
     /**
      * Drain the event queue and close every CPU's accounting

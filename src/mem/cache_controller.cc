@@ -36,6 +36,12 @@ CacheController::CacheController(EventQueue& queue, NodeId node,
         fatal("L2 round trip must not be shorter than L1's");
 }
 
+CacheController::~CacheController()
+{
+    // The timer callback captures `this`; never let it outlive us.
+    wakeTimer.cancel();
+}
+
 // ----------------------------------------------------------------------
 // Demand path.
 // ----------------------------------------------------------------------
@@ -93,6 +99,9 @@ CacheController::startAccess(Pending p)
             m.type = MsgType::AtomicRmw;
             m.line = pending->line;
             m.src = nodeId;
+            // The word address rides along so the home (and an attached
+            // checker) can attribute the fetch-op's effect.
+            m.storeAddr = pending->addr;
             m.rmwOp = pending->rmwOp;
             sendToDir(std::move(m));
         });
@@ -119,6 +128,8 @@ CacheController::startAccess(Pending p)
                     panic(name(), ": inclusion violated for line ", line);
                 e2->state = LineState::Modified;
             }
+            if (is_store)
+                noteLine(line, LineState::Modified);
             completePending();
             return;
         }
@@ -137,8 +148,10 @@ CacheController::lookupL2(Addr line)
     if (e2 && (!is_store || writable(e2->state))) {
         statsGroup.scalar("l2Hits").inc();
         l2.touch(*e2);
-        if (is_store)
+        if (is_store) {
             e2->state = LineState::Modified;
+            noteLine(line, LineState::Modified);
+        }
         fillL1(line, e2->state);
         completePending();
         return;
@@ -189,6 +202,7 @@ CacheController::handleL2Victim(const CacheArray::Victim& victim)
     if (!victim.valid)
         return;
     statsGroup.scalar("l2Evictions").inc();
+    noteLine(victim.addr, LineState::Invalid);
     l1.invalidate(victim.addr);
     fireWatches(victim.addr);
     if (victim.state == LineState::Modified) {
@@ -211,6 +225,7 @@ CacheController::fillBoth(Addr line, LineState state)
     } else {
         handleL2Victim(l2.insert(line, state));
     }
+    noteLine(line, state);
     fillL1(line, state);
 }
 
@@ -223,11 +238,17 @@ CacheController::completePending()
     pending.reset();
 
     switch (p.kind) {
-      case Pending::Kind::Load:
-        p.loadDone(backend.read(p.addr));
+      case Pending::Kind::Load: {
+        const std::uint64_t v = backend.read(p.addr);
+        if (obs)
+            obs->onLoadValue(nodeId, p.addr, v);
+        p.loadDone(v);
         break;
+      }
       case Pending::Kind::Store:
         backend.write(p.addr, p.storeValue);
+        if (obs)
+            obs->onStoreSerialized(nodeId, p.addr, p.storeValue);
         p.storeDone();
         break;
       case Pending::Kind::Rmw:
@@ -307,6 +328,10 @@ CacheController::handleInv(const Msg& msg)
     if (snoopable_) {
         dropLine(line);
     } else if (l2.find(line)) {
+        // The ack above is the invalidation's linearization point: the
+        // copy is logically dead from here on, the array bits are just
+        // unreachable until wake-up.
+        noteLine(line, LineState::Invalid);
         deferred.push_back(line);
         statsGroup.scalar("invsDeferred").inc();
         if (deferred.size() > cfg.invalBufferEntries) {
@@ -328,6 +353,8 @@ void
 CacheController::handleFwd(const Msg& msg)
 {
     statsGroup.scalar("fwdsReceived").inc();
+    if (obs)
+        obs->onInterventionReceived(nodeId, msg.line);
     if (snoopable_) {
         serveFwd(msg);
         return;
@@ -351,6 +378,8 @@ CacheController::handleFwd(const Msg& msg)
 void
 CacheController::serveFwd(const Msg& msg)
 {
+    if (obs)
+        obs->onInterventionServed(nodeId, msg.line);
     if (msg.requester != kInvalidNode) {
         serveFwdThreeHop(msg);
         return;
@@ -366,6 +395,7 @@ CacheController::serveFwd(const Msg& msg)
             e2->state = LineState::Shared;
             if (CacheArray::Line* e1 = l1.find(line))
                 e1->state = LineState::Shared;
+            noteLine(line, LineState::Shared);
             kept = 1;
         } else {
             dropLine(line);
@@ -392,6 +422,7 @@ CacheController::serveFwd(const Msg& msg)
             e2->state = LineState::Shared;
             if (CacheArray::Line* e1 = l1.find(line))
                 e1->state = LineState::Shared;
+            noteLine(line, LineState::Shared);
             kept = 1;
         } else {
             dropLine(line);
@@ -429,6 +460,7 @@ CacheController::serveFwdThreeHop(const Msg& msg)
             e2->state = LineState::Shared;
             if (CacheArray::Line* e1 = l1.find(line))
                 e1->state = LineState::Shared;
+            noteLine(line, LineState::Shared);
             kept = true;
         } else {
             dropLine(line);
@@ -438,8 +470,12 @@ CacheController::serveFwdThreeHop(const Msg& msg)
     // 3-hop serialization point: a forwarded store commits here, so
     // the direct data grant and anything later serialized at home
     // both observe it.
-    if (!is_gets && msg.hasStore)
+    if (!is_gets && msg.hasStore) {
         backend.write(msg.storeAddr, msg.storeValue);
+        if (obs)
+            obs->onStoreSerialized(msg.requester, msg.storeAddr,
+                                   msg.storeValue);
+    }
 
     statsGroup.scalar("threeHopServes").inc();
     fabric.toController(nodeId, msg.requester,
@@ -455,6 +491,7 @@ CacheController::serveFwdThreeHop(const Msg& msg)
 void
 CacheController::dropLine(Addr line)
 {
+    noteLine(line, LineState::Invalid);
     l1.invalidate(line);
     l2.invalidate(line);
     // Anyone spinning on this line must reload (and would, in
@@ -538,8 +575,10 @@ CacheController::injectSpuriousInvalidation(Addr a)
         dropLine(line); // fires watches and the flag monitor
         return;
     }
-    if (l2.find(line))
+    if (l2.find(line)) {
+        noteLine(line, LineState::Invalid);
         deferred.push_back(line);
+    }
     fireWatches(line);
     if (flagMon.armed && flagMon.line == line) {
         flagMon.armed = false;
@@ -566,6 +605,8 @@ CacheController::disarmWakeTimer()
 Tick
 CacheController::triggerWake(WakeReason reason)
 {
+    if (obs)
+        obs->onWakeTrigger(nodeId, reason);
     // Whichever mechanism fires first cancels the other (hybrid
     // wake-up, Section 3.3.2).
     disarmWakeTimer();
@@ -611,7 +652,10 @@ CacheController::setSnoopable(bool snoopable)
             dropLine(line);
         deferred.clear();
     }
+    const bool changed = snoopable_ != snoopable;
     snoopable_ = snoopable;
+    if (changed && obs)
+        obs->onSnoopableChange(nodeId, snoopable);
 }
 
 // ----------------------------------------------------------------------

@@ -36,6 +36,7 @@
 #include "mem/cache_array.hh"
 #include "mem/fabric.hh"
 #include "mem/mem_types.hh"
+#include "mem/protocol_observer.hh"
 #include "sim/event_queue.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -86,8 +87,17 @@ class CacheController : public SimObject, public MsgSink
                     Backend& backend, const ControllerConfig& config,
                     std::string name);
 
+    /** Cancels the wake timer so no dead callback can fire. */
+    ~CacheController() override;
+
     /** Node this controller belongs to. */
     NodeId node() const { return nodeId; }
+
+    /** Attach (or with nullptr detach) a protocol observer. */
+    void setCheckObserver(ProtocolObserver* observer) { obs = observer; }
+
+    /** The attached protocol observer, or null. */
+    ProtocolObserver* checkObserver() const { return obs; }
 
     // ------------------------------------------------------------------
     // CPU-facing demand interface (blocking: one outstanding access).
@@ -268,6 +278,14 @@ class CacheController : public SimObject, public MsgSink
     /** Trigger a wake-up through the installed handler. */
     Tick triggerWake(WakeReason reason);
 
+    /** Report @p line's L2 state to the attached observer, if any. */
+    void
+    noteLine(Addr line, LineState state)
+    {
+        if (obs)
+            obs->onCacheLineState(nodeId, line, state);
+    }
+
     NodeId nodeId;
     Fabric& fabric;
     Backend& backend;
@@ -287,6 +305,8 @@ class CacheController : public SimObject, public MsgSink
 
     bool snoopable_ = true;
     std::vector<Addr> deferred; ///< invalidations buffered during sleep
+
+    ProtocolObserver* obs = nullptr;
 
     stats::StatGroup statsGroup;
 };

@@ -291,6 +291,9 @@ Directory::maybeFinishWrite(Addr line, LineDir& ld)
             std::uint64_t old = 0;
             if (l.cur.rmwOp)
                 old = l.cur.rmwOp();
+            if (obs)
+                obs->onRmwSerialized(req, l.cur.storeAddr, old,
+                                     backend.read(l.cur.storeAddr));
             l.state = DirState::Uncached;
             l.sharers = 0;
             l.owner = kInvalidNode;
@@ -306,8 +309,12 @@ Directory::maybeFinishWrite(Addr line, LineDir& ld)
     ld.sharers = 0;
     // Apply the store at the serialization point so requests queued
     // behind this transaction observe the new value.
-    if (ld.cur.hasStore)
+    if (ld.cur.hasStore) {
         backend.write(ld.cur.storeAddr, ld.cur.storeValue);
+        if (obs)
+            obs->onStoreSerialized(r, ld.cur.storeAddr,
+                                   ld.cur.storeValue);
+    }
     send(r, makeMsg(ld.grantUpgrade ? MsgType::UpgradeAck
                                     : MsgType::DataModified,
                     line, nodeId, 0));
@@ -444,6 +451,8 @@ Directory::finish(Addr line, LineDir& ld)
 {
     ld.busy = false;
     ld.cur = Msg{};
+    if (obs)
+        obs->onDirStable(line, ld.state, ld.sharers, ld.owner);
     tryStart(line);
 }
 

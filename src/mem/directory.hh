@@ -28,6 +28,7 @@
 #include "mem/dram.hh"
 #include "mem/fabric.hh"
 #include "mem/mem_types.hh"
+#include "mem/protocol_observer.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -75,6 +76,9 @@ class Directory : public SimObject, public MsgSink
 
     /** True if a transaction is in flight on @p line. */
     bool lineBusy(Addr line) const;
+
+    /** Attach (or with nullptr detach) a protocol observer. */
+    void setCheckObserver(ProtocolObserver* observer) { obs = observer; }
 
     const stats::StatGroup& statistics() const { return statsGroup; }
 
@@ -139,6 +143,7 @@ class Directory : public SimObject, public MsgSink
     Backend& backend;
     Dram& dram;
     std::unordered_map<Addr, LineDir> lines;
+    ProtocolObserver* obs = nullptr;
     stats::StatGroup statsGroup;
 };
 

@@ -37,9 +37,14 @@ Fabric::toDirectory(NodeId from, Msg msg)
     MsgSink* sink = directories.at(dst);
     if (!sink)
         panic("no directory registered at node ", dst);
+    if (obs)
+        obs->onMessageSent(from, dst, msg, true);
     const unsigned bytes = msg.bytes();
-    net.send(from, dst, bytes,
-             [sink, m = std::move(msg)]() { sink->receive(m); });
+    net.send(from, dst, bytes, [this, dst, sink, m = std::move(msg)]() {
+        if (obs)
+            obs->onMessageDelivered(dst, m, true);
+        sink->receive(m);
+    });
 }
 
 void
@@ -48,9 +53,14 @@ Fabric::toController(NodeId from, NodeId dst, Msg msg)
     MsgSink* sink = controllers.at(dst);
     if (!sink)
         panic("no controller registered at node ", dst);
+    if (obs)
+        obs->onMessageSent(from, dst, msg, false);
     const unsigned bytes = msg.bytes();
-    net.send(from, dst, bytes,
-             [sink, m = std::move(msg)]() { sink->receive(m); });
+    net.send(from, dst, bytes, [this, dst, sink, m = std::move(msg)]() {
+        if (obs)
+            obs->onMessageDelivered(dst, m, false);
+        sink->receive(m);
+    });
 }
 
 } // namespace mem

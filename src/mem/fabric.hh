@@ -16,6 +16,7 @@
 
 #include "mem/address_map.hh"
 #include "mem/mem_types.hh"
+#include "mem/protocol_observer.hh"
 #include "noc/network.hh"
 
 namespace tb {
@@ -45,11 +46,18 @@ class Fabric
     /** The placement map (for shared/private queries). */
     const AddressMap& addressMap() const { return map; }
 
+    /** Attach (or with nullptr detach) a protocol observer. */
+    void setObserver(ProtocolObserver* observer) { obs = observer; }
+
+    /** The attached observer, or null. */
+    ProtocolObserver* observer() const { return obs; }
+
   private:
     noc::Network& net;
     AddressMap& map;
     std::vector<MsgSink*> controllers;
     std::vector<MsgSink*> directories;
+    ProtocolObserver* obs = nullptr;
 };
 
 } // namespace mem

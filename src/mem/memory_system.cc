@@ -29,5 +29,15 @@ MemorySystem::MemorySystem(EventQueue& queue, noc::Network& network,
     }
 }
 
+void
+MemorySystem::attachObserver(ProtocolObserver* observer)
+{
+    fab.setObserver(observer);
+    for (auto& d : directories)
+        d->setCheckObserver(observer);
+    for (auto& c : controllers)
+        c->setCheckObserver(observer);
+}
+
 } // namespace mem
 } // namespace tb

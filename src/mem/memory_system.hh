@@ -59,6 +59,12 @@ class MemorySystem
     Backend& backend() { return values; }
     Fabric& fabric() { return fab; }
 
+    /**
+     * Attach (or with nullptr detach) a protocol observer to the
+     * fabric and every controller and directory slice.
+     */
+    void attachObserver(ProtocolObserver* observer);
+
   private:
     unsigned nodes;
     AddressMap map;

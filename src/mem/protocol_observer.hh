@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Observation interface for the coherence protocol.
+ *
+ * Every protocol agent (fabric, cache controller, directory) and the
+ * CPU sleep machinery carries an optional ProtocolObserver pointer,
+ * null by default. When one is attached, the agents report every
+ * message, cache-line state change, store serialization and sleep /
+ * wake transition through it; when none is attached the hook sites
+ * reduce to a single predicted-not-taken branch, so the simulation's
+ * hot path is unaffected (no virtual dispatch, no hash lookups).
+ *
+ * The canonical implementation is check::ProtocolChecker, which turns
+ * this event stream into machine-checked global invariants (SWMR,
+ * directory-cache agreement, value consistency, sleep safety -- see
+ * docs/CHECKING.md). The interface lives in mem/ rather than check/ so
+ * that the model libraries never depend on the checking library.
+ */
+
+#ifndef TB_MEM_PROTOCOL_OBSERVER_HH_
+#define TB_MEM_PROTOCOL_OBSERVER_HH_
+
+#include <cstdint>
+
+#include "mem/mem_types.hh"
+#include "sim/types.hh"
+
+namespace tb {
+namespace mem {
+
+enum class DirState : std::uint8_t;
+enum class WakeReason : std::uint8_t;
+
+/** Passive observer of protocol-level events. All hooks default to
+ *  no-ops so implementations can subscribe selectively. */
+class ProtocolObserver
+{
+  public:
+    virtual ~ProtocolObserver() = default;
+
+    // ------------------------------------------------------------------
+    // Fabric: message traffic (feeds the violation trace).
+    // ------------------------------------------------------------------
+
+    /** @p msg leaves @p from towards @p to (a directory slice when
+     *  @p to_directory, a cache controller otherwise). */
+    virtual void
+    onMessageSent(NodeId from, NodeId to, const Msg& msg,
+                  bool to_directory)
+    {
+        (void)from; (void)to; (void)msg; (void)to_directory;
+    }
+
+    /** @p msg arrives at @p at's directory slice / controller. */
+    virtual void
+    onMessageDelivered(NodeId at, const Msg& msg, bool at_directory)
+    {
+        (void)at; (void)msg; (void)at_directory;
+    }
+
+    // ------------------------------------------------------------------
+    // Cache controller: per-line state, values, interventions, sleep.
+    // ------------------------------------------------------------------
+
+    /** Node @p node's L2 (the coherence endpoint) now holds @p line in
+     *  @p state; Invalid reports drops and evictions. */
+    virtual void
+    onCacheLineState(NodeId node, Addr line, LineState state)
+    {
+        (void)node; (void)line; (void)state;
+    }
+
+    /** A demand load on @p node completed with @p value. */
+    virtual void
+    onLoadValue(NodeId node, Addr addr, std::uint64_t value)
+    {
+        (void)node; (void)addr; (void)value;
+    }
+
+    /** A store by @p node to @p addr was globally serialized with
+     *  @p value (local write hit, directory grant, or 3-hop serve). */
+    virtual void
+    onStoreSerialized(NodeId node, Addr addr, std::uint64_t value)
+    {
+        (void)node; (void)addr; (void)value;
+    }
+
+    /** An atomic fetch-op by @p node executed at @p addr's home,
+     *  reading @p old and leaving @p now. */
+    virtual void
+    onRmwSerialized(NodeId node, Addr addr, std::uint64_t old,
+                    std::uint64_t now)
+    {
+        (void)node; (void)addr; (void)old; (void)now;
+    }
+
+    /** An intervention (FwdGetS/FwdGetX) reached @p node for @p line. */
+    virtual void
+    onInterventionReceived(NodeId node, Addr line)
+    {
+        (void)node; (void)line;
+    }
+
+    /** Node @p node answered the outstanding intervention on @p line. */
+    virtual void
+    onInterventionServed(NodeId node, Addr line)
+    {
+        (void)node; (void)line;
+    }
+
+    /** Node @p node's cache arrays became (in)accessible to snoops. */
+    virtual void
+    onSnoopableChange(NodeId node, bool snoopable)
+    {
+        (void)node; (void)snoopable;
+    }
+
+    /** A wake trigger fired on @p node's controller. */
+    virtual void
+    onWakeTrigger(NodeId node, WakeReason reason)
+    {
+        (void)node; (void)reason;
+    }
+
+    // ------------------------------------------------------------------
+    // CPU: sleep episodes.
+    // ------------------------------------------------------------------
+
+    /** Node @p node starts a sleep episode (snoopable state or not). */
+    virtual void
+    onSleepEnter(NodeId node, bool snoopable_state)
+    {
+        (void)node; (void)snoopable_state;
+    }
+
+    /** Node @p node is Active again; the episode is over. */
+    virtual void
+    onSleepExit(NodeId node)
+    {
+        (void)node;
+    }
+
+    // ------------------------------------------------------------------
+    // Directory: stable-state reports.
+    // ------------------------------------------------------------------
+
+    /** The home of @p line closed a transaction; the line is no longer
+     *  busy and its directory state is (@p state, @p sharers, @p owner). */
+    virtual void
+    onDirStable(Addr line, DirState state, std::uint64_t sharers,
+                NodeId owner)
+    {
+        (void)line; (void)state; (void)sharers; (void)owner;
+    }
+};
+
+} // namespace mem
+} // namespace tb
+
+#endif // TB_MEM_PROTOCOL_OBSERVER_HH_

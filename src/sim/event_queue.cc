@@ -17,8 +17,11 @@ EventHandle::cancel()
 {
     if (event && !event->fired && !event->canceled) {
         event->canceled = true;
-        if (event->owner)
+        if (event->owner) {
             --event->owner->livePending;
+            if (event->owner->obs)
+                event->owner->obs->onCancel(event->when, event->seq);
+        }
     }
 }
 
@@ -31,6 +34,8 @@ EventHandle::when() const
 EventHandle
 EventQueue::schedule(Tick when, Callback cb, int priority)
 {
+    if (obs)
+        obs->onSchedule(when, priority, nextSeq, curTick);
     if (when < curTick) {
         panic("scheduling event in the past: when=", when,
               " now=", curTick);
@@ -72,6 +77,8 @@ EventQueue::runOne()
 
     EventPtr ev = heap.top();
     heap.pop();
+    if (obs)
+        obs->onExecute(ev->when, ev->priority, ev->seq);
     curTick = ev->when;
     ev->fired = true;
     --livePending;

@@ -26,6 +26,41 @@ namespace tb {
 class EventQueue;
 
 /**
+ * Passive observer of event-queue activity. Attached by the protocol
+ * checker to enforce scheduling discipline (no past-tick schedules,
+ * strictly ordered execution, balanced schedule/execute/cancel
+ * accounting). Null by default; the queue's hot path only pays a
+ * predicted-not-taken branch when no observer is attached.
+ */
+class EventQueueObserver
+{
+  public:
+    virtual ~EventQueueObserver() = default;
+
+    /** An event was scheduled for @p when while the queue sat at
+     *  @p now. */
+    virtual void
+    onSchedule(Tick when, int priority, std::uint64_t seq, Tick now)
+    {
+        (void)when; (void)priority; (void)seq; (void)now;
+    }
+
+    /** The event (@p when, @p priority, @p seq) is about to execute. */
+    virtual void
+    onExecute(Tick when, int priority, std::uint64_t seq)
+    {
+        (void)when; (void)priority; (void)seq;
+    }
+
+    /** A still-pending event was canceled. */
+    virtual void
+    onCancel(Tick when, std::uint64_t seq)
+    {
+        (void)when; (void)seq;
+    }
+};
+
+/**
  * A cancelable reference to a scheduled event.
  *
  * Default-constructed handles refer to nothing; all operations on them
@@ -130,6 +165,12 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t eventsExecuted() const { return executed; }
 
+    /** Attach (or with nullptr detach) a scheduling observer. */
+    void setObserver(EventQueueObserver* observer) { obs = observer; }
+
+    /** The attached observer, or null. */
+    EventQueueObserver* observer() const { return obs; }
+
   private:
     friend class EventHandle;
 
@@ -157,6 +198,7 @@ class EventQueue
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;
     std::size_t livePending = 0;
+    EventQueueObserver* obs = nullptr;
 };
 
 } // namespace tb

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fuzz-style stress runs with the protocol checker armed: full
+ * experiments on 2..16-node machines across several seeds,
+ * configurations and both forwarding protocols. Any SWMR, directory
+ * agreement, value consistency, event discipline, sleep safety or
+ * wake-up exclusivity violation panics and fails the test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "harness/experiment.hh"
+#include "workloads/app_profile.hh"
+
+namespace tb {
+namespace {
+
+harness::ExperimentResult
+checkedRun(unsigned dim, std::uint64_t seed, const char* app,
+           harness::ConfigKind kind, bool three_hop)
+{
+    harness::SystemConfig sys = harness::SystemConfig::small(dim);
+    sys.seed = seed;
+    sys.memory.threeHopForwarding = three_hop;
+    harness::RunOptions opt;
+    opt.check = true;
+    return harness::runExperiment(sys, workloads::appByName(app), kind,
+                                  opt);
+}
+
+class CheckerStress : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CheckerStress, ThriftyRunsCleanAcrossSeeds)
+{
+    const unsigned dim = GetParam();
+    for (std::uint64_t seed : {1, 7, 23}) {
+        const auto r = checkedRun(dim, seed, "Radiosity",
+                                  harness::ConfigKind::Thrifty, false);
+        EXPECT_GT(r.execTime, 0u);
+    }
+}
+
+TEST_P(CheckerStress, BaselineRunsClean)
+{
+    const unsigned dim = GetParam();
+    for (std::uint64_t seed : {1, 7, 23}) {
+        const auto r = checkedRun(dim, seed, "Radiosity",
+                                  harness::ConfigKind::Baseline, false);
+        EXPECT_GT(r.execTime, 0u);
+    }
+}
+
+TEST_P(CheckerStress, ThreeHopForwardingRunsClean)
+{
+    const unsigned dim = GetParam();
+    for (std::uint64_t seed : {1, 7, 23}) {
+        const auto r = checkedRun(dim, seed, "Radiosity",
+                                  harness::ConfigKind::Thrifty, true);
+        EXPECT_GT(r.execTime, 0u);
+    }
+}
+
+// 2, 4, 8 and 16 nodes.
+INSTANTIATE_TEST_SUITE_P(Dims, CheckerStress,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(CheckerStressApps, HighImbalanceAppRunsClean)
+{
+    // Ocean has the paper's largest imbalance: the most sleep
+    // episodes, flushes, deferred invalidations and timer/flag races.
+    for (std::uint64_t seed : {1, 7, 23}) {
+        const auto r = checkedRun(3, seed, "Ocean",
+                                  harness::ConfigKind::Thrifty, false);
+        EXPECT_GT(r.execTime, 0u);
+    }
+}
+
+TEST(CheckerStressApps, DeepSleepConfigRunsClean)
+{
+    // Ideal keeps CPUs in the deepest state with no flush-avoidance
+    // cutoffs -- maximal pressure on the non-snooping machinery.
+    for (std::uint64_t seed : {1, 7, 23}) {
+        const auto r = checkedRun(3, seed, "Barnes",
+                                  harness::ConfigKind::Ideal, false);
+        EXPECT_GT(r.execTime, 0u);
+    }
+}
+
+} // namespace
+} // namespace tb

@@ -171,5 +171,112 @@ TEST(EventQueue, ManyEventsStressOrdering)
     EXPECT_EQ(eq.eventsExecuted(), 1000u);
 }
 
+// ----------------------------------------------------------------------
+// Cancelation-race regressions. The thrifty barrier's hybrid wake-up
+// relies on exactly these semantics: two wake events race at the same
+// tick and whichever fires first must disarm the other.
+// ----------------------------------------------------------------------
+
+TEST(EventQueueCancelRace, CancelAndRescheduleSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&]() { order.push_back(0); });
+    EventHandle h = eq.schedule(50, [&]() { order.push_back(1); });
+    h.cancel();
+    // The replacement lands at the same tick but serializes after
+    // every event scheduled in between.
+    eq.schedule(50, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 2}));
+    EXPECT_EQ(eq.eventsExecuted(), 2u);
+}
+
+TEST(EventQueueCancelRace, MutualCancelExactlyOneFires)
+{
+    // External-vs-internal wake-up: both triggers arm an event for
+    // the same tick; the first to execute disarms the other.
+    EventQueue eq;
+    int external = 0;
+    int internal = 0;
+    EventHandle ext, timer;
+    ext = eq.schedule(100, [&]() {
+        ++external;
+        timer.cancel();
+    });
+    timer = eq.schedule(100, [&]() {
+        ++internal;
+        ext.cancel();
+    });
+    eq.run();
+    // Determinism: insertion order breaks the tie, so the external
+    // trigger (scheduled first) wins every time.
+    EXPECT_EQ(external, 1);
+    EXPECT_EQ(internal, 0);
+    EXPECT_EQ(external + internal, 1);
+}
+
+TEST(EventQueueCancelRace, CancelLaterEventFromSameTick)
+{
+    EventQueue eq;
+    bool victim_ran = false;
+    EventHandle victim =
+        eq.schedule(10, [&]() { victim_ran = true; }, 1);
+    // Higher-priority event at the same tick runs first and cancels
+    // the lower-priority one before the queue reaches it.
+    eq.schedule(10, [&]() { victim.cancel(); }, 0);
+    eq.run();
+    EXPECT_FALSE(victim_ran);
+}
+
+TEST(EventQueueCancelRace, RescheduleFromOwnCallback)
+{
+    // A handle may be re-armed for the current tick from within its
+    // own callback (the wake-timer re-arm pattern).
+    EventQueue eq;
+    int fires = 0;
+    EventHandle h;
+    h = eq.schedule(10, [&]() {
+        if (++fires == 1)
+            h = eq.schedule(10, [&]() { ++fires; });
+    });
+    eq.run();
+    EXPECT_EQ(fires, 2);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueueCancelRace, DeterministicTickPrioritySeqOrder)
+{
+    // Full (tick, priority, seq) ordering with a cancelation punched
+    // into the middle: survivors keep their deterministic slots.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(20, [&]() { order.push_back(3); }, 0);
+    eq.schedule(10, [&]() { order.push_back(1); }, 1);
+    EventHandle dropped =
+        eq.schedule(10, [&]() { order.push_back(99); }, 1);
+    eq.schedule(10, [&]() { order.push_back(2); }, 1);
+    eq.schedule(10, [&]() { order.push_back(0); }, 0);
+    dropped.cancel();
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueCancelRace, CancelIsIdempotentAcrossReschedule)
+{
+    EventQueue eq;
+    bool first_ran = false;
+    bool second_ran = false;
+    EventHandle h = eq.schedule(10, [&]() { first_ran = true; });
+    h.cancel();
+    h.cancel();
+    // Re-point the handle at a new event; stale cancels above must
+    // not affect it.
+    h = eq.schedule(10, [&]() { second_ran = true; });
+    eq.run();
+    EXPECT_FALSE(first_ran);
+    EXPECT_TRUE(second_ran);
+}
+
 } // namespace
 } // namespace tb

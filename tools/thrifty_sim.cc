@@ -51,6 +51,8 @@ usage(const char* argv0)
         "states (default all)\n"
         "  --three-hop        DASH-style direct owner-to-requester "
         "forwarding\n"
+        "  --check            arm the protocol invariant checker "
+        "(see docs/CHECKING.md)\n"
         "  --stats            dump per-component statistics after the "
         "run\n"
         "  --compare          also run Baseline and print normalized "
@@ -87,6 +89,7 @@ main(int argc, char** argv)
     unsigned dim = 6;
     std::uint64_t seed = 1;
     bool three_hop = false;
+    bool check = false;
     bool dump_stats = false;
     bool json = false;
     bool compare = false;
@@ -159,6 +162,8 @@ main(int argc, char** argv)
                     fatal("unknown state set '", v, "'");
             } else if (a == "--three-hop") {
                 three_hop = true;
+            } else if (a == "--check") {
+                check = true;
             } else if (a == "--stats") {
                 dump_stats = true;
             } else if (a == "--json") {
@@ -179,6 +184,7 @@ main(int argc, char** argv)
         const harness::ConfigKind kind = parseConfig(config);
 
         harness::RunOptions opt;
+        opt.check = check;
         if (dump_stats)
             opt.statsOut = &std::cerr;
         if (customized && kind != harness::ConfigKind::Baseline) {
