@@ -38,6 +38,46 @@ runAllConfigs(const harness::SystemConfig& sys,
     return out;
 }
 
+/** One point of a robustness campaign (seeds or faults sweep). */
+struct CampaignPoint
+{
+    std::string campaign;  ///< "seeds" or "faults"
+    unsigned dim = 0;      ///< hypercube dimension (2^dim nodes)
+    std::uint64_t seed = 0;
+    std::string protocol;  ///< "hub" or "three-hop"
+    std::string wakeup;    ///< wake-up policy ("" = preset default)
+};
+
+/**
+ * Emit one campaign result as a single JSON line. Both robustness
+ * campaigns (seed sweep, fault sweep) share this shape, so their
+ * outputs are directly comparable: grep for `"campaign"` and compare
+ * any metric across sweeps.
+ */
+inline void
+printCampaignJson(std::ostream& os, const CampaignPoint& p,
+                  const harness::ExperimentResult& r)
+{
+    os << "{\"campaign\": \"" << p.campaign << "\", \"app\": \""
+       << r.app << "\", \"config\": \"" << r.config
+       << "\", \"dim\": " << p.dim << ", \"seed\": " << p.seed
+       << ", \"protocol\": \"" << p.protocol << "\"";
+    if (!p.wakeup.empty())
+        os << ", \"wakeup\": \"" << p.wakeup << "\"";
+    os << ", \"exec_time_s\": " << ticksToSeconds(r.execTime)
+       << ", \"energy_j\": " << r.totalEnergy()
+       << ", \"sleeps\": " << r.sync.sleeps
+       << ", \"watchdog_fires\": " << r.sync.watchdogFires
+       << ", \"residual_escalations\": " << r.sync.residualEscalations
+       << ", \"quarantines\": " << r.sync.quarantines
+       << ", \"fallback_episodes\": " << r.sync.fallbackEpisodes;
+    if (!r.faultSpec.empty()) {
+        os << ", \"faults_injected\": " << r.faultsInjected()
+           << ", \"spec\": \"" << r.faultSpec << "\"";
+    }
+    os << "}\n";
+}
+
 /** Standard banner for every bench binary. */
 inline void
 banner(const std::string& title, const harness::SystemConfig& sys)

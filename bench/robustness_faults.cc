@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Fault-injection campaign: graceful degradation of the thrifty
+ * runtime under deterministic adversarial conditions
+ * (docs/ROBUSTNESS.md).
+ *
+ * Sweeps all fault kinds at two intensities across machine sizes
+ * (2..16 nodes), both forwarding protocols (hub routing and DASH-style
+ * three-hop), all three wake-up policies and eight injection seeds,
+ * with the protocol checker and its liveness watchdogs armed. A run
+ * passes when every barrier releases, every sleeper wakes and no
+ * invariant trips; the campaign fails loudly otherwise. One point is
+ * replayed to prove bit-identical determinism from (spec, seed).
+ *
+ *   robustness_faults [--quick]
+ *
+ * Emits one JSON line per run in the shared campaign shape (see
+ * bench_util.hh), comparable with robustness_seeds output.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "fault/fault_spec.hh"
+
+namespace {
+
+using namespace tb;
+
+/** Canonical all-kinds spec at @p scale of the base rates. */
+std::string
+specFor(std::uint64_t seed, double scale)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "seed=%llu,drop-wake=%.3f,dup-wake=%.3f,delay-wake=%.3f,"
+        "timer-drift=%.3f,timer-fail=%.3f,link-stall=%.3f,"
+        "msg-delay=%.3f,flush-delay=%.3f,preempt=%.3f",
+        static_cast<unsigned long long>(seed), 0.3 * scale,
+        0.2 * scale, 0.2 * scale, 0.5 * scale, 0.3 * scale,
+        0.05 * scale, 0.05 * scale, 0.3 * scale, 0.1 * scale);
+    return buf;
+}
+
+const char*
+wakeupName(thrifty::WakeupPolicy p)
+{
+    switch (p) {
+      case thrifty::WakeupPolicy::External: return "external";
+      case thrifty::WakeupPolicy::Internal: return "internal";
+      case thrifty::WakeupPolicy::Hybrid:   return "hybrid";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using harness::ConfigKind;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    // Shrunk workload: the campaign is about surviving faults, not
+    // about the headline numbers, so a few barrier instances per run
+    // suffice.
+    workloads::AppProfile app = workloads::appByName("Radiosity");
+    if (app.iterations > 6)
+        app.iterations = 6;
+
+    const std::vector<unsigned> dims =
+        quick ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 3, 4};
+    const std::vector<std::uint64_t> seeds =
+        quick ? std::vector<std::uint64_t>{1, 2, 3}
+              : std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8};
+    const std::vector<double> scales =
+        quick ? std::vector<double>{1.0}
+              : std::vector<double>{0.3, 1.0};
+    const std::vector<thrifty::WakeupPolicy> wakeups = {
+        thrifty::WakeupPolicy::External,
+        thrifty::WakeupPolicy::Internal,
+        thrifty::WakeupPolicy::Hybrid,
+    };
+
+    tb::bench::banner("Robustness — fault-injection campaign",
+                      harness::SystemConfig::small(dims.back()));
+
+    unsigned runs = 0, failures = 0;
+    std::uint64_t injected = 0, watchdogs = 0, quarantines = 0;
+
+    for (unsigned dim : dims) {
+        for (int three_hop = 0; three_hop <= 1; ++three_hop) {
+            for (thrifty::WakeupPolicy wk : wakeups) {
+                for (double scale : scales) {
+                    for (std::uint64_t seed : seeds) {
+                        harness::SystemConfig sys =
+                            harness::SystemConfig::small(dim);
+                        sys.seed = seed;
+                        sys.memory.threeHopForwarding = three_hop != 0;
+
+                        thrifty::ThriftyConfig custom =
+                            thrifty::ThriftyConfig::thrifty();
+                        custom.wakeup = wk;
+                        custom.hardening.enabled = true;
+
+                        const fault::FaultSpec spec =
+                            fault::FaultSpec::parse(
+                                specFor(seed, scale));
+
+                        harness::RunOptions opt;
+                        opt.check = true;
+                        opt.customConfig = &custom;
+                        opt.faults = &spec;
+                        opt.livenessBudget = 200 * kMillisecond;
+
+                        tb::bench::CampaignPoint pt;
+                        pt.campaign = "faults";
+                        pt.dim = dim;
+                        pt.seed = seed;
+                        pt.protocol = three_hop ? "three-hop" : "hub";
+                        pt.wakeup = wakeupName(wk);
+
+                        ++runs;
+                        try {
+                            const auto r = harness::runExperiment(
+                                sys, app, ConfigKind::Thrifty, opt);
+                            injected += r.faultsInjected();
+                            watchdogs += r.sync.watchdogFires;
+                            quarantines += r.sync.quarantines;
+                            tb::bench::printCampaignJson(std::cout, pt,
+                                                         r);
+                        } catch (const std::exception& e) {
+                            ++failures;
+                            std::fprintf(stderr,
+                                         "FAIL dim=%u %s %s seed=%llu "
+                                         "scale=%.1f: %s\n",
+                                         dim, pt.protocol.c_str(),
+                                         pt.wakeup.c_str(),
+                                         static_cast<unsigned long long>(
+                                             seed),
+                                         scale, e.what());
+                        }
+                        std::fflush(stdout);
+                    }
+                }
+            }
+        }
+    }
+
+    // Determinism: an identical (spec, seed) pair must replay to
+    // bit-identical stats and timing.
+    {
+        harness::SystemConfig sys = harness::SystemConfig::small(2);
+        sys.seed = 1;
+        thrifty::ThriftyConfig custom =
+            thrifty::ThriftyConfig::thrifty();
+        custom.hardening.enabled = true;
+        const fault::FaultSpec spec =
+            fault::FaultSpec::parse(specFor(1, 1.0));
+        harness::RunOptions opt;
+        opt.check = true;
+        opt.customConfig = &custom;
+        opt.faults = &spec;
+        opt.livenessBudget = 200 * kMillisecond;
+        const auto a = harness::runExperiment(sys, app,
+                                              ConfigKind::Thrifty, opt);
+        const auto b = harness::runExperiment(sys, app,
+                                              ConfigKind::Thrifty, opt);
+        if (a.execTime != b.execTime ||
+            a.faultCounts != b.faultCounts ||
+            a.totalEnergy() != b.totalEnergy() ||
+            a.sync.watchdogFires != b.sync.watchdogFires) {
+            ++failures;
+            std::fprintf(stderr,
+                         "FAIL determinism: identical (spec, seed) "
+                         "replayed differently\n");
+        } else {
+            std::printf("determinism: replay of (%s) bit-identical "
+                        "(%llu faults)\n",
+                        a.faultSpec.c_str(),
+                        static_cast<unsigned long long>(
+                            a.faultsInjected()));
+        }
+    }
+
+    std::printf("\ncampaign: %u run(s), %u failure(s); %llu fault(s) "
+                "injected, %llu watchdog fire(s), %llu "
+                "quarantine(s)\n",
+                runs, failures,
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(watchdogs),
+                static_cast<unsigned long long>(quarantines));
+    std::printf("%s\n", failures == 0 ? "PASS" : "FAIL");
+    return failures == 0 ? 0 : 1;
+}

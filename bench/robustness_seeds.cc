@@ -4,6 +4,10 @@
  * 5/6 averages for the five target applications, re-measured with
  * five different synthetic-workload seeds. The paper's claim should
  * not hinge on one draw of the random streams.
+ *
+ * Each run also emits one JSON line in the shared campaign shape
+ * (bench_util.hh), directly comparable with the fault-injection
+ * campaign's output (robustness_faults).
  */
 
 #include <cmath>
@@ -32,6 +36,12 @@ main()
         sys.seed = seed;
         double h_sum = 0.0, t_sum = 0.0, slow_sum = 0.0;
         unsigned n = 0;
+        tb::bench::CampaignPoint pt;
+        pt.campaign = "seeds";
+        pt.dim = sys.noc.dimension;
+        pt.seed = seed;
+        pt.protocol = sys.memory.threeHopForwarding ? "three-hop"
+                                                    : "hub";
         for (const auto& name : workloads::targetAppNames()) {
             const auto app = workloads::appByName(name);
             const auto base =
@@ -40,6 +50,9 @@ main()
                 runExperiment(sys, app, ConfigKind::ThriftyHalt);
             const auto t =
                 runExperiment(sys, app, ConfigKind::Thrifty);
+            tb::bench::printCampaignJson(std::cout, pt, base);
+            tb::bench::printCampaignJson(std::cout, pt, h);
+            tb::bench::printCampaignJson(std::cout, pt, t);
             h_sum += 1.0 - h.totalEnergy() / base.totalEnergy();
             t_sum += 1.0 - t.totalEnergy() / base.totalEnergy();
             slow_sum += static_cast<double>(t.execTime) /

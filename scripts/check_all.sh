@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Correctness gauntlet: build and run the full test suite under every
 # sanitizer preset and with the protocol invariant checker armed by
-# default (TB_CHECK=ON). Each configuration builds into its own tree
+# default (TB_CHECK=ON), plus the fault-injection campaign
+# (docs/ROBUSTNESS.md). Each configuration builds into its own tree
 # under build-check/ so the presets never contaminate each other.
 #
 #   scripts/check_all.sh             # all presets
 #   scripts/check_all.sh address     # just one
+#   scripts/check_all.sh faults      # fault campaign only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-    presets=(check address undefined thread)
+    presets=(check faults address undefined thread)
 fi
 
 run_preset() {
@@ -20,7 +22,7 @@ run_preset() {
     local -a flags
 
     case $preset in
-      check)
+      check|faults)
         # Debug + TB_CHECK=ON: every experiment in the suite runs
         # with the invariant checker attached.
         flags=(-DCMAKE_BUILD_TYPE=Debug -DTB_CHECK=ON)
@@ -31,7 +33,7 @@ run_preset() {
         ;;
       *)
         echo "unknown preset '$preset'" >&2
-        echo "expected: check, address, undefined or thread" >&2
+        echo "expected: check, faults, address, undefined or thread" >&2
         return 1
         ;;
     esac
@@ -39,7 +41,13 @@ run_preset() {
     echo "==== preset $preset ===="
     cmake -B "$dir" -G Ninja "${flags[@]}"
     cmake --build "$dir" -j
-    ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+    if [ "$preset" = faults ]; then
+        # Multi-seed fault campaign with the liveness watchdogs armed:
+        # every barrier must release under every injected fault kind.
+        "$dir/bench/robustness_faults" --quick
+    else
+        ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+    fi
 }
 
 for p in "${presets[@]}"; do

@@ -117,6 +117,10 @@ ProtocolChecker::renderEntry(const TraceEntry& e) const
                    ? (e.state ? " (snoopable)" : " (non-snooping)")
                    : "");
         break;
+      case TraceEntry::Kind::Barrier:
+        os << "barrier flag " << hex(e.line) << " instance " << e.aux
+           << (e.state ? " released" : " armed");
+        break;
     }
     return os.str();
 }
@@ -510,6 +514,7 @@ ProtocolChecker::onSleepEnter(NodeId node, bool snoopable_state)
     ns.inEpisode = true;
     ns.externalFired = false;
     ns.timerFired = false;
+    ns.episodeStart = now();
 }
 
 void
@@ -521,7 +526,79 @@ ProtocolChecker::onSleepExit(NodeId node)
     e.aux = 0;
     record(e);
 
-    nodes.at(node).inEpisode = false;
+    NodeShadow& ns = nodes.at(node);
+    if (ns.inEpisode && cfg.sleepBudget > 0) {
+        ++checks;
+        const Tick slept = now() - ns.episodeStart;
+        if (slept > cfg.sleepBudget) {
+            nodeViolation(node,
+                          "liveness: sleep episode of " +
+                              nodeName(node) + " lasted " +
+                              std::to_string(slept) +
+                              " ticks, beyond the budget of " +
+                              std::to_string(cfg.sleepBudget));
+        }
+    }
+    ns.inEpisode = false;
+}
+
+// ----------------------------------------------------------------------
+// Barrier liveness (docs/ROBUSTNESS.md)
+// ----------------------------------------------------------------------
+
+void
+ProtocolChecker::onBarrierArmed(Addr flag_line, std::uint64_t instance)
+{
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Barrier;
+    e.line = flag_line;
+    e.aux = instance;
+    e.state = 0;
+    record(e);
+
+    ++checks;
+    const auto key = std::make_pair(mem::lineAddr(flag_line), instance);
+    if (armedBarriers.count(key)) {
+        lineViolation(flag_line,
+                      "barrier instance " + std::to_string(instance) +
+                          " on flag line " +
+                          hex(mem::lineAddr(flag_line)) +
+                          " armed twice");
+    }
+    armedBarriers[key] = now();
+}
+
+void
+ProtocolChecker::onBarrierReleased(Addr flag_line, std::uint64_t instance)
+{
+    TraceEntry e;
+    e.kind = TraceEntry::Kind::Barrier;
+    e.line = flag_line;
+    e.aux = instance;
+    e.state = 1;
+    record(e);
+
+    ++checks;
+    const auto key = std::make_pair(mem::lineAddr(flag_line), instance);
+    const auto it = armedBarriers.find(key);
+    if (it == armedBarriers.end()) {
+        lineViolation(flag_line,
+                      "barrier instance " + std::to_string(instance) +
+                          " on flag line " +
+                          hex(mem::lineAddr(flag_line)) +
+                          " released without being armed");
+    }
+    const Tick waited = now() - it->second;
+    armedBarriers.erase(it);
+    if (cfg.barrierBudget > 0 && waited > cfg.barrierBudget) {
+        lineViolation(
+            flag_line,
+            "liveness: barrier instance " + std::to_string(instance) +
+                " on flag line " + hex(mem::lineAddr(flag_line)) +
+                " took " + std::to_string(waited) +
+                " ticks from arm to release, beyond the budget of " +
+                std::to_string(cfg.barrierBudget));
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -582,6 +659,23 @@ void
 ProtocolChecker::finalCheck()
 {
     ++checks;
+    if (!armedBarriers.empty()) {
+        const auto& [key, since] = *armedBarriers.begin();
+        lineViolation(key.first,
+                      "liveness: barrier instance " +
+                          std::to_string(key.second) +
+                          " on flag line " + hex(key.first) +
+                          " (armed at tick " + std::to_string(since) +
+                          ") was never released");
+    }
+    for (NodeId n = 0; n < nodes.size(); ++n) {
+        if (nodes[n].inEpisode) {
+            nodeViolation(n, "liveness: " + nodeName(n) +
+                                 " entered a sleep episode at tick " +
+                                 std::to_string(nodes[n].episodeStart) +
+                                 " and never woke");
+        }
+    }
     if (!outstandingFwds.empty()) {
         const auto& [key, since] = *outstandingFwds.begin();
         lineViolation(key.second,

@@ -79,6 +79,19 @@ struct CheckerConfig
     /** Enforce the shadow-image value checks (on unless a workload
      *  writes the backend outside the protocol). */
     bool checkValues = true;
+    /**
+     * Liveness watchdog (docs/ROBUSTNESS.md): longest tolerated gap
+     * between a dynamic barrier instance arming (first check-in) and
+     * its release. 0 disables the per-instance budget; the end-of-run
+     * armed-but-never-released audit always runs.
+     */
+    Tick barrierBudget = 0;
+    /**
+     * Longest tolerated sleep episode (enter to Active again).
+     * 0 disables the budget; the end-of-run never-woke audit always
+     * runs.
+     */
+    Tick sleepBudget = 0;
 };
 
 /** True when the build (TB_CHECK=ON) arms the checker by default. */
@@ -97,6 +110,7 @@ struct TraceEntry
         Rmw,     ///< fetch-op executed at home
         Wake,    ///< wake trigger fired
         Sleep,   ///< sleep episode opened/closed
+        Barrier, ///< dynamic barrier instance armed/released
     };
 
     Tick tick = 0;
@@ -166,6 +180,9 @@ class ProtocolChecker : public mem::ProtocolObserver,
     void onWakeTrigger(NodeId node, mem::WakeReason reason) override;
     void onSleepEnter(NodeId node, bool snoopable_state) override;
     void onSleepExit(NodeId node) override;
+    void onBarrierArmed(Addr flag_line, std::uint64_t instance) override;
+    void onBarrierReleased(Addr flag_line,
+                           std::uint64_t instance) override;
     void onDirStable(Addr line, mem::DirState state,
                      std::uint64_t sharers, NodeId owner) override;
 
@@ -194,6 +211,7 @@ class ProtocolChecker : public mem::ProtocolObserver,
         bool inEpisode = false;
         bool externalFired = false;
         bool timerFired = false;
+        Tick episodeStart = 0;
     };
 
     static std::uint64_t bit(NodeId n) { return std::uint64_t{1} << n; }
@@ -216,6 +234,8 @@ class ProtocolChecker : public mem::ProtocolObserver,
     std::unordered_map<Addr, std::uint64_t> shadowWords;
     std::vector<NodeShadow> nodes;
     std::map<std::pair<NodeId, Addr>, Tick> outstandingFwds;
+    /** Armed-but-unreleased dynamic barrier instances -> arm tick. */
+    std::map<std::pair<Addr, std::uint64_t>, Tick> armedBarriers;
 
     // Event-queue discipline.
     Tick lastExecWhen = 0;

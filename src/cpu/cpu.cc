@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/fault_hooks.hh"
 #include "sim/logging.hh"
 
 namespace tb {
@@ -191,6 +192,19 @@ Cpu::becomeActive()
     if (onWake) {
         OnWake cb = std::move(onWake);
         onWake = nullptr;
+        if (faults) {
+            // OS-preemption burst (Section 3.4.2 generalized): the CPU
+            // is Active — and accrues active power — but the barrier
+            // thread does not get the core back until the burst ends.
+            Tick burst = faults->preemptionBurst(nodeId);
+            if (burst > 0) {
+                statsGroup.scalar("faultPreemptionBursts").inc();
+                eq.scheduleIn(burst, [this, cb = std::move(cb)]() {
+                    cb(wakeReason);
+                });
+                return;
+            }
+        }
         cb(wakeReason);
     }
 }

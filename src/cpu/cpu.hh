@@ -122,6 +122,9 @@ class Cpu : public SimObject
     /** Energy/time ledger (finalize() first for exact totals). */
     const power::EnergyAccount& energy() const { return account; }
 
+    /** Attach fault-injection hooks (nullptr detaches). */
+    void setFaultHooks(FaultHooks* hooks) { faults = hooks; }
+
     const stats::StatGroup& statistics() const { return statsGroup; }
 
   private:
@@ -153,6 +156,8 @@ class Cpu : public SimObject
     bool wakePending = false;  ///< wake arrived during down transition
     bool abortEntry = false;   ///< wake arrived during flush
     Tick transitionEnd = 0;    ///< end tick of the in-flight transition
+    /** Optional fault injection (OS-preemption bursts at wake-up). */
+    FaultHooks* faults = nullptr;
 
     stats::StatGroup statsGroup;
 };

@@ -1,0 +1,113 @@
+#include "fault/fault_injector.hh"
+
+namespace tb::fault {
+
+Tick
+FaultInjector::linkStall(NodeId at, unsigned dim)
+{
+    (void)at; (void)dim;
+    if (s.linkStall <= 0.0 || !rng.chance(s.linkStall))
+        return 0;
+    ++nLinkStall;
+    return s.linkStallTicks;
+}
+
+Tick
+FaultInjector::messageDelay(NodeId src, NodeId dst)
+{
+    (void)src; (void)dst;
+    if (s.msgDelay <= 0.0 || !rng.chance(s.msgDelay))
+        return 0;
+    ++nMsgDelay;
+    return s.msgDelayTicks;
+}
+
+WakeDeliveryFault
+FaultInjector::wakeDelivery(NodeId node)
+{
+    (void)node;
+    WakeDeliveryFault f;
+    // One perturbation per delivery, checked in severity order: a
+    // dropped notification subsumes a duplicated or delayed one.
+    if (s.dropWake > 0.0 && rng.chance(s.dropWake)) {
+        ++nDropWake;
+        f.drop = true;
+        return f;
+    }
+    if (s.dupWake > 0.0 && rng.chance(s.dupWake)) {
+        ++nDupWake;
+        f.duplicate = true;
+        f.delay = s.dupWakeDelay;
+        return f;
+    }
+    if (s.delayWake > 0.0 && rng.chance(s.delayWake)) {
+        ++nDelayWake;
+        f.delay = s.delayWakeDelay;
+        return f;
+    }
+    return f;
+}
+
+bool
+FaultInjector::wakeTimerFails(NodeId node)
+{
+    (void)node;
+    if (s.timerFail <= 0.0 || !rng.chance(s.timerFail))
+        return false;
+    ++nTimerFail;
+    return true;
+}
+
+Tick
+FaultInjector::wakeTimerSkew(NodeId node, Tick delta)
+{
+    (void)node;
+    if (s.timerDrift <= 0.0)
+        return delta;
+    double factor = rng.lognormalMeanCv(1.0, s.timerDrift);
+    Tick skewed = static_cast<Tick>(static_cast<double>(delta) * factor);
+    if (skewed != delta)
+        ++nTimerDrift;
+    return skewed;
+}
+
+Tick
+FaultInjector::flushDelay(NodeId node, std::size_t lines)
+{
+    (void)node;
+    if (lines == 0 || s.flushDelay <= 0.0 || !rng.chance(s.flushDelay))
+        return 0;
+    ++nFlushDelay;
+    return s.flushDelayTicks;
+}
+
+Tick
+FaultInjector::preemptionBurst(NodeId node)
+{
+    (void)node;
+    if (s.preempt <= 0.0 || !rng.chance(s.preempt))
+        return 0;
+    ++nPreempt;
+    return s.preemptBurst;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+FaultInjector::counters() const
+{
+    return {
+        {"drop-wake", nDropWake},     {"dup-wake", nDupWake},
+        {"delay-wake", nDelayWake},   {"timer-drift", nTimerDrift},
+        {"timer-fail", nTimerFail},   {"link-stall", nLinkStall},
+        {"msg-delay", nMsgDelay},     {"flush-delay", nFlushDelay},
+        {"preempt", nPreempt},
+    };
+}
+
+std::uint64_t
+FaultInjector::total() const
+{
+    return nDropWake + nDupWake + nDelayWake + nTimerDrift + nTimerFail +
+           nLinkStall + nMsgDelay + nFlushDelay + nPreempt;
+}
+
+} // namespace tb::fault

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Seeded realization of a FaultSpec against one experiment.
+ *
+ * The injector owns a private Random stream (decoupled from the
+ * workload's stream) and draws from it in the deterministic order the
+ * single-threaded event loop consults the hooks, so a campaign replays
+ * bit-identically from (spec, seed). Each hook only draws when its
+ * rate is non-zero, keeping the draw sequences of unrelated fault
+ * kinds independent: adding `link-stall` to a spec does not reshuffle
+ * the wake-delivery faults.
+ */
+
+#ifndef TB_FAULT_FAULT_INJECTOR_HH_
+#define TB_FAULT_FAULT_INJECTOR_HH_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_spec.hh"
+#include "sim/fault_hooks.hh"
+#include "sim/random.hh"
+
+namespace tb::fault {
+
+/** FaultHooks implementation driven by a FaultSpec. */
+class FaultInjector : public FaultHooks
+{
+  public:
+    explicit FaultInjector(const FaultSpec& spec)
+        : s(spec), rng(spec.seed)
+    {}
+
+    const FaultSpec& spec() const { return s; }
+
+    Tick linkStall(NodeId at, unsigned dim) override;
+    Tick messageDelay(NodeId src, NodeId dst) override;
+    WakeDeliveryFault wakeDelivery(NodeId node) override;
+    bool wakeTimerFails(NodeId node) override;
+    Tick wakeTimerSkew(NodeId node, Tick delta) override;
+    Tick flushDelay(NodeId node, std::size_t lines) override;
+    Tick preemptionBurst(NodeId node) override;
+
+    /** Injected-fault counts by kind, in a stable report order. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+
+    /** Total faults injected across all kinds. */
+    std::uint64_t total() const;
+
+  private:
+    FaultSpec s;
+    Random rng;
+
+    std::uint64_t nDropWake = 0;
+    std::uint64_t nDupWake = 0;
+    std::uint64_t nDelayWake = 0;
+    std::uint64_t nTimerDrift = 0;
+    std::uint64_t nTimerFail = 0;
+    std::uint64_t nLinkStall = 0;
+    std::uint64_t nMsgDelay = 0;
+    std::uint64_t nFlushDelay = 0;
+    std::uint64_t nPreempt = 0;
+};
+
+} // namespace tb::fault
+
+#endif // TB_FAULT_FAULT_INJECTOR_HH_

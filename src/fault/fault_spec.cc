@@ -1,0 +1,223 @@
+#include "fault/fault_spec.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tb::fault {
+
+namespace {
+
+/** Parse a rate in [0, 1]; fatal() on junk or out-of-range values. */
+double
+parseRate(const std::string& key, const std::string& text)
+{
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        fatal("fault spec: bad value '", text, "' for ", key,
+              " (expected a number)");
+    if (v < 0.0 || v > 1.0)
+        fatal("fault spec: ", key, "=", text,
+              " out of range (rates are probabilities in [0, 1])");
+    return v;
+}
+
+/** Parse a non-negative number with optional ns/us/ms suffix. */
+Tick
+parseDuration(const std::string& key, const std::string& text)
+{
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || errno == ERANGE || v < 0.0)
+        fatal("fault spec: bad duration '", text, "' for ", key);
+    double unit = 1.0; // raw ticks
+    if (std::strcmp(end, "ns") == 0)
+        unit = static_cast<double>(kNanosecond);
+    else if (std::strcmp(end, "us") == 0)
+        unit = static_cast<double>(kMicrosecond);
+    else if (std::strcmp(end, "ms") == 0)
+        unit = static_cast<double>(kMillisecond);
+    else if (*end != '\0')
+        fatal("fault spec: bad duration suffix '", end, "' for ", key,
+              " (use ns, us, ms, or raw ticks)");
+    return static_cast<Tick>(v * unit + 0.5);
+}
+
+/** Render a tick count with the largest exact unit suffix. */
+std::string
+renderDuration(Tick t)
+{
+    char buf[32];
+    if (t != 0 && t % kMillisecond == 0)
+        std::snprintf(buf, sizeof(buf), "%llums",
+                      static_cast<unsigned long long>(t / kMillisecond));
+    else if (t != 0 && t % kMicrosecond == 0)
+        std::snprintf(buf, sizeof(buf), "%lluus",
+                      static_cast<unsigned long long>(t / kMicrosecond));
+    else if (t != 0 && t % kNanosecond == 0)
+        std::snprintf(buf, sizeof(buf), "%lluns",
+                      static_cast<unsigned long long>(t / kNanosecond));
+    else
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(t));
+    return buf;
+}
+
+std::string
+renderRate(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+FaultSpec::enabled() const
+{
+    return dropWake > 0.0 || dupWake > 0.0 || delayWake > 0.0 ||
+           timerDrift > 0.0 || timerFail > 0.0 || linkStall > 0.0 ||
+           msgDelay > 0.0 || flushDelay > 0.0 || preempt > 0.0;
+}
+
+std::string
+FaultSpec::summary() const
+{
+    std::string out = "seed=" + std::to_string(seed);
+    auto rate = [&](const char* key, double v) {
+        if (v > 0.0)
+            out += std::string(",") + key + "=" + renderRate(v);
+    };
+    auto rateDur = [&](const char* key, double v, Tick d) {
+        if (v > 0.0)
+            out += std::string(",") + key + "=" + renderRate(v) + ":" +
+                   renderDuration(d);
+    };
+    rate("drop-wake", dropWake);
+    rateDur("dup-wake", dupWake, dupWakeDelay);
+    rateDur("delay-wake", delayWake, delayWakeDelay);
+    rate("timer-drift", timerDrift);
+    rate("timer-fail", timerFail);
+    rateDur("link-stall", linkStall, linkStallTicks);
+    rateDur("msg-delay", msgDelay, msgDelayTicks);
+    rateDur("flush-delay", flushDelay, flushDelayTicks);
+    rateDur("preempt", preempt, preemptBurst);
+    return out;
+}
+
+FaultSpec
+FaultSpec::parse(const std::string& text)
+{
+    FaultSpec s;
+    if (text.empty())
+        fatal("fault spec: empty spec (expected key=value[,key=value...])");
+
+    // Split on commas, then each pair on '=' and an optional ':'.
+    std::vector<std::string> pairs;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        pairs.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+
+    for (const auto& pair : pairs) {
+        std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= pair.size())
+            fatal("fault spec: malformed entry '", pair,
+                  "' (expected key=value)");
+        std::string key = pair.substr(0, eq);
+        std::string value = pair.substr(eq + 1);
+        std::string dur;
+        std::size_t colon = value.find(':');
+        if (colon != std::string::npos) {
+            dur = value.substr(colon + 1);
+            value = value.substr(0, colon);
+            if (value.empty() || dur.empty())
+                fatal("fault spec: malformed entry '", pair,
+                      "' (expected key=rate:duration)");
+        }
+
+        auto noDuration = [&]() {
+            if (!dur.empty())
+                fatal("fault spec: ", key,
+                      " does not take a :duration suffix");
+        };
+
+        if (key == "seed") {
+            noDuration();
+            errno = 0;
+            char* end = nullptr;
+            unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || errno == ERANGE)
+                fatal("fault spec: bad seed '", value, "'");
+            s.seed = v;
+        } else if (key == "all") {
+            noDuration();
+            double v = parseRate(key, value);
+            s.dropWake = s.dupWake = s.delayWake = v;
+            s.timerDrift = s.timerFail = v;
+            s.linkStall = s.msgDelay = v;
+            s.flushDelay = s.preempt = v;
+        } else if (key == "drop-wake") {
+            noDuration();
+            s.dropWake = parseRate(key, value);
+        } else if (key == "dup-wake") {
+            s.dupWake = parseRate(key, value);
+            if (!dur.empty())
+                s.dupWakeDelay = parseDuration(key, dur);
+        } else if (key == "delay-wake") {
+            s.delayWake = parseRate(key, value);
+            if (!dur.empty())
+                s.delayWakeDelay = parseDuration(key, dur);
+        } else if (key == "timer-drift") {
+            noDuration();
+            // Drift is a CV, not a probability, but values above 1
+            // model a hopeless timer and stay meaningful; allow any
+            // non-negative finite number.
+            errno = 0;
+            char* end = nullptr;
+            double v = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+                v < 0.0)
+                fatal("fault spec: bad value '", value,
+                      "' for timer-drift");
+            s.timerDrift = v;
+        } else if (key == "timer-fail") {
+            noDuration();
+            s.timerFail = parseRate(key, value);
+        } else if (key == "link-stall") {
+            s.linkStall = parseRate(key, value);
+            if (!dur.empty())
+                s.linkStallTicks = parseDuration(key, dur);
+        } else if (key == "msg-delay") {
+            s.msgDelay = parseRate(key, value);
+            if (!dur.empty())
+                s.msgDelayTicks = parseDuration(key, dur);
+        } else if (key == "flush-delay") {
+            s.flushDelay = parseRate(key, value);
+            if (!dur.empty())
+                s.flushDelayTicks = parseDuration(key, dur);
+        } else if (key == "preempt") {
+            s.preempt = parseRate(key, value);
+            if (!dur.empty())
+                s.preemptBurst = parseDuration(key, dur);
+        } else {
+            fatal("fault spec: unknown key '", key,
+                  "' (see docs/ROBUSTNESS.md for the spec grammar)");
+        }
+    }
+    return s;
+}
+
+} // namespace tb::fault

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "check/protocol_checker.hh"
+#include "fault/fault_injector.hh"
 #include "sim/logging.hh"
 #include "thrifty/conventional_barrier.hh"
 #include "thrifty/thrifty_barrier.hh"
@@ -101,18 +102,37 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
     if (options.check || check::checkedByDefault()) {
         check::CheckerConfig ccfg;
         ccfg.numNodes = sys.numNodes();
+        ccfg.barrierBudget = options.livenessBudget;
+        ccfg.sleepBudget = options.livenessBudget;
         checker = std::make_unique<check::ProtocolChecker>(ccfg);
     }
+
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (options.faults && options.faults->enabled())
+        injector = std::make_unique<fault::FaultInjector>(*options.faults);
 
     Machine machine(sys);
     if (checker)
         machine.attachChecker(*checker);
+    if (injector)
+        machine.attachFaultHooks(*injector);
 
     thrifty::SyncStats sync;
     sync.traceEnabled = options.trace;
 
-    ConfigBarrierProvider provider(machine, kind, options.customConfig,
-                                   sync);
+    // Fault injection without graceful degradation deadlocks by
+    // design (a dropped wake-up is unrecoverable), so unless the
+    // caller supplied an explicit custom configuration, switch the
+    // preset's hardening guard rails on for the run.
+    thrifty::ThriftyConfig hardened;
+    const thrifty::ThriftyConfig* custom = options.customConfig;
+    if (injector && !custom && kind != ConfigKind::Baseline) {
+        hardened = thriftyConfigFor(kind);
+        hardened.hardening.enabled = true;
+        custom = &hardened;
+    }
+
+    ConfigBarrierProvider provider(machine, kind, custom, sync);
     workloads::SyntheticProgram program(
         machine.eventQueue(), machine.memory(), machine.threadPtrs(),
         app, provider, sys.seed);
@@ -132,6 +152,10 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
     r.execTime = program.finishTick();
     r.threads = machine.config().numNodes();
     r.sync = std::move(sync);
+    if (injector) {
+        r.faultSpec = injector->spec().summary();
+        r.faultCounts = injector->counters();
+    }
 
     const power::EnergyAccount total = machine.totalEnergy();
     for (std::size_t i = 0; i < power::kNumBuckets; ++i) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_spec.hh"
 #include "harness/machine.hh"
 #include "thrifty/barrier.hh"
 #include "thrifty/thrifty_config.hh"
@@ -58,6 +59,20 @@ struct ExperimentResult
     thrifty::SyncStats sync;
     /** Participating threads. */
     unsigned threads = 0;
+    /** Canonical fault spec of the run (empty: no injection). */
+    std::string faultSpec;
+    /** Faults injected by kind (empty: no injection). */
+    std::vector<std::pair<std::string, std::uint64_t>> faultCounts;
+
+    /** Total faults injected across all kinds. */
+    std::uint64_t
+    faultsInjected() const
+    {
+        std::uint64_t t = 0;
+        for (const auto& [kind_, n] : faultCounts)
+            t += n;
+        return t;
+    }
 
     double
     totalEnergy() const
@@ -128,6 +143,19 @@ struct RunOptions
     const thrifty::ThriftyConfig* customConfig = nullptr;
     /** When set, dump all component statistics here after the run. */
     std::ostream* statsOut = nullptr;
+    /**
+     * When set (and enabled), realize this fault spec against the
+     * machine. Unless a custom config is supplied, the thrifty
+     * runtime's hardening guard rails are switched on automatically —
+     * faults without graceful degradation deadlock by design.
+     */
+    const fault::FaultSpec* faults = nullptr;
+    /**
+     * Liveness budget for the checker's barrier/sleep watchdogs, in
+     * ticks (0 = end-of-run audits only). Only meaningful when the
+     * checker is armed.
+     */
+    Tick livenessBudget = 0;
 };
 
 /**

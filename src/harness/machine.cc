@@ -50,6 +50,16 @@ Machine::attachChecker(check::ProtocolChecker& checker)
     mem_->attachObserver(&checker);
 }
 
+void
+Machine::attachFaultHooks(FaultHooks& hooks)
+{
+    net->setFaultHooks(&hooks);
+    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+        mem_->controller(n).setFaultHooks(&hooks);
+        cpus[n]->setFaultHooks(&hooks);
+    }
+}
+
 std::vector<cpu::ThreadContext*>
 Machine::threadPtrs()
 {

@@ -20,6 +20,8 @@
 
 namespace tb {
 
+class FaultHooks;
+
 namespace check { class ProtocolChecker; }
 
 namespace harness {
@@ -64,6 +66,13 @@ class Machine
      * machine (destructors cancel pending events through it).
      */
     void attachChecker(check::ProtocolChecker& checker);
+
+    /**
+     * Arm fault-injection hooks over the whole machine: network,
+     * every cache controller and every CPU. The hooks must outlive
+     * the machine.
+     */
+    void attachFaultHooks(FaultHooks& hooks);
 
     /**
      * Drain the event queue and close every CPU's accounting

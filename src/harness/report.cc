@@ -228,9 +228,44 @@ printJson(std::ostream& os, const ExperimentResult& r)
        << ", \"cutoffs\": " << r.sync.cutoffs
        << ", \"filtered_updates\": " << r.sync.filteredUpdates
        << ", \"residual_spins\": " << r.sync.residualSpins
+       << ", \"watchdog_fires\": " << r.sync.watchdogFires
+       << ", \"residual_escalations\": " << r.sync.residualEscalations
+       << ", \"quarantines\": " << r.sync.quarantines
+       << ", \"fallback_episodes\": " << r.sync.fallbackEpisodes
        << ", \"total_stall_s\": "
        << ticksToSeconds(static_cast<Tick>(r.sync.totalStallTicks))
-       << "}\n}\n";
+       << "}";
+    if (!r.faultSpec.empty()) {
+        os << ",\n  \"faults\": {\"spec\": \"" << r.faultSpec
+           << "\", \"injected\": " << r.faultsInjected()
+           << ", \"by_kind\": {";
+        bool first = true;
+        for (const auto& [kind, n] : r.faultCounts) {
+            os << (first ? "" : ", ") << '"' << kind << "\": " << n;
+            first = false;
+        }
+        os << "}}";
+    }
+    os << "\n}\n";
+}
+
+void
+printFaultSummary(std::ostream& os, const ExperimentResult& r)
+{
+    if (r.faultSpec.empty())
+        return;
+    os << "Fault injection (" << r.faultSpec << "): "
+       << r.faultsInjected() << " fault(s) injected\n";
+    for (const auto& [kind, n] : r.faultCounts) {
+        if (n > 0)
+            os << "  " << std::left << std::setw(14) << kind
+               << std::right << std::setw(8) << n << '\n';
+    }
+    os << "Degradation: " << r.sync.watchdogFires
+       << " watchdog fire(s), " << r.sync.residualEscalations
+       << " spin escalation(s), " << r.sync.quarantines
+       << " quarantine(s), " << r.sync.fallbackEpisodes
+       << " fallback episode(s)\n";
 }
 
 } // namespace report

@@ -60,9 +60,19 @@ baselineOf(const std::vector<ExperimentResult>& results);
 
 /**
  * Emit one result as a JSON object (machine-readable output for the
- * CLI tool and external plotting scripts).
+ * CLI tool and external plotting scripts). Runs with fault injection
+ * carry a "faults" object (spec + per-kind injection counts) and the
+ * degradation counters appear under "sync".
  */
 void printJson(std::ostream& os, const ExperimentResult& r);
+
+/**
+ * Human-readable fault/degradation summary for one injected run:
+ * the realized spec, per-kind injection counts and how far down the
+ * degradation ladder (docs/ROBUSTNESS.md) the runtime had to go.
+ * No-op when the run had no fault injection.
+ */
+void printFaultSummary(std::ostream& os, const ExperimentResult& r);
 
 } // namespace report
 } // namespace harness

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "sim/fault_hooks.hh"
 #include "sim/logging.hh"
 
 namespace tb {
@@ -16,6 +17,7 @@ wakeReasonName(WakeReason r)
       case WakeReason::Timer:          return "timer";
       case WakeReason::BufferOverflow: return "buffer-overflow";
       case WakeReason::Intervention:   return "intervention";
+      case WakeReason::Watchdog:       return "watchdog";
     }
     return "?";
 }
@@ -342,11 +344,7 @@ CacheController::handleInv(const Msg& msg)
 
     fireWatches(line);
 
-    if (flagMon.armed && flagMon.line == line) {
-        flagMon.armed = false;
-        statsGroup.scalar("externalWakes").inc();
-        triggerWake(WakeReason::ExternalFlag);
-    }
+    maybeFireFlagMonitor(line);
 }
 
 void
@@ -500,11 +498,7 @@ CacheController::dropLine(Addr line)
     // The flag monitor triggers on any coherence action that removes
     // the monitored line: plain invalidations, but also interventions
     // (another thread writing the flag while we hold it exclusive).
-    if (flagMon.armed && flagMon.line == line) {
-        flagMon.armed = false;
-        statsGroup.scalar("externalWakes").inc();
-        triggerWake(WakeReason::ExternalFlag);
-    }
+    maybeFireFlagMonitor(line);
 }
 
 // ----------------------------------------------------------------------
@@ -580,16 +574,73 @@ CacheController::injectSpuriousInvalidation(Addr a)
         deferred.push_back(line);
     }
     fireWatches(line);
-    if (flagMon.armed && flagMon.line == line) {
-        flagMon.armed = false;
-        triggerWake(WakeReason::ExternalFlag);
+    maybeFireFlagMonitor(line);
+}
+
+void
+CacheController::maybeFireFlagMonitor(Addr line)
+{
+    if (!flagMon.armed || flagMon.line != line)
+        return;
+    if (faults) {
+        WakeDeliveryFault f = faults->wakeDelivery(nodeId);
+        if (f.drop) {
+            // The wake-up notification is swallowed between the
+            // monitor's match logic and the wake pin. The monitor
+            // disarms (the match consumed the event), so only the
+            // timer, a buffer overflow, or the runtime's watchdog can
+            // still end this sleep episode.
+            flagMon.armed = false;
+            statsGroup.scalar("faultDroppedWakes").inc();
+            return;
+        }
+        if (f.duplicate) {
+            // Deliver now and replay later; the replay re-checks the
+            // monitor so it can only wake a *future* episode early
+            // (a spurious wake), never double-fire this one.
+            statsGroup.scalar("faultDupWakes").inc();
+            eq.scheduleIn(f.delay,
+                          [this, line]() { replayFlagWake(line); });
+        } else if (f.delay > 0) {
+            statsGroup.scalar("faultDelayedWakes").inc();
+            eq.scheduleIn(f.delay,
+                          [this, line]() { replayFlagWake(line); });
+            return;
+        }
     }
+    flagMon.armed = false;
+    statsGroup.scalar("externalWakes").inc();
+    triggerWake(WakeReason::ExternalFlag);
+}
+
+void
+CacheController::replayFlagWake(Addr line)
+{
+    // Guarded redelivery: the episode may have ended meanwhile (timer
+    // or watchdog won the race and disarmed the monitor).
+    if (!flagMon.armed || flagMon.line != line)
+        return;
+    flagMon.armed = false;
+    statsGroup.scalar("externalWakes").inc();
+    triggerWake(WakeReason::ExternalFlag);
 }
 
 void
 CacheController::armWakeTimer(Tick delta)
 {
     wakeTimer.cancel();
+    if (faults) {
+        if (faults->wakeTimerFails(nodeId)) {
+            // The timer hardware fails to arm: nothing will fire.
+            statsGroup.scalar("faultTimerFailures").inc();
+            return;
+        }
+        Tick skewed = faults->wakeTimerSkew(nodeId, delta);
+        if (skewed != delta) {
+            statsGroup.scalar("faultTimerDrifts").inc();
+            delta = skewed;
+        }
+    }
     wakeTimer = eq.scheduleIn(delta, [this]() {
         statsGroup.scalar("timerWakes").inc();
         triggerWake(WakeReason::Timer);
@@ -638,8 +689,16 @@ CacheController::flushDirtyShared(DoneCallback done)
         statsGroup.scalar("flushedLines").inc();
     }
 
-    const Tick duration =
+    Tick duration =
         static_cast<Tick>(to_flush.size()) * cfg.flushPerLine;
+    if (faults) {
+        Tick extra = faults->flushDelay(nodeId, to_flush.size());
+        if (extra > 0) {
+            statsGroup.scalar("faultFlushDelayTicks") +=
+                static_cast<double>(extra);
+            duration += extra;
+        }
+    }
     eq.scheduleIn(duration, std::move(done));
 }
 

@@ -42,6 +42,9 @@
 #include "sim/stats.hh"
 
 namespace tb {
+
+class FaultHooks;
+
 namespace mem {
 
 /** Why the controller is waking the CPU up. */
@@ -51,6 +54,7 @@ enum class WakeReason : std::uint8_t
     Timer,          ///< internal wake-up timer expired
     BufferOverflow, ///< pending-invalidation buffer ran out of entries
     Intervention,   ///< a dirty line needed servicing (safety wake)
+    Watchdog,       ///< runtime safety watchdog bounded the episode
 };
 
 /** Human-readable wake reason. */
@@ -163,6 +167,17 @@ class CacheController : public SimObject, public MsgSink
 
     /** Install the CPU's wake handler. */
     void setWakeHandler(WakeHandler handler) { wake = std::move(handler); }
+
+    /**
+     * Force a wake-up from outside the controller's own mechanisms
+     * (the thrifty runtime's safety watchdog). Disarms the monitor
+     * and timer like any other wake; returns the tick at which the
+     * cache is accessible again.
+     */
+    Tick forceWake(WakeReason reason) { return triggerWake(reason); }
+
+    /** Attach fault-injection hooks (nullptr detaches). */
+    void setFaultHooks(FaultHooks* hooks) { faults = hooks; }
 
     /**
      * Fault injection: deliver a spurious invalidation for @p a's
@@ -278,6 +293,16 @@ class CacheController : public SimObject, public MsgSink
     /** Trigger a wake-up through the installed handler. */
     Tick triggerWake(WakeReason reason);
 
+    /**
+     * Fire the flag monitor for @p line if armed, consulting the
+     * fault hooks: the notification can be dropped, duplicated, or
+     * delayed on its way to the wake logic.
+     */
+    void maybeFireFlagMonitor(Addr line);
+
+    /** Deliver a delayed/duplicated flag-monitor notification. */
+    void replayFlagWake(Addr line);
+
     /** Report @p line's L2 state to the attached observer, if any. */
     void
     noteLine(Addr line, LineState state)
@@ -307,6 +332,8 @@ class CacheController : public SimObject, public MsgSink
     std::vector<Addr> deferred; ///< invalidations buffered during sleep
 
     ProtocolObserver* obs = nullptr;
+    /** Optional fault injection (wake delivery, timer, flush). */
+    FaultHooks* faults = nullptr;
 
     stats::StatGroup statsGroup;
 };

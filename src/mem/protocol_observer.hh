@@ -141,6 +141,26 @@ class ProtocolObserver
     }
 
     // ------------------------------------------------------------------
+    // Synchronization runtime: barrier liveness.
+    // ------------------------------------------------------------------
+
+    /** The first thread checked in to dynamic barrier @p instance of
+     *  the barrier whose flag lives on @p flag_line. */
+    virtual void
+    onBarrierArmed(Addr flag_line, std::uint64_t instance)
+    {
+        (void)flag_line; (void)instance;
+    }
+
+    /** Dynamic barrier @p instance on @p flag_line was released (the
+     *  last thread flipped the flag). */
+    virtual void
+    onBarrierReleased(Addr flag_line, std::uint64_t instance)
+    {
+        (void)flag_line; (void)instance;
+    }
+
+    // ------------------------------------------------------------------
     // Directory: stable-state reports.
     // ------------------------------------------------------------------
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <utility>
 
+#include "sim/fault_hooks.hh"
 #include "sim/logging.hh"
 
 namespace tb {
@@ -71,6 +72,17 @@ Network::send(NodeId src, NodeId dst, unsigned bytes, Deliver on_deliver)
     for (unsigned dim = 0; dim < cfg.dimension; ++dim) {
         if (!((diff >> dim) & 1u))
             continue;
+        if (faults) {
+            // An injected stall occupies the head of the worm on this
+            // link, so it lands before the contention accounting and
+            // naturally back-pressures messages queued behind it.
+            Tick stall = faults->linkStall(at, dim);
+            if (stall > 0) {
+                statsGroup.scalar("faultLinkStallTicks") +=
+                    static_cast<double>(stall);
+                t += stall;
+            }
+        }
         if (cfg.modelContention) {
             Tick& free_at = linkFreeAt[linkIndex(at, dim)];
             if (free_at > t) {
@@ -86,6 +98,19 @@ Network::send(NodeId src, NodeId dst, unsigned bytes, Deliver on_deliver)
     // Body flits pipeline behind the header on the final link.
     t += static_cast<Tick>(n_flits - 1) * cfg.routerPeriod;
     t += cfg.marshal; // unmarshal at the destination
+
+    if (faults) {
+        // End-to-end delay spikes land *before* the ordering clamp so
+        // a delayed message still cannot overtake an earlier one on
+        // the same (src, dst) pair — the protocol's point-to-point
+        // ordering assumption survives the fault.
+        Tick delay = faults->messageDelay(src, dst);
+        if (delay > 0) {
+            statsGroup.scalar("faultDelayTicks") +=
+                static_cast<double>(delay);
+            t += delay;
+        }
+    }
 
     // Preserve point-to-point ordering: never deliver before an
     // earlier message between the same endpoints (ties keep send

@@ -32,6 +32,9 @@
 #include "sim/types.hh"
 
 namespace tb {
+
+class FaultHooks;
+
 namespace noc {
 
 /** Static configuration of the interconnect. */
@@ -93,6 +96,9 @@ class Network : public SimObject
     /** Aggregate statistics for this network. */
     const stats::StatGroup& statistics() const { return statsGroup; }
 
+    /** Attach fault-injection hooks (nullptr detaches). */
+    void setFaultHooks(FaultHooks* hooks) { faults = hooks; }
+
   private:
     /** Number of router cycles needed to serialize @p bytes. */
     unsigned flits(unsigned bytes) const;
@@ -111,6 +117,8 @@ class Network : public SimObject
      * not overtake the data grant that precedes it).
      */
     std::vector<Tick> pairLastDelivery;
+    /** Optional fault injection (link stalls, message-delay spikes). */
+    FaultHooks* faults = nullptr;
     stats::StatGroup statsGroup;
 };
 

@@ -17,6 +17,10 @@ EventHandle::cancel()
 {
     if (event && !event->fired && !event->canceled) {
         event->canceled = true;
+        // Release the closure now: a canceled event never runs, and a
+        // callback that captures the owner of this handle would
+        // otherwise keep it alive in a reference cycle.
+        event->callback = nullptr;
         if (event->owner) {
             --event->owner->livePending;
             if (event->owner->obs)

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fault-injection interface for the simulated machine.
+ *
+ * Model components (network, cache controllers, CPUs) carry an
+ * optional FaultHooks pointer, null by default, and consult it at the
+ * seams a real machine can misbehave at: wake-up delivery, the
+ * internal wake timer, the pre-sleep flush, NoC links, and the OS
+ * scheduler. When no hooks are attached every seam reduces to one
+ * predicted-not-taken branch, mirroring the ProtocolObserver pattern.
+ *
+ * The canonical implementation is fault::FaultInjector, which draws
+ * every decision from one seeded random stream in deterministic event
+ * order, so a fault campaign replays bit-identically from its spec +
+ * seed (see docs/ROBUSTNESS.md). The interface lives in sim/ so the
+ * model libraries never depend on the fault library.
+ */
+
+#ifndef TB_SIM_FAULT_HOOKS_HH_
+#define TB_SIM_FAULT_HOOKS_HH_
+
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace tb {
+
+/** Outcome of consulting the hooks about one wake-up delivery. */
+struct WakeDeliveryFault
+{
+    /** Swallow the flag-monitor notification entirely. */
+    bool drop = false;
+    /** Deliver now *and* replay the notification @p delay later. */
+    bool duplicate = false;
+    /** Delay before the (re)delivery; 0 = deliver immediately. */
+    Tick delay = 0;
+};
+
+/** Fault decisions consulted by the model. All defaults are benign. */
+class FaultHooks
+{
+  public:
+    virtual ~FaultHooks() = default;
+
+    // ------------------------------------------------------------------
+    // NoC.
+    // ------------------------------------------------------------------
+
+    /** Extra stall on the directed link leaving @p at along @p dim. */
+    virtual Tick
+    linkStall(NodeId at, unsigned dim)
+    {
+        (void)at; (void)dim;
+        return 0;
+    }
+
+    /** Extra end-to-end delay spike for a @p src -> @p dst message,
+     *  applied before the network's point-to-point ordering clamp so
+     *  the protocol's ordering assumptions survive the fault. */
+    virtual Tick
+    messageDelay(NodeId src, NodeId dst)
+    {
+        (void)src; (void)dst;
+        return 0;
+    }
+
+    // ------------------------------------------------------------------
+    // Cache controller (thrifty-barrier hardware).
+    // ------------------------------------------------------------------
+
+    /** How the flag monitor's wake-up notification on @p node is
+     *  perturbed (dropped / duplicated / delayed). */
+    virtual WakeDeliveryFault
+    wakeDelivery(NodeId node)
+    {
+        (void)node;
+        return {};
+    }
+
+    /** True if the wake timer being armed on @p node fails outright
+     *  (never fires). */
+    virtual bool
+    wakeTimerFails(NodeId node)
+    {
+        (void)node;
+        return false;
+    }
+
+    /** Drifted countdown for a timer armed for @p delta on @p node. */
+    virtual Tick
+    wakeTimerSkew(NodeId node, Tick delta)
+    {
+        (void)node;
+        return delta;
+    }
+
+    /** Extra duration of a pre-sleep flush of @p lines dirty lines. */
+    virtual Tick
+    flushDelay(NodeId node, std::size_t lines)
+    {
+        (void)node; (void)lines;
+        return 0;
+    }
+
+    // ------------------------------------------------------------------
+    // CPU / OS.
+    // ------------------------------------------------------------------
+
+    /** OS-preemption burst at wake-up on @p node: the CPU is Active
+     *  but the thread does not resume for this many ticks. */
+    virtual Tick
+    preemptionBurst(NodeId node)
+    {
+        (void)node;
+        return 0;
+    }
+};
+
+} // namespace tb
+
+#endif // TB_SIM_FAULT_HOOKS_HH_

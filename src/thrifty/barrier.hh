@@ -55,6 +55,14 @@ struct SyncStats
     double residualSpinTicks = 0.0;
     /** Residual-spin episodes (== sleeps that had to verify the flag). */
     std::uint64_t residualSpins = 0;
+    /** Safety-watchdog expirations that forced a wake-up. */
+    std::uint64_t watchdogFires = 0;
+    /** Residual spins whose budget expired (escalated to full spin). */
+    std::uint64_t residualEscalations = 0;
+    /** (thread, barrier) pairs placed in quarantine. */
+    std::uint64_t quarantines = 0;
+    /** Arrivals served by the conventional path due to quarantine. */
+    std::uint64_t fallbackEpisodes = 0;
 
     /** Optional per-departure trace. */
     bool traceEnabled = false;

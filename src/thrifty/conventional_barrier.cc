@@ -45,10 +45,18 @@ ConventionalBarrier::arrive(cpu::ThreadContext& tc,
 
     tc.atomic(
         countAddr,
-        [this]() {
+        [this, &tc]() {
             const std::uint64_t old = backend.read(countAddr);
             backend.write(countAddr,
                           old + 1 == total ? 0 : old + 1);
+            // Arm at the count's serialization point: the first
+            // check-in is then strictly ordered before the release,
+            // no matter how long its completion reply is in flight.
+            if (old == 0) {
+                if (auto* o = tc.controller().checkObserver())
+                    o->onBarrierArmed(mem::lineAddr(flagAddr),
+                                      instanceIdx);
+            }
             return old;
         },
         [this, &tc, tid, want, cont = std::move(cont)](
@@ -56,7 +64,11 @@ ConventionalBarrier::arrive(cpu::ThreadContext& tc,
             if (old + 1 == total) {
                 // Last thread: toggle the flag, releasing everyone.
                 tc.store(flagAddr, want,
-                         [this, tid, cont = std::move(cont)]() {
+                         [this, &tc, tid, cont = std::move(cont)]() {
+                             if (auto* o = tc.controller().checkObserver())
+                                 o->onBarrierReleased(
+                                     mem::lineAddr(flagAddr),
+                                     instanceIdx);
                              ++instanceIdx;
                              ++syncStats.instances;
                              syncStats.totalStallTicks +=

@@ -19,6 +19,7 @@
 #include <functional>
 
 #include "cpu/thread_context.hh"
+#include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace tb {
@@ -31,6 +32,21 @@ namespace thrifty {
  */
 void spinOnFlag(cpu::ThreadContext& tc, Addr flag, std::uint64_t want,
                 std::function<void()> cont);
+
+/**
+ * Bounded variant for faulty machines (docs/ROBUSTNESS.md): spin on
+ * @p flag like spinOnFlag, but give the cache-hit loop only @p budget
+ * ticks of trust. If the budget expires without the flag flipping,
+ * @p on_escalate runs once and the loop escalates to re-reading the
+ * flag through the coherence protocol every @p recheck ticks — making
+ * progress even if the invalidation that should end the quiet
+ * cache-hit loop was lost. @p cont still runs exactly once, when the
+ * flag finally reads @p want.
+ */
+void spinOnFlagBounded(EventQueue& eq, cpu::ThreadContext& tc, Addr flag,
+                       std::uint64_t want, Tick budget, Tick recheck,
+                       std::function<void()> on_escalate,
+                       std::function<void()> cont);
 
 } // namespace thrifty
 } // namespace tb

@@ -22,7 +22,9 @@ ThriftyBarrier::ThriftyBarrier(EventQueue& queue, BarrierPc pc,
       arrivalTick(total, 0),
       computeTime(total, 0),
       wakeTick(total, kTickNever),
-      arrivalInstance(total, 0)
+      arrivalInstance(total, 0),
+      watchdog(total),
+      episodeFaulty(total, 0)
 {
     // Count, flag and published-BIT live on three distinct lines of a
     // shared page: check-in traffic and BIT reads must not disturb
@@ -31,6 +33,12 @@ ThriftyBarrier::ThriftyBarrier(EventQueue& queue, BarrierPc pc,
     countAddr = base;
     flagAddr = base + mem::kLineBytes;
     bitAddr = base + 2 * mem::kLineBytes;
+}
+
+ThriftyBarrier::~ThriftyBarrier()
+{
+    for (auto& h : watchdog)
+        h.cancel();
 }
 
 void
@@ -49,12 +57,22 @@ ThriftyBarrier::arrive(cpu::ThreadContext& tc, std::function<void()> cont)
 
     const std::uint64_t want = localSense[tid] ^ 1u;
     localSense[tid] = static_cast<std::uint8_t>(want);
+    episodeFaulty[tid] = 0;
 
     tc.atomic(
         countAddr,
-        [this]() {
+        [this, &tc]() {
             const std::uint64_t old = backend.read(countAddr);
             backend.write(countAddr, old + 1 == total ? 0 : old + 1);
+            // First check-in arms this dynamic instance, at the
+            // count's serialization point: the arm is then strictly
+            // ordered before the release even when the completion
+            // reply is delayed in the fabric (fault injection).
+            if (old == 0) {
+                if (auto* o = tc.controller().checkObserver())
+                    o->onBarrierArmed(mem::lineAddr(flagAddr),
+                                      instanceIdx);
+            }
             return old;
         },
         [this, &tc, tid, want,
@@ -96,7 +114,11 @@ ThriftyBarrier::lastArrival(cpu::ThreadContext& tc, ThreadId tid,
     tc.store(bitAddr, actual_bit, [this, &tc, tid, want, actual_bit,
                                    cont = std::move(cont)]() mutable {
         tc.store(flagAddr, want,
-                 [this, tid, actual_bit, cont = std::move(cont)]() {
+                 [this, &tc, tid, actual_bit,
+                  cont = std::move(cont)]() {
+                     if (auto* o = tc.controller().checkObserver())
+                         o->onBarrierReleased(mem::lineAddr(flagAddr),
+                                              instanceIdx);
                      ++instanceIdx;
                      ++runtime.stats().instances;
                      runtime.advanceBrts(tid, actual_bit);
@@ -120,6 +142,19 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
 
     if (cfg.oracle) {
         park(tc, tid, std::move(cont));
+        return;
+    }
+
+    if (cfg.hardening.enabled && runtime.quarantined(tid, barrierPc)) {
+        // Bottom of the degradation ladder: this (thread, barrier)
+        // pair burned through its faulty-episode allowance, so it
+        // takes the conventional sense-reversal spin until the
+        // exponential backoff re-enables prediction.
+        ++st.spins;
+        spinOnFlag(tc, flagAddr, want,
+                   [this, &tc, tid, cont = std::move(cont)]() mutable {
+                       depart(tc, tid, std::move(cont));
+                   });
         return;
     }
 
@@ -175,22 +210,64 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                 tc.controller().disarmFlagMonitor();
 
             ++stats.sleeps;
+            if (conf.hardening.enabled) {
+                // Safety watchdog: no sleep episode outlives a bounded
+                // multiple of its own prediction, even if both wake-up
+                // mechanisms fail (lost invalidation + dead timer).
+                const Tick stall = predicted_wake > curTick()
+                                       ? predicted_wake - curTick()
+                                       : 0;
+                const Tick bound = std::max(
+                    static_cast<Tick>(
+                        conf.hardening.watchdogFactor *
+                        static_cast<double>(stall)),
+                    conf.hardening.watchdogMin);
+                watchdog[tid] = eq.scheduleIn(bound, [this, &tc, tid]() {
+                    ++runtime.stats().watchdogFires;
+                    episodeFaulty[tid] = 1;
+                    tc.controller().forceWake(mem::WakeReason::Watchdog);
+                });
+            }
             tc.cpu().enterSleep(
                 *state,
                 [this, &tc, tid, want,
                  cont = std::move(cont)](mem::WakeReason) mutable {
+                    watchdog[tid].cancel();
                     wakeTick[tid] = curTick();
                     // Residual spin: verify the flag actually flipped
                     // (guards early wake-ups and false wake-ups).
-                    spinOnFlag(tc, flagAddr, want,
-                               [this, &tc, tid,
-                                cont = std::move(cont)]() mutable {
-                                   runtime.stats().residualSpinTicks +=
-                                       static_cast<double>(
-                                           curTick() - wakeTick[tid]);
-                                   ++runtime.stats().residualSpins;
-                                   depart(tc, tid, std::move(cont));
-                               });
+                    std::function<void()> finish =
+                        [this, &tc, tid,
+                         cont = std::move(cont)]() mutable {
+                            runtime.stats().residualSpinTicks +=
+                                static_cast<double>(curTick() -
+                                                    wakeTick[tid]);
+                            ++runtime.stats().residualSpins;
+                            const ThriftyConfig& c = runtime.config();
+                            if (c.hardening.enabled)
+                                runtime.noteSleepEpisode(
+                                    tid, barrierPc,
+                                    episodeFaulty[tid] != 0);
+                            depart(tc, tid, std::move(cont));
+                        };
+                    const ThriftyConfig& c = runtime.config();
+                    if (c.hardening.enabled) {
+                        // Bounded residual spin: trust the quiet
+                        // cache-hit loop only so long, then escalate
+                        // to periodic coherent re-reads of the flag.
+                        spinOnFlagBounded(
+                            eq, tc, flagAddr, want,
+                            c.hardening.residualSpinBudget,
+                            c.hardening.recheckInterval,
+                            [this, tid]() {
+                                ++runtime.stats().residualEscalations;
+                                episodeFaulty[tid] = 1;
+                            },
+                            std::move(finish));
+                    } else {
+                        spinOnFlag(tc, flagAddr, want,
+                                   std::move(finish));
+                    }
                 });
         });
 }

@@ -58,6 +58,9 @@ class ThriftyBarrier : public Barrier, public SimObject
                    ThriftyRuntime& runtime, mem::MemorySystem& memory,
                    std::string name);
 
+    /** Cancels pending safety watchdogs so no dead callback fires. */
+    ~ThriftyBarrier() override;
+
     void arrive(cpu::ThreadContext& tc,
                 std::function<void()> cont) override;
 
@@ -119,6 +122,10 @@ class ThriftyBarrier : public Barrier, public SimObject
     std::vector<std::uint64_t> arrivalInstance;
     std::uint64_t instanceIdx = 0;
     std::vector<Parked> parked;
+    /** Per-thread safety watchdog bounding the current sleep episode. */
+    std::vector<EventHandle> watchdog;
+    /** Whether the thread's current episode hit a degradation event. */
+    std::vector<std::uint8_t> episodeFaulty;
 };
 
 } // namespace thrifty

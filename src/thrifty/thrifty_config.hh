@@ -18,6 +18,7 @@
 #include <string>
 
 #include "power/sleep_states.hh"
+#include "sim/types.hh"
 
 namespace tb {
 namespace thrifty {
@@ -32,6 +33,50 @@ enum class WakeupPolicy : std::uint8_t
 
 /** Human-readable policy name. */
 const char* wakeupPolicyName(WakeupPolicy p);
+
+/**
+ * Graceful-degradation guard rails for faulty machines (see
+ * docs/ROBUSTNESS.md). Disabled by default so a healthy machine's
+ * behavior — and the paper's reproduced numbers — are untouched; the
+ * harness enables them automatically when fault injection is active.
+ *
+ * The degradation ladder per sleep episode:
+ *   sleep (watchdog-bounded) -> bounded residual spin -> full spin
+ *   with periodic protocol re-checks -> per-(thread, barrier)
+ *   quarantine to the conventional sense-reversal path.
+ */
+struct HardeningConfig
+{
+    /** Master switch for all guard rails below. */
+    bool enabled = false;
+
+    /**
+     * Safety watchdog bounding every sleep episode: fires at
+     * max(watchdogFactor * predicted stall, watchdogMin) after sleep
+     * entry and forces a wake-up if nothing else did.
+     */
+    double watchdogFactor = 8.0;
+    Tick watchdogMin = 500 * kMicrosecond;
+
+    /**
+     * Budget for the post-wake residual spin. When it expires the
+     * spin escalates: the flag is re-read through the coherence
+     * protocol every recheckInterval instead of trusting a (possibly
+     * lost) invalidation to end a cache-hit loop.
+     */
+    Tick residualSpinBudget = 100 * kMicrosecond;
+    Tick recheckInterval = 25 * kMicrosecond;
+
+    /**
+     * After this many consecutive faulty sleep episodes, a
+     * (thread, barrier) pair is quarantined to the conventional spin
+     * path for quarantineBase * 2^k instances (k grows per
+     * quarantine, capped by quarantineMaxExponent), then re-enabled.
+     */
+    unsigned quarantineThreshold = 3;
+    unsigned quarantineBase = 4;
+    unsigned quarantineMaxExponent = 6;
+};
 
 /** Tunables of the thrifty barrier. */
 struct ThriftyConfig
@@ -69,6 +114,9 @@ struct ThriftyConfig
 
     /** Ideal mode: oracle + no flushing overhead for any sleep state. */
     bool ideal = false;
+
+    /** Graceful-degradation guard rails (off on healthy machines). */
+    HardeningConfig hardening;
 
     // ---- presets matching Section 5.1 -------------------------------
 

@@ -13,7 +13,10 @@
 #ifndef TB_THRIFTY_THRIFTY_RUNTIME_HH_
 #define TB_THRIFTY_THRIFTY_RUNTIME_HH_
 
+#include <algorithm>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -52,12 +55,76 @@ class ThriftyRuntime
         brts_.at(tid) += bit;
     }
 
+    // ------------------------------------------------------------------
+    // Quarantine (graceful degradation, docs/ROBUSTNESS.md).
+    //
+    // A (thread, barrier) pair that keeps hitting faulty sleep
+    // episodes — watchdog fires, residual-spin escalations — is sent
+    // back to the conventional spin path for a while, with the
+    // penalty doubling on each repeat (exponential backoff) so a
+    // persistently broken wake-up path converges to plain spinning.
+    // ------------------------------------------------------------------
+
+    /**
+     * True if (tid, pc) is currently quarantined; consumes one
+     * quarantined barrier instance and counts a fallback episode.
+     */
+    bool
+    quarantined(ThreadId tid, BarrierPc pc)
+    {
+        auto it = quarantine_.find({tid, pc});
+        if (it == quarantine_.end() || it->second.remaining == 0)
+            return false;
+        --it->second.remaining;
+        ++syncStats.fallbackEpisodes;
+        return true;
+    }
+
+    /** Record the outcome of one completed sleep episode of (tid, pc). */
+    void
+    noteSleepEpisode(ThreadId tid, BarrierPc pc, bool faulty)
+    {
+        const HardeningConfig& h = cfg.hardening;
+        QuarantineState& q = quarantine_[{tid, pc}];
+        if (!faulty) {
+            q.faultyStreak = 0;
+            if (q.exponent > 0)
+                --q.exponent; // healthy episodes walk the backoff down
+            return;
+        }
+        if (++q.faultyStreak < h.quarantineThreshold)
+            return;
+        q.faultyStreak = 0;
+        q.remaining = h.quarantineBase
+                      << std::min(q.exponent, h.quarantineMaxExponent);
+        ++q.exponent;
+        ++syncStats.quarantines;
+    }
+
+    /** Number of (thread, barrier) pairs currently quarantined. */
+    unsigned
+    quarantinedPairs() const
+    {
+        unsigned n = 0;
+        for (const auto& [key, q] : quarantine_)
+            n += q.remaining > 0 ? 1 : 0;
+        return n;
+    }
+
   private:
+    struct QuarantineState
+    {
+        unsigned faultyStreak = 0; ///< consecutive faulty episodes
+        unsigned remaining = 0;    ///< instances left on conventional path
+        unsigned exponent = 0;     ///< backoff doubling count
+    };
+
     unsigned threads;
     ThriftyConfig cfg;
     std::unique_ptr<BitPredictor> pred;
     SyncStats& syncStats;
     std::vector<Tick> brts_;
+    std::map<std::pair<ThreadId, BarrierPc>, QuarantineState> quarantine_;
 };
 
 } // namespace thrifty

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault-injection framework and the
+ * thrifty runtime's graceful degradation under it
+ * (docs/ROBUSTNESS.md): spec parsing, seed-reproducible replay, the
+ * lost-wake-up regression, watchdog rescue of failed timers, and the
+ * checker's barrier/sleep liveness watchdogs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/protocol_checker.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_spec.hh"
+#include "harness/experiment.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "workloads/app_profile.hh"
+
+namespace tb {
+namespace {
+
+using fault::FaultSpec;
+using harness::ConfigKind;
+using harness::RunOptions;
+using harness::SystemConfig;
+
+// ----------------------------------------------------------------------
+// Spec parsing
+// ----------------------------------------------------------------------
+
+TEST(FaultSpec, DefaultIsDisabled)
+{
+    const FaultSpec s;
+    EXPECT_FALSE(s.enabled());
+    EXPECT_EQ(s.seed, 1u);
+}
+
+TEST(FaultSpec, ParsesRatesAndDurations)
+{
+    const FaultSpec s = FaultSpec::parse(
+        "seed=7,drop-wake=0.5,dup-wake=0.25:10us,link-stall=0.1:3us,"
+        "timer-drift=2.5");
+    EXPECT_TRUE(s.enabled());
+    EXPECT_EQ(s.seed, 7u);
+    EXPECT_DOUBLE_EQ(s.dropWake, 0.5);
+    EXPECT_DOUBLE_EQ(s.dupWake, 0.25);
+    EXPECT_EQ(s.dupWakeDelay, 10 * kMicrosecond);
+    EXPECT_DOUBLE_EQ(s.linkStall, 0.1);
+    EXPECT_EQ(s.linkStallTicks, 3 * kMicrosecond);
+    // timer-drift is a lognormal CV, not a probability: > 1 is legal.
+    EXPECT_DOUBLE_EQ(s.timerDrift, 2.5);
+}
+
+TEST(FaultSpec, AllSetsEveryRate)
+{
+    const FaultSpec s = FaultSpec::parse("all=0.2");
+    EXPECT_DOUBLE_EQ(s.dropWake, 0.2);
+    EXPECT_DOUBLE_EQ(s.dupWake, 0.2);
+    EXPECT_DOUBLE_EQ(s.delayWake, 0.2);
+    EXPECT_DOUBLE_EQ(s.timerFail, 0.2);
+    EXPECT_DOUBLE_EQ(s.linkStall, 0.2);
+    EXPECT_DOUBLE_EQ(s.msgDelay, 0.2);
+    EXPECT_DOUBLE_EQ(s.flushDelay, 0.2);
+    EXPECT_DOUBLE_EQ(s.preempt, 0.2);
+}
+
+TEST(FaultSpec, RejectsMalformedInput)
+{
+    EXPECT_THROW(FaultSpec::parse(""), FatalError);
+    EXPECT_THROW(FaultSpec::parse("bogus=1"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("drop-wake"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("drop-wake=1.5"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("drop-wake=-0.1"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("drop-wake=abc"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("drop-wake=0.5x"), FatalError);
+    // Rate-only keys take no duration.
+    EXPECT_THROW(FaultSpec::parse("drop-wake=0.5:10us"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("dup-wake=0.5:10lightyears"),
+                 FatalError);
+    EXPECT_THROW(FaultSpec::parse("seed=zebra"), FatalError);
+}
+
+TEST(FaultSpec, SummaryRoundTrips)
+{
+    const FaultSpec a = FaultSpec::parse(
+        "seed=9,drop-wake=0.3,delay-wake=0.2:7us,preempt=0.05");
+    const FaultSpec b = FaultSpec::parse(a.summary());
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_EQ(b.seed, 9u);
+    EXPECT_DOUBLE_EQ(b.delayWake, 0.2);
+    EXPECT_EQ(b.delayWakeDelay, 7 * kMicrosecond);
+}
+
+TEST(FaultInjector, IndependentDrawStreamsPerKind)
+{
+    // Adding an unrelated kind must not reshuffle another kind's
+    // draws: hooks with rate 0 never touch the RNG.
+    fault::FaultInjector a(FaultSpec::parse("seed=4,drop-wake=0.5"));
+    fault::FaultInjector b(
+        FaultSpec::parse("seed=4,drop-wake=0.5,link-stall=0"));
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(a.wakeDelivery(0).drop, b.wakeDelivery(0).drop);
+        // Rate-0 hooks are exact no-ops.
+        EXPECT_EQ(b.linkStall(0, 0), 0u);
+    }
+}
+
+// ----------------------------------------------------------------------
+// End-to-end injection + graceful degradation
+// ----------------------------------------------------------------------
+
+workloads::AppProfile
+tinyApp()
+{
+    workloads::AppProfile a;
+    a.name = "tiny";
+    workloads::PhaseSpec p;
+    p.pc = 0x1;
+    p.meanCompute = 200 * kMicrosecond;
+    p.imbalanceCv = 0.4;
+    p.memAccesses = 4;
+    a.loop.push_back(p);
+    a.iterations = 6;
+    return a;
+}
+
+TEST(FaultInjection, DeterministicReplay)
+{
+    SystemConfig sys = SystemConfig::small(2);
+    sys.seed = 3;
+    const FaultSpec spec = FaultSpec::parse(
+        "seed=5,drop-wake=0.4,dup-wake=0.2,delay-wake=0.2,"
+        "timer-drift=0.5,timer-fail=0.3,link-stall=0.05,msg-delay=0.05,"
+        "flush-delay=0.3,preempt=0.1");
+    RunOptions opt;
+    opt.check = true;
+    opt.faults = &spec;
+    opt.livenessBudget = 200 * kMillisecond;
+
+    const auto a = harness::runExperiment(sys, tinyApp(),
+                                          ConfigKind::Thrifty, opt);
+    const auto b = harness::runExperiment(sys, tinyApp(),
+                                          ConfigKind::Thrifty, opt);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.faultCounts, b.faultCounts);
+    EXPECT_EQ(a.faultSpec, b.faultSpec);
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), b.totalEnergy());
+    EXPECT_EQ(a.sync.watchdogFires, b.sync.watchdogFires);
+    EXPECT_EQ(a.sync.quarantines, b.sync.quarantines);
+    EXPECT_GT(a.faultsInjected(), 0u);
+}
+
+/** Every external wake-up invalidation dropped: the hardened runtime
+ *  must still release every barrier (via the safety watchdog), where
+ *  the unhardened runtime deadlocks by design. */
+TEST(FaultInjection, LostWakeNeverDeadlocks)
+{
+    SystemConfig sys = SystemConfig::small(2);
+    const FaultSpec spec = FaultSpec::parse("seed=2,drop-wake=1.0");
+
+    thrifty::ThriftyConfig cfg = thrifty::ThriftyConfig::thrifty();
+    cfg.wakeup = thrifty::WakeupPolicy::External;
+    cfg.hardening.enabled = true;
+
+    RunOptions opt;
+    opt.check = true;
+    opt.customConfig = &cfg;
+    opt.faults = &spec;
+    opt.livenessBudget = 200 * kMillisecond;
+
+    const auto r = harness::runExperiment(sys, tinyApp(),
+                                          ConfigKind::Thrifty, opt);
+    EXPECT_GT(r.sync.sleeps, 0u);
+    EXPECT_GT(r.sync.watchdogFires, 0u);
+    EXPECT_GT(r.faultsInjected(), 0u);
+
+    // Without the guard rails the same spec never finishes: the run
+    // panics (deadlock or liveness violation) instead of hanging.
+    thrifty::ThriftyConfig soft = cfg;
+    soft.hardening.enabled = false;
+    RunOptions bad = opt;
+    bad.customConfig = &soft;
+    EXPECT_THROW(harness::runExperiment(sys, tinyApp(),
+                                        ConfigKind::Thrifty, bad),
+                 PanicError);
+}
+
+/** Internal wake-up timers that never fire are rescued by the safety
+ *  watchdog. */
+TEST(FaultInjection, TimerFailureRescuedByWatchdog)
+{
+    SystemConfig sys = SystemConfig::small(2);
+    const FaultSpec spec = FaultSpec::parse("seed=6,timer-fail=1.0");
+
+    thrifty::ThriftyConfig cfg = thrifty::ThriftyConfig::thrifty();
+    cfg.wakeup = thrifty::WakeupPolicy::Internal;
+    cfg.hardening.enabled = true;
+
+    RunOptions opt;
+    opt.check = true;
+    opt.customConfig = &cfg;
+    opt.faults = &spec;
+    opt.livenessBudget = 200 * kMillisecond;
+
+    const auto r = harness::runExperiment(sys, tinyApp(),
+                                          ConfigKind::Thrifty, opt);
+    EXPECT_GT(r.sync.sleeps, 0u);
+    EXPECT_GT(r.sync.watchdogFires, 0u);
+    std::uint64_t timer_fails = 0;
+    for (const auto& [kind, n] : r.faultCounts) {
+        if (kind == "timer-fail")
+            timer_fails = n;
+    }
+    EXPECT_GT(timer_fails, 0u);
+}
+
+/** The cutoff and underprediction filter must keep functioning under
+ *  preemption spikes and timer drift: episodes complete and the
+ *  mechanism counters stay coherent. */
+TEST(FaultInjection, CutoffAndFilterSurviveDriftAndPreemption)
+{
+    SystemConfig sys = SystemConfig::small(2);
+    sys.seed = 5;
+    const FaultSpec spec = FaultSpec::parse(
+        "seed=8,timer-drift=1.5,preempt=0.5");
+    RunOptions opt;
+    opt.check = true;
+    opt.faults = &spec;
+    opt.livenessBudget = 200 * kMillisecond;
+
+    const auto r = harness::runExperiment(sys, tinyApp(),
+                                          ConfigKind::Thrifty, opt);
+    EXPECT_GT(r.sync.instances, 0u);
+    EXPECT_GT(r.faultsInjected(), 0u);
+    // Every arrival is accounted exactly once across the mechanisms.
+    EXPECT_EQ(r.sync.arrivals,
+              static_cast<std::uint64_t>(r.sync.instances) * r.threads);
+}
+
+// ----------------------------------------------------------------------
+// Quarantine ladder
+// ----------------------------------------------------------------------
+
+TEST(Quarantine, EngagesAfterStreakAndBacksOffExponentially)
+{
+    thrifty::ThriftyConfig cfg = thrifty::ThriftyConfig::thrifty();
+    cfg.hardening.enabled = true;
+    cfg.hardening.quarantineThreshold = 3;
+    cfg.hardening.quarantineBase = 2;
+    thrifty::SyncStats stats;
+    thrifty::ThriftyRuntime rt(2, cfg, stats);
+
+    // Two faulty episodes: below the streak threshold.
+    rt.noteSleepEpisode(0, 0x1, true);
+    rt.noteSleepEpisode(0, 0x1, true);
+    EXPECT_FALSE(rt.quarantined(0, 0x1));
+    EXPECT_EQ(stats.quarantines, 0u);
+
+    // A clean episode resets the streak.
+    rt.noteSleepEpisode(0, 0x1, false);
+    rt.noteSleepEpisode(0, 0x1, true);
+    rt.noteSleepEpisode(0, 0x1, true);
+    EXPECT_FALSE(rt.quarantined(0, 0x1));
+
+    // Third consecutive faulty episode trips the quarantine: base
+    // (2) conventional instances before prediction re-enables.
+    rt.noteSleepEpisode(0, 0x1, true);
+    EXPECT_EQ(stats.quarantines, 1u);
+    EXPECT_EQ(rt.quarantinedPairs(), 1u);
+    EXPECT_TRUE(rt.quarantined(0, 0x1));
+    EXPECT_TRUE(rt.quarantined(0, 0x1));
+    EXPECT_FALSE(rt.quarantined(0, 0x1)); // allowance consumed
+    EXPECT_EQ(stats.fallbackEpisodes, 2u);
+
+    // Re-offending doubles the penalty (exponential backoff).
+    rt.noteSleepEpisode(0, 0x1, true);
+    rt.noteSleepEpisode(0, 0x1, true);
+    rt.noteSleepEpisode(0, 0x1, true);
+    EXPECT_EQ(stats.quarantines, 2u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(rt.quarantined(0, 0x1));
+    EXPECT_FALSE(rt.quarantined(0, 0x1));
+
+    // Other pairs are unaffected.
+    EXPECT_FALSE(rt.quarantined(1, 0x1));
+    EXPECT_FALSE(rt.quarantined(0, 0x2));
+}
+
+/** With the cutoff disabled, the quarantine is the active defense
+ *  against persistently lost wake-ups: it must engage and the run
+ *  must still complete on the conventional fallback path. */
+TEST(FaultInjection, QuarantineEngagesEndToEnd)
+{
+    SystemConfig sys = SystemConfig::small(1);
+    const FaultSpec spec = FaultSpec::parse("seed=3,drop-wake=1.0");
+
+    thrifty::ThriftyConfig cfg = thrifty::ThriftyConfig::thrifty();
+    cfg.wakeup = thrifty::WakeupPolicy::External;
+    cfg.overpredictionThreshold = -1.0; // cutoff out of the way
+    cfg.hardening.enabled = true;
+
+    workloads::AppProfile app = tinyApp();
+    app.iterations = 24;
+
+    RunOptions opt;
+    opt.check = true;
+    opt.customConfig = &cfg;
+    opt.faults = &spec;
+    opt.livenessBudget = 200 * kMillisecond;
+
+    const auto r = harness::runExperiment(sys, app,
+                                          ConfigKind::Thrifty, opt);
+    EXPECT_GT(r.sync.watchdogFires, 0u);
+    EXPECT_GT(r.sync.quarantines, 0u);
+    EXPECT_GT(r.sync.fallbackEpisodes, 0u);
+}
+
+// ----------------------------------------------------------------------
+// Checker liveness watchdogs (unit level, hooks driven directly)
+// ----------------------------------------------------------------------
+
+TEST(CheckerLiveness, ArmedNeverReleasedFailsFinalCheck)
+{
+    check::CheckerConfig c;
+    c.numNodes = 2;
+    check::ProtocolChecker ck(c);
+    ck.onBarrierArmed(0x400, 0);
+    EXPECT_THROW(ck.finalCheck(), PanicError);
+}
+
+TEST(CheckerLiveness, ReleasedWithoutArmViolates)
+{
+    check::CheckerConfig c;
+    c.numNodes = 2;
+    check::ProtocolChecker ck(c);
+    EXPECT_THROW(ck.onBarrierReleased(0x400, 0), PanicError);
+}
+
+TEST(CheckerLiveness, DuplicateArmViolates)
+{
+    check::CheckerConfig c;
+    c.numNodes = 2;
+    check::ProtocolChecker ck(c);
+    ck.onBarrierArmed(0x400, 3);
+    EXPECT_THROW(ck.onBarrierArmed(0x400, 3), PanicError);
+}
+
+TEST(CheckerLiveness, ReleaseWithinBudgetIsClean)
+{
+    EventQueue eq;
+    check::CheckerConfig c;
+    c.numNodes = 2;
+    c.barrierBudget = 10 * kMillisecond;
+    c.sleepBudget = 10 * kMillisecond;
+    check::ProtocolChecker ck(c);
+    ck.bindClock(&eq);
+
+    eq.schedule(0, [&]() {
+        ck.onBarrierArmed(0x400, 0);
+        ck.onSleepEnter(1, false);
+    });
+    eq.schedule(2 * kMillisecond, [&]() {
+        ck.onSleepExit(1);
+        ck.onBarrierReleased(0x400, 0);
+    });
+    eq.run();
+    EXPECT_NO_THROW(ck.finalCheck());
+}
+
+TEST(CheckerLiveness, ReleaseBeyondBudgetViolates)
+{
+    EventQueue eq;
+    check::CheckerConfig c;
+    c.numNodes = 2;
+    c.barrierBudget = 1 * kMillisecond;
+    check::ProtocolChecker ck(c);
+    ck.bindClock(&eq);
+
+    eq.schedule(0, [&]() { ck.onBarrierArmed(0x400, 0); });
+    eq.schedule(5 * kMillisecond, [&]() {
+        EXPECT_THROW(ck.onBarrierReleased(0x400, 0), PanicError);
+    });
+    eq.run();
+}
+
+TEST(CheckerLiveness, SleepBeyondBudgetViolates)
+{
+    EventQueue eq;
+    check::CheckerConfig c;
+    c.numNodes = 2;
+    c.sleepBudget = 1 * kMillisecond;
+    check::ProtocolChecker ck(c);
+    ck.bindClock(&eq);
+
+    eq.schedule(0, [&]() { ck.onSleepEnter(0, false); });
+    eq.schedule(5 * kMillisecond, [&]() {
+        EXPECT_THROW(ck.onSleepExit(0), PanicError);
+    });
+    eq.run();
+}
+
+TEST(CheckerLiveness, SleeperThatNeverWokeFailsFinalCheck)
+{
+    check::CheckerConfig c;
+    c.numNodes = 2;
+    check::ProtocolChecker ck(c);
+    ck.onSleepEnter(1, false);
+    EXPECT_THROW(ck.finalCheck(), PanicError);
+}
+
+} // namespace
+} // namespace tb

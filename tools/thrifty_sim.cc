@@ -9,12 +9,14 @@
  *   thrifty_sim --list-apps
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "fault/fault_spec.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "sim/logging.hh"
@@ -51,6 +53,16 @@ usage(const char* argv0)
         "states (default all)\n"
         "  --three-hop        DASH-style direct owner-to-requester "
         "forwarding\n"
+        "  --faults SPEC      deterministic fault injection, e.g.\n"
+        "                     seed=3,drop-wake=0.5,timer-drift=0.4 "
+        "(see docs/ROBUSTNESS.md)\n"
+        "  --hardening        force the graceful-degradation guard "
+        "rails on\n"
+        "  --liveness-budget MS\n"
+        "                     checker budget for barrier release and "
+        "sleep episodes;\n"
+        "                     0 disables (default 200 when --faults "
+        "is given)\n"
         "  --check            arm the protocol invariant checker "
         "(see docs/CHECKING.md)\n"
         "  --stats            dump per-component statistics after the "
@@ -61,6 +73,36 @@ usage(const char* argv0)
         "  --list-apps        list application profiles and exit\n"
         "  --help             this text\n",
         argv0);
+}
+
+/** Strict numeric parsers: the whole operand must be one number in
+ *  range, otherwise the run aborts with a usage hint — `--dim abc`
+ *  must not silently become 0. */
+std::uint64_t
+parseUnsignedArg(const char* opt, const char* text)
+{
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        std::strchr(text, '-') != nullptr) {
+        fatal("option ", opt, ": '", text,
+              "' is not a non-negative integer (try --help)");
+    }
+    return v;
+}
+
+double
+parseDoubleArg(const char* opt, const char* text)
+{
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+        fatal("option ", opt, ": '", text,
+              "' is not a number (try --help)");
+    }
+    return v;
 }
 
 harness::ConfigKind
@@ -93,14 +135,23 @@ main(int argc, char** argv)
     bool dump_stats = false;
     bool json = false;
     bool compare = false;
+    bool hardening = false;
+    fault::FaultSpec faults;
+    bool have_faults = false;
+    std::uint64_t liveness_ms = 0;
+    bool have_liveness = false;
 
     thrifty::ThriftyConfig custom = thrifty::ThriftyConfig::thrifty();
     bool customized = false;
 
     auto need = [&](int& i) -> const char* {
         if (i + 1 >= argc)
-            fatal("option ", argv[i], " needs a value");
-        return argv[++i];
+            fatal("option ", argv[i], " needs a value (try --help)");
+        const char* v = argv[++i];
+        if (v[0] == '-' && v[1] == '-')
+            fatal("option ", argv[i - 1], " needs a value but got '",
+                  v, "' (try --help)");
+        return v;
     };
 
     try {
@@ -124,9 +175,13 @@ main(int argc, char** argv)
             } else if (a == "--config") {
                 config = need(i);
             } else if (a == "--dim") {
-                dim = static_cast<unsigned>(std::atoi(need(i)));
+                dim = static_cast<unsigned>(
+                    parseUnsignedArg("--dim", need(i)));
+                if (dim < 1 || dim > 6)
+                    fatal("option --dim: ", dim,
+                          " out of range [1, 6] (2..64 nodes)");
             } else if (a == "--seed") {
-                seed = std::strtoull(need(i), nullptr, 0);
+                seed = parseUnsignedArg("--seed", need(i));
             } else if (a == "--wakeup") {
                 const std::string v = need(i);
                 customized = true;
@@ -142,10 +197,12 @@ main(int argc, char** argv)
                 custom.predictorKind = need(i);
                 customized = true;
             } else if (a == "--cutoff") {
-                custom.overpredictionThreshold = std::atof(need(i));
+                custom.overpredictionThreshold =
+                    parseDoubleArg("--cutoff", need(i));
                 customized = true;
             } else if (a == "--filter") {
-                custom.underpredictionFilter = std::atof(need(i));
+                custom.underpredictionFilter =
+                    parseDoubleArg("--filter", need(i));
                 customized = true;
             } else if (a == "--states") {
                 const std::string v = need(i);
@@ -162,6 +219,15 @@ main(int argc, char** argv)
                     fatal("unknown state set '", v, "'");
             } else if (a == "--three-hop") {
                 three_hop = true;
+            } else if (a == "--faults") {
+                faults = fault::FaultSpec::parse(need(i));
+                have_faults = true;
+            } else if (a == "--hardening") {
+                hardening = true;
+            } else if (a == "--liveness-budget") {
+                liveness_ms =
+                    parseUnsignedArg("--liveness-budget", need(i));
+                have_liveness = true;
             } else if (a == "--check") {
                 check = true;
             } else if (a == "--stats") {
@@ -187,6 +253,20 @@ main(int argc, char** argv)
         opt.check = check;
         if (dump_stats)
             opt.statsOut = &std::cerr;
+        if (hardening) {
+            custom.hardening.enabled = true;
+            customized = true;
+        }
+        if (have_faults) {
+            opt.faults = &faults;
+            // Survive the injected faults: a customized config gets
+            // its guard rails switched on here; otherwise
+            // runExperiment hardens the chosen preset itself.
+            custom.hardening.enabled = true;
+            if (!have_liveness)
+                liveness_ms = 200;
+        }
+        opt.livenessBudget = liveness_ms * kMillisecond;
         if (customized && kind != harness::ConfigKind::Baseline) {
             // Start from the preset of the chosen configuration, then
             // apply only the flags the user actually set: simplest is
@@ -250,6 +330,7 @@ main(int argc, char** argv)
                             r.sync.cutoffs),
                         static_cast<unsigned long long>(
                             r.sync.filteredUpdates));
+            harness::report::printFaultSummary(std::cout, r);
         }
         return 0;
     } catch (const std::exception& e) {
