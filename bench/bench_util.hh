@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/report.hh"
 #include "workloads/app_profile.hh"
 
@@ -36,6 +37,31 @@ runAllConfigs(const harness::SystemConfig& sys,
     for (harness::ConfigKind k : figureConfigs())
         out.push_back(harness::runExperiment(sys, app, k));
     return out;
+}
+
+/**
+ * Run the full (app x configuration) matrix, sharding the independent
+ * simulations across @p jobs host threads. Results come back grouped
+ * per app in figure order — identical to looping runAllConfigs over
+ * the apps serially, regardless of jobs.
+ */
+inline std::vector<std::vector<harness::ExperimentResult>>
+runAppConfigMatrix(const harness::SystemConfig& sys,
+                   const std::vector<workloads::AppProfile>& apps,
+                   unsigned jobs)
+{
+    const std::vector<harness::ConfigKind> kinds = figureConfigs();
+    std::vector<std::vector<harness::ExperimentResult>> groups(
+        apps.size());
+    for (auto& g : groups)
+        g.resize(kinds.size());
+    const harness::ParallelCampaignRunner runner(jobs);
+    runner.run(apps.size() * kinds.size(), [&](std::size_t i) {
+        const std::size_t a = i / kinds.size();
+        const std::size_t k = i % kinds.size();
+        groups[a][k] = harness::runExperiment(sys, apps[a], kinds[k]);
+    });
+    return groups;
 }
 
 /** One point of a robustness campaign (seeds or faults sweep). */
@@ -76,6 +102,32 @@ printCampaignJson(std::ostream& os, const CampaignPoint& p,
            << ", \"spec\": \"" << r.faultSpec << "\"";
     }
     os << "}\n";
+}
+
+/**
+ * One metric of the simulator-core microbenchmark campaign, in the
+ * same one-JSON-object-per-line shape as printCampaignJson so all
+ * campaign outputs stay greppable/comparable the same way. Throughput
+ * metrics (unit ending in "/s") are host-dependent; "ticks"-unit
+ * metrics are simulated quantities and must be bit-stable per seed.
+ */
+struct MicroMetric
+{
+    std::string benchmark; ///< e.g. "eq_schedule_fire"
+    std::string unit;      ///< "events/s", "txns/s", "ticks", ...
+    double value = 0.0;
+    std::uint64_t ops = 0; ///< operations contributing to the value
+    double wallSeconds = 0.0;
+};
+
+/** Emit one microbenchmark metric as a single campaign-JSON line. */
+inline void
+printMicroJson(std::ostream& os, const MicroMetric& m)
+{
+    os << "{\"campaign\": \"simcore\", \"benchmark\": \"" << m.benchmark
+       << "\", \"unit\": \"" << m.unit << "\", \"value\": " << m.value
+       << ", \"ops\": " << m.ops << ", \"wall_s\": " << m.wallSeconds
+       << "}\n";
 }
 
 /** Standard banner for every bench binary. */

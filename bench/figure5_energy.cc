@@ -5,6 +5,8 @@
  * (Baseline, Thrifty-Halt, Oracle-Halt, Thrifty, Ideal), broken into
  * Compute / Spin / Transition / Sleep, plus the Section 5.1 headline
  * averages over the five target applications.
+ *
+ *   figure5_energy [--jobs N]   # shard the 50 simulations over N threads
  */
 
 #include <iostream>
@@ -12,19 +14,21 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace tb;
+    const unsigned jobs =
+        harness::ParallelCampaignRunner::parseJobsArg(argc, argv);
     const harness::SystemConfig sys =
         harness::SystemConfig::paperDefault();
     bench::banner("Figure 5 — normalized energy consumption", sys);
 
-    std::vector<std::vector<harness::ExperimentResult>> groups;
-    for (const auto& app : workloads::paperApps()) {
-        groups.push_back(bench::runAllConfigs(sys, app));
-        harness::report::printBreakdownGroup(std::cout, groups.back(),
+    const auto groups =
+        bench::runAppConfigMatrix(sys, workloads::paperApps(), jobs);
+    for (const auto& group : groups) {
+        harness::report::printBreakdownGroup(std::cout, group,
                                              /*use_energy=*/true);
-        harness::report::printStackedBars(std::cout, groups.back(),
+        harness::report::printStackedBars(std::cout, group,
                                           /*use_energy=*/true);
         std::cout << '\n' << std::flush;
     }

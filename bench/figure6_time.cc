@@ -3,6 +3,8 @@
  * Reproduces Figure 6: normalized execution time of the ten
  * applications under the five configurations, broken into
  * Compute / Spin / Transition / Sleep per-CPU time.
+ *
+ *   figure6_time [--jobs N]   # shard the 50 simulations over N threads
  */
 
 #include <iostream>
@@ -10,19 +12,21 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace tb;
+    const unsigned jobs =
+        harness::ParallelCampaignRunner::parseJobsArg(argc, argv);
     const harness::SystemConfig sys =
         harness::SystemConfig::paperDefault();
     bench::banner("Figure 6 — normalized execution time", sys);
 
-    std::vector<std::vector<harness::ExperimentResult>> groups;
-    for (const auto& app : workloads::paperApps()) {
-        groups.push_back(bench::runAllConfigs(sys, app));
-        harness::report::printBreakdownGroup(std::cout, groups.back(),
+    const auto groups =
+        bench::runAppConfigMatrix(sys, workloads::paperApps(), jobs);
+    for (const auto& group : groups) {
+        harness::report::printBreakdownGroup(std::cout, group,
                                              /*use_energy=*/false);
-        harness::report::printStackedBars(std::cout, groups.back(),
+        harness::report::printStackedBars(std::cout, group,
                                           /*use_energy=*/false);
         std::cout << '\n' << std::flush;
     }

@@ -12,7 +12,11 @@
  * invariant trips; the campaign fails loudly otherwise. One point is
  * replayed to prove bit-identical determinism from (spec, seed).
  *
- *   robustness_faults [--quick]
+ *   robustness_faults [--quick] [--jobs N]
+ *
+ * Points are independent simulations, so --jobs shards them across
+ * host threads; results are emitted in point order, byte-identical to
+ * a serial run.
  *
  * Emits one JSON line per run in the shared campaign shape (see
  * bench_util.hh), comparable with robustness_seeds output.
@@ -20,11 +24,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "fault/fault_spec.hh"
+#include "harness/parallel_runner.hh"
 
 namespace {
 
@@ -57,6 +63,27 @@ wakeupName(thrifty::WakeupPolicy p)
     return "?";
 }
 
+/** One sweep point of the campaign. */
+struct Point
+{
+    unsigned dim = 1;
+    bool threeHop = false;
+    thrifty::WakeupPolicy wakeup = thrifty::WakeupPolicy::Hybrid;
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+};
+
+/** What one point produced (deposited by index, emitted in order). */
+struct PointResult
+{
+    bool ok = false;
+    std::string json; ///< campaign JSON line (stdout)
+    std::string err;  ///< failure diagnostic (stderr)
+    std::uint64_t injected = 0;
+    std::uint64_t watchdogs = 0;
+    std::uint64_t quarantines = 0;
+};
+
 } // namespace
 
 int
@@ -68,6 +95,8 @@ main(int argc, char** argv)
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
     }
+    const unsigned jobs =
+        harness::ParallelCampaignRunner::parseJobsArg(argc, argv);
 
     // Shrunk workload: the campaign is about surviving faults, not
     // about the headline numbers, so a few barrier instances per run
@@ -94,67 +123,86 @@ main(int argc, char** argv)
     tb::bench::banner("Robustness — fault-injection campaign",
                       harness::SystemConfig::small(dims.back()));
 
-    unsigned runs = 0, failures = 0;
-    std::uint64_t injected = 0, watchdogs = 0, quarantines = 0;
-
+    std::vector<Point> points;
     for (unsigned dim : dims) {
         for (int three_hop = 0; three_hop <= 1; ++three_hop) {
             for (thrifty::WakeupPolicy wk : wakeups) {
                 for (double scale : scales) {
                     for (std::uint64_t seed : seeds) {
-                        harness::SystemConfig sys =
-                            harness::SystemConfig::small(dim);
-                        sys.seed = seed;
-                        sys.memory.threeHopForwarding = three_hop != 0;
-
-                        thrifty::ThriftyConfig custom =
-                            thrifty::ThriftyConfig::thrifty();
-                        custom.wakeup = wk;
-                        custom.hardening.enabled = true;
-
-                        const fault::FaultSpec spec =
-                            fault::FaultSpec::parse(
-                                specFor(seed, scale));
-
-                        harness::RunOptions opt;
-                        opt.check = true;
-                        opt.customConfig = &custom;
-                        opt.faults = &spec;
-                        opt.livenessBudget = 200 * kMillisecond;
-
-                        tb::bench::CampaignPoint pt;
-                        pt.campaign = "faults";
-                        pt.dim = dim;
-                        pt.seed = seed;
-                        pt.protocol = three_hop ? "three-hop" : "hub";
-                        pt.wakeup = wakeupName(wk);
-
-                        ++runs;
-                        try {
-                            const auto r = harness::runExperiment(
-                                sys, app, ConfigKind::Thrifty, opt);
-                            injected += r.faultsInjected();
-                            watchdogs += r.sync.watchdogFires;
-                            quarantines += r.sync.quarantines;
-                            tb::bench::printCampaignJson(std::cout, pt,
-                                                         r);
-                        } catch (const std::exception& e) {
-                            ++failures;
-                            std::fprintf(stderr,
-                                         "FAIL dim=%u %s %s seed=%llu "
-                                         "scale=%.1f: %s\n",
-                                         dim, pt.protocol.c_str(),
-                                         pt.wakeup.c_str(),
-                                         static_cast<unsigned long long>(
-                                             seed),
-                                         scale, e.what());
-                        }
-                        std::fflush(stdout);
+                        points.push_back(
+                            Point{dim, three_hop != 0, wk, scale, seed});
                     }
                 }
             }
         }
     }
+
+    std::vector<PointResult> results(points.size());
+    const harness::ParallelCampaignRunner runner(jobs);
+    runner.run(points.size(), [&](std::size_t i) {
+        const Point& p = points[i];
+        PointResult& res = results[i];
+
+        harness::SystemConfig sys = harness::SystemConfig::small(p.dim);
+        sys.seed = p.seed;
+        sys.memory.threeHopForwarding = p.threeHop;
+
+        thrifty::ThriftyConfig custom = thrifty::ThriftyConfig::thrifty();
+        custom.wakeup = p.wakeup;
+        custom.hardening.enabled = true;
+
+        const fault::FaultSpec spec =
+            fault::FaultSpec::parse(specFor(p.seed, p.scale));
+
+        harness::RunOptions opt;
+        opt.check = true;
+        opt.customConfig = &custom;
+        opt.faults = &spec;
+        opt.livenessBudget = 200 * kMillisecond;
+
+        tb::bench::CampaignPoint pt;
+        pt.campaign = "faults";
+        pt.dim = p.dim;
+        pt.seed = p.seed;
+        pt.protocol = p.threeHop ? "three-hop" : "hub";
+        pt.wakeup = wakeupName(p.wakeup);
+
+        try {
+            const auto r = harness::runExperiment(
+                sys, app, ConfigKind::Thrifty, opt);
+            res.injected = r.faultsInjected();
+            res.watchdogs = r.sync.watchdogFires;
+            res.quarantines = r.sync.quarantines;
+            std::ostringstream os;
+            tb::bench::printCampaignJson(os, pt, r);
+            res.json = os.str();
+            res.ok = true;
+        } catch (const std::exception& e) {
+            char buf[512];
+            std::snprintf(buf, sizeof(buf),
+                          "FAIL dim=%u %s %s seed=%llu scale=%.1f: %s\n",
+                          p.dim, pt.protocol.c_str(), pt.wakeup.c_str(),
+                          static_cast<unsigned long long>(p.seed),
+                          p.scale, e.what());
+            res.err = buf;
+        }
+    });
+
+    unsigned failures = 0;
+    std::uint64_t injected = 0, watchdogs = 0, quarantines = 0;
+    for (const PointResult& res : results) {
+        if (res.ok) {
+            std::fputs(res.json.c_str(), stdout);
+            injected += res.injected;
+            watchdogs += res.watchdogs;
+            quarantines += res.quarantines;
+        } else {
+            ++failures;
+            std::fputs(res.err.c_str(), stderr);
+        }
+    }
+    std::fflush(stdout);
+    const unsigned runs = static_cast<unsigned>(points.size());
 
     // Determinism: an identical (spec, seed) pair must replay to
     // bit-identical stats and timing.

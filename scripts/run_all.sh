@@ -1,8 +1,23 @@
 #!/usr/bin/env bash
 # Rebuild everything, run the test suite, and regenerate every table,
 # figure, ablation and extension result into results/.
+#
+#   scripts/run_all.sh [--jobs N]
+#
+# --jobs N shards the campaign-style benches (figure5_energy,
+# figure6_time, robustness_faults) across N host threads. Their output
+# is byte-identical to a serial run, so N only affects wall time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS=1
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --jobs)   JOBS="$2"; shift 2 ;;
+        --jobs=*) JOBS="${1#--jobs=}"; shift ;;
+        *) echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+    esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
@@ -13,11 +28,14 @@ for b in build/bench/*; do
     [ -x "$b" ] || continue
     name=$(basename "$b")
     echo "== $name"
-    if [ "$name" = micro_primitives ]; then
-        "$b" --benchmark_min_time=0.1 | tee "results/$name.txt"
-    else
-        "$b" | tee "results/$name.txt"
-    fi
+    case "$name" in
+        micro_primitives)
+            "$b" --benchmark_min_time=0.1 | tee "results/$name.txt" ;;
+        figure5_energy|figure6_time|robustness_faults)
+            "$b" --jobs "$JOBS" | tee "results/$name.txt" ;;
+        *)
+            "$b" | tee "results/$name.txt" ;;
+    esac
 done
 
 echo "All outputs in results/."

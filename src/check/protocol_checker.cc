@@ -649,6 +649,19 @@ ProtocolChecker::onCancel(Tick when, std::uint64_t seq)
     (void)when;
     (void)seq;
     --liveEvents;
+    ++canceledInFlight;
+}
+
+void
+ProtocolChecker::onDropDead(Tick when, std::uint64_t seq)
+{
+    ++checks;
+    --canceledInFlight;
+    if (canceledInFlight < 0) {
+        panic("event-queue discipline: dead event (tick ", when,
+              ", seq ", seq,
+              ") dropped without a matching cancelation");
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -690,6 +703,11 @@ ProtocolChecker::finalCheck()
         panic("event-queue discipline: ", liveEvents,
               " event(s) unaccounted for after the queue drained "
               "(schedule/execute/cancel imbalance)");
+    }
+    if (canceledInFlight != 0) {
+        panic("event-queue discipline: ", canceledInFlight,
+              " canceled event(s) never reaped from the queue "
+              "(cancel/drop imbalance after drain)");
     }
 }
 

@@ -194,6 +194,7 @@ class ProtocolChecker : public mem::ProtocolObserver,
                     Tick now) override;
     void onExecute(Tick when, int priority, std::uint64_t seq) override;
     void onCancel(Tick when, std::uint64_t seq) override;
+    void onDropDead(Tick when, std::uint64_t seq) override;
 
   private:
     /** Cache-side view of one line across all nodes (bit vectors). */
@@ -243,6 +244,9 @@ class ProtocolChecker : public mem::ProtocolObserver,
     std::uint64_t lastExecSeq = 0;
     bool anyExecuted = false;
     std::int64_t liveEvents = 0;
+    /** Canceled events whose dead heap entry has not been reaped yet
+     *  (onCancel increments, onDropDead decrements). */
+    std::int64_t canceledInFlight = 0;
 
     // Trace ring.
     std::vector<TraceEntry> ring;

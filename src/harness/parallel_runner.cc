@@ -1,0 +1,87 @@
+#include "harness/parallel_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace tb {
+namespace harness {
+
+void
+ParallelCampaignRunner::run(
+    std::size_t count,
+    const std::function<void(std::size_t)>& point) const
+{
+    if (count == 0)
+        return;
+
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
+
+    std::vector<std::exception_ptr> errors(count);
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                point(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+        for (auto& e : errors) {
+            if (e)
+                std::rethrow_exception(e);
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                point(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto& t : pool)
+        t.join();
+
+    for (auto& e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+unsigned
+ParallelCampaignRunner::parseJobsArg(int argc, char** argv)
+{
+    long jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::strtol(argv[i + 1], nullptr, 10);
+        else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            jobs = std::strtol(argv[i] + 7, nullptr, 10);
+    }
+    if (jobs < 1)
+        jobs = 1;
+    return static_cast<unsigned>(jobs);
+}
+
+} // namespace harness
+} // namespace tb

@@ -21,14 +21,9 @@ CacheArray::CacheArray(const CacheGeometry& geometry)
         fatal("cache set count must be a nonzero power of two, got ",
               sets);
     lines.resize(static_cast<std::size_t>(sets) * geom.assoc);
-}
-
-std::size_t
-CacheArray::setBase(Addr line) const
-{
-    const std::size_t set =
-        (line / geom.lineBytes) & (geom.numSets() - 1);
-    return set * geom.assoc;
+    while ((1u << lineShift) < geom.lineBytes)
+        ++lineShift;
+    setMask = sets - 1;
 }
 
 CacheArray::Line*

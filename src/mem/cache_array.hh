@@ -11,7 +11,6 @@
 #define TB_MEM_CACHE_ARRAY_HH_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "mem/mem_types.hh"
@@ -81,8 +80,9 @@ class CacheArray
     bool invalidate(Addr line);
 
     /** Visit every valid line (used by the sleep flush). */
+    template <typename Fn>
     void
-    forEachValid(const std::function<void(Line&)>& fn)
+    forEachValid(Fn&& fn)
     {
         for (auto& l : lines) {
             if (l.state != LineState::Invalid)
@@ -94,9 +94,18 @@ class CacheArray
     unsigned validCount() const;
 
   private:
-    std::size_t setBase(Addr line) const;
+    /** Set index via the precomputed shift/mask — the geometry is
+     *  validated power-of-two in the constructor, so no division sits
+     *  on the lookup path. */
+    std::size_t
+    setBase(Addr line) const
+    {
+        return ((line >> lineShift) & setMask) * geom.assoc;
+    }
 
     CacheGeometry geom;
+    unsigned lineShift = 0;      ///< log2(lineBytes)
+    std::size_t setMask = 0;     ///< numSets - 1
     std::vector<Line> lines; ///< numSets * assoc, set-major
     std::uint64_t lruClock = 0;
 };

@@ -95,7 +95,7 @@ CacheController::startAccess(Pending p)
 
     // Atomics bypass the local hierarchy entirely (fetch-op at home).
     if (pending->kind == Pending::Kind::Rmw) {
-        statsGroup.scalar("rmwIssued").inc();
+        hot.rmwIssued.inc();
         eq.scheduleIn(cfg.l1Rt, [this]() {
             Msg m;
             m.type = MsgType::AtomicRmw;
@@ -115,7 +115,7 @@ CacheController::startAccess(Pending p)
         CacheArray::Line* e1 = l1.find(line);
         const bool is_store = pending->kind == Pending::Kind::Store;
         if (e1 && (!is_store || writable(e1->state))) {
-            statsGroup.scalar("l1Hits").inc();
+            hot.l1Hits.inc();
             l1.touch(*e1);
             if (is_store && e1->state == LineState::Exclusive) {
                 // Silent E -> M upgrade, mirrored in L2.
@@ -135,7 +135,7 @@ CacheController::startAccess(Pending p)
             completePending();
             return;
         }
-        statsGroup.scalar("l1Misses").inc();
+        hot.l1Misses.inc();
         eq.scheduleIn(cfg.l2Rt - cfg.l1Rt,
                       [this, line]() { lookupL2(line); });
     });
@@ -148,7 +148,7 @@ CacheController::lookupL2(Addr line)
     const bool is_store = pending->kind == Pending::Kind::Store;
 
     if (e2 && (!is_store || writable(e2->state))) {
-        statsGroup.scalar("l2Hits").inc();
+        hot.l2Hits.inc();
         l2.touch(*e2);
         if (is_store) {
             e2->state = LineState::Modified;
@@ -158,7 +158,7 @@ CacheController::lookupL2(Addr line)
         completePending();
         return;
     }
-    statsGroup.scalar("l2Misses").inc();
+    hot.l2Misses.inc();
 
     Msg m;
     m.line = line;
@@ -169,7 +169,7 @@ CacheController::lookupL2(Addr line)
         m.hasStore = true;
         if (e2) {
             // Shared copy present: request ownership only.
-            statsGroup.scalar("upgrades").inc();
+            hot.upgrades.inc();
             m.type = MsgType::Upgrade;
         } else {
             m.type = MsgType::GetX;
@@ -203,7 +203,7 @@ CacheController::handleL2Victim(const CacheArray::Victim& victim)
 {
     if (!victim.valid)
         return;
-    statsGroup.scalar("l2Evictions").inc();
+    hot.l2Evictions.inc();
     noteLine(victim.addr, LineState::Invalid);
     l1.invalidate(victim.addr);
     fireWatches(victim.addr);
@@ -317,7 +317,7 @@ CacheController::receive(const Msg& msg)
 void
 CacheController::handleInv(const Msg& msg)
 {
-    statsGroup.scalar("invsReceived").inc();
+    hot.invsReceived.inc();
     const Addr line = msg.line;
     const NodeId home = msg.src;
 
@@ -335,7 +335,7 @@ CacheController::handleInv(const Msg& msg)
         // unreachable until wake-up.
         noteLine(line, LineState::Invalid);
         deferred.push_back(line);
-        statsGroup.scalar("invsDeferred").inc();
+        hot.invsDeferred.inc();
         if (deferred.size() > cfg.invalBufferEntries) {
             statsGroup.scalar("bufferOverflowWakes").inc();
             triggerWake(WakeReason::BufferOverflow);
@@ -350,7 +350,7 @@ CacheController::handleInv(const Msg& msg)
 void
 CacheController::handleFwd(const Msg& msg)
 {
-    statsGroup.scalar("fwdsReceived").inc();
+    hot.fwdsReceived.inc();
     if (obs)
         obs->onInterventionReceived(nodeId, msg.line);
     if (snoopable_) {
@@ -475,7 +475,7 @@ CacheController::serveFwdThreeHop(const Msg& msg)
                                    msg.storeValue);
     }
 
-    statsGroup.scalar("threeHopServes").inc();
+    hot.threeHopServes.inc();
     fabric.toController(nodeId, msg.requester,
                         makeMsg(is_gets ? MsgType::DataShared
                                         : MsgType::DataModified,
@@ -562,7 +562,7 @@ void
 CacheController::injectSpuriousInvalidation(Addr a)
 {
     const Addr line = lineAddr(a);
-    statsGroup.scalar("spuriousInvals").inc();
+    hot.spuriousInvals.inc();
     if (flagMon.armed && flagMon.line == line)
         statsGroup.scalar("falseWakes").inc();
     if (snoopable_) {
@@ -686,7 +686,7 @@ CacheController::flushDirtyShared(DoneCallback done)
         dropLine(line);
         wbBuffer.insert(line);
         sendToDir(makeMsg(MsgType::PutM, line, nodeId, 0));
-        statsGroup.scalar("flushedLines").inc();
+        hot.flushedLines.inc();
     }
 
     Tick duration =

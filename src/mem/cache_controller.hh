@@ -336,6 +336,45 @@ class CacheController : public SimObject, public MsgSink
     FaultHooks* faults = nullptr;
 
     stats::StatGroup statsGroup;
+
+    /**
+     * References into statsGroup resolved once at construction, so the
+     * per-access paths bump a counter without a name lookup. StatGroup
+     * storage is node-stable, and this member is declared after
+     * statsGroup so the references outlive nothing.
+     */
+    struct HotStats
+    {
+        explicit HotStats(stats::StatGroup& g)
+            : l1Hits(g.scalar("l1Hits")),
+              l1Misses(g.scalar("l1Misses")),
+              l2Hits(g.scalar("l2Hits")),
+              l2Misses(g.scalar("l2Misses")),
+              upgrades(g.scalar("upgrades")),
+              l2Evictions(g.scalar("l2Evictions")),
+              rmwIssued(g.scalar("rmwIssued")),
+              invsReceived(g.scalar("invsReceived")),
+              invsDeferred(g.scalar("invsDeferred")),
+              fwdsReceived(g.scalar("fwdsReceived")),
+              threeHopServes(g.scalar("threeHopServes")),
+              spuriousInvals(g.scalar("spuriousInvals")),
+              flushedLines(g.scalar("flushedLines"))
+        {}
+
+        stats::Scalar& l1Hits;
+        stats::Scalar& l1Misses;
+        stats::Scalar& l2Hits;
+        stats::Scalar& l2Misses;
+        stats::Scalar& upgrades;
+        stats::Scalar& l2Evictions;
+        stats::Scalar& rmwIssued;
+        stats::Scalar& invsReceived;
+        stats::Scalar& invsDeferred;
+        stats::Scalar& fwdsReceived;
+        stats::Scalar& threeHopServes;
+        stats::Scalar& spuriousInvals;
+        stats::Scalar& flushedLines;
+    } hot{statsGroup};
 };
 
 } // namespace mem

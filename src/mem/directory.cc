@@ -82,7 +82,7 @@ Directory::receive(const Msg& msg)
       case MsgType::Upgrade:
       case MsgType::PutM:
       case MsgType::AtomicRmw:
-        statsGroup.scalar("requests").inc();
+        hot.requests.inc();
         ld.waiting.push_back(msg);
         tryStart(msg.line);
         break;
@@ -298,7 +298,7 @@ Directory::maybeFinishWrite(Addr line, LineDir& ld)
             l.sharers = 0;
             l.owner = kInvalidNode;
             send(req, makeMsg(MsgType::RmwResult, line, nodeId, old));
-            statsGroup.scalar("rmws").inc();
+            hot.rmws.inc();
             finish(line, l);
         });
         return;
@@ -329,11 +329,11 @@ Directory::startPutM(Addr line, LineDir& ld)
         dram.write();
         ld.state = DirState::Uncached;
         ld.owner = kInvalidNode;
-        statsGroup.scalar("writebacks").inc();
+        hot.writebacks.inc();
     } else {
         // Stale writeback: an intervention already transferred the
         // line; discard the data.
-        statsGroup.scalar("staleWritebacks").inc();
+        hot.staleWritebacks.inc();
     }
     send(s, makeMsg(MsgType::WbAck, line, nodeId, 0));
     finish(line, ld);
@@ -374,7 +374,7 @@ Directory::handleOwnerHandled(const Msg& msg, LineDir& ld)
     if (!ld.busy || !ld.waitingOwner)
         panic("unexpected OwnerHandled for line ", line);
     ld.waitingOwner = false;
-    statsGroup.scalar("threeHopInterventions").inc();
+    hot.threeHopInterventions.inc();
 
     // The owner already sent the data straight to the requester; the
     // home only updates state (plus the sharing writeback for dirty

@@ -145,6 +145,26 @@ class Directory : public SimObject, public MsgSink
     std::unordered_map<Addr, LineDir> lines;
     ProtocolObserver* obs = nullptr;
     stats::StatGroup statsGroup;
+
+    /** Cached references into statsGroup (resolved once; node-stable
+     *  storage) so hot paths skip the name lookup. Declared after
+     *  statsGroup. */
+    struct HotStats
+    {
+        explicit HotStats(stats::StatGroup& g)
+            : requests(g.scalar("requests")),
+              rmws(g.scalar("rmws")),
+              writebacks(g.scalar("writebacks")),
+              staleWritebacks(g.scalar("staleWritebacks")),
+              threeHopInterventions(g.scalar("threeHopInterventions"))
+        {}
+
+        stats::Scalar& requests;
+        stats::Scalar& rmws;
+        stats::Scalar& writebacks;
+        stats::Scalar& staleWritebacks;
+        stats::Scalar& threeHopInterventions;
+    } hot{statsGroup};
 };
 
 } // namespace mem

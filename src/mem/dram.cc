@@ -14,7 +14,7 @@ Dram::reserveBus(Tick earliest)
 {
     Tick start = std::max(earliest, busFreeAt);
     if (start > earliest) {
-        statsGroup.scalar("busStallTicks") +=
+        hot.busStallTicks +=
             static_cast<double>(start - earliest);
     }
     busFreeAt = start + cfg.busTransfer;
@@ -24,7 +24,7 @@ Dram::reserveBus(Tick earliest)
 void
 Dram::read(std::function<void()> done)
 {
-    statsGroup.scalar("reads").inc();
+    hot.reads.inc();
     const Tick data_ready = curTick() + cfg.accessLatency;
     const Tick finish = reserveBus(data_ready);
     eq.schedule(finish, std::move(done));
@@ -33,7 +33,7 @@ Dram::read(std::function<void()> done)
 void
 Dram::write()
 {
-    statsGroup.scalar("writes").inc();
+    hot.writes.inc();
     reserveBus(curTick());
 }
 

@@ -57,6 +57,22 @@ class Dram : public SimObject
     DramConfig cfg;
     Tick busFreeAt = 0;
     stats::StatGroup statsGroup;
+
+    /** Cached references into statsGroup (resolved once; node-stable
+     *  storage) so hot paths skip the name lookup. Declared after
+     *  statsGroup. */
+    struct HotStats
+    {
+        explicit HotStats(stats::StatGroup& g)
+            : busStallTicks(g.scalar("busStallTicks")),
+              reads(g.scalar("reads")),
+              writes(g.scalar("writes"))
+        {}
+
+        stats::Scalar& busStallTicks;
+        stats::Scalar& reads;
+        stats::Scalar& writes;
+    } hot{statsGroup};
 };
 
 } // namespace mem

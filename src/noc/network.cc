@@ -52,14 +52,12 @@ Network::zeroLoadLatency(unsigned n_hops, unsigned bytes) const
            static_cast<Tick>(n_hops) * cfg.pinToPin + body;
 }
 
-void
-Network::send(NodeId src, NodeId dst, unsigned bytes, Deliver on_deliver)
+Tick
+Network::deliveryTick(NodeId src, NodeId dst, unsigned bytes)
 {
     const unsigned n = cfg.nodes();
     if (src >= n || dst >= n)
         panic("network send outside topology: src=", src, " dst=", dst);
-    if (!on_deliver)
-        panic("network send without delivery callback");
 
     const unsigned n_flits = flits(bytes);
     const Tick ser_time = static_cast<Tick>(n_flits) * cfg.routerPeriod;
@@ -86,7 +84,7 @@ Network::send(NodeId src, NodeId dst, unsigned bytes, Deliver on_deliver)
         if (cfg.modelContention) {
             Tick& free_at = linkFreeAt[linkIndex(at, dim)];
             if (free_at > t) {
-                statsGroup.scalar("linkStallTicks") +=
+                hot.linkStallTicks +=
                     static_cast<double>(free_at - t);
                 t = free_at;
             }
@@ -118,19 +116,17 @@ Network::send(NodeId src, NodeId dst, unsigned bytes, Deliver on_deliver)
     Tick& pair_last =
         pairLastDelivery[static_cast<std::size_t>(src) * n + dst];
     if (t < pair_last) {
-        statsGroup.scalar("orderingStallTicks") +=
+        hot.orderingStallTicks +=
             static_cast<double>(pair_last - t);
         t = pair_last;
     }
     pair_last = t;
 
-    statsGroup.scalar("messages").inc();
-    statsGroup.scalar("bytes") += bytes;
-    statsGroup.distribution("latency").sample(
-        static_cast<double>(t - curTick()));
-    statsGroup.distribution("hops").sample(hops(src, dst));
-
-    eq.schedule(t, std::move(on_deliver));
+    hot.messages.inc();
+    hot.bytes += bytes;
+    hot.latency.sample(static_cast<double>(t - curTick()));
+    hot.hops.sample(hops(src, dst));
+    return t;
 }
 
 } // namespace noc

@@ -80,9 +80,21 @@ class Network : public SimObject
     /**
      * Send @p bytes from @p src to @p dst; @p on_deliver runs when the
      * message fully arrives. src == dst is allowed (local loopback,
-     * charged marshal + unmarshal only).
+     * charged marshal + unmarshal only). The callable goes straight
+     * into the event queue — no std::function wrapper on the message
+     * path.
      */
-    void send(NodeId src, NodeId dst, unsigned bytes, Deliver on_deliver);
+    template <typename F>
+    void
+    send(NodeId src, NodeId dst, unsigned bytes, F&& on_deliver)
+    {
+        if constexpr (std::is_same_v<std::decay_t<F>, Deliver>) {
+            if (!on_deliver)
+                panic("network send without delivery callback");
+        }
+        eq.schedule(deliveryTick(src, dst, bytes),
+                    std::forward<F>(on_deliver));
+    }
 
     /** Hamming distance — number of hops between two nodes. */
     unsigned hops(NodeId a, NodeId b) const;
@@ -100,6 +112,13 @@ class Network : public SimObject
     void setFaultHooks(FaultHooks* hooks) { faults = hooks; }
 
   private:
+    /**
+     * Route one message: reserve links, charge contention/fault
+     * stalls and statistics, and return the tick the last flit
+     * reaches @p dst.
+     */
+    Tick deliveryTick(NodeId src, NodeId dst, unsigned bytes);
+
     /** Number of router cycles needed to serialize @p bytes. */
     unsigned flits(unsigned bytes) const;
 
@@ -120,6 +139,28 @@ class Network : public SimObject
     /** Optional fault injection (link stalls, message-delay spikes). */
     FaultHooks* faults = nullptr;
     stats::StatGroup statsGroup;
+
+    /** Cached references into statsGroup (resolved once; node-stable
+     *  storage) so hot paths skip the name lookup. Declared after
+     *  statsGroup. */
+    struct HotStats
+    {
+        explicit HotStats(stats::StatGroup& g)
+            : messages(g.scalar("messages")),
+              bytes(g.scalar("bytes")),
+              linkStallTicks(g.scalar("linkStallTicks")),
+              orderingStallTicks(g.scalar("orderingStallTicks")),
+              latency(g.distribution("latency")),
+              hops(g.distribution("hops"))
+        {}
+
+        stats::Scalar& messages;
+        stats::Scalar& bytes;
+        stats::Scalar& linkStallTicks;
+        stats::Scalar& orderingStallTicks;
+        stats::Distribution& latency;
+        stats::Distribution& hops;
+    } hot{statsGroup};
 };
 
 } // namespace noc

@@ -292,7 +292,30 @@ TEST(ProtocolChecker, BalancedEventAccountingPasses)
     c.onSchedule(6, 0, 2, 0);
     c.onExecute(5, 0, 1);
     c.onCancel(6, 2);
+    c.onDropDead(6, 2);
     c.finalCheck();
+}
+
+TEST(ProtocolChecker, FinalCheckCatchesUnreapedCancel)
+{
+    // A canceled event must eventually be dropped from the queue; a
+    // drain that leaves the dead entry behind is an imbalance.
+    ProtocolChecker c(smallConfig());
+    c.onSchedule(6, 0, 2, 0);
+    c.onCancel(6, 2);
+    const std::string msg = panicMessage([&]() { c.finalCheck(); });
+    EXPECT_NE(msg.find("never reaped"), std::string::npos) << msg;
+}
+
+TEST(ProtocolChecker, DropWithoutCancelPanics)
+{
+    ProtocolChecker c(smallConfig());
+    c.onSchedule(6, 0, 2, 0);
+    const std::string msg =
+        panicMessage([&]() { c.onDropDead(6, 2); });
+    EXPECT_NE(msg.find("without a matching cancelation"),
+              std::string::npos)
+        << msg;
 }
 
 TEST(ProtocolChecker, TraceIsLineFiltered)

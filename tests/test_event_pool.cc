@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Event-pool storage tests: slab reuse under cancel-heavy churn,
+ * closure lifetime accounting for both inline and heap-allocated
+ * captures, and the schedule/execute/cancel/drop observer balance
+ * (docs/PERFORMANCE.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace tb {
+namespace {
+
+/** Counts every construction and destruction of its instances. */
+struct LifeTracker
+{
+    static int live;
+    static int destroyed;
+
+    LifeTracker() { ++live; }
+    LifeTracker(const LifeTracker&) { ++live; }
+    LifeTracker(LifeTracker&&) noexcept { ++live; }
+    ~LifeTracker()
+    {
+        --live;
+        ++destroyed;
+    }
+
+    static void
+    reset()
+    {
+        live = 0;
+        destroyed = 0;
+    }
+};
+
+int LifeTracker::live = 0;
+int LifeTracker::destroyed = 0;
+
+/** Tallies every observer hook; the balance invariant is
+ *  schedules == executes + drops and cancels == drops at drain. */
+struct CountingObserver : EventQueueObserver
+{
+    std::uint64_t schedules = 0;
+    std::uint64_t executes = 0;
+    std::uint64_t cancels = 0;
+    std::uint64_t drops = 0;
+
+    void
+    onSchedule(Tick, int, std::uint64_t, Tick) override
+    {
+        ++schedules;
+    }
+    void onExecute(Tick, int, std::uint64_t) override { ++executes; }
+    void onCancel(Tick, std::uint64_t) override { ++cancels; }
+    void onDropDead(Tick, std::uint64_t) override { ++drops; }
+};
+
+TEST(EventPool, CancelHeavyChurnReusesSlots)
+{
+    EventQueue eq;
+
+    // Warm up one slab's worth of capacity.
+    eq.schedule(1, [] {});
+    eq.run();
+    const std::size_t warm = eq.poolCapacity();
+
+    // Thousands of rounds of schedule/cancel/fire churn with at most
+    // `batch` events outstanding: the free list must recycle slots, so
+    // capacity stays at the warm-up level instead of tracking the
+    // cumulative event count.
+    const unsigned batch = 100;
+    std::uint64_t fired = 0;
+    std::vector<EventHandle> handles;
+    for (unsigned round = 0; round < 2000; ++round) {
+        handles.clear();
+        const Tick base = eq.now();
+        for (unsigned i = 0; i < batch; ++i) {
+            handles.push_back(
+                eq.schedule(base + 1 + i % 17, [&fired] { ++fired; }));
+        }
+        for (unsigned i = 0; i < batch; i += 2)
+            handles[i].cancel();
+        eq.run();
+    }
+
+    EXPECT_EQ(eq.poolCapacity(), warm);
+    EXPECT_EQ(fired, 2000ull * batch / 2);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventPool, PoolGrowsBySlabAndHandlesStayValid)
+{
+    EventQueue eq;
+    const unsigned n = 600; // > two slabs of 256
+    std::vector<EventHandle> handles;
+    std::uint64_t fired = 0;
+    for (unsigned i = 0; i < n; ++i)
+        handles.push_back(eq.schedule(i + 1, [&fired] { ++fired; }));
+
+    EXPECT_GE(eq.poolCapacity(), n);
+    EXPECT_EQ(eq.poolCapacity() % 256, 0u);
+
+    // Handles created before pool growth still see their events.
+    for (unsigned i = 0; i < n; ++i) {
+        EXPECT_TRUE(handles[i].scheduled());
+        EXPECT_EQ(handles[i].when(), Tick{i + 1});
+    }
+
+    eq.run();
+    EXPECT_EQ(fired, n);
+    for (auto& h : handles)
+        EXPECT_FALSE(h.scheduled());
+}
+
+TEST(EventPool, InlineClosureDestroyedExactlyOnceOnFire)
+{
+    LifeTracker::reset();
+    {
+        EventQueue eq;
+        int runs = 0;
+        {
+            LifeTracker t;
+            eq.schedule(1, [t, &runs] { ++runs; });
+        }
+        EXPECT_EQ(LifeTracker::live, 1); // capture alive in the slot
+        eq.run();
+        EXPECT_EQ(runs, 1);
+        EXPECT_EQ(LifeTracker::live, 0); // destroyed by the fire path
+    }
+    EXPECT_EQ(LifeTracker::live, 0);
+}
+
+TEST(EventPool, HeapClosureDestroyedExactlyOnceOnFire)
+{
+    LifeTracker::reset();
+    {
+        EventQueue eq;
+        int runs = 0;
+        {
+            LifeTracker t;
+            // Pad the capture past the inline buffer to force the
+            // heap-allocated closure path.
+            std::array<char, EventQueue::kInlineClosureBytes + 8> pad{};
+            eq.schedule(1, [t, pad, &runs] {
+                ++runs;
+                (void)pad;
+            });
+        }
+        EXPECT_EQ(LifeTracker::live, 1);
+        eq.run();
+        EXPECT_EQ(runs, 1);
+        EXPECT_EQ(LifeTracker::live, 0);
+    }
+    EXPECT_EQ(LifeTracker::live, 0);
+}
+
+TEST(EventPool, CanceledClosureDestroyedImmediately)
+{
+    LifeTracker::reset();
+    EventQueue eq;
+    {
+        LifeTracker t;
+        EventHandle h = eq.schedule(5, [t] {});
+        EXPECT_EQ(LifeTracker::live, 2); // local t + slot capture
+        h.cancel();
+        // Cancelation is lazy for the *heap entry*, but the capture is
+        // released right away so canceled events pin no resources.
+        EXPECT_EQ(LifeTracker::live, 1); // only local t left
+        h.cancel();                      // repeat-cancel is a no-op
+        EXPECT_EQ(LifeTracker::live, 1);
+    }
+    eq.run();
+    EXPECT_EQ(LifeTracker::live, 0);
+}
+
+TEST(EventPool, PendingClosuresDestroyedWithQueue)
+{
+    LifeTracker::reset();
+    {
+        EventQueue eq;
+        for (unsigned i = 0; i < 300; ++i) { // spans two slabs
+            LifeTracker t;
+            eq.schedule(i + 1, [t] { FAIL() << "must never fire"; });
+        }
+        EXPECT_EQ(LifeTracker::live, 300);
+    }
+    EXPECT_EQ(LifeTracker::live, 0);
+}
+
+TEST(EventPool, StaleHandleIsInertAfterSlotReuse)
+{
+    EventQueue eq;
+    int first = 0, second = 0;
+    EventHandle h = eq.schedule(1, [&first] { ++first; });
+    eq.run();
+    EXPECT_EQ(first, 1);
+    EXPECT_FALSE(h.scheduled());
+
+    // The slot is recycled for the next event; the stale handle must
+    // not observe or cancel it.
+    EventHandle h2 = eq.schedule(2, [&second] { ++second; });
+    h.cancel();
+    EXPECT_EQ(h.when(), kTickNever);
+    EXPECT_TRUE(h2.scheduled());
+    eq.run();
+    EXPECT_EQ(second, 1);
+}
+
+TEST(EventPool, SelfReschedulingCallbackIsSafe)
+{
+    EventQueue eq;
+    unsigned hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < 100)
+            eq.scheduleIn(1, [&] { hop(); });
+    };
+    eq.schedule(1, [&] { hop(); });
+    eq.run();
+    EXPECT_EQ(hops, 100u);
+    EXPECT_EQ(eq.poolCapacity(), 256u); // one slot reused throughout
+}
+
+TEST(EventPool, ObserverAccountingBalancedUnderCancelChurn)
+{
+    EventQueue eq;
+    CountingObserver obs;
+    eq.setObserver(&obs);
+
+    std::vector<EventHandle> handles;
+    for (unsigned round = 0; round < 50; ++round) {
+        handles.clear();
+        const Tick base = eq.now();
+        for (unsigned i = 0; i < 64; ++i)
+            handles.push_back(eq.schedule(base + 1 + i % 7, [] {}));
+        for (unsigned i = 0; i < 64; i += 3)
+            handles[i].cancel();
+        eq.run();
+
+        // At drain every schedule was either executed or (canceled and
+        // then) dropped — never both, never neither.
+        EXPECT_EQ(obs.schedules, obs.executes + obs.drops);
+        EXPECT_EQ(obs.cancels, obs.drops);
+    }
+    EXPECT_GT(obs.cancels, 0u);
+    EXPECT_EQ(obs.schedules, 50u * 64u);
+}
+
+TEST(EventPool, InlineCapacityMatchesAdvertisedBound)
+{
+    struct Small
+    {
+        char data[EventQueue::kInlineClosureBytes];
+        void operator()() {}
+    };
+    struct Big
+    {
+        char data[EventQueue::kInlineClosureBytes + 1];
+        void operator()() {}
+    };
+    EXPECT_TRUE(detail::EventClosure::fitsInline<Small>());
+    EXPECT_FALSE(detail::EventClosure::fitsInline<Big>());
+}
+
+} // namespace
+} // namespace tb
