@@ -6,11 +6,17 @@
 #ifndef TB_BENCH_BENCH_UTIL_HH_
 #define TB_BENCH_BENCH_UTIL_HH_
 
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "harness/campaign_cli.hh"
+#include "harness/campaign_supervisor.hh"
 #include "harness/experiment.hh"
+#include "harness/result_serde.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/report.hh"
 #include "workloads/app_profile.hh"
@@ -62,6 +68,69 @@ runAppConfigMatrix(const harness::SystemConfig& sys,
         groups[a][k] = harness::runExperiment(sys, apps[a], kinds[k]);
     });
     return groups;
+}
+
+/**
+ * Supervised variant of runAppConfigMatrix for the figure campaigns:
+ * the same (app x configuration) point space run under a
+ * CampaignSupervisor, with each point's full ExperimentResult
+ * serialized losslessly so it survives --isolate's process boundary
+ * and the journal's disk boundary. @p groups is filled exactly like
+ * runAppConfigMatrix for every ok/journaled point; consult the
+ * returned report before rendering — failed points leave
+ * default-constructed entries.
+ */
+inline harness::SupervisorReport
+runAppConfigMatrixSupervised(
+    const harness::SystemConfig& sys,
+    const std::vector<workloads::AppProfile>& apps,
+    const harness::CampaignOptions& opts, const char* prog,
+    harness::CampaignJournal* journal,
+    std::vector<std::vector<harness::ExperimentResult>>* groups)
+{
+    const std::vector<harness::ConfigKind> kinds = figureConfigs();
+    const std::size_t count = apps.size() * kinds.size();
+
+    harness::PointTask task;
+    task.run = [&](std::size_t i) {
+        const std::size_t a = i / kinds.size();
+        const std::size_t k = i % kinds.size();
+        return harness::serializeResult(
+            harness::runExperiment(sys, apps[a], kinds[k]));
+    };
+    task.key = [&](std::size_t i) {
+        const std::size_t a = i / kinds.size();
+        const std::size_t k = i % kinds.size();
+        std::ostringstream id;
+        id << prog << '|' << apps[a].name << '|'
+           << harness::configName(kinds[k]) << "|dim="
+           << sys.noc.dimension << "|seed=" << sys.seed
+           << "|three=" << sys.memory.threeHopForwarding
+           << "|iters=" << apps[a].iterations;
+        return harness::fnv1a64(id.str());
+    };
+    task.seed = [&](std::size_t) { return sys.seed; };
+    task.repro = [&](std::size_t i) {
+        return std::string(prog) + " --only-point " +
+               std::to_string(i) + opts.reproFlags();
+    };
+
+    harness::CampaignSupervisor supervisor(opts.policy);
+    if (journal && journal->active())
+        supervisor.attachJournal(journal);
+    const harness::SupervisorReport report =
+        supervisor.run(count, task);
+
+    groups->assign(apps.size(),
+                   std::vector<harness::ExperimentResult>(
+                       kinds.size()));
+    for (std::size_t i = 0; i < count; ++i) {
+        if (supervisor.results()[i].empty())
+            continue;
+        (*groups)[i / kinds.size()][i % kinds.size()] =
+            harness::deserializeResult(supervisor.results()[i]);
+    }
+    return report;
 }
 
 /** One point of a robustness campaign (seeds or faults sweep). */
@@ -128,6 +197,60 @@ printMicroJson(std::ostream& os, const MicroMetric& m)
        << "\", \"unit\": \"" << m.unit << "\", \"value\": " << m.value
        << ", \"ops\": " << m.ops << ", \"wall_s\": " << m.wallSeconds
        << "}\n";
+}
+
+/**
+ * Extract an unsigned integer field (`"key": N`) from one of our own
+ * campaign-JSON lines; 0 when absent. Campaign summaries aggregate
+ * counters from result lines this way so journaled (replayed) points
+ * count exactly like freshly-run ones.
+ */
+inline std::uint64_t
+extractJsonU64(const std::string& line, const std::string& key)
+{
+    const std::string pat = "\"" + key + "\": ";
+    const std::size_t at = line.find(pat);
+    if (at == std::string::npos)
+        return 0;
+    return std::strtoull(line.c_str() + at + pat.size(), nullptr, 10);
+}
+
+/**
+ * Emit a supervised campaign's epilogue: the failure manifest (repro
+ * command per failed point) to stderr plus optional atomic artifact
+ * files, and map the report to the process exit code. @p artifact is
+ * the campaign's canonical deterministic output — already printed to
+ * stdout by the caller — which `--out` persists via atomic rename so
+ * a resumed campaign can be diffed byte-for-byte against a straight
+ * run. The supervisor counter line (kind "supervisor") goes to stdout
+ * only: it legitimately differs between a straight and a resumed run
+ * (journaled/retries counts), so it must not pollute the artifact.
+ */
+inline int
+finishSupervisedCampaign(const harness::CampaignOptions& opts,
+                         const harness::SupervisorReport& report,
+                         const std::string& campaign,
+                         const std::string& artifact)
+{
+    std::cout << report.summaryJson(campaign) << std::flush;
+
+    std::ostringstream manifest;
+    report.writeManifest(manifest, campaign);
+    if (!manifest.str().empty())
+        std::cerr << manifest.str() << std::flush;
+    if (!opts.manifestPath.empty()) {
+        if (!report.ok())
+            harness::writeFileAtomic(opts.manifestPath,
+                                     manifest.str());
+        else
+            std::remove(opts.manifestPath.c_str());
+    }
+    if (!opts.outPath.empty() && !report.interrupted)
+        harness::writeFileAtomic(opts.outPath, artifact);
+
+    if (report.interrupted)
+        return 130;
+    return report.failures() == 0 ? 0 : 1;
 }
 
 /** Standard banner for every bench binary. */

@@ -6,10 +6,20 @@
  * Compute / Spin / Transition / Sleep, plus the Section 5.1 headline
  * averages over the five target applications.
  *
- *   figure5_energy [--jobs N]   # shard the 50 simulations over N threads
+ *   figure5_energy [--jobs N] [--deadline-ms N] [--retries N]
+ *                  [--backoff-ms N] [--isolate] [--journal FILE]
+ *                  [--resume] [--out FILE] [--manifest FILE]
+ *                  [--only-point I]
+ *
+ * The 50 (app x configuration) simulations run under the campaign
+ * supervisor: sharded over --jobs threads, optionally deadline-bounded
+ * / retried / forked per point, and journaled so an interrupted run
+ * resumes with byte-identical output (see docs/ROBUSTNESS.md,
+ * "Supervised campaigns").
  */
 
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.hh"
 
@@ -17,29 +27,69 @@ int
 main(int argc, char** argv)
 {
     using namespace tb;
-    const unsigned jobs =
-        harness::ParallelCampaignRunner::parseJobsArg(argc, argv);
+    const harness::CampaignOptions opts =
+        harness::CampaignOptions::parse(argc, argv,
+                                        /*allowQuick=*/false);
+    harness::CampaignSupervisor::installSigintHandler();
     const harness::SystemConfig sys =
         harness::SystemConfig::paperDefault();
-    bench::banner("Figure 5 — normalized energy consumption", sys);
+    const auto apps = workloads::paperApps();
 
-    const auto groups =
-        bench::runAppConfigMatrix(sys, workloads::paperApps(), jobs);
-    for (const auto& group : groups) {
-        harness::report::printBreakdownGroup(std::cout, group,
-                                             /*use_energy=*/true);
-        harness::report::printStackedBars(std::cout, group,
-                                          /*use_energy=*/true);
-        std::cout << '\n' << std::flush;
+    if (opts.onlyPoint >= 0) {
+        const auto kinds = bench::figureConfigs();
+        const std::size_t count = apps.size() * kinds.size();
+        if (static_cast<std::size_t>(opts.onlyPoint) >= count) {
+            std::cerr << "--only-point " << opts.onlyPoint
+                      << " out of range [0, " << count << ")\n";
+            return 2;
+        }
+        const std::size_t a = opts.onlyPoint / kinds.size();
+        const std::size_t k = opts.onlyPoint % kinds.size();
+        std::cout << harness::serializeResult(harness::runExperiment(
+                         sys, apps[a], kinds[k]))
+                  << '\n';
+        return 0;
     }
 
-    harness::report::printSummary(std::cout, groups,
-                                  workloads::targetAppNames());
-    std::cout << "\nPaper reference (Section 5.1): Thrifty saves "
-                 "~17% energy on the five target\napplications at "
-                 "~2% slowdown; Thrifty-Halt saves ~11%. Shapes to "
-                 "check: energy\nordering I <= T <= H <= B on "
-                 "imbalanced apps, FFT/Cholesky == Baseline, Ocean\n"
-                 "slightly above Baseline.\n";
-    return 0;
+    bench::banner("Figure 5 — normalized energy consumption", sys);
+
+    harness::CampaignJournal journal;
+    if (!opts.journalPath.empty())
+        journal.open(opts.journalPath, opts.resume);
+
+    std::vector<std::vector<harness::ExperimentResult>> groups;
+    const harness::SupervisorReport report =
+        bench::runAppConfigMatrixSupervised(
+            sys, apps, opts, "figure5_energy", &journal, &groups);
+    journal.flush();
+
+    std::ostringstream artifact;
+    if (report.failures() == 0 && !report.interrupted) {
+        for (const auto& group : groups) {
+            harness::report::printBreakdownGroup(artifact, group,
+                                                 /*use_energy=*/true);
+            harness::report::printStackedBars(artifact, group,
+                                              /*use_energy=*/true);
+            artifact << '\n';
+        }
+        harness::report::printSummary(artifact, groups,
+                                      workloads::targetAppNames());
+        artifact
+            << "\nPaper reference (Section 5.1): Thrifty saves "
+               "~17% energy on the five target\napplications at "
+               "~2% slowdown; Thrifty-Halt saves ~11%. Shapes to "
+               "check: energy\nordering I <= T <= H <= B on "
+               "imbalanced apps, FFT/Cholesky == Baseline, Ocean\n"
+               "slightly above Baseline.\n";
+        std::cout << artifact.str() << std::flush;
+    } else {
+        std::cout << "figure withheld: " << report.failures()
+                  << " point failure(s)"
+                  << (report.interrupted ? ", interrupted" : "")
+                  << " — see the failure manifest\n";
+    }
+
+    return bench::finishSupervisedCampaign(opts, report,
+                                           "figure5_energy",
+                                           artifact.str());
 }

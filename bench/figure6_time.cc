@@ -4,10 +4,18 @@
  * applications under the five configurations, broken into
  * Compute / Spin / Transition / Sleep per-CPU time.
  *
- *   figure6_time [--jobs N]   # shard the 50 simulations over N threads
+ *   figure6_time [--jobs N] [--deadline-ms N] [--retries N]
+ *                [--backoff-ms N] [--isolate] [--journal FILE]
+ *                [--resume] [--out FILE] [--manifest FILE]
+ *                [--only-point I]
+ *
+ * The 50 (app x configuration) simulations run under the campaign
+ * supervisor — same surface as figure5_energy (docs/ROBUSTNESS.md,
+ * "Supervised campaigns").
  */
 
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.hh"
 
@@ -15,28 +23,68 @@ int
 main(int argc, char** argv)
 {
     using namespace tb;
-    const unsigned jobs =
-        harness::ParallelCampaignRunner::parseJobsArg(argc, argv);
+    const harness::CampaignOptions opts =
+        harness::CampaignOptions::parse(argc, argv,
+                                        /*allowQuick=*/false);
+    harness::CampaignSupervisor::installSigintHandler();
     const harness::SystemConfig sys =
         harness::SystemConfig::paperDefault();
-    bench::banner("Figure 6 — normalized execution time", sys);
+    const auto apps = workloads::paperApps();
 
-    const auto groups =
-        bench::runAppConfigMatrix(sys, workloads::paperApps(), jobs);
-    for (const auto& group : groups) {
-        harness::report::printBreakdownGroup(std::cout, group,
-                                             /*use_energy=*/false);
-        harness::report::printStackedBars(std::cout, group,
-                                          /*use_energy=*/false);
-        std::cout << '\n' << std::flush;
+    if (opts.onlyPoint >= 0) {
+        const auto kinds = bench::figureConfigs();
+        const std::size_t count = apps.size() * kinds.size();
+        if (static_cast<std::size_t>(opts.onlyPoint) >= count) {
+            std::cerr << "--only-point " << opts.onlyPoint
+                      << " out of range [0, " << count << ")\n";
+            return 2;
+        }
+        const std::size_t a = opts.onlyPoint / kinds.size();
+        const std::size_t k = opts.onlyPoint % kinds.size();
+        std::cout << harness::serializeResult(harness::runExperiment(
+                         sys, apps[a], kinds[k]))
+                  << '\n';
+        return 0;
     }
 
-    harness::report::printSummary(std::cout, groups,
-                                  workloads::targetAppNames());
-    std::cout << "\nPaper reference (Section 5.1): performance "
-                 "degradation well bounded — about 2%\non average for "
-                 "the target applications, virtually zero elsewhere "
-                 "except Ocean\n(contained within 3.5% by the "
-                 "overprediction cutoff).\n";
-    return 0;
+    bench::banner("Figure 6 — normalized execution time", sys);
+
+    harness::CampaignJournal journal;
+    if (!opts.journalPath.empty())
+        journal.open(opts.journalPath, opts.resume);
+
+    std::vector<std::vector<harness::ExperimentResult>> groups;
+    const harness::SupervisorReport report =
+        bench::runAppConfigMatrixSupervised(
+            sys, apps, opts, "figure6_time", &journal, &groups);
+    journal.flush();
+
+    std::ostringstream artifact;
+    if (report.failures() == 0 && !report.interrupted) {
+        for (const auto& group : groups) {
+            harness::report::printBreakdownGroup(artifact, group,
+                                                 /*use_energy=*/false);
+            harness::report::printStackedBars(artifact, group,
+                                              /*use_energy=*/false);
+            artifact << '\n';
+        }
+        harness::report::printSummary(artifact, groups,
+                                      workloads::targetAppNames());
+        artifact
+            << "\nPaper reference (Section 5.1): performance "
+               "degradation well bounded — about 2%\non average for "
+               "the target applications, virtually zero elsewhere "
+               "except Ocean\n(contained within 3.5% by the "
+               "overprediction cutoff).\n";
+        std::cout << artifact.str() << std::flush;
+    } else {
+        std::cout << "figure withheld: " << report.failures()
+                  << " point failure(s)"
+                  << (report.interrupted ? ", interrupted" : "")
+                  << " — see the failure manifest\n";
+    }
+
+    return bench::finishSupervisedCampaign(opts, report,
+                                           "figure6_time",
+                                           artifact.str());
 }

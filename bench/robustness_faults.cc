@@ -9,17 +9,27 @@
  * three-hop), all three wake-up policies and eight injection seeds,
  * with the protocol checker and its liveness watchdogs armed. A run
  * passes when every barrier releases, every sleeper wakes and no
- * invariant trips; the campaign fails loudly otherwise. One point is
- * replayed to prove bit-identical determinism from (spec, seed).
+ * invariant trips; failed points are classified (exception /
+ * checker-violation / timeout / crash) in the failure manifest with a
+ * one-line repro command each. One point is replayed to prove
+ * bit-identical determinism from (spec, seed).
  *
- *   robustness_faults [--quick] [--jobs N]
+ *   robustness_faults [--quick] [--jobs N] [--deadline-ms N]
+ *                     [--retries N] [--backoff-ms N] [--isolate]
+ *                     [--journal FILE] [--resume] [--out FILE]
+ *                     [--manifest FILE] [--only-point I]
  *
- * Points are independent simulations, so --jobs shards them across
- * host threads; results are emitted in point order, byte-identical to
- * a serial run.
+ * Points are independent simulations supervised by
+ * harness::CampaignSupervisor: sharded over --jobs threads, bounded
+ * by per-point deadlines, retried with deterministic backoff,
+ * optionally forked (--isolate) so a crashing point cannot take the
+ * campaign down, and journaled so an interrupted campaign resumes
+ * with byte-identical final output (--journal/--resume; Ctrl-C
+ * flushes the journal and emits the manifest before exiting).
  *
  * Emits one JSON line per run in the shared campaign shape (see
- * bench_util.hh), comparable with robustness_seeds output.
+ * bench_util.hh), comparable with robustness_seeds output, plus one
+ * supervisor-counter line (kind "supervisor").
  */
 
 #include <cstdio>
@@ -30,7 +40,6 @@
 
 #include "bench_util.hh"
 #include "fault/fault_spec.hh"
-#include "harness/parallel_runner.hh"
 
 namespace {
 
@@ -73,16 +82,56 @@ struct Point
     std::uint64_t seed = 1;
 };
 
-/** What one point produced (deposited by index, emitted in order). */
-struct PointResult
+/** Run one point and return its campaign JSON line (throws on any
+ *  simulation/checker failure; the supervisor classifies it). */
+std::string
+runPoint(const Point& p, const workloads::AppProfile& app)
 {
-    bool ok = false;
-    std::string json; ///< campaign JSON line (stdout)
-    std::string err;  ///< failure diagnostic (stderr)
-    std::uint64_t injected = 0;
-    std::uint64_t watchdogs = 0;
-    std::uint64_t quarantines = 0;
-};
+    using harness::ConfigKind;
+
+    harness::SystemConfig sys = harness::SystemConfig::small(p.dim);
+    sys.seed = p.seed;
+    sys.memory.threeHopForwarding = p.threeHop;
+
+    thrifty::ThriftyConfig custom = thrifty::ThriftyConfig::thrifty();
+    custom.wakeup = p.wakeup;
+    custom.hardening.enabled = true;
+
+    const fault::FaultSpec spec =
+        fault::FaultSpec::parse(specFor(p.seed, p.scale));
+
+    harness::RunOptions opt;
+    opt.check = true;
+    opt.customConfig = &custom;
+    opt.faults = &spec;
+    opt.livenessBudget = 200 * kMillisecond;
+
+    tb::bench::CampaignPoint pt;
+    pt.campaign = "faults";
+    pt.dim = p.dim;
+    pt.seed = p.seed;
+    pt.protocol = p.threeHop ? "three-hop" : "hub";
+    pt.wakeup = wakeupName(p.wakeup);
+
+    const auto r =
+        harness::runExperiment(sys, app, ConfigKind::Thrifty, opt);
+    std::ostringstream os;
+    tb::bench::printCampaignJson(os, pt, r);
+    return os.str();
+}
+
+/** Human-readable identity of a point (manifest context). */
+std::string
+pointLabel(const Point& p)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "dim=%u %s %s seed=%llu scale=%.1f", p.dim,
+                  p.threeHop ? "three-hop" : "hub",
+                  wakeupName(p.wakeup),
+                  static_cast<unsigned long long>(p.seed), p.scale);
+    return buf;
+}
 
 } // namespace
 
@@ -90,13 +139,10 @@ int
 main(int argc, char** argv)
 {
     using harness::ConfigKind;
-    bool quick = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0)
-            quick = true;
-    }
-    const unsigned jobs =
-        harness::ParallelCampaignRunner::parseJobsArg(argc, argv);
+    const harness::CampaignOptions opts =
+        harness::CampaignOptions::parse(argc, argv,
+                                        /*allowQuick=*/true);
+    harness::CampaignSupervisor::installSigintHandler();
 
     // Shrunk workload: the campaign is about surviving faults, not
     // about the headline numbers, so a few barrier instances per run
@@ -105,6 +151,7 @@ main(int argc, char** argv)
     if (app.iterations > 6)
         app.iterations = 6;
 
+    const bool quick = opts.quick;
     const std::vector<unsigned> dims =
         quick ? std::vector<unsigned>{1, 2}
               : std::vector<unsigned>{1, 2, 3, 4};
@@ -120,9 +167,6 @@ main(int argc, char** argv)
         thrifty::WakeupPolicy::Hybrid,
     };
 
-    tb::bench::banner("Robustness — fault-injection campaign",
-                      harness::SystemConfig::small(dims.back()));
-
     std::vector<Point> points;
     for (unsigned dim : dims) {
         for (int three_hop = 0; three_hop <= 1; ++three_hop) {
@@ -137,76 +181,70 @@ main(int argc, char** argv)
         }
     }
 
-    std::vector<PointResult> results(points.size());
-    const harness::ParallelCampaignRunner runner(jobs);
-    runner.run(points.size(), [&](std::size_t i) {
-        const Point& p = points[i];
-        PointResult& res = results[i];
-
-        harness::SystemConfig sys = harness::SystemConfig::small(p.dim);
-        sys.seed = p.seed;
-        sys.memory.threeHopForwarding = p.threeHop;
-
-        thrifty::ThriftyConfig custom = thrifty::ThriftyConfig::thrifty();
-        custom.wakeup = p.wakeup;
-        custom.hardening.enabled = true;
-
-        const fault::FaultSpec spec =
-            fault::FaultSpec::parse(specFor(p.seed, p.scale));
-
-        harness::RunOptions opt;
-        opt.check = true;
-        opt.customConfig = &custom;
-        opt.faults = &spec;
-        opt.livenessBudget = 200 * kMillisecond;
-
-        tb::bench::CampaignPoint pt;
-        pt.campaign = "faults";
-        pt.dim = p.dim;
-        pt.seed = p.seed;
-        pt.protocol = p.threeHop ? "three-hop" : "hub";
-        pt.wakeup = wakeupName(p.wakeup);
-
-        try {
-            const auto r = harness::runExperiment(
-                sys, app, ConfigKind::Thrifty, opt);
-            res.injected = r.faultsInjected();
-            res.watchdogs = r.sync.watchdogFires;
-            res.quarantines = r.sync.quarantines;
-            std::ostringstream os;
-            tb::bench::printCampaignJson(os, pt, r);
-            res.json = os.str();
-            res.ok = true;
-        } catch (const std::exception& e) {
-            char buf[512];
-            std::snprintf(buf, sizeof(buf),
-                          "FAIL dim=%u %s %s seed=%llu scale=%.1f: %s\n",
-                          p.dim, pt.protocol.c_str(), pt.wakeup.c_str(),
-                          static_cast<unsigned long long>(p.seed),
-                          p.scale, e.what());
-            res.err = buf;
+    // Repro mode: run exactly one point inline, no supervision.
+    if (opts.onlyPoint >= 0) {
+        if (static_cast<std::size_t>(opts.onlyPoint) >=
+            points.size()) {
+            std::fprintf(stderr,
+                         "--only-point %ld out of range [0, %zu)%s\n",
+                         opts.onlyPoint, points.size(),
+                         quick ? " (with --quick)" : "");
+            return 2;
         }
-    });
-
-    unsigned failures = 0;
-    std::uint64_t injected = 0, watchdogs = 0, quarantines = 0;
-    for (const PointResult& res : results) {
-        if (res.ok) {
-            std::fputs(res.json.c_str(), stdout);
-            injected += res.injected;
-            watchdogs += res.watchdogs;
-            quarantines += res.quarantines;
-        } else {
-            ++failures;
-            std::fputs(res.err.c_str(), stderr);
-        }
+        const Point& p = points[opts.onlyPoint];
+        std::fprintf(stderr, "point %ld: %s\n", opts.onlyPoint,
+                     pointLabel(p).c_str());
+        std::fputs(runPoint(p, app).c_str(), stdout);
+        return 0;
     }
-    std::fflush(stdout);
-    const unsigned runs = static_cast<unsigned>(points.size());
+
+    tb::bench::banner("Robustness — fault-injection campaign",
+                      harness::SystemConfig::small(dims.back()));
+
+    harness::CampaignJournal journal;
+    if (!opts.journalPath.empty())
+        journal.open(opts.journalPath, opts.resume);
+
+    harness::PointTask task;
+    task.run = [&](std::size_t i) { return runPoint(points[i], app); };
+    task.key = [&](std::size_t i) {
+        return harness::fnv1a64("faults|iters=" +
+                                std::to_string(app.iterations) + '|' +
+                                pointLabel(points[i]));
+    };
+    task.seed = [&](std::size_t i) { return points[i].seed; };
+    task.repro = [&](std::size_t i) {
+        return "robustness_faults --only-point " + std::to_string(i) +
+               opts.reproFlags() + "   # " + pointLabel(points[i]);
+    };
+
+    harness::CampaignSupervisor supervisor(opts.policy);
+    if (journal.active())
+        supervisor.attachJournal(&journal);
+    const harness::SupervisorReport report =
+        supervisor.run(points.size(), task);
+    journal.flush();
+
+    // Canonical campaign output: deterministic across straight,
+    // supervised and resumed runs (--out persists it atomically).
+    std::ostringstream artifact;
+    std::uint64_t injected = 0, watchdogs = 0, quarantines = 0;
+    for (const std::string& line : supervisor.results()) {
+        if (line.empty())
+            continue;
+        artifact << line;
+        injected += tb::bench::extractJsonU64(line, "faults_injected");
+        watchdogs += tb::bench::extractJsonU64(line, "watchdog_fires");
+        quarantines += tb::bench::extractJsonU64(line, "quarantines");
+    }
+
+    unsigned failures =
+        static_cast<unsigned>(report.failures());
 
     // Determinism: an identical (spec, seed) pair must replay to
-    // bit-identical stats and timing.
-    {
+    // bit-identical stats and timing. Skipped when interrupted —
+    // resume reruns it.
+    if (!report.interrupted) {
         harness::SystemConfig sys = harness::SystemConfig::small(2);
         sys.seed = 1;
         thrifty::ThriftyConfig custom =
@@ -232,21 +270,44 @@ main(int argc, char** argv)
                          "FAIL determinism: identical (spec, seed) "
                          "replayed differently\n");
         } else {
-            std::printf("determinism: replay of (%s) bit-identical "
-                        "(%llu faults)\n",
-                        a.faultSpec.c_str(),
-                        static_cast<unsigned long long>(
-                            a.faultsInjected()));
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "determinism: replay of (%s) bit-identical "
+                          "(%llu faults)\n",
+                          a.faultSpec.c_str(),
+                          static_cast<unsigned long long>(
+                              a.faultsInjected()));
+            artifact << buf;
         }
     }
 
-    std::printf("\ncampaign: %u run(s), %u failure(s); %llu fault(s) "
-                "injected, %llu watchdog fire(s), %llu "
-                "quarantine(s)\n",
-                runs, failures,
-                static_cast<unsigned long long>(injected),
-                static_cast<unsigned long long>(watchdogs),
-                static_cast<unsigned long long>(quarantines));
-    std::printf("%s\n", failures == 0 ? "PASS" : "FAIL");
-    return failures == 0 ? 0 : 1;
+    {
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "\ncampaign: %zu run(s), %u failure(s); %llu fault(s) "
+            "injected, %llu watchdog fire(s), %llu quarantine(s)\n",
+            points.size(), failures,
+            static_cast<unsigned long long>(injected),
+            static_cast<unsigned long long>(watchdogs),
+            static_cast<unsigned long long>(quarantines));
+        artifact << buf;
+    }
+    artifact << (failures == 0 && !report.interrupted ? "PASS"
+                                                      : "FAIL")
+             << '\n';
+
+    std::fputs(artifact.str().c_str(), stdout);
+    std::fflush(stdout);
+
+    harness::SupervisorReport final_report = report;
+    if (failures > static_cast<unsigned>(report.failures())) {
+        // The determinism check failed: surface it through the exit
+        // code even though it is not a supervised point.
+        const int rc = tb::bench::finishSupervisedCampaign(
+            opts, final_report, "faults", artifact.str());
+        return rc == 0 ? 1 : rc;
+    }
+    return tb::bench::finishSupervisedCampaign(
+        opts, final_report, "faults", artifact.str());
 }

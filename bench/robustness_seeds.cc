@@ -5,93 +5,244 @@
  * five different synthetic-workload seeds. The paper's claim should
  * not hinge on one draw of the random streams.
  *
- * Each run also emits one JSON line in the shared campaign shape
+ *   robustness_seeds [--jobs N] [--deadline-ms N] [--retries N]
+ *                    [--backoff-ms N] [--isolate] [--journal FILE]
+ *                    [--resume] [--out FILE] [--manifest FILE]
+ *                    [--only-point I]
+ *
+ * Each (seed, application) pair is one supervised campaign point
+ * running the Baseline / Thrifty-Halt / Thrifty triple; points are
+ * independent, so the campaign shards, retries, isolates and resumes
+ * exactly like robustness_faults (docs/ROBUSTNESS.md, "Supervised
+ * campaigns").
+ *
+ * Each run emits one JSON line in the shared campaign shape
  * (bench_util.hh), directly comparable with the fault-injection
  * campaign's output (robustness_faults).
  */
 
 #include <cmath>
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
 
-int
-main()
+namespace {
+
+using namespace tb;
+
+const std::vector<std::uint64_t> kSeeds = {1, 2, 3, 5, 8};
+
+/** One (seed, application) point. */
+struct Point
 {
-    using namespace tb;
+    std::uint64_t seed = 1;
+    std::string app;
+};
+
+std::vector<Point>
+pointSpace()
+{
+    std::vector<Point> points;
+    for (std::uint64_t seed : kSeeds) {
+        for (const auto& name : workloads::targetAppNames())
+            points.push_back(Point{seed, name});
+    }
+    return points;
+}
+
+/**
+ * Run one point's Baseline/Halt/Thrifty triple. The artifact is the
+ * three campaign JSON lines followed by one `#metrics` trailer
+ * carrying the savings/slowdown at full double precision, so the
+ * cross-seed aggregation reproduces exactly from a journal replay.
+ */
+std::string
+runPoint(const Point& p)
+{
     using harness::ConfigKind;
+    harness::SystemConfig sys = harness::SystemConfig::paperDefault();
+    sys.seed = p.seed;
+
+    tb::bench::CampaignPoint pt;
+    pt.campaign = "seeds";
+    pt.dim = sys.noc.dimension;
+    pt.seed = p.seed;
+    pt.protocol =
+        sys.memory.threeHopForwarding ? "three-hop" : "hub";
+
+    const auto app = workloads::appByName(p.app);
+    const auto base = runExperiment(sys, app, ConfigKind::Baseline);
+    const auto h = runExperiment(sys, app, ConfigKind::ThriftyHalt);
+    const auto t = runExperiment(sys, app, ConfigKind::Thrifty);
+
+    std::ostringstream os;
+    tb::bench::printCampaignJson(os, pt, base);
+    tb::bench::printCampaignJson(os, pt, h);
+    tb::bench::printCampaignJson(os, pt, t);
+
+    const double h_sav = 1.0 - h.totalEnergy() / base.totalEnergy();
+    const double t_sav = 1.0 - t.totalEnergy() / base.totalEnergy();
+    const double slow = static_cast<double>(t.execTime) /
+                            static_cast<double>(base.execTime) -
+                        1.0;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "#metrics %.17g %.17g %.17g\n", h_sav, t_sav,
+                  slow);
+    os << buf;
+    return os.str();
+}
+
+/** Split an artifact into (JSON lines, metrics triple). */
+bool
+parseArtifact(const std::string& artifact, std::string* json,
+              double* h, double* t, double* slow)
+{
+    const std::size_t at = artifact.rfind("#metrics ");
+    if (at == std::string::npos)
+        return false;
+    *json = artifact.substr(0, at);
+    return std::sscanf(artifact.c_str() + at,
+                       "#metrics %lg %lg %lg", h, t, slow) == 3;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const harness::CampaignOptions opts =
+        harness::CampaignOptions::parse(argc, argv,
+                                        /*allowQuick=*/false);
+    harness::CampaignSupervisor::installSigintHandler();
+    const std::vector<Point> points = pointSpace();
+
+    if (opts.onlyPoint >= 0) {
+        if (static_cast<std::size_t>(opts.onlyPoint) >=
+            points.size()) {
+            std::fprintf(stderr,
+                         "--only-point %ld out of range [0, %zu)\n",
+                         opts.onlyPoint, points.size());
+            return 2;
+        }
+        const Point& p = points[opts.onlyPoint];
+        std::fprintf(stderr, "point %ld: seed=%llu app=%s\n",
+                     opts.onlyPoint,
+                     static_cast<unsigned long long>(p.seed),
+                     p.app.c_str());
+        std::fputs(runPoint(p).c_str(), stdout);
+        return 0;
+    }
+
     tb::bench::banner("Robustness — headline averages across seeds",
                       harness::SystemConfig::paperDefault());
 
-    const std::vector<std::uint64_t> seeds = {1, 2, 3, 5, 8};
+    harness::CampaignJournal journal;
+    if (!opts.journalPath.empty())
+        journal.open(opts.journalPath, opts.resume);
+
+    harness::PointTask task;
+    task.run = [&](std::size_t i) { return runPoint(points[i]); };
+    task.key = [&](std::size_t i) {
+        return harness::fnv1a64(
+            "seeds|" + std::to_string(points[i].seed) + '|' +
+            points[i].app);
+    };
+    task.seed = [&](std::size_t i) { return points[i].seed; };
+    task.repro = [&](std::size_t i) {
+        return "robustness_seeds --only-point " + std::to_string(i) +
+               opts.reproFlags() + "   # seed=" +
+               std::to_string(points[i].seed) + " app=" +
+               points[i].app;
+    };
+
+    harness::CampaignSupervisor supervisor(opts.policy);
+    if (journal.active())
+        supervisor.attachJournal(&journal);
+    const harness::SupervisorReport report =
+        supervisor.run(points.size(), task);
+    journal.flush();
+
+    std::ostringstream artifact;
+    const std::size_t apps_per_seed =
+        workloads::targetAppNames().size();
     std::vector<double> halt_savings, thrifty_savings,
         thrifty_slowdowns;
+    bool complete = report.failures() == 0 && !report.interrupted;
 
-    std::printf("%6s %16s %16s %14s\n", "seed", "H saving",
-                "T saving", "T slowdown");
-    for (std::uint64_t seed : seeds) {
-        harness::SystemConfig sys =
-            harness::SystemConfig::paperDefault();
-        sys.seed = seed;
-        double h_sum = 0.0, t_sum = 0.0, slow_sum = 0.0;
-        unsigned n = 0;
-        tb::bench::CampaignPoint pt;
-        pt.campaign = "seeds";
-        pt.dim = sys.noc.dimension;
-        pt.seed = seed;
-        pt.protocol = sys.memory.threeHopForwarding ? "three-hop"
-                                                    : "hub";
-        for (const auto& name : workloads::targetAppNames()) {
-            const auto app = workloads::appByName(name);
-            const auto base =
-                runExperiment(sys, app, ConfigKind::Baseline);
-            const auto h =
-                runExperiment(sys, app, ConfigKind::ThriftyHalt);
-            const auto t =
-                runExperiment(sys, app, ConfigKind::Thrifty);
-            tb::bench::printCampaignJson(std::cout, pt, base);
-            tb::bench::printCampaignJson(std::cout, pt, h);
-            tb::bench::printCampaignJson(std::cout, pt, t);
-            h_sum += 1.0 - h.totalEnergy() / base.totalEnergy();
-            t_sum += 1.0 - t.totalEnergy() / base.totalEnergy();
-            slow_sum += static_cast<double>(t.execTime) /
-                            static_cast<double>(base.execTime) -
-                        1.0;
-            ++n;
+    if (complete) {
+        char row[128];
+        std::snprintf(row, sizeof(row), "%6s %16s %16s %14s\n",
+                      "seed", "H saving", "T saving", "T slowdown");
+        std::string table = row;
+        for (std::size_t s = 0; s < kSeeds.size(); ++s) {
+            double h_sum = 0.0, t_sum = 0.0, slow_sum = 0.0;
+            for (std::size_t a = 0; a < apps_per_seed; ++a) {
+                const std::string& art =
+                    supervisor.results()[s * apps_per_seed + a];
+                std::string json;
+                double h = 0.0, t = 0.0, slow = 0.0;
+                if (!parseArtifact(art, &json, &h, &t, &slow)) {
+                    std::fprintf(stderr,
+                                 "FAIL: malformed point artifact\n");
+                    return 1;
+                }
+                artifact << json;
+                h_sum += h;
+                t_sum += t;
+                slow_sum += slow;
+            }
+            const double n = static_cast<double>(apps_per_seed);
+            halt_savings.push_back(100.0 * h_sum / n);
+            thrifty_savings.push_back(100.0 * t_sum / n);
+            thrifty_slowdowns.push_back(100.0 * slow_sum / n);
+            std::snprintf(row, sizeof(row),
+                          "%6llu %15.1f%% %15.1f%% %13.2f%%\n",
+                          static_cast<unsigned long long>(kSeeds[s]),
+                          halt_savings.back(),
+                          thrifty_savings.back(),
+                          thrifty_slowdowns.back());
+            table += row;
         }
-        halt_savings.push_back(100.0 * h_sum / n);
-        thrifty_savings.push_back(100.0 * t_sum / n);
-        thrifty_slowdowns.push_back(100.0 * slow_sum / n);
-        std::printf("%6llu %15.1f%% %15.1f%% %13.2f%%\n",
-                    static_cast<unsigned long long>(seed),
-                    halt_savings.back(), thrifty_savings.back(),
-                    thrifty_slowdowns.back());
+        artifact << table;
+
+        const auto mean_sd = [](const std::vector<double>& v) {
+            double m = 0.0;
+            for (double x : v)
+                m += x;
+            m /= static_cast<double>(v.size());
+            double s2 = 0.0;
+            for (double x : v)
+                s2 += (x - m) * (x - m);
+            return std::pair<double, double>(
+                m, std::sqrt(s2 / static_cast<double>(v.size())));
+        };
+        const auto [hm, hs] = mean_sd(halt_savings);
+        const auto [tm, ts] = mean_sd(thrifty_savings);
+        const auto [sm, ss] = mean_sd(thrifty_slowdowns);
+
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "\nacross seeds (mean +/- sd):\n"
+                      "  Thrifty-Halt saving : %5.1f%% +/- %.1f\n"
+                      "  Thrifty saving      : %5.1f%% +/- %.1f  "
+                      "(paper ~17%%)\n"
+                      "  Thrifty slowdown    : %5.2f%% +/- %.2f  "
+                      "(paper ~2%%)\n",
+                      hm, hs, tm, ts, sm, ss);
+        artifact << buf;
+        std::fputs(artifact.str().c_str(), stdout);
         std::fflush(stdout);
+    } else {
+        std::printf("summary withheld: %zu point failure(s)%s — see "
+                    "the failure manifest\n",
+                    report.failures(),
+                    report.interrupted ? ", interrupted" : "");
     }
 
-    auto mean_sd = [](const std::vector<double>& v) {
-        double m = 0.0;
-        for (double x : v)
-            m += x;
-        m /= v.size();
-        double s2 = 0.0;
-        for (double x : v)
-            s2 += (x - m) * (x - m);
-        return std::pair<double, double>(
-            m, std::sqrt(s2 / v.size()));
-    };
-    const auto [hm, hs] = mean_sd(halt_savings);
-    const auto [tm, ts] = mean_sd(thrifty_savings);
-    const auto [sm, ss] = mean_sd(thrifty_slowdowns);
-
-    std::printf("\nacross seeds (mean +/- sd):\n");
-    std::printf("  Thrifty-Halt saving : %5.1f%% +/- %.1f\n", hm, hs);
-    std::printf("  Thrifty saving      : %5.1f%% +/- %.1f  (paper "
-                "~17%%)\n",
-                tm, ts);
-    std::printf("  Thrifty slowdown    : %5.2f%% +/- %.2f  (paper "
-                "~2%%)\n",
-                sm, ss);
-    return 0;
+    return tb::bench::finishSupervisedCampaign(opts, report, "seeds",
+                                               artifact.str());
 }

@@ -23,6 +23,12 @@ Policy:
 * Metrics with unit "ticks" are simulated quantities and must be
   bit-identical per seed: any difference is a determinism failure, not
   a perf regression, and always fails regardless of threshold.
+* Supervised campaigns emit one counter line per run
+  (``"kind": "supervisor"``: retries, timeouts, isolated crashes,
+  journaled resumes — see docs/ROBUSTNESS.md). Counters found in the
+  current file are printed next to the metrics; a supervisor line
+  reporting failed or unfinished points fails the comparison, since
+  metrics from a partially-failed campaign are not trustworthy.
 
 Exit status: 0 on pass, 1 on regression/mismatch, 2 on usage errors.
 """
@@ -55,6 +61,58 @@ def load_metrics(path):
     return metrics
 
 
+def load_supervisor_lines(path):
+    """Return the supervisor counter objects found in *path*."""
+    lines = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if obj.get("kind") == "supervisor":
+                    lines.append(obj)
+    except OSError:
+        pass
+    return lines
+
+
+def report_supervisor(lines):
+    """Print campaign supervisor counters; return failure strings."""
+    failures = []
+    if not lines:
+        return failures
+    print("campaign supervisor counters:")
+    for obj in lines:
+        campaign = obj.get("campaign", "?")
+        counters = ", ".join(
+            f"{key}={obj[key]}"
+            for key in ("points", "ok", "journaled", "retries",
+                        "timeouts", "crashes", "exceptions",
+                        "checker_violations", "not_run")
+            if key in obj)
+        print(f"  {campaign}: {counters} "
+              f"interrupted={obj.get('interrupted', False)}")
+        failed = sum(
+            obj.get(key, 0)
+            for key in ("timeouts", "crashes", "exceptions",
+                        "checker_violations"))
+        if failed:
+            failures.append(
+                f"supervisor[{campaign}]: {failed} failed point(s)")
+        if obj.get("interrupted") or obj.get("not_run", 0):
+            failures.append(
+                f"supervisor[{campaign}]: campaign did not finish "
+                f"(interrupted={obj.get('interrupted', False)}, "
+                f"not_run={obj.get('not_run', 0)})")
+    print()
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Gate micro_simcore results against a baseline.")
@@ -67,6 +125,8 @@ def main():
 
     base = load_metrics(args.baseline)
     cur = load_metrics(args.current)
+    supervisor_failures = report_supervisor(
+        load_supervisor_lines(args.current))
 
     if "calibration" not in base or "calibration" not in cur:
         sys.exit("compare_bench: both files need a 'calibration' metric")
@@ -79,7 +139,7 @@ def main():
     print(header)
     print("-" * len(header))
 
-    failures = []
+    failures = list(supervisor_failures)
     for name, (unit, base_val) in sorted(base.items()):
         if name == "calibration":
             continue

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Resume-equivalence smoke test (docs/ROBUSTNESS.md, "Supervised
+# campaigns"): kill a journaled fault campaign mid-run, resume it,
+# and require the resumed final artifact to be byte-identical to an
+# uninterrupted run's.
+#
+#   scripts/resume_smoke.sh [BENCH_BINARY] [WORKDIR]
+#
+# Defaults: build/bench/robustness_faults, a fresh temp directory.
+# Exit 0 when the resumed artifact matches; non-zero (with the diff
+# and the journal kept for inspection) otherwise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-build/bench/robustness_faults}"
+WORK="${2:-$(mktemp -d)}"
+mkdir -p "$WORK"
+
+[ -x "$BENCH" ] || { echo "resume_smoke: $BENCH not built" >&2; exit 2; }
+
+echo "== straight run (reference artifact)"
+"$BENCH" --quick --jobs 2 --out "$WORK/straight.json" \
+    > "$WORK/straight.stdout" 2> "$WORK/straight.stderr"
+
+echo "== interrupted run (SIGINT mid-campaign)"
+rm -f "$WORK/journal.jsonl" "$WORK/resumed.json"
+set +e
+"$BENCH" --quick --jobs 2 --journal "$WORK/journal.jsonl" \
+    --out "$WORK/resumed.json" \
+    > "$WORK/interrupted.stdout" 2> "$WORK/interrupted.stderr" &
+PID=$!
+# Land the ^C mid-campaign if we can; a campaign that finishes first
+# still exercises the full-journal resume path below.
+sleep 0.2
+kill -INT "$PID" 2>/dev/null
+wait "$PID"
+RC=$?
+set -e
+JOURNALED=$(wc -l < "$WORK/journal.jsonl" 2>/dev/null || echo 0)
+echo "   interrupted rc=$RC, journaled points=$JOURNALED"
+
+echo "== resumed run"
+"$BENCH" --quick --jobs 2 --journal "$WORK/journal.jsonl" --resume \
+    --out "$WORK/resumed.json" \
+    > "$WORK/resumed.stdout" 2> "$WORK/resumed.stderr"
+grep '"kind": "supervisor"' "$WORK/resumed.stdout" || true
+
+echo "== diff (straight vs resumed artifact)"
+if ! cmp "$WORK/straight.json" "$WORK/resumed.json"; then
+    echo "FAIL: resumed artifact differs from straight run" >&2
+    diff -u "$WORK/straight.json" "$WORK/resumed.json" | head -40 >&2
+    echo "workdir kept: $WORK" >&2
+    exit 1
+fi
+echo "PASS: resumed artifact byte-identical ($WORK)"

@@ -1,0 +1,134 @@
+#include "harness/campaign_cli.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tb {
+namespace harness {
+
+namespace {
+
+[[noreturn]] void
+usage(const char* prog, const char* complaint, bool allowQuick)
+{
+    std::fprintf(
+        stderr,
+        "%s: %s\n"
+        "usage: %s %s[--jobs N] [--deadline-ms N] "
+        "[--retries N]\n"
+        "       [--backoff-ms N] [--isolate] [--journal FILE] "
+        "[--resume]\n"
+        "       [--out FILE] [--manifest FILE] [--only-point I]\n",
+        prog, complaint, prog, allowQuick ? "[--quick] " : "");
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64(const char* prog, const char* opt, const char* text,
+         bool allowQuick)
+{
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        std::strchr(text, '-') != nullptr) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "option %s: '%s' is not a non-negative integer",
+                      opt, text);
+        usage(prog, buf, allowQuick);
+    }
+    return v;
+}
+
+} // namespace
+
+CampaignOptions
+CampaignOptions::parse(int argc, char** argv, bool allowQuick)
+{
+    CampaignOptions o;
+    const char* prog = argc > 0 ? argv[0] : "campaign";
+
+    const auto operand = [&](int& i, const char* opt) -> const char* {
+        if (i + 1 >= argc) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf),
+                          "option %s needs a value", opt);
+            usage(prog, buf, allowQuick);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        // Accept --opt=value by splitting in place.
+        std::string opt = arg;
+        const char* inline_val = nullptr;
+        const std::size_t eq = opt.find('=');
+        if (eq != std::string::npos && opt.compare(0, 2, "--") == 0) {
+            inline_val = arg + eq + 1;
+            opt.resize(eq);
+        }
+        const auto value = [&](int& idx) {
+            return inline_val ? inline_val
+                              : operand(idx, opt.c_str());
+        };
+
+        if (opt == "--jobs") {
+            o.policy.jobs = static_cast<unsigned>(
+                parseU64(prog, "--jobs", value(i), allowQuick));
+            if (o.policy.jobs == 0)
+                usage(prog, "option --jobs: must be >= 1", allowQuick);
+        } else if (opt == "--deadline-ms") {
+            o.policy.deadlineMs =
+                parseU64(prog, "--deadline-ms", value(i), allowQuick);
+        } else if (opt == "--retries") {
+            o.policy.maxAttempts =
+                1 + static_cast<unsigned>(
+                        parseU64(prog, "--retries", value(i), allowQuick));
+        } else if (opt == "--backoff-ms") {
+            o.policy.backoffBaseMs =
+                parseU64(prog, "--backoff-ms", value(i), allowQuick);
+        } else if (opt == "--isolate") {
+            o.policy.isolate = true;
+        } else if (opt == "--journal") {
+            o.journalPath = value(i);
+        } else if (opt == "--resume") {
+            o.resume = true;
+        } else if (opt == "--out") {
+            o.outPath = value(i);
+        } else if (opt == "--manifest") {
+            o.manifestPath = value(i);
+        } else if (opt == "--only-point") {
+            o.onlyPoint = static_cast<long>(
+                parseU64(prog, "--only-point", value(i), allowQuick));
+        } else if (opt == "--quick" && allowQuick) {
+            o.quick = true;
+        } else {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf), "unknown option '%s'",
+                          arg);
+            usage(prog, buf, allowQuick);
+        }
+    }
+
+    if (o.resume && o.journalPath.empty())
+        usage(prog, "--resume requires --journal FILE", allowQuick);
+    return o;
+}
+
+std::string
+CampaignOptions::reproFlags() const
+{
+    std::string flags;
+    if (quick)
+        flags += " --quick";
+    if (policy.isolate)
+        flags += " --isolate";
+    return flags;
+}
+
+} // namespace harness
+} // namespace tb

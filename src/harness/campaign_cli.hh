@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared command line of the supervised campaign benches.
+ *
+ * Every campaign binary (figure5_energy, figure6_time,
+ * robustness_faults, robustness_seeds) accepts the same supervisor
+ * surface, parsed strictly — a malformed value prints a usage error
+ * and exits 2, never a silent fallback:
+ *
+ *   --jobs N          shard points over N worker threads
+ *   --deadline-ms N   per-point wall-clock deadline (0 = none)
+ *   --retries N       extra attempts per failed point
+ *   --backoff-ms N    base of the exponential retry backoff
+ *   --isolate         fork each point (crash containment)
+ *   --journal FILE    append completed points to FILE (JSONL)
+ *   --resume          skip points already in the journal
+ *   --out FILE        atomically write the final artifact to FILE
+ *   --manifest FILE   atomically write the failure manifest to FILE
+ *   --only-point I    run just point I inline (repro mode)
+ *   --quick           CI-sized subset (benches that support it)
+ */
+
+#ifndef TB_HARNESS_CAMPAIGN_CLI_HH_
+#define TB_HARNESS_CAMPAIGN_CLI_HH_
+
+#include <string>
+
+#include "harness/campaign_supervisor.hh"
+
+namespace tb {
+namespace harness {
+
+/** Parsed campaign command line. */
+struct CampaignOptions
+{
+    SupervisorPolicy policy;
+    std::string journalPath; ///< "" = no journal
+    bool resume = false;
+    std::string outPath;      ///< "" = stdout only
+    std::string manifestPath; ///< "" = stderr only
+    long onlyPoint = -1;      ///< >= 0: run one point and exit
+    bool quick = false;
+
+    /**
+     * Parse @p argv strictly. Unknown options, malformed numbers,
+     * `--quick` when @p allowQuick is false, and `--resume` without
+     * `--journal` all print a usage error and exit 2.
+     */
+    static CampaignOptions parse(int argc, char** argv,
+                                 bool allowQuick);
+
+    /**
+     * The flags needed to reproduce this invocation's point space
+     * in a repro command (currently `--quick` plus `--isolate`),
+     * with a leading space when non-empty.
+     */
+    std::string reproFlags() const;
+};
+
+} // namespace harness
+} // namespace tb
+
+#endif // TB_HARNESS_CAMPAIGN_CLI_HH_

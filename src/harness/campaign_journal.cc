@@ -1,0 +1,258 @@
+#include "harness/campaign_journal.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace harness {
+
+std::uint64_t
+fnv1a64(const std::string& data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+writeFileAtomic(const std::string& path, const std::string& content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::FILE* f = std::fopen(tmp.c_str(), "wb");
+        if (!f)
+            fatal("cannot write ", tmp, ": ", std::strerror(errno));
+        const bool ok =
+            std::fwrite(content.data(), 1, content.size(), f) ==
+                content.size() &&
+            std::fflush(f) == 0;
+        std::fclose(f);
+        if (!ok)
+            fatal("short write to ", tmp, ": ", std::strerror(errno));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename ", tmp, " -> ", path, ": ",
+              std::strerror(errno));
+}
+
+std::string
+CampaignJournal::escapeJson(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Unescape a JSON string body; false on a malformed escape. */
+bool
+unescapeJson(const std::string& s, std::string* out)
+{
+    out->clear();
+    out->reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            *out += s[i];
+            continue;
+        }
+        if (++i >= s.size())
+            return false;
+        switch (s[i]) {
+          case '"':  *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case 'n':  *out += '\n'; break;
+          case 'r':  *out += '\r'; break;
+          case 't':  *out += '\t'; break;
+          case 'u': {
+            if (i + 4 >= s.size())
+                return false;
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+                const char c = s[++i];
+                v <<= 4;
+                if (c >= '0' && c <= '9')
+                    v |= static_cast<unsigned>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    v |= static_cast<unsigned>(c - 'a' + 10);
+                else if (c >= 'A' && c <= 'F')
+                    v |= static_cast<unsigned>(c - 'A' + 10);
+                else
+                    return false;
+            }
+            *out += static_cast<char>(v);
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Pull one field out of a journal line we wrote ourselves. Numbers
+ * are matched after `"key": `; strings additionally skip the opening
+ * quote. Returns the offset just past the key prelude, or npos.
+ */
+std::size_t
+fieldStart(const std::string& line, const char* key, bool string_field)
+{
+    const std::string pat = std::string("\"") + key + "\": ";
+    const std::size_t at = line.find(pat);
+    if (at == std::string::npos)
+        return std::string::npos;
+    std::size_t off = at + pat.size();
+    if (string_field) {
+        if (off >= line.size() || line[off] != '"')
+            return std::string::npos;
+        ++off;
+    }
+    return off;
+}
+
+bool
+parseU64Field(const std::string& line, const char* key, int base,
+              std::uint64_t* out)
+{
+    const std::size_t off = fieldStart(line, key, base == 16);
+    if (off == std::string::npos)
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(line.c_str() + off, &end, base);
+    if (end == line.c_str() + off || errno == ERANGE)
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Parse one journal line; false (= skip it) on any malformation. */
+bool
+parseLine(const std::string& line, std::size_t* index, JournalEntry* e)
+{
+    std::uint64_t point = 0, cfg = 0, seed = 0, sum = 0;
+    if (!parseU64Field(line, "point", 10, &point) ||
+        !parseU64Field(line, "config", 16, &cfg) ||
+        !parseU64Field(line, "seed", 10, &seed) ||
+        !parseU64Field(line, "checksum", 16, &sum))
+        return false;
+    const std::size_t off = fieldStart(line, "result", true);
+    // The result string is the last field: the line must end `"}`.
+    if (off == std::string::npos || line.size() < off + 2 ||
+        line.compare(line.size() - 2, 2, "\"}") != 0)
+        return false;
+    std::string body;
+    if (!unescapeJson(line.substr(off, line.size() - 2 - off), &body))
+        return false;
+    if (fnv1a64(body) != sum)
+        return false;
+    *index = static_cast<std::size_t>(point);
+    e->configHash = cfg;
+    e->seed = seed;
+    e->result = std::move(body);
+    return true;
+}
+
+} // namespace
+
+CampaignJournal::~CampaignJournal()
+{
+    if (out_)
+        std::fclose(out_);
+}
+
+void
+CampaignJournal::open(const std::string& path, bool resume)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    path_ = path;
+    entries_.clear();
+    loaded_ = 0;
+
+    if (resume) {
+        std::ifstream in(path);
+        std::string line;
+        while (in && std::getline(in, line)) {
+            std::size_t index = 0;
+            JournalEntry e;
+            if (parseLine(line, &index, &e)) {
+                entries_[index] = std::move(e);
+                ++loaded_;
+            }
+        }
+    }
+
+    // Append on resume; truncate otherwise. Loaded entries stay on
+    // disk untouched — the journal only ever grows within one run.
+    out_ = std::fopen(path.c_str(), resume ? "ab" : "wb");
+    if (!out_)
+        fatal("cannot open journal ", path, ": ",
+              std::strerror(errno));
+}
+
+bool
+CampaignJournal::lookup(std::size_t index, std::uint64_t configHash,
+                        std::string* result) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(index);
+    if (it == entries_.end() || it->second.configHash != configHash)
+        return false;
+    *result = it->second.result;
+    return true;
+}
+
+void
+CampaignJournal::record(std::size_t index, std::uint64_t configHash,
+                        std::uint64_t seed, const std::string& result)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!out_)
+        return;
+    entries_[index] = JournalEntry{configHash, seed, result};
+    std::fprintf(
+        out_,
+        "{\"point\": %zu, \"config\": \"%016" PRIx64
+        "\", \"seed\": %" PRIu64 ", \"checksum\": \"%016" PRIx64
+        "\", \"result\": \"%s\"}\n",
+        index, configHash, seed, fnv1a64(result),
+        escapeJson(result).c_str());
+    std::fflush(out_);
+}
+
+void
+CampaignJournal::flush()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (out_)
+        std::fflush(out_);
+}
+
+} // namespace harness
+} // namespace tb

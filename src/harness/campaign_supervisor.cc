@@ -1,0 +1,500 @@
+#include "harness/campaign_supervisor.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace harness {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void
+sigintHandler(int)
+{
+    // Second ^C: the user really means it — restore default handling
+    // and die on the spot (the journal is flushed per record anyway).
+    if (g_stop_requested) {
+        std::signal(SIGINT, SIG_DFL);
+        std::raise(SIGINT);
+        return;
+    }
+    g_stop_requested = 1;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Sleep @p ms, polling the stop flag so ^C cuts a backoff short. */
+void
+sleepInterruptible(std::uint64_t ms)
+{
+    using namespace std::chrono;
+    const auto until = steady_clock::now() + milliseconds(ms);
+    while (!g_stop_requested && steady_clock::now() < until) {
+        const auto left = duration_cast<milliseconds>(
+            until - steady_clock::now());
+        std::this_thread::sleep_for(
+            std::min<milliseconds>(left, milliseconds(10)));
+    }
+}
+
+} // namespace
+
+const char*
+outcomeName(PointOutcome o)
+{
+    switch (o) {
+      case PointOutcome::Ok:               return "ok";
+      case PointOutcome::Journaled:        return "journaled";
+      case PointOutcome::Exception:        return "exception";
+      case PointOutcome::CheckerViolation: return "checker-violation";
+      case PointOutcome::Timeout:          return "timeout";
+      case PointOutcome::Crash:            return "crash";
+      case PointOutcome::NotRun:           return "not-run";
+    }
+    return "?";
+}
+
+std::size_t
+SupervisorReport::count(PointOutcome o) const
+{
+    std::size_t n = 0;
+    for (const PointRecord& r : points)
+        n += r.outcome == o;
+    return n;
+}
+
+std::size_t
+SupervisorReport::failures() const
+{
+    return count(PointOutcome::Exception) +
+           count(PointOutcome::CheckerViolation) +
+           count(PointOutcome::Timeout) + count(PointOutcome::Crash);
+}
+
+void
+SupervisorReport::writeManifest(std::ostream& os,
+                                const std::string& campaign) const
+{
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointRecord& r = points[i];
+        if (r.outcome == PointOutcome::Ok ||
+            r.outcome == PointOutcome::Journaled)
+            continue;
+        if (r.outcome == PointOutcome::NotRun && !interrupted)
+            continue;
+        os << "{\"campaign\": \"" << campaign
+           << "\", \"kind\": \"manifest\", \"point\": " << i
+           << ", \"outcome\": \"" << outcomeName(r.outcome)
+           << "\", \"attempts\": " << r.attempts << ", \"error\": \""
+           << CampaignJournal::escapeJson(r.message)
+           << "\", \"repro\": \""
+           << CampaignJournal::escapeJson(r.repro) << "\"}\n";
+    }
+    if (interrupted) {
+        os << "{\"campaign\": \"" << campaign
+           << "\", \"kind\": \"manifest\", \"outcome\": "
+              "\"interrupted\"}\n";
+    }
+}
+
+std::string
+SupervisorReport::summaryJson(const std::string& campaign) const
+{
+    std::ostringstream os;
+    os << "{\"campaign\": \"" << campaign
+       << "\", \"kind\": \"supervisor\", \"points\": " << points.size()
+       << ", \"ok\": " << count(PointOutcome::Ok)
+       << ", \"journaled\": " << count(PointOutcome::Journaled)
+       << ", \"retries\": " << retries
+       << ", \"timeouts\": " << count(PointOutcome::Timeout)
+       << ", \"crashes\": " << count(PointOutcome::Crash)
+       << ", \"exceptions\": " << count(PointOutcome::Exception)
+       << ", \"checker_violations\": "
+       << count(PointOutcome::CheckerViolation)
+       << ", \"not_run\": " << count(PointOutcome::NotRun)
+       << ", \"interrupted\": " << (interrupted ? "true" : "false")
+       << "}\n";
+    return os.str();
+}
+
+std::uint64_t
+CampaignSupervisor::backoffDelayMs(const SupervisorPolicy& p,
+                                   std::size_t index, unsigned attempt)
+{
+    if (p.backoffBaseMs == 0 || attempt < 2)
+        return 0;
+    const unsigned shift = std::min(attempt - 2u, 20u);
+    std::uint64_t delay = p.backoffBaseMs << shift;
+    delay = std::min(delay, p.backoffCapMs);
+    const std::uint64_t jitter =
+        splitmix64(p.seed ^ splitmix64(index) ^
+                   splitmix64(0x5eedull + attempt)) %
+        (delay / 2 + 1);
+    return std::min(delay + jitter, p.backoffCapMs);
+}
+
+void
+CampaignSupervisor::installSigintHandler()
+{
+    std::signal(SIGINT, sigintHandler);
+}
+
+bool
+CampaignSupervisor::interruptRequested()
+{
+    return g_stop_requested != 0;
+}
+
+void
+CampaignSupervisor::clearInterruptForTest()
+{
+    g_stop_requested = 0;
+}
+
+CampaignSupervisor::~CampaignSupervisor()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::thread& t : abandoned_) {
+        if (t.joinable())
+            t.detach();
+    }
+}
+
+void
+CampaignSupervisor::joinAbandonedForTest()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::thread& t : abandoned_) {
+        if (t.joinable())
+            t.join();
+    }
+    abandoned_.clear();
+}
+
+namespace {
+
+/** Run one attempt on the calling thread and classify the outcome. */
+CampaignSupervisor::Attempt
+classifyRun(const std::function<std::string(std::size_t)>& fn,
+            std::size_t i)
+{
+    CampaignSupervisor::Attempt a;
+    try {
+        a.payload = fn(i);
+        a.outcome = PointOutcome::Ok;
+    } catch (const PanicError& e) {
+        a.outcome = PointOutcome::CheckerViolation;
+        a.payload = e.what();
+    } catch (const std::exception& e) {
+        a.outcome = PointOutcome::Exception;
+        a.payload = e.what();
+    } catch (...) {
+        a.outcome = PointOutcome::Exception;
+        a.payload = "unknown exception";
+    }
+    return a;
+}
+
+} // namespace
+
+CampaignSupervisor::Attempt
+CampaignSupervisor::runAttemptInProcess(const PointTask& task,
+                                        std::size_t i)
+{
+    if (policy_.deadlineMs == 0)
+        return classifyRun(task.run, i);
+
+    // Deadline mode: run the attempt on its own thread and wait with
+    // a timeout. A timed-out thread cannot be killed — it is moved to
+    // abandoned_ (kept alive until process exit) and the point is
+    // classified Timeout. The control block is shared so the
+    // abandoned attempt never touches freed supervisor state.
+    struct Box
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        Attempt a;
+    };
+    auto box = std::make_shared<Box>();
+    const std::function<std::string(std::size_t)> fn = task.run;
+    std::thread th([box, fn, i]() {
+        Attempt a = classifyRun(fn, i);
+        {
+            std::lock_guard<std::mutex> lock(box->mu);
+            box->a = std::move(a);
+            box->done = true;
+        }
+        box->cv.notify_all();
+    });
+
+    std::unique_lock<std::mutex> lock(box->mu);
+    const bool done = box->cv.wait_for(
+        lock, std::chrono::milliseconds(policy_.deadlineMs),
+        [&]() { return box->done; });
+    lock.unlock();
+    if (done) {
+        th.join();
+        return box->a;
+    }
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        abandoned_.push_back(std::move(th));
+    }
+    Attempt a;
+    a.outcome = PointOutcome::Timeout;
+    a.payload = "deadline of " + std::to_string(policy_.deadlineMs) +
+                " ms exceeded (attempt thread abandoned; use "
+                "--isolate to kill hung points)";
+    return a;
+}
+
+CampaignSupervisor::Attempt
+CampaignSupervisor::runAttemptForked(const PointTask& task,
+                                     std::size_t i)
+{
+    using namespace std::chrono;
+    Attempt a;
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        a.payload = std::string("pipe: ") + std::strerror(errno);
+        return a;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        a.payload = std::string("fork: ") + std::strerror(errno);
+        return a;
+    }
+    if (pid == 0) {
+        // Child: run the point, stream the artifact (or diagnostic)
+        // back, and _exit with a classification code — no atexit, no
+        // stdio flush (inherited buffers would duplicate output).
+        ::close(fds[0]);
+        const Attempt child = classifyRun(task.run, i);
+        const char* p = child.payload.data();
+        std::size_t n = child.payload.size();
+        while (n > 0) {
+            const ssize_t w = ::write(fds[1], p, n);
+            if (w <= 0)
+                break;
+            p += w;
+            n -= static_cast<std::size_t>(w);
+        }
+        ::close(fds[1]);
+        int code = 3;
+        if (child.outcome == PointOutcome::Ok)
+            code = 0;
+        else if (child.outcome == PointOutcome::CheckerViolation)
+            code = 4;
+        ::_exit(code);
+    }
+
+    // Parent: drain the pipe while waiting (a large artifact must not
+    // deadlock against a full pipe buffer), enforce the deadline with
+    // SIGKILL, then classify by exit status.
+    ::close(fds[1]);
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    std::string payload;
+    char buf[4096];
+    const auto start = steady_clock::now();
+    int status = 0;
+    bool timed_out = false;
+    for (;;) {
+        for (;;) {
+            const ssize_t r = ::read(fds[0], buf, sizeof(buf));
+            if (r > 0)
+                payload.append(buf, static_cast<std::size_t>(r));
+            else
+                break;
+        }
+        const pid_t w = ::waitpid(pid, &status, WNOHANG);
+        if (w == pid)
+            break;
+        if (policy_.deadlineMs != 0 &&
+            duration_cast<milliseconds>(steady_clock::now() - start)
+                    .count() >=
+                static_cast<long long>(policy_.deadlineMs)) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            timed_out = true;
+            break;
+        }
+        std::this_thread::sleep_for(milliseconds(1));
+    }
+    for (;;) {
+        const ssize_t r = ::read(fds[0], buf, sizeof(buf));
+        if (r > 0)
+            payload.append(buf, static_cast<std::size_t>(r));
+        else
+            break;
+    }
+    ::close(fds[0]);
+
+    if (timed_out) {
+        a.outcome = PointOutcome::Timeout;
+        a.payload = "deadline of " +
+                    std::to_string(policy_.deadlineMs) +
+                    " ms exceeded (child killed)";
+        return a;
+    }
+    if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code == 0) {
+            a.outcome = PointOutcome::Ok;
+            a.payload = std::move(payload);
+        } else if (code == 3) {
+            a.outcome = PointOutcome::Exception;
+            a.payload = payload.empty() ? "(no diagnostic)" : payload;
+        } else if (code == 4) {
+            a.outcome = PointOutcome::CheckerViolation;
+            a.payload = payload.empty() ? "(no diagnostic)" : payload;
+        } else {
+            // Not one of ours: the child died some other way (e.g. a
+            // sanitizer abort) — contained, but still a crash.
+            a.outcome = PointOutcome::Crash;
+            a.payload =
+                "child exited with status " + std::to_string(code);
+            if (!payload.empty())
+                a.payload += ": " + payload;
+        }
+        return a;
+    }
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        const char* name = strsignal(sig);
+        a.outcome = PointOutcome::Crash;
+        a.payload = "child killed by signal " + std::to_string(sig) +
+                    " (" + (name ? name : "?") + ")";
+        return a;
+    }
+    a.outcome = PointOutcome::Crash;
+    a.payload = "child vanished (unparseable wait status)";
+    return a;
+}
+
+void
+CampaignSupervisor::supervisePoint(const PointTask& task,
+                                   std::size_t i,
+                                   SupervisorReport* report)
+{
+    PointRecord& rec = report->points[i];
+    const std::uint64_t key =
+        task.key ? task.key(i)
+                 : fnv1a64("point:" + std::to_string(i));
+
+    if (journal_ && journal_->active()) {
+        std::string stored;
+        if (journal_->lookup(i, key, &stored)) {
+            results_[i] = std::move(stored);
+            rec.outcome = PointOutcome::Journaled;
+            return;
+        }
+    }
+
+    Attempt last;
+    last.outcome = PointOutcome::NotRun;
+    for (unsigned attempt = 1; attempt <= policy_.maxAttempts;
+         ++attempt) {
+        if (attempt > 1) {
+            retries_.fetch_add(1, std::memory_order_relaxed);
+            sleepInterruptible(backoffDelayMs(policy_, i, attempt));
+            if (interruptRequested())
+                break;
+        }
+        rec.attempts = attempt;
+        last = policy_.isolate ? runAttemptForked(task, i)
+                               : runAttemptInProcess(task, i);
+        if (last.outcome == PointOutcome::Ok) {
+            results_[i] = std::move(last.payload);
+            rec.outcome = PointOutcome::Ok;
+            if (journal_ && journal_->active()) {
+                journal_->record(i, key,
+                                 task.seed ? task.seed(i) : 0,
+                                 results_[i]);
+            }
+            return;
+        }
+        if (interruptRequested())
+            break;
+    }
+    rec.outcome = last.outcome;
+    rec.message = std::move(last.payload);
+    rec.repro = task.repro ? task.repro(i) : "";
+}
+
+SupervisorReport
+CampaignSupervisor::run(std::size_t count, const PointTask& task)
+{
+    SupervisorReport report;
+    report.points.assign(count, PointRecord{});
+    results_.assign(count, std::string());
+    retries_.store(0, std::memory_order_relaxed);
+    if (count == 0) {
+        report.interrupted = interruptRequested();
+        return report;
+    }
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(policy_.jobs == 0 ? 1 : policy_.jobs,
+                              count));
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        for (;;) {
+            if (interruptRequested())
+                return;
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            supervisePoint(task, i, &report);
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto& t : pool)
+            t.join();
+    }
+
+    report.retries = retries_.load(std::memory_order_relaxed);
+    report.interrupted = interruptRequested();
+    if (report.interrupted && task.repro) {
+        for (std::size_t i = 0; i < count; ++i) {
+            if (report.points[i].outcome == PointOutcome::NotRun)
+                report.points[i].repro = task.repro(i);
+        }
+    }
+    return report;
+}
+
+} // namespace harness
+} // namespace tb

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,10 +36,7 @@ ParallelCampaignRunner::run(
                 errors[i] = std::current_exception();
             }
         }
-        for (auto& e : errors) {
-            if (e)
-                std::rethrow_exception(e);
-        }
+        rethrowAggregated(errors);
         return;
     }
 
@@ -62,25 +63,74 @@ ParallelCampaignRunner::run(
     for (auto& t : pool)
         t.join();
 
-    for (auto& e : errors) {
-        if (e)
-            std::rethrow_exception(e);
+    rethrowAggregated(errors);
+}
+
+void
+ParallelCampaignRunner::rethrowAggregated(
+    const std::vector<std::exception_ptr>& errors)
+{
+    std::vector<std::size_t> failed;
+    std::string first_what;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (!errors[i])
+            continue;
+        if (failed.empty()) {
+            try {
+                std::rethrow_exception(errors[i]);
+            } catch (const std::exception& e) {
+                first_what = e.what();
+            } catch (...) {
+                first_what = "unknown exception";
+            }
+        }
+        failed.push_back(i);
     }
+    if (failed.empty())
+        return;
+    if (failed.size() == 1) {
+        // A single failure rethrows unchanged so callers can still
+        // catch the concrete type.
+        std::rethrow_exception(errors[failed.front()]);
+    }
+    std::string msg = std::to_string(failed.size()) +
+                      " campaign points failed (indices";
+    for (std::size_t i : failed)
+        msg += ' ' + std::to_string(i);
+    msg += "); first: " + first_what;
+    throw std::runtime_error(msg);
 }
 
 unsigned
 ParallelCampaignRunner::parseJobsArg(int argc, char** argv)
 {
-    long jobs = 1;
+    const auto usage = [&](const char* text) {
+        std::fprintf(stderr,
+                     "%s: --jobs: '%s' is not a positive integer\n"
+                     "usage: %s [--jobs N]\n",
+                     argv[0], text, argv[0]);
+        std::exit(2);
+    };
+    unsigned jobs = 1;
     for (int i = 1; i < argc; ++i) {
+        const char* text = nullptr;
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            jobs = std::strtol(argv[i + 1], nullptr, 10);
+            text = argv[++i];
         else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-            jobs = std::strtol(argv[i] + 7, nullptr, 10);
+            text = argv[i] + 7;
+        if (!text)
+            continue;
+        // Strict: the whole operand must be one integer >= 1 —
+        // `--jobs 4x` or `--jobs garbage` must not silently
+        // serialize the campaign.
+        errno = 0;
+        char* end = nullptr;
+        const long v = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0' || errno == ERANGE || v < 1)
+            usage(text);
+        jobs = static_cast<unsigned>(v);
     }
-    if (jobs < 1)
-        jobs = 1;
-    return static_cast<unsigned>(jobs);
+    return jobs;
 }
 
 } // namespace harness

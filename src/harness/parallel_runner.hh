@@ -18,7 +18,9 @@
 #define TB_HARNESS_PARALLEL_RUNNER_HH_
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <vector>
 
 namespace tb {
 namespace harness {
@@ -44,19 +46,29 @@ class ParallelCampaignRunner
      * state.
      *
      * A point that throws does not stop the others; after all points
-     * finish, the exception of the lowest-indexed failed point is
-     * rethrown on the caller thread.
+     * finish, a single failure rethrows that point's exception
+     * unchanged, while multiple failures throw one std::runtime_error
+     * aggregating *every* failed index plus the first diagnostic —
+     * the campaign never hides how much of it failed.
+     *
+     * (CampaignSupervisor wraps this model with deadlines, retries,
+     * crash isolation and journaled resume — prefer it for long
+     * campaigns.)
      */
     void run(std::size_t count,
              const std::function<void(std::size_t)>& point) const;
 
     /**
-     * Parse a trailing `--jobs N` / `--jobs=N` option. Returns 1 when
-     * absent or malformed; never returns 0.
+     * Parse a trailing `--jobs N` / `--jobs=N` option. Absent means
+     * 1; a malformed or non-positive value prints a usage error and
+     * exits with status 2 (never silently serializes the campaign).
      */
     static unsigned parseJobsArg(int argc, char** argv);
 
   private:
+    static void rethrowAggregated(
+        const std::vector<std::exception_ptr>& errors);
+
     unsigned jobs_;
 };
 

@@ -1,0 +1,223 @@
+#include "harness/result_serde.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tb {
+namespace harness {
+
+namespace {
+
+constexpr const char* kMagic = "TBRESULT1";
+
+std::string
+quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Doubles at max_digits10: strtod round-trips the exact bits. */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Split one serialized line into key -> raw value (strings
+ *  unquoted/unescaped). */
+std::map<std::string, std::string>
+fields(const std::string& line)
+{
+    std::map<std::string, std::string> out;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    while (i < n) {
+        while (i < n && line[i] == ' ')
+            ++i;
+        const std::size_t eq = line.find('=', i);
+        if (eq == std::string::npos)
+            break;
+        const std::string key = line.substr(i, eq - i);
+        i = eq + 1;
+        std::string value;
+        if (i < n && line[i] == '"') {
+            ++i;
+            while (i < n && line[i] != '"') {
+                if (line[i] == '\\' && i + 1 < n)
+                    ++i;
+                value += line[i++];
+            }
+            if (i >= n)
+                fatal("result serde: unterminated string for '", key,
+                      "'");
+            ++i; // closing quote
+        } else {
+            const std::size_t end = line.find(' ', i);
+            value = line.substr(
+                i, end == std::string::npos ? end : end - i);
+            i = end == std::string::npos ? n : end;
+        }
+        out[key] = std::move(value);
+    }
+    return out;
+}
+
+const std::string&
+need(const std::map<std::string, std::string>& f, const char* key)
+{
+    const auto it = f.find(key);
+    if (it == f.end())
+        fatal("result serde: missing field '", key, "'");
+    return it->second;
+}
+
+std::uint64_t
+toU64(const std::string& s, const char* key)
+{
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+        fatal("result serde: bad integer for '", key, "': ", s);
+    return v;
+}
+
+double
+toF64(const std::string& s, const char* key)
+{
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        fatal("result serde: bad number for '", key, "': ", s);
+    return v;
+}
+
+std::vector<std::string>
+splitCommas(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::size_t at = 0;
+    while (at <= s.size()) {
+        const std::size_t c = s.find(',', at);
+        if (c == std::string::npos) {
+            out.push_back(s.substr(at));
+            break;
+        }
+        out.push_back(s.substr(at, c - at));
+        at = c + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+serializeResult(const ExperimentResult& r)
+{
+    std::ostringstream os;
+    os << kMagic << " app=" << quote(r.app)
+       << " config=" << quote(r.config) << " exec=" << r.execTime
+       << " threads=" << r.threads;
+
+    os << " energy=";
+    for (std::size_t b = 0; b < r.energy.size(); ++b)
+        os << (b ? "," : "") << num(r.energy[b]);
+    os << " time=";
+    for (std::size_t b = 0; b < r.time.size(); ++b)
+        os << (b ? "," : "") << r.time[b];
+
+    const thrifty::SyncStats& s = r.sync;
+    os << " stall=" << num(s.totalStallTicks)
+       << " inst=" << s.instances << " arr=" << s.arrivals
+       << " sleeps=" << s.sleeps << " spins=" << s.spins
+       << " cutoffs=" << s.cutoffs << " filt=" << s.filteredUpdates
+       << " rticks=" << num(s.residualSpinTicks)
+       << " rspins=" << s.residualSpins << " wdog=" << s.watchdogFires
+       << " resc=" << s.residualEscalations
+       << " quar=" << s.quarantines << " fall=" << s.fallbackEpisodes;
+
+    os << " spec=" << quote(r.faultSpec);
+    std::string fc;
+    for (const auto& [kind, count] : r.faultCounts) {
+        if (!fc.empty())
+            fc += ',';
+        fc += kind + ':' + std::to_string(count);
+    }
+    os << " faults=" << quote(fc);
+    return os.str();
+}
+
+ExperimentResult
+deserializeResult(const std::string& line)
+{
+    if (line.compare(0, std::strlen(kMagic), kMagic) != 0)
+        fatal("result serde: missing ", kMagic, " magic");
+    const auto f = fields(line.substr(std::strlen(kMagic)));
+
+    ExperimentResult r;
+    r.app = need(f, "app");
+    r.config = need(f, "config");
+    r.execTime = toU64(need(f, "exec"), "exec");
+    r.threads =
+        static_cast<unsigned>(toU64(need(f, "threads"), "threads"));
+
+    const auto energies = splitCommas(need(f, "energy"));
+    const auto times = splitCommas(need(f, "time"));
+    if (energies.size() != r.energy.size() ||
+        times.size() != r.time.size())
+        fatal("result serde: expected ", r.energy.size(),
+              " energy/time buckets");
+    for (std::size_t b = 0; b < r.energy.size(); ++b) {
+        r.energy[b] = toF64(energies[b], "energy");
+        r.time[b] = toU64(times[b], "time");
+    }
+
+    thrifty::SyncStats& s = r.sync;
+    s.totalStallTicks = toF64(need(f, "stall"), "stall");
+    s.instances = toU64(need(f, "inst"), "inst");
+    s.arrivals = toU64(need(f, "arr"), "arr");
+    s.sleeps = toU64(need(f, "sleeps"), "sleeps");
+    s.spins = toU64(need(f, "spins"), "spins");
+    s.cutoffs = toU64(need(f, "cutoffs"), "cutoffs");
+    s.filteredUpdates = toU64(need(f, "filt"), "filt");
+    s.residualSpinTicks = toF64(need(f, "rticks"), "rticks");
+    s.residualSpins = toU64(need(f, "rspins"), "rspins");
+    s.watchdogFires = toU64(need(f, "wdog"), "wdog");
+    s.residualEscalations = toU64(need(f, "resc"), "resc");
+    s.quarantines = toU64(need(f, "quar"), "quar");
+    s.fallbackEpisodes = toU64(need(f, "fall"), "fall");
+
+    r.faultSpec = need(f, "spec");
+    const std::string& fc = need(f, "faults");
+    if (!fc.empty()) {
+        for (const std::string& pair : splitCommas(fc)) {
+            const std::size_t colon = pair.rfind(':');
+            if (colon == std::string::npos)
+                fatal("result serde: bad fault count '", pair, "'");
+            r.faultCounts.emplace_back(
+                pair.substr(0, colon),
+                toU64(pair.substr(colon + 1), "faults"));
+        }
+    }
+    return r;
+}
+
+} // namespace harness
+} // namespace tb

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * CampaignJournal + result serde tests: record/lookup round trips,
+ * resume replaying stored bytes verbatim (via the supervisor), torn
+ * and corrupt journal lines being skipped, config-hash mismatches
+ * forcing reruns, atomic artifact writes, and the lossless
+ * ExperimentResult one-line serialization the journal carries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/campaign_journal.hh"
+#include "harness/campaign_supervisor.hh"
+#include "harness/experiment.hh"
+#include "harness/result_serde.hh"
+#include "sim/logging.hh"
+#include "workloads/app_profile.hh"
+
+namespace tb {
+namespace {
+
+using harness::CampaignJournal;
+using harness::CampaignSupervisor;
+using harness::fnv1a64;
+using harness::PointOutcome;
+using harness::PointTask;
+using harness::SupervisorPolicy;
+using harness::SupervisorReport;
+using harness::writeFileAtomic;
+
+std::string
+tempPath(const std::string& name)
+{
+    const std::string p = testing::TempDir() + "tb_" + name;
+    std::remove(p.c_str());
+    return p;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(Fnv1a64, ReferenceVectors)
+{
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+    EXPECT_NE(fnv1a64("config-a"), fnv1a64("config-b"));
+}
+
+TEST(WriteFileAtomic, WritesAndReplacesWithoutTempResidue)
+{
+    const std::string path = tempPath("atomic.txt");
+    writeFileAtomic(path, "first\n");
+    EXPECT_EQ(slurp(path), "first\n");
+    writeFileAtomic(path, "second, longer content\n");
+    EXPECT_EQ(slurp(path), "second, longer content\n");
+    // The staging file must not survive a successful rename.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, ThrowsOnUnwritablePath)
+{
+    EXPECT_THROW(
+        writeFileAtomic("/nonexistent-dir/deep/artifact.json", "x"),
+        FatalError);
+}
+
+TEST(CampaignJournal, RecordThenResumeLookup)
+{
+    const std::string path = tempPath("journal_roundtrip.jsonl");
+    // Results with JSON-hostile bytes: quotes, backslashes, newlines.
+    const std::string tricky = "line1\nline2\t\"quoted\" back\\slash";
+    {
+        CampaignJournal j;
+        j.open(path, /*resume=*/false);
+        ASSERT_TRUE(j.active());
+        j.record(0, 0x1111, 7, "plain result");
+        j.record(3, 0x3333, 9, tricky);
+    }
+    CampaignJournal j;
+    j.open(path, /*resume=*/true);
+    EXPECT_EQ(j.loaded(), 2u);
+
+    std::string out;
+    ASSERT_TRUE(j.lookup(0, 0x1111, &out));
+    EXPECT_EQ(out, "plain result");
+    ASSERT_TRUE(j.lookup(3, 0x3333, &out));
+    EXPECT_EQ(out, tricky);
+
+    // Wrong config hash or unknown index never satisfies a lookup.
+    EXPECT_FALSE(j.lookup(0, 0x2222, &out));
+    EXPECT_FALSE(j.lookup(1, 0x1111, &out));
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, OpenWithoutResumeTruncates)
+{
+    const std::string path = tempPath("journal_truncate.jsonl");
+    {
+        CampaignJournal j;
+        j.open(path, false);
+        j.record(0, 1, 1, "stale");
+    }
+    CampaignJournal j;
+    j.open(path, /*resume=*/false);
+    EXPECT_EQ(j.loaded(), 0u);
+    std::string out;
+    EXPECT_FALSE(j.lookup(0, 1, &out));
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, SkipsTornAndCorruptLines)
+{
+    const std::string path = tempPath("journal_corrupt.jsonl");
+    {
+        CampaignJournal j;
+        j.open(path, false);
+        j.record(0, 0xaaaa, 1, "good-0");
+        j.record(1, 0xbbbb, 2, "good-1");
+    }
+    {
+        // Tamper: a non-JSON line, a result whose checksum no longer
+        // matches, and a torn trailing record (killed mid-write).
+        std::string contents = slurp(path);
+        std::string forged = contents.substr(
+            contents.find('\n') + 1,
+            contents.rfind('\n') - contents.find('\n') - 1);
+        const auto at = forged.find("good-1");
+        ASSERT_NE(at, std::string::npos);
+        forged.replace(at, 6, "evil-x");
+        const auto pt = forged.find("\"point\": 1");
+        ASSERT_NE(pt, std::string::npos);
+        forged.replace(pt, 10, "\"point\": 5");
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "this is not a journal record\n"
+            << forged << "\n"
+            << "{\"point\": 9, \"config\": \"00";
+    }
+    CampaignJournal j;
+    j.open(path, /*resume=*/true);
+    EXPECT_EQ(j.loaded(), 2u);
+    std::string out;
+    EXPECT_TRUE(j.lookup(0, 0xaaaa, &out));
+    EXPECT_EQ(out, "good-0");
+    EXPECT_TRUE(j.lookup(1, 0xbbbb, &out));
+    EXPECT_EQ(out, "good-1");
+    EXPECT_FALSE(j.lookup(5, 0xbbbb, &out)) << "checksum must gate";
+    EXPECT_FALSE(j.lookup(9, 0, &out)) << "torn line must be ignored";
+    std::remove(path.c_str());
+}
+
+/**
+ * The resume contract end to end through the supervisor: a first run
+ * completes half the campaign (the rest fails), a second run with
+ * --resume semantics replays the journaled half *verbatim from disk*
+ * — proven by having the second run's point function produce
+ * different bytes — and only reruns the missing points.
+ */
+TEST(CampaignJournal, SupervisorResumeReplaysStoredBytes)
+{
+    const std::string path = tempPath("journal_resume.jsonl");
+    const auto key = [](std::size_t i) {
+        return fnv1a64("resume-test|" + std::to_string(i));
+    };
+
+    {
+        CampaignJournal j;
+        j.open(path, false);
+        CampaignSupervisor sup{SupervisorPolicy{}};
+        sup.attachJournal(&j);
+        PointTask task;
+        task.key = key;
+        task.run = [](std::size_t i) -> std::string {
+            if (i >= 3)
+                throw std::runtime_error("first run fails the tail");
+            return "r:" + std::to_string(i) + ":gen1";
+        };
+        const SupervisorReport r = sup.run(6, task);
+        EXPECT_EQ(r.count(PointOutcome::Ok), 3u);
+        EXPECT_EQ(r.count(PointOutcome::Exception), 3u);
+    }
+
+    CampaignJournal j;
+    j.open(path, /*resume=*/true);
+    EXPECT_EQ(j.loaded(), 3u);
+    CampaignSupervisor sup{SupervisorPolicy{}};
+    sup.attachJournal(&j);
+    PointTask task;
+    task.key = key;
+    task.run = [](std::size_t i) {
+        // gen2 bytes: if a journaled point reran, we would see them.
+        return "r:" + std::to_string(i) + ":gen2";
+    };
+    const SupervisorReport r = sup.run(6, task);
+    EXPECT_EQ(r.count(PointOutcome::Journaled), 3u);
+    EXPECT_EQ(r.count(PointOutcome::Ok), 3u);
+    EXPECT_TRUE(r.ok());
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(sup.results()[i],
+                  "r:" + std::to_string(i) + ":gen1")
+            << "journaled point reran";
+    for (std::size_t i = 3; i < 6; ++i)
+        EXPECT_EQ(sup.results()[i],
+                  "r:" + std::to_string(i) + ":gen2");
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, ConfigHashMismatchForcesRerun)
+{
+    const std::string path = tempPath("journal_confighash.jsonl");
+    {
+        CampaignJournal j;
+        j.open(path, false);
+        CampaignSupervisor sup{SupervisorPolicy{}};
+        sup.attachJournal(&j);
+        PointTask task;
+        task.key = [](std::size_t) { return fnv1a64("quick-sweep"); };
+        task.run = [](std::size_t i) {
+            return "quick:" + std::to_string(i);
+        };
+        EXPECT_TRUE(sup.run(4, task).ok());
+    }
+    // Same journal, different campaign shape (other config hash): a
+    // stale journal must never leak results into the new sweep.
+    CampaignJournal j;
+    j.open(path, /*resume=*/true);
+    EXPECT_EQ(j.loaded(), 4u);
+    CampaignSupervisor sup{SupervisorPolicy{}};
+    sup.attachJournal(&j);
+    PointTask task;
+    task.key = [](std::size_t) { return fnv1a64("full-sweep"); };
+    task.run = [](std::size_t i) {
+        return "full:" + std::to_string(i);
+    };
+    const SupervisorReport r = sup.run(4, task);
+    EXPECT_EQ(r.count(PointOutcome::Journaled), 0u);
+    EXPECT_EQ(r.count(PointOutcome::Ok), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(sup.results()[i], "full:" + std::to_string(i));
+    std::remove(path.c_str());
+}
+
+TEST(ResultSerde, RealExperimentRoundTripsLosslessly)
+{
+    workloads::AppProfile app = workloads::appByName("Radiosity");
+    app.iterations = 3;
+    harness::SystemConfig sys = harness::SystemConfig::small(2);
+    sys.seed = 5;
+    const harness::ExperimentResult r =
+        harness::runExperiment(sys, app, harness::ConfigKind::Thrifty);
+
+    const std::string line = harness::serializeResult(r);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    const harness::ExperimentResult back =
+        harness::deserializeResult(line);
+
+    EXPECT_EQ(back.app, r.app);
+    EXPECT_EQ(back.config, r.config);
+    EXPECT_EQ(back.execTime, r.execTime);
+    EXPECT_EQ(back.totalEnergy(), r.totalEnergy());
+    EXPECT_EQ(back.sync.instances, r.sync.instances);
+    EXPECT_EQ(back.sync.sleeps, r.sync.sleeps);
+    EXPECT_EQ(back.sync.spins, r.sync.spins);
+
+    // Idempotence covers every field the line carries, bit for bit —
+    // the byte-identical resume artifact rests on exactly this.
+    EXPECT_EQ(harness::serializeResult(back), line);
+}
+
+TEST(ResultSerde, RejectsMalformedInput)
+{
+    EXPECT_THROW(harness::deserializeResult(""), FatalError);
+    EXPECT_THROW(harness::deserializeResult("BOGUS1 app=\"x\""),
+                 FatalError);
+    EXPECT_THROW(harness::deserializeResult("TBRESULT1 app=\"x\""),
+                 FatalError);
+}
+
+} // namespace
+} // namespace tb

@@ -52,17 +52,41 @@ TEST(ParallelRunner, ZeroJobsClampsToOne)
     EXPECT_EQ(ParallelCampaignRunner(7).jobs(), 7u);
 }
 
-TEST(ParallelRunner, LowestIndexExceptionWins)
+TEST(ParallelRunner, SingleFailureRethrowsOriginalException)
 {
     ParallelCampaignRunner runner(4);
     try {
         runner.run(100, [](std::size_t i) {
-            if (i == 17 || i == 63)
+            if (i == 17)
                 throw std::runtime_error("point " + std::to_string(i));
         });
         FAIL() << "expected an exception";
     } catch (const std::runtime_error& e) {
+        // One failure keeps the concrete exception so callers can
+        // still catch the original type and message.
         EXPECT_STREQ(e.what(), "point 17");
+    }
+}
+
+TEST(ParallelRunner, MultipleFailuresAggregateEveryIndex)
+{
+    ParallelCampaignRunner runner(4);
+    try {
+        runner.run(100, [](std::size_t i) {
+            if (i == 17 || i == 63 || i == 99)
+                throw std::runtime_error("point " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("3 campaign points failed"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find(" 17"), std::string::npos) << what;
+        EXPECT_NE(what.find(" 63"), std::string::npos) << what;
+        EXPECT_NE(what.find(" 99"), std::string::npos) << what;
+        EXPECT_NE(what.find("first: point 17"), std::string::npos)
+            << what;
     }
 }
 
@@ -91,8 +115,6 @@ TEST(ParallelRunner, ParseJobsArg)
     const char* none[] = {"prog"};
     const char* pair[] = {"prog", "--jobs", "4"};
     const char* eq[] = {"prog", "--jobs=8"};
-    const char* zero[] = {"prog", "--jobs", "0"};
-    const char* neg[] = {"prog", "--jobs=-2"};
     const char* mixed[] = {"prog", "--quick", "--jobs", "3"};
     auto parse = [](const char** argv, int argc) {
         return ParallelCampaignRunner::parseJobsArg(
@@ -101,9 +123,35 @@ TEST(ParallelRunner, ParseJobsArg)
     EXPECT_EQ(parse(none, 1), 1u);
     EXPECT_EQ(parse(pair, 3), 4u);
     EXPECT_EQ(parse(eq, 2), 8u);
-    EXPECT_EQ(parse(zero, 3), 1u);
-    EXPECT_EQ(parse(neg, 2), 1u);
     EXPECT_EQ(parse(mixed, 4), 3u);
+}
+
+TEST(ParallelRunnerDeathTest, ParseJobsArgRejectsMalformedValues)
+{
+    // `--jobs garbage` / `--jobs 4x` / non-positive counts must be a
+    // usage error (exit 2), never a silent fallback to 1 worker.
+    auto parse = [](const char** argv, int argc) {
+        ParallelCampaignRunner::parseJobsArg(
+            argc, const_cast<char**>(argv));
+    };
+    const char* garbage[] = {"prog", "--jobs", "garbage"};
+    const char* trailing[] = {"prog", "--jobs", "4x"};
+    const char* eq_junk[] = {"prog", "--jobs=2junk"};
+    const char* zero[] = {"prog", "--jobs", "0"};
+    const char* neg[] = {"prog", "--jobs=-2"};
+    const char* empty[] = {"prog", "--jobs="};
+    EXPECT_EXIT(parse(garbage, 3), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(trailing, 3), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(eq_junk, 2), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(zero, 3), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(neg, 2), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(empty, 2), testing::ExitedWithCode(2),
+                "not a positive integer");
 }
 
 /**
