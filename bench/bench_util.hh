@@ -16,9 +16,11 @@
 #include "harness/campaign_cli.hh"
 #include "harness/campaign_supervisor.hh"
 #include "harness/experiment.hh"
+#include "harness/obs_capture.hh"
 #include "harness/result_serde.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/report.hh"
+#include "obs/json_writer.hh"
 #include "workloads/app_profile.hh"
 
 namespace tb {
@@ -78,7 +80,8 @@ runAppConfigMatrix(const harness::SystemConfig& sys,
  * and the journal's disk boundary. @p groups is filled exactly like
  * runAppConfigMatrix for every ok/journaled point; consult the
  * returned report before rendering — failed points leave
- * default-constructed entries.
+ * default-constructed entries. A non-null @p capture records each
+ * in-process point's trace and stats (--trace / --stats-json).
  */
 inline harness::SupervisorReport
 runAppConfigMatrixSupervised(
@@ -86,7 +89,8 @@ runAppConfigMatrixSupervised(
     const std::vector<workloads::AppProfile>& apps,
     const harness::CampaignOptions& opts, const char* prog,
     harness::CampaignJournal* journal,
-    std::vector<std::vector<harness::ExperimentResult>>* groups)
+    std::vector<std::vector<harness::ExperimentResult>>* groups,
+    harness::ObsCapture* capture = nullptr)
 {
     const std::vector<harness::ConfigKind> kinds = figureConfigs();
     const std::size_t count = apps.size() * kinds.size();
@@ -95,8 +99,18 @@ runAppConfigMatrixSupervised(
     task.run = [&](std::size_t i) {
         const std::size_t a = i / kinds.size();
         const std::size_t k = i % kinds.size();
-        return harness::serializeResult(
-            harness::runExperiment(sys, apps[a], kinds[k]));
+        harness::RunOptions ro;
+        harness::ObsCapture::PointScope scope;
+        if (capture)
+            capture->arm(i, &ro, &scope);
+        const harness::ExperimentResult r =
+            harness::runExperiment(sys, apps[a], kinds[k], ro);
+        if (capture) {
+            capture->deposit(i, r, &scope,
+                             apps[a].name + "/" +
+                                 harness::configName(kinds[k]));
+        }
+        return harness::serializeResult(r);
     };
     task.key = [&](std::size_t i) {
         const std::size_t a = i / kinds.size();
@@ -153,24 +167,29 @@ inline void
 printCampaignJson(std::ostream& os, const CampaignPoint& p,
                   const harness::ExperimentResult& r)
 {
-    os << "{\"campaign\": \"" << p.campaign << "\", \"app\": \""
-       << r.app << "\", \"config\": \"" << r.config
-       << "\", \"dim\": " << p.dim << ", \"seed\": " << p.seed
-       << ", \"protocol\": \"" << p.protocol << "\"";
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("campaign", p.campaign)
+        .field("app", r.app)
+        .field("config", r.config)
+        .field("dim", p.dim)
+        .field("seed", p.seed)
+        .field("protocol", p.protocol);
     if (!p.wakeup.empty())
-        os << ", \"wakeup\": \"" << p.wakeup << "\"";
-    os << ", \"exec_time_s\": " << ticksToSeconds(r.execTime)
-       << ", \"energy_j\": " << r.totalEnergy()
-       << ", \"sleeps\": " << r.sync.sleeps
-       << ", \"watchdog_fires\": " << r.sync.watchdogFires
-       << ", \"residual_escalations\": " << r.sync.residualEscalations
-       << ", \"quarantines\": " << r.sync.quarantines
-       << ", \"fallback_episodes\": " << r.sync.fallbackEpisodes;
+        w.field("wakeup", p.wakeup);
+    w.field("exec_time_s", ticksToSeconds(r.execTime))
+        .field("energy_j", r.totalEnergy())
+        .field("sleeps", r.sync.sleeps)
+        .field("watchdog_fires", r.sync.watchdogFires)
+        .field("residual_escalations", r.sync.residualEscalations)
+        .field("quarantines", r.sync.quarantines)
+        .field("fallback_episodes", r.sync.fallbackEpisodes);
     if (!r.faultSpec.empty()) {
-        os << ", \"faults_injected\": " << r.faultsInjected()
-           << ", \"spec\": \"" << r.faultSpec << "\"";
+        w.field("faults_injected", r.faultsInjected())
+            .field("spec", r.faultSpec);
     }
-    os << "}\n";
+    w.endObject();
+    os << '\n';
 }
 
 /**
@@ -193,10 +212,16 @@ struct MicroMetric
 inline void
 printMicroJson(std::ostream& os, const MicroMetric& m)
 {
-    os << "{\"campaign\": \"simcore\", \"benchmark\": \"" << m.benchmark
-       << "\", \"unit\": \"" << m.unit << "\", \"value\": " << m.value
-       << ", \"ops\": " << m.ops << ", \"wall_s\": " << m.wallSeconds
-       << "}\n";
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("campaign", "simcore")
+        .field("benchmark", m.benchmark)
+        .field("unit", m.unit)
+        .field("value", m.value)
+        .field("ops", m.ops)
+        .field("wall_s", m.wallSeconds);
+    w.endObject();
+    os << '\n';
 }
 
 /**
@@ -230,9 +255,14 @@ inline int
 finishSupervisedCampaign(const harness::CampaignOptions& opts,
                          const harness::SupervisorReport& report,
                          const std::string& campaign,
-                         const std::string& artifact)
+                         const std::string& artifact,
+                         const harness::ObsCapture* capture = nullptr)
 {
     std::cout << report.summaryJson(campaign) << std::flush;
+    if (capture && capture->statsEnabled())
+        std::cout << capture->predictionSummaryJson() << std::flush;
+    if (capture)
+        capture->writeFiles();
 
     std::ostringstream manifest;
     report.writeManifest(manifest, campaign);

@@ -34,6 +34,7 @@ main(int argc, char** argv)
     const harness::SystemConfig sys =
         harness::SystemConfig::paperDefault();
     const auto apps = workloads::paperApps();
+    harness::ObsCapture capture(opts, "figure5_energy");
 
     if (opts.onlyPoint >= 0) {
         const auto kinds = bench::figureConfigs();
@@ -45,9 +46,18 @@ main(int argc, char** argv)
         }
         const std::size_t a = opts.onlyPoint / kinds.size();
         const std::size_t k = opts.onlyPoint % kinds.size();
-        std::cout << harness::serializeResult(harness::runExperiment(
-                         sys, apps[a], kinds[k]))
-                  << '\n';
+        harness::RunOptions ro;
+        harness::ObsCapture::PointScope scope;
+        capture.arm(opts.onlyPoint, &ro, &scope);
+        const harness::ExperimentResult r =
+            harness::runExperiment(sys, apps[a], kinds[k], ro);
+        capture.deposit(opts.onlyPoint, r, &scope,
+                        apps[a].name + "/" +
+                            harness::configName(kinds[k]));
+        std::cout << harness::serializeResult(r) << '\n';
+        if (capture.statsEnabled())
+            std::cout << capture.predictionSummaryJson();
+        capture.writeFiles();
         return 0;
     }
 
@@ -60,7 +70,8 @@ main(int argc, char** argv)
     std::vector<std::vector<harness::ExperimentResult>> groups;
     const harness::SupervisorReport report =
         bench::runAppConfigMatrixSupervised(
-            sys, apps, opts, "figure5_energy", &journal, &groups);
+            sys, apps, opts, "figure5_energy", &journal, &groups,
+            &capture);
     journal.flush();
 
     std::ostringstream artifact;
@@ -91,5 +102,5 @@ main(int argc, char** argv)
 
     return bench::finishSupervisedCampaign(opts, report,
                                            "figure5_energy",
-                                           artifact.str());
+                                           artifact.str(), &capture);
 }

@@ -82,10 +82,14 @@ struct Point
     std::uint64_t seed = 1;
 };
 
+std::string pointLabel(const Point& p);
+
 /** Run one point and return its campaign JSON line (throws on any
- *  simulation/checker failure; the supervisor classifies it). */
+ *  simulation/checker failure; the supervisor classifies it). A
+ *  non-null @p capture records the point's trace/stats artifacts. */
 std::string
-runPoint(const Point& p, const workloads::AppProfile& app)
+runPoint(const Point& p, const workloads::AppProfile& app,
+         std::size_t index, harness::ObsCapture* capture)
 {
     using harness::ConfigKind;
 
@@ -106,6 +110,10 @@ runPoint(const Point& p, const workloads::AppProfile& app)
     opt.faults = &spec;
     opt.livenessBudget = 200 * kMillisecond;
 
+    harness::ObsCapture::PointScope scope;
+    if (capture)
+        capture->arm(index, &opt, &scope);
+
     tb::bench::CampaignPoint pt;
     pt.campaign = "faults";
     pt.dim = p.dim;
@@ -115,6 +123,8 @@ runPoint(const Point& p, const workloads::AppProfile& app)
 
     const auto r =
         harness::runExperiment(sys, app, ConfigKind::Thrifty, opt);
+    if (capture)
+        capture->deposit(index, r, &scope, pointLabel(p));
     std::ostringstream os;
     tb::bench::printCampaignJson(os, pt, r);
     return os.str();
@@ -194,7 +204,16 @@ main(int argc, char** argv)
         const Point& p = points[opts.onlyPoint];
         std::fprintf(stderr, "point %ld: %s\n", opts.onlyPoint,
                      pointLabel(p).c_str());
-        std::fputs(runPoint(p, app).c_str(), stdout);
+        harness::ObsCapture capture(opts, "faults");
+        std::fputs(runPoint(p, app,
+                            static_cast<std::size_t>(opts.onlyPoint),
+                            capture.active() ? &capture : nullptr)
+                       .c_str(),
+                   stdout);
+        if (capture.statsEnabled())
+            std::fputs(capture.predictionSummaryJson().c_str(),
+                       stdout);
+        capture.writeFiles();
         return 0;
     }
 
@@ -205,8 +224,12 @@ main(int argc, char** argv)
     if (!opts.journalPath.empty())
         journal.open(opts.journalPath, opts.resume);
 
+    harness::ObsCapture capture(opts, "faults");
     harness::PointTask task;
-    task.run = [&](std::size_t i) { return runPoint(points[i], app); };
+    task.run = [&](std::size_t i) {
+        return runPoint(points[i], app, i,
+                        capture.active() ? &capture : nullptr);
+    };
     task.key = [&](std::size_t i) {
         return harness::fnv1a64("faults|iters=" +
                                 std::to_string(app.iterations) + '|' +
@@ -305,9 +328,9 @@ main(int argc, char** argv)
         // The determinism check failed: surface it through the exit
         // code even though it is not a supervised point.
         const int rc = tb::bench::finishSupervisedCampaign(
-            opts, final_report, "faults", artifact.str());
+            opts, final_report, "faults", artifact.str(), &capture);
         return rc == 0 ? 1 : rc;
     }
     return tb::bench::finishSupervisedCampaign(
-        opts, final_report, "faults", artifact.str());
+        opts, final_report, "faults", artifact.str(), &capture);
 }

@@ -60,7 +60,8 @@ pointSpace()
  * cross-seed aggregation reproduces exactly from a journal replay.
  */
 std::string
-runPoint(const Point& p)
+runPoint(const Point& p, std::size_t index,
+         harness::ObsCapture* capture)
 {
     using harness::ConfigKind;
     harness::SystemConfig sys = harness::SystemConfig::paperDefault();
@@ -74,9 +75,24 @@ runPoint(const Point& p)
         sys.memory.threeHopForwarding ? "three-hop" : "hub";
 
     const auto app = workloads::appByName(p.app);
-    const auto base = runExperiment(sys, app, ConfigKind::Baseline);
-    const auto h = runExperiment(sys, app, ConfigKind::ThriftyHalt);
-    const auto t = runExperiment(sys, app, ConfigKind::Thrifty);
+    // Three runs per point: each gets its own capture slot so trace
+    // pids stay unique (point index * 3 + config).
+    const auto run_one = [&](ConfigKind k, std::size_t sub) {
+        harness::RunOptions ro;
+        harness::ObsCapture::PointScope scope;
+        if (capture)
+            capture->arm(index * 3 + sub, &ro, &scope);
+        const auto r = runExperiment(sys, app, k, ro);
+        if (capture) {
+            capture->deposit(index * 3 + sub, r, &scope,
+                             "seed=" + std::to_string(p.seed) + "/" +
+                                 p.app + "/" + r.config);
+        }
+        return r;
+    };
+    const auto base = run_one(ConfigKind::Baseline, 0);
+    const auto h = run_one(ConfigKind::ThriftyHalt, 1);
+    const auto t = run_one(ConfigKind::Thrifty, 2);
 
     std::ostringstream os;
     tb::bench::printCampaignJson(os, pt, base);
@@ -133,7 +149,16 @@ main(int argc, char** argv)
                      opts.onlyPoint,
                      static_cast<unsigned long long>(p.seed),
                      p.app.c_str());
-        std::fputs(runPoint(p).c_str(), stdout);
+        harness::ObsCapture capture(opts, "seeds");
+        std::fputs(runPoint(p,
+                            static_cast<std::size_t>(opts.onlyPoint),
+                            capture.active() ? &capture : nullptr)
+                       .c_str(),
+                   stdout);
+        if (capture.statsEnabled())
+            std::fputs(capture.predictionSummaryJson().c_str(),
+                       stdout);
+        capture.writeFiles();
         return 0;
     }
 
@@ -144,8 +169,12 @@ main(int argc, char** argv)
     if (!opts.journalPath.empty())
         journal.open(opts.journalPath, opts.resume);
 
+    harness::ObsCapture capture(opts, "seeds");
     harness::PointTask task;
-    task.run = [&](std::size_t i) { return runPoint(points[i]); };
+    task.run = [&](std::size_t i) {
+        return runPoint(points[i], i,
+                        capture.active() ? &capture : nullptr);
+    };
     task.key = [&](std::size_t i) {
         return harness::fnv1a64(
             "seeds|" + std::to_string(points[i].seed) + '|' +
@@ -244,5 +273,6 @@ main(int argc, char** argv)
     }
 
     return tb::bench::finishSupervisedCampaign(opts, report, "seeds",
-                                               artifact.str());
+                                               artifact.str(),
+                                               &capture);
 }

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file emitted by ``--trace``.
+
+Usage:
+    check_trace.py TRACE.json [--require-categories sim,mem,noc,thrifty]
+                   [--require-names arrive,sleep,release]
+
+Checks, in order:
+
+1. The file parses as JSON and has the object form
+   (``{"traceEvents": [...], ...}``) that Perfetto and chrome://tracing
+   load directly.
+2. Every event record is well-formed: a known phase (``X``/``i``/``M``),
+   numeric ``ts`` (and ``dur`` for complete events), and integer
+   ``pid``/``tid``.
+3. Each category listed in ``--require-categories`` appears on at least
+   one event — a missing category means an instrumentation seam went
+   dead.
+4. Each name in ``--require-names`` appears on at least one event;
+   the default set is the thrifty barrier-episode markers.
+
+Exit status: 0 on pass, 1 on validation failure, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+KNOWN_PHASES = {"X", "i", "M"}
+DEFAULT_CATEGORIES = "sim,mem,noc,thrifty"
+DEFAULT_NAMES = "arrive,sleep,release"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate a --trace Chrome trace_event file.")
+    ap.add_argument("trace")
+    ap.add_argument("--require-categories", default=DEFAULT_CATEGORIES,
+                    help="comma list of categories that must appear "
+                         f"(default {DEFAULT_CATEGORIES})")
+    ap.add_argument("--require-names", default=DEFAULT_NAMES,
+                    help="comma list of event names that must appear "
+                         f"(default {DEFAULT_NAMES})")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        sys.exit(f"check_trace: cannot read {args.trace}: {e}")
+    except json.JSONDecodeError as e:
+        print(f"check_trace: {args.trace} is not valid JSON: {e}")
+        return 1
+
+    failures = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        print("check_trace: document is not the "
+              '{"traceEvents": [...]} object form')
+        return 1
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        failures.append("traceEvents is empty")
+        events = []
+
+    seen_categories = set()
+    seen_names = set()
+    counts = {}
+    dropped = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            failures.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            failures.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            failures.append(f"{where}: missing numeric 'ts'")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            failures.append(f"{where}: complete event without 'dur'")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                failures.append(f"{where}: missing integer {key!r}")
+        cat = ev.get("cat")
+        if cat:
+            seen_categories.add(cat)
+            counts[cat] = counts.get(cat, 0) + 1
+        name = ev.get("name")
+        if name:
+            seen_names.add(name)
+        if name == "trace.truncated":
+            dropped += ev.get("args", {}).get("dropped", 0)
+
+    for cat in filter(None, args.require_categories.split(",")):
+        if cat not in seen_categories:
+            failures.append(f"required category '{cat}' never appears")
+    for name in filter(None, args.require_names.split(",")):
+        if name not in seen_names:
+            failures.append(f"required event name '{name}' never "
+                            "appears")
+
+    total = sum(counts.values())
+    print(f"{args.trace}: {total} events "
+          f"({', '.join(f'{c}={n}' for c, n in sorted(counts.items()))})"
+          + (f", {dropped} dropped by per-category caps" if dropped
+             else ""))
+    if failures:
+        print("FAIL:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("PASS: trace well-formed, all required categories and "
+          "barrier-episode markers present.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -137,6 +137,7 @@ Cpu::enterSleep(const power::SleepState& s, OnWake on_wake)
     onWake = std::move(on_wake);
     wakePending = false;
     abortEntry = false;
+    flushTicks = 0;
     statsGroup.scalar("sleepEntries." + s.name).inc();
     if (auto* o = ctrl.checkObserver())
         o->onSleepEnter(nodeId, s.snoopable);
@@ -144,7 +145,9 @@ Cpu::enterSleep(const power::SleepState& s, OnWake on_wake)
     if (!s.snoopable) {
         switchTo(CpuState::Flushing);
         statsGroup.scalar("flushes").inc();
-        ctrl.flushDirtyShared([this]() {
+        const Tick flush_start = curTick();
+        ctrl.flushDirtyShared([this, flush_start]() {
+            flushTicks = curTick() - flush_start;
             if (abortEntry) {
                 // A wake trigger (e.g.\ the barrier released) arrived
                 // mid-flush: abandon the sleep attempt.

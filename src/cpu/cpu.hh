@@ -67,6 +67,13 @@ class Cpu : public SimObject
     /** The sleep state of the current/most recent episode. */
     const power::SleepState* sleepState() const { return episode; }
 
+    /**
+     * Ticks the current/most recent sleep episode spent flushing dirty
+     * shared lines before transitioning down (0 for snoopable states,
+     * which skip the flush). Feeds the barrier episode ledger.
+     */
+    Tick episodeFlushTicks() const { return flushTicks; }
+
     // ------------------------------------------------------------------
     // Activity notifications (from the software model).
     // ------------------------------------------------------------------
@@ -156,6 +163,7 @@ class Cpu : public SimObject
     bool wakePending = false;  ///< wake arrived during down transition
     bool abortEntry = false;   ///< wake arrived during flush
     Tick transitionEnd = 0;    ///< end tick of the in-flight transition
+    Tick flushTicks = 0;       ///< flush cost of the current episode
     /** Optional fault injection (OS-preemption bursts at wake-up). */
     FaultHooks* faults = nullptr;
 

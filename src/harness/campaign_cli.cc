@@ -20,7 +20,8 @@ usage(const char* prog, const char* complaint, bool allowQuick)
         "[--retries N]\n"
         "       [--backoff-ms N] [--isolate] [--journal FILE] "
         "[--resume]\n"
-        "       [--out FILE] [--manifest FILE] [--only-point I]\n",
+        "       [--out FILE] [--manifest FILE] [--only-point I]\n"
+        "       [--trace FILE[:categories]] [--stats-json FILE]\n",
         prog, complaint, prog, allowQuick ? "[--quick] " : "");
     std::exit(2);
 }
@@ -104,6 +105,32 @@ CampaignOptions::parse(int argc, char** argv, bool allowQuick)
         } else if (opt == "--only-point") {
             o.onlyPoint = static_cast<long>(
                 parseU64(prog, "--only-point", value(i), allowQuick));
+        } else if (opt == "--trace") {
+            // FILE[:categories] — the first ':' splits the two.
+            const std::string spec = value(i);
+            const std::size_t colon = spec.find(':');
+            o.tracePath = spec.substr(0, colon);
+            if (o.tracePath.empty()) {
+                usage(prog, "option --trace needs a file name",
+                      allowQuick);
+            }
+            if (colon != std::string::npos &&
+                !obs::parseCategories(spec.substr(colon + 1),
+                                      &o.traceMask)) {
+                char buf[160];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "option --trace: bad category list '%s' "
+                    "(known: sim,mem,noc,thrifty,all)",
+                    spec.substr(colon + 1).c_str());
+                usage(prog, buf, allowQuick);
+            }
+        } else if (opt == "--stats-json") {
+            o.statsJsonPath = value(i);
+            if (o.statsJsonPath.empty()) {
+                usage(prog, "option --stats-json needs a file name",
+                      allowQuick);
+            }
         } else if (opt == "--quick" && allowQuick) {
             o.quick = true;
         } else {

@@ -18,6 +18,14 @@
  *   --manifest FILE   atomically write the failure manifest to FILE
  *   --only-point I    run just point I inline (repro mode)
  *   --quick           CI-sized subset (benches that support it)
+ *
+ * plus the observability surface (docs/OBSERVABILITY.md):
+ *
+ *   --trace FILE[:categories]   write a Chrome trace_event JSON file
+ *                               (categories: sim,mem,noc,thrifty; all
+ *                               by default)
+ *   --stats-json FILE           write per-point machine stats and the
+ *                               barrier-episode ledger as JSONL
  */
 
 #ifndef TB_HARNESS_CAMPAIGN_CLI_HH_
@@ -26,6 +34,7 @@
 #include <string>
 
 #include "harness/campaign_supervisor.hh"
+#include "obs/trace.hh"
 
 namespace tb {
 namespace harness {
@@ -40,6 +49,10 @@ struct CampaignOptions
     std::string manifestPath; ///< "" = stderr only
     long onlyPoint = -1;      ///< >= 0: run one point and exit
     bool quick = false;
+    std::string tracePath;    ///< "" = no trace capture
+    /** Category mask for --trace (defaults to every category). */
+    unsigned traceMask = obs::kAllTraceCategories;
+    std::string statsJsonPath; ///< "" = no stats JSONL
 
     /**
      * Parse @p argv strictly. Unknown options, malformed numbers,

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace tb {
@@ -45,26 +46,10 @@ writeFileAtomic(const std::string& path, const std::string& content)
 std::string
 CampaignJournal::escapeJson(const std::string& s)
 {
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    // The journal's historical escape policy is the repo-wide one now:
+    // obs::JsonWriter adopted it verbatim, so existing journal files
+    // keep their bytes.
+    return obs::JsonWriter::escape(s);
 }
 
 namespace {

@@ -13,6 +13,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "obs/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace tb {
@@ -103,18 +104,26 @@ SupervisorReport::writeManifest(std::ostream& os,
             continue;
         if (r.outcome == PointOutcome::NotRun && !interrupted)
             continue;
-        os << "{\"campaign\": \"" << campaign
-           << "\", \"kind\": \"manifest\", \"point\": " << i
-           << ", \"outcome\": \"" << outcomeName(r.outcome)
-           << "\", \"attempts\": " << r.attempts << ", \"error\": \""
-           << CampaignJournal::escapeJson(r.message)
-           << "\", \"repro\": \""
-           << CampaignJournal::escapeJson(r.repro) << "\"}\n";
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.field("campaign", campaign)
+            .field("kind", "manifest")
+            .field("point", i)
+            .field("outcome", outcomeName(r.outcome))
+            .field("attempts", r.attempts)
+            .field("error", r.message)
+            .field("repro", r.repro);
+        w.endObject();
+        os << '\n';
     }
     if (interrupted) {
-        os << "{\"campaign\": \"" << campaign
-           << "\", \"kind\": \"manifest\", \"outcome\": "
-              "\"interrupted\"}\n";
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.field("campaign", campaign)
+            .field("kind", "manifest")
+            .field("outcome", "interrupted");
+        w.endObject();
+        os << '\n';
     }
 }
 
@@ -122,19 +131,23 @@ std::string
 SupervisorReport::summaryJson(const std::string& campaign) const
 {
     std::ostringstream os;
-    os << "{\"campaign\": \"" << campaign
-       << "\", \"kind\": \"supervisor\", \"points\": " << points.size()
-       << ", \"ok\": " << count(PointOutcome::Ok)
-       << ", \"journaled\": " << count(PointOutcome::Journaled)
-       << ", \"retries\": " << retries
-       << ", \"timeouts\": " << count(PointOutcome::Timeout)
-       << ", \"crashes\": " << count(PointOutcome::Crash)
-       << ", \"exceptions\": " << count(PointOutcome::Exception)
-       << ", \"checker_violations\": "
-       << count(PointOutcome::CheckerViolation)
-       << ", \"not_run\": " << count(PointOutcome::NotRun)
-       << ", \"interrupted\": " << (interrupted ? "true" : "false")
-       << "}\n";
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("campaign", campaign)
+        .field("kind", "supervisor")
+        .field("points", points.size())
+        .field("ok", count(PointOutcome::Ok))
+        .field("journaled", count(PointOutcome::Journaled))
+        .field("retries", retries)
+        .field("timeouts", count(PointOutcome::Timeout))
+        .field("crashes", count(PointOutcome::Crash))
+        .field("exceptions", count(PointOutcome::Exception))
+        .field("checker_violations",
+               count(PointOutcome::CheckerViolation))
+        .field("not_run", count(PointOutcome::NotRun))
+        .field("interrupted", interrupted);
+    w.endObject();
+    os << '\n';
     return os.str();
 }
 

@@ -5,6 +5,7 @@
 
 #include "check/protocol_checker.hh"
 #include "fault/fault_injector.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "thrifty/conventional_barrier.hh"
 #include "thrifty/thrifty_barrier.hh"
@@ -111,14 +112,27 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
     if (options.faults && options.faults->enabled())
         injector = std::make_unique<fault::FaultInjector>(*options.faults);
 
+    // Same lifetime rule as the checker: the queue observer must die
+    // after the machine.
+    std::unique_ptr<obs::TraceQueueObserver> traceObs;
+
     Machine machine(sys);
     if (checker)
         machine.attachChecker(*checker);
     if (injector)
         machine.attachFaultHooks(*injector);
+    if (options.traceSink) {
+        // Chain in front of whatever observer (checker) is installed
+        // so tracing composes with invariant checking.
+        traceObs = std::make_unique<obs::TraceQueueObserver>(
+            *options.traceSink, machine.eventQueue().observer());
+        machine.eventQueue().setObserver(traceObs.get());
+        machine.attachTraceSink(options.traceSink);
+    }
 
     thrifty::SyncStats sync;
     sync.traceEnabled = options.trace;
+    sync.episodesEnabled = options.episodeLedger;
 
     // Fault injection without graceful degradation deadlocks by
     // design (a dropped wake-up is unrecoverable), so unless the
@@ -133,6 +147,8 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
     }
 
     ConfigBarrierProvider provider(machine, kind, custom, sync);
+    if (options.traceSink && provider.runtime())
+        provider.runtime()->setTraceSink(options.traceSink);
     workloads::SyntheticProgram program(
         machine.eventQueue(), machine.memory(), machine.threadPtrs(),
         app, provider, sys.seed);
@@ -163,8 +179,8 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
         r.energy[i] = total.energy(b);
         r.time[i] = total.time(b);
     }
-    if (options.statsOut)
-        machine.dumpStats(*options.statsOut);
+    if (options.statsVisitor)
+        machine.visitStats(*options.statsVisitor);
     return r;
 }
 

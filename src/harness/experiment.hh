@@ -141,8 +141,23 @@ struct RunOptions
     bool check = false;
     /** Override the preset thrifty configuration (ablations). */
     const thrifty::ThriftyConfig* customConfig = nullptr;
-    /** When set, dump all component statistics here after the run. */
-    std::ostream* statsOut = nullptr;
+    /**
+     * When set, walk all component statistics through this visitor
+     * after the run (renderers live in src/obs/stat_writers.hh).
+     */
+    stats::StatVisitor* statsVisitor = nullptr;
+    /**
+     * When set, attach this structured-trace sink to the machine
+     * (network, cache controllers, event queue) and the thrifty
+     * runtime for the duration of the run. Must outlive the call.
+     */
+    obs::TraceSink* traceSink = nullptr;
+    /**
+     * Record one BarrierEpisode per completed sleep episode into
+     * ExperimentResult::sync.episodes (predicted vs. actual BIT,
+     * chosen state, flush cost, wake source).
+     */
+    bool episodeLedger = false;
     /**
      * When set (and enabled), realize this fault spec against the
      * machine. Unless a custom config is supplied, the thrifty

@@ -60,6 +60,14 @@ Machine::attachFaultHooks(FaultHooks& hooks)
     }
 }
 
+void
+Machine::attachTraceSink(obs::TraceSink* sink)
+{
+    net->setTraceSink(sink);
+    for (NodeId n = 0; n < cfg.numNodes(); ++n)
+        mem_->controller(n).setTraceSink(sink);
+}
+
 std::vector<cpu::ThreadContext*>
 Machine::threadPtrs()
 {
@@ -89,21 +97,21 @@ Machine::totalEnergy() const
 }
 
 void
-Machine::dumpStats(std::ostream& os)
+Machine::visitStats(stats::StatVisitor& v)
 {
-    os << "---------- " << net->name() << " ----------\n";
-    net->statistics().dump(os);
+    const auto group = [&v](const std::string& name,
+                            const stats::StatGroup& g) {
+        v.beginGroup(name);
+        g.visit(v);
+        v.endGroup();
+    };
+    group(net->name(), net->statistics());
     for (NodeId n = 0; n < cfg.numNodes(); ++n) {
-        os << "---------- " << mem_->controller(n).name()
-           << " ----------\n";
-        mem_->controller(n).statistics().dump(os);
-        os << "---------- " << mem_->directory(n).name()
-           << " ----------\n";
-        mem_->directory(n).statistics().dump(os);
-        os << "---------- " << mem_->dram(n).name() << " ----------\n";
-        mem_->dram(n).statistics().dump(os);
-        os << "---------- " << cpus[n]->name() << " ----------\n";
-        cpus[n]->statistics().dump(os);
+        group(mem_->controller(n).name(),
+              mem_->controller(n).statistics());
+        group(mem_->directory(n).name(), mem_->directory(n).statistics());
+        group(mem_->dram(n).name(), mem_->dram(n).statistics());
+        group(cpus[n]->name(), cpus[n]->statistics());
     }
 }
 

@@ -24,6 +24,8 @@ class FaultHooks;
 
 namespace check { class ProtocolChecker; }
 
+namespace obs { class TraceSink; }
+
 namespace harness {
 
 /** Full-system configuration (defaults reproduce Table 1). */
@@ -75,6 +77,15 @@ class Machine
     void attachFaultHooks(FaultHooks& hooks);
 
     /**
+     * Attach a structured-trace sink to the network and every cache
+     * controller (nullptr detaches). The sink must outlive the
+     * machine. Event-queue tracing is wired separately through a
+     * TraceQueueObserver by the experiment runner, so tracing
+     * composes with an attached checker.
+     */
+    void attachTraceSink(obs::TraceSink* sink);
+
+    /**
      * Drain the event queue and close every CPU's accounting
      * interval.
      * @return the final simulated tick.
@@ -85,10 +96,11 @@ class Machine
     power::EnergyAccount totalEnergy() const;
 
     /**
-     * Dump every component's statistics (network, DRAM, directories,
-     * controllers, CPUs) in gem5-style "name value" lines.
+     * Walk every component's statistics (network, DRAM, directories,
+     * controllers, CPUs) through @p v, one begin/endGroup bracket per
+     * component. Renderers live in src/obs/stat_writers.hh.
      */
-    void dumpStats(std::ostream& os);
+    void visitStats(stats::StatVisitor& v);
 
   private:
     SystemConfig cfg;

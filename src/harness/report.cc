@@ -198,55 +198,87 @@ printSummary(std::ostream& os,
 }
 
 void
+writeSyncJson(obs::JsonWriter& w, const thrifty::SyncStats& s)
+{
+    w.key("sync").beginObject();
+    w.field("instances", s.instances)
+        .field("arrivals", s.arrivals)
+        .field("sleeps", s.sleeps)
+        .field("spins", s.spins)
+        .field("cutoffs", s.cutoffs)
+        .field("filtered_updates", s.filteredUpdates)
+        .field("residual_spins", s.residualSpins)
+        .field("watchdog_fires", s.watchdogFires)
+        .field("residual_escalations", s.residualEscalations)
+        .field("quarantines", s.quarantines)
+        .field("fallback_episodes", s.fallbackEpisodes)
+        .field("total_stall_s",
+               ticksToSeconds(static_cast<Tick>(s.totalStallTicks)));
+    w.endObject();
+}
+
+void
+writeEpisodeJson(obs::JsonWriter& w, const thrifty::BarrierEpisode& ep)
+{
+    w.beginObject();
+    w.field("pc", ep.pc)
+        .field("instance", ep.instance)
+        .field("tid", ep.tid)
+        .field("predicted_bit", ep.predictedBit)
+        .field("actual_bit", ep.actualBit)
+        .field("sleep_tick", ep.sleepTick)
+        .field("wake_tick", ep.wakeTick)
+        .field("release_ts", ep.releaseTs)
+        .field("flush_ticks", ep.flushTicks)
+        .field("residual_ticks", ep.residualTicks)
+        .field("state", ep.sleepState)
+        .field("wake", ep.wakeReason)
+        .field("early", ep.earlyWake())
+        .field("late", ep.lateWake());
+    w.endObject();
+}
+
+void
+writeResultJson(obs::JsonWriter& w, const ExperimentResult& r)
+{
+    w.field("app", r.app)
+        .field("config", r.config)
+        .field("threads", r.threads)
+        .field("exec_time_s", ticksToSeconds(r.execTime))
+        .field("imbalance", r.imbalance());
+    w.key("energy_j").beginObject();
+    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+        w.field(power::bucketName(static_cast<power::Bucket>(i)),
+                r.energy[i]);
+    }
+    w.endObject();
+    w.key("time_s").beginObject();
+    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
+        w.field(power::bucketName(static_cast<power::Bucket>(i)),
+                ticksToSeconds(r.time[i]));
+    }
+    w.endObject();
+    writeSyncJson(w, r.sync);
+    if (!r.faultSpec.empty()) {
+        w.key("faults").beginObject();
+        w.field("spec", r.faultSpec)
+            .field("injected", r.faultsInjected());
+        w.key("by_kind").beginObject();
+        for (const auto& [kind, n] : r.faultCounts)
+            w.field(kind, n);
+        w.endObject();
+        w.endObject();
+    }
+}
+
+void
 printJson(std::ostream& os, const ExperimentResult& r)
 {
-    os << "{\n"
-       << "  \"app\": \"" << r.app << "\",\n"
-       << "  \"config\": \"" << r.config << "\",\n"
-       << "  \"threads\": " << r.threads << ",\n"
-       << "  \"exec_time_s\": " << std::setprecision(12)
-       << ticksToSeconds(r.execTime) << ",\n"
-       << "  \"imbalance\": " << r.imbalance() << ",\n"
-       << "  \"energy_j\": {";
-    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
-        os << (i ? ", " : "") << '"'
-           << power::bucketName(static_cast<power::Bucket>(i))
-           << "\": " << r.energy[i];
-    }
-    os << "},\n  \"time_s\": {";
-    for (std::size_t i = 0; i < power::kNumBuckets; ++i) {
-        os << (i ? ", " : "") << '"'
-           << power::bucketName(static_cast<power::Bucket>(i))
-           << "\": " << ticksToSeconds(r.time[i]);
-    }
-    os << "},\n"
-       << "  \"sync\": {"
-       << "\"instances\": " << r.sync.instances
-       << ", \"arrivals\": " << r.sync.arrivals
-       << ", \"sleeps\": " << r.sync.sleeps
-       << ", \"spins\": " << r.sync.spins
-       << ", \"cutoffs\": " << r.sync.cutoffs
-       << ", \"filtered_updates\": " << r.sync.filteredUpdates
-       << ", \"residual_spins\": " << r.sync.residualSpins
-       << ", \"watchdog_fires\": " << r.sync.watchdogFires
-       << ", \"residual_escalations\": " << r.sync.residualEscalations
-       << ", \"quarantines\": " << r.sync.quarantines
-       << ", \"fallback_episodes\": " << r.sync.fallbackEpisodes
-       << ", \"total_stall_s\": "
-       << ticksToSeconds(static_cast<Tick>(r.sync.totalStallTicks))
-       << "}";
-    if (!r.faultSpec.empty()) {
-        os << ",\n  \"faults\": {\"spec\": \"" << r.faultSpec
-           << "\", \"injected\": " << r.faultsInjected()
-           << ", \"by_kind\": {";
-        bool first = true;
-        for (const auto& [kind, n] : r.faultCounts) {
-            os << (first ? "" : ", ") << '"' << kind << "\": " << n;
-            first = false;
-        }
-        os << "}}";
-    }
-    os << "\n}\n";
+    obs::JsonWriter w(os);
+    w.beginObject();
+    writeResultJson(w, r);
+    w.endObject();
+    os << '\n';
 }
 
 void

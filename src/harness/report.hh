@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "obs/json_writer.hh"
 
 namespace tb {
 namespace harness {
@@ -65,6 +66,22 @@ baselineOf(const std::vector<ExperimentResult>& results);
  * degradation counters appear under "sync".
  */
 void printJson(std::ostream& os, const ExperimentResult& r);
+
+/**
+ * Emit @p r's members into a caller-opened JSON object on @p w (the
+ * body of printJson, reusable inside larger documents).
+ */
+void writeResultJson(obs::JsonWriter& w, const ExperimentResult& r);
+
+/** Emit the synchronization counters as a `"sync"` member object. */
+void writeSyncJson(obs::JsonWriter& w, const thrifty::SyncStats& s);
+
+/**
+ * Emit one barrier sleep episode (the --stats-json prediction ledger,
+ * docs/OBSERVABILITY.md) as a JSON object.
+ */
+void writeEpisodeJson(obs::JsonWriter& w,
+                      const thrifty::BarrierEpisode& ep);
 
 /**
  * Human-readable fault/degradation summary for one injected run:

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace tb {
@@ -17,26 +18,19 @@ namespace {
 
 constexpr const char* kMagic = "TBRESULT1";
 
+/** Strings use the shared JSON escape policy (obs::JsonWriter). */
 std::string
 quote(const std::string& s)
 {
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
+    return "\"" + obs::JsonWriter::escape(s) + "\"";
 }
 
-/** Doubles at max_digits10: strtod round-trips the exact bits. */
+/** Doubles use the shared shortest-round-trip policy: strtod parses
+ *  the exact bits back without paying 17 digits for simple values. */
 std::string
 num(double v)
 {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
+    return obs::formatDouble(v);
 }
 
 /** Split one serialized line into key -> raw value (strings
@@ -59,8 +53,40 @@ fields(const std::string& line)
         if (i < n && line[i] == '"') {
             ++i;
             while (i < n && line[i] != '"') {
-                if (line[i] == '\\' && i + 1 < n)
+                if (line[i] == '\\' && i + 1 < n) {
+                    // Full inverse of the shared escape policy.
                     ++i;
+                    switch (line[i]) {
+                      case 'n': value += '\n'; ++i; break;
+                      case 'r': value += '\r'; ++i; break;
+                      case 't': value += '\t'; ++i; break;
+                      case 'u': {
+                        if (i + 4 >= n)
+                            fatal("result serde: bad \\u escape for '",
+                                  key, "'");
+                        unsigned v = 0;
+                        for (int k = 0; k < 4; ++k) {
+                            const char c = line[++i];
+                            v <<= 4;
+                            if (c >= '0' && c <= '9')
+                                v |= static_cast<unsigned>(c - '0');
+                            else if (c >= 'a' && c <= 'f')
+                                v |= static_cast<unsigned>(c - 'a' + 10);
+                            else if (c >= 'A' && c <= 'F')
+                                v |= static_cast<unsigned>(c - 'A' + 10);
+                            else
+                                fatal("result serde: bad \\u escape "
+                                      "for '", key, "'");
+                        }
+                        value += static_cast<char>(v);
+                        ++i;
+                        break;
+                      }
+                      // default: the literal char (quote, backslash)
+                      default: value += line[i++]; break;
+                    }
+                    continue;
+                }
                 value += line[i++];
             }
             if (i >= n)

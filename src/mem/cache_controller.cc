@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/trace.hh"
 #include "sim/fault_hooks.hh"
 #include "sim/logging.hh"
 
@@ -91,6 +92,7 @@ CacheController::startAccess(Pending p)
         panic(name(), ": demand access while another is outstanding");
     if (!snoopable_)
         panic(name(), ": demand access while cache is asleep");
+    p.startTick = curTick();
     pending = std::move(p);
 
     // Atomics bypass the local hierarchy entirely (fetch-op at home).
@@ -239,6 +241,13 @@ CacheController::completePending()
     Pending p = std::move(*pending);
     pending.reset();
 
+    if (TB_TRACED(trace, obs::TraceCategory::Mem)) {
+        trace->complete(
+            obs::TraceCategory::Mem,
+            p.kind == Pending::Kind::Load ? "load" : "store",
+            p.startTick, curTick() - p.startTick, nodeId,
+            {{"line", p.line}});
+    }
     switch (p.kind) {
       case Pending::Kind::Load: {
         const std::uint64_t v = backend.read(p.addr);
@@ -296,6 +305,11 @@ CacheController::receive(const Msg& msg)
             panic(name(), ": stray RmwResult");
         Pending p = std::move(*pending);
         pending.reset();
+        if (TB_TRACED(trace, obs::TraceCategory::Mem)) {
+            trace->complete(obs::TraceCategory::Mem, "rmw",
+                            p.startTick, curTick() - p.startTick,
+                            nodeId, {{"line", p.line}});
+        }
         p.loadDone(msg.rmwOld);
         break;
       }
@@ -698,6 +712,11 @@ CacheController::flushDirtyShared(DoneCallback done)
                 static_cast<double>(extra);
             duration += extra;
         }
+    }
+    if (TB_TRACED(trace, obs::TraceCategory::Mem)) {
+        trace->complete(obs::TraceCategory::Mem, "flush", curTick(),
+                        duration, nodeId,
+                        {{"lines", to_flush.size()}});
     }
     eq.scheduleIn(duration, std::move(done));
 }

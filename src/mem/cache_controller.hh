@@ -45,6 +45,10 @@ namespace tb {
 
 class FaultHooks;
 
+namespace obs {
+class TraceSink;
+} // namespace obs
+
 namespace mem {
 
 /** Why the controller is waking the CPU up. */
@@ -179,6 +183,9 @@ class CacheController : public SimObject, public MsgSink
     /** Attach fault-injection hooks (nullptr detaches). */
     void setFaultHooks(FaultHooks* hooks) { faults = hooks; }
 
+    /** Attach a structured-trace sink (nullptr detaches). */
+    void setTraceSink(obs::TraceSink* sink) { trace = sink; }
+
     /**
      * Fault injection: deliver a spurious invalidation for @p a's
      * line, as an unfortunate exclusive prefetch by another thread
@@ -241,6 +248,8 @@ class CacheController : public SimObject, public MsgSink
         enum class Kind { Load, Store, Rmw } kind = Kind::Load;
         Addr addr = 0;
         Addr line = 0;
+        /** Tick the access was issued (trace span start). */
+        Tick startTick = 0;
         std::uint64_t storeValue = 0;
         std::function<std::uint64_t()> rmwOp;
         LoadCallback loadDone;
@@ -334,6 +343,8 @@ class CacheController : public SimObject, public MsgSink
     ProtocolObserver* obs = nullptr;
     /** Optional fault injection (wake delivery, timer, flush). */
     FaultHooks* faults = nullptr;
+    /** Optional structured tracing of demand accesses and flushes. */
+    obs::TraceSink* trace = nullptr;
 
     stats::StatGroup statsGroup;
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <utility>
 
+#include "obs/trace.hh"
 #include "sim/fault_hooks.hh"
 #include "sim/logging.hh"
 
@@ -126,6 +127,12 @@ Network::deliveryTick(NodeId src, NodeId dst, unsigned bytes)
     hot.bytes += bytes;
     hot.latency.sample(static_cast<double>(t - curTick()));
     hot.hops.sample(hops(src, dst));
+    if (TB_TRACED(trace, obs::TraceCategory::Noc)) {
+        trace->complete(obs::TraceCategory::Noc, "msg", curTick(),
+                        t - curTick(), src,
+                        {{"dst", dst}, {"bytes", bytes},
+                         {"hops", hops(src, dst)}});
+    }
     return t;
 }
 

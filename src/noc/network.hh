@@ -35,6 +35,10 @@ namespace tb {
 
 class FaultHooks;
 
+namespace obs {
+class TraceSink;
+} // namespace obs
+
 namespace noc {
 
 /** Static configuration of the interconnect. */
@@ -111,6 +115,9 @@ class Network : public SimObject
     /** Attach fault-injection hooks (nullptr detaches). */
     void setFaultHooks(FaultHooks* hooks) { faults = hooks; }
 
+    /** Attach a structured-trace sink (nullptr detaches). */
+    void setTraceSink(obs::TraceSink* sink) { trace = sink; }
+
   private:
     /**
      * Route one message: reserve links, charge contention/fault
@@ -138,6 +145,8 @@ class Network : public SimObject
     std::vector<Tick> pairLastDelivery;
     /** Optional fault injection (link stalls, message-delay spikes). */
     FaultHooks* faults = nullptr;
+    /** Optional structured tracing of message deliveries. */
+    obs::TraceSink* trace = nullptr;
     stats::StatGroup statsGroup;
 
     /** Cached references into statsGroup (resolved once; node-stable

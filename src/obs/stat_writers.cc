@@ -1,0 +1,79 @@
+#include "obs/stat_writers.hh"
+
+#include <iomanip>
+
+namespace tb {
+namespace obs {
+
+void
+TextStatWriter::beginGroup(const std::string& name)
+{
+    out << "---------- " << name << " ----------\n";
+}
+
+void
+TextStatWriter::line(const std::string& name, double value)
+{
+    out << std::left << std::setw(44) << name << ' '
+        << std::setprecision(12) << value << '\n';
+}
+
+void
+TextStatWriter::scalar(const std::string& name, double value)
+{
+    line(name, value);
+}
+
+void
+TextStatWriter::distribution(const std::string& name,
+                             const stats::Distribution& d)
+{
+    out << std::left << std::setw(44) << (name + ".count") << ' '
+        << d.count() << '\n';
+    line(name + ".mean", d.mean());
+    line(name + ".stddev", d.stddev());
+    // Text convention: empty distributions report min/max as 0 (the
+    // accessors' documented behaviour); JSON reports null instead.
+    line(name + ".min", d.min());
+    line(name + ".max", d.max());
+}
+
+void
+JsonStatWriter::beginGroup(const std::string& name)
+{
+    json.key(name).beginObject();
+}
+
+void
+JsonStatWriter::endGroup()
+{
+    json.endObject();
+}
+
+void
+JsonStatWriter::scalar(const std::string& name, double value)
+{
+    json.field(name, value);
+}
+
+void
+JsonStatWriter::distribution(const std::string& name,
+                             const stats::Distribution& d)
+{
+    json.key(name).beginObject();
+    json.field("count", d.count());
+    json.field("total", d.total());
+    json.field("mean", d.mean());
+    json.field("stddev", d.stddev());
+    if (d.count() == 0) {
+        json.key("min").null();
+        json.key("max").null();
+    } else {
+        json.field("min", d.min());
+        json.field("max", d.max());
+    }
+    json.endObject();
+}
+
+} // namespace obs
+} // namespace tb

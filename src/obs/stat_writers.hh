@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Stat exporters built on the StatVisitor seam (sim/stats.hh).
+ *
+ * The stats package itself no longer renders anything; StatGroup only
+ * exposes `visit(StatVisitor&)`, and these writers are the consumers:
+ *
+ *  - TextStatWriter reproduces the historical human-oriented report
+ *    (left-aligned 44-column names, 12 significant digits, empty
+ *    distributions print min/max as 0 — see docs/OBSERVABILITY.md);
+ *  - JsonStatWriter emits machine-readable stats through a shared
+ *    JsonWriter, where an empty distribution's min/max are `null`
+ *    (0.0 would be indistinguishable from a real zero sample).
+ */
+
+#ifndef TB_OBS_STAT_WRITERS_HH_
+#define TB_OBS_STAT_WRITERS_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.hh"
+#include "sim/stats.hh"
+
+namespace tb {
+namespace obs {
+
+/** Renders the classic text stat report. */
+class TextStatWriter : public stats::StatVisitor
+{
+  public:
+    explicit TextStatWriter(std::ostream& os) : out(os) {}
+
+    void beginGroup(const std::string& name) override;
+    void scalar(const std::string& name, double value) override;
+    void distribution(const std::string& name,
+                      const stats::Distribution& d) override;
+
+  private:
+    void line(const std::string& name, double value);
+
+    std::ostream& out;
+};
+
+/**
+ * Emits stats as JSON members on a caller-positioned JsonWriter: the
+ * caller opens the enclosing object (and closes it afterwards), so
+ * stats can be embedded in any larger document. Each group becomes a
+ * nested object keyed by its name; each distribution an object with
+ * count/total/mean/stddev/min/max.
+ */
+class JsonStatWriter : public stats::StatVisitor
+{
+  public:
+    explicit JsonStatWriter(JsonWriter& w) : json(w) {}
+
+    void beginGroup(const std::string& name) override;
+    void endGroup() override;
+    void scalar(const std::string& name, double value) override;
+    void distribution(const std::string& name,
+                      const stats::Distribution& d) override;
+
+  private:
+    JsonWriter& json;
+};
+
+/** Forwards every visit to each sink in turn (e.g. text + JSON). */
+class TeeStatVisitor : public stats::StatVisitor
+{
+  public:
+    explicit TeeStatVisitor(std::vector<stats::StatVisitor*> vs)
+        : sinks(std::move(vs))
+    {}
+
+    void
+    beginGroup(const std::string& name) override
+    {
+        for (auto* v : sinks)
+            v->beginGroup(name);
+    }
+
+    void
+    endGroup() override
+    {
+        for (auto* v : sinks)
+            v->endGroup();
+    }
+
+    void
+    scalar(const std::string& name, double value) override
+    {
+        for (auto* v : sinks)
+            v->scalar(name, value);
+    }
+
+    void
+    distribution(const std::string& name,
+                 const stats::Distribution& d) override
+    {
+        for (auto* v : sinks)
+            v->distribution(name, d);
+    }
+
+  private:
+    std::vector<stats::StatVisitor*> sinks;
+};
+
+} // namespace obs
+} // namespace tb
+
+#endif // TB_OBS_STAT_WRITERS_HH_

@@ -1,0 +1,180 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+
+#include "obs/json_writer.hh"
+
+namespace tb {
+namespace obs {
+
+namespace {
+
+/** Dense index of a (single-bit) category for the per-category caps. */
+unsigned
+categoryIndex(TraceCategory cat)
+{
+    switch (cat) {
+      case TraceCategory::Sim:
+        return 0;
+      case TraceCategory::Mem:
+        return 1;
+      case TraceCategory::Noc:
+        return 2;
+      case TraceCategory::Thrifty:
+        return 3;
+    }
+    return 0;
+}
+
+} // namespace
+
+const char*
+categoryName(TraceCategory cat)
+{
+    switch (cat) {
+      case TraceCategory::Sim:
+        return "sim";
+      case TraceCategory::Mem:
+        return "mem";
+      case TraceCategory::Noc:
+        return "noc";
+      case TraceCategory::Thrifty:
+        return "thrifty";
+    }
+    return "?";
+}
+
+bool
+parseCategories(std::string_view spec, unsigned* mask)
+{
+    unsigned m = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string_view name = spec.substr(
+            pos, comma == std::string_view::npos ? spec.size() - pos
+                                                 : comma - pos);
+        if (name == "sim")
+            m |= static_cast<unsigned>(TraceCategory::Sim);
+        else if (name == "mem")
+            m |= static_cast<unsigned>(TraceCategory::Mem);
+        else if (name == "noc")
+            m |= static_cast<unsigned>(TraceCategory::Noc);
+        else if (name == "thrifty")
+            m |= static_cast<unsigned>(TraceCategory::Thrifty);
+        else if (name == "all")
+            m |= kAllTraceCategories;
+        else
+            return false;
+        if (comma == std::string_view::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (m == 0)
+        return false;
+    *mask = m;
+    return true;
+}
+
+void
+TraceSink::event(char ph, TraceCategory cat, const char* name, Tick ts,
+                 Tick dur, std::uint32_t tid,
+                 std::initializer_list<TraceArg> args)
+{
+    if (!enabled(cat))
+        return;
+    const unsigned idx = categoryIndex(cat);
+    if (perCategory[idx] >= maxPerCategory) {
+        ++droppedCount;
+        return;
+    }
+    ++perCategory[idx];
+    ++count;
+
+    char head[192];
+    int n = std::snprintf(
+        head, sizeof(head),
+        "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
+        "\"ts\": %.6f, ",
+        name, categoryName(cat), ph,
+        static_cast<double>(ts) / 1e6);
+    if (!buf.empty())
+        buf += ",\n";
+    buf.append(head, static_cast<std::size_t>(n));
+    if (ph == 'X') {
+        n = std::snprintf(head, sizeof(head), "\"dur\": %.6f, ",
+                          static_cast<double>(dur) / 1e6);
+        buf.append(head, static_cast<std::size_t>(n));
+    }
+    n = std::snprintf(head, sizeof(head), "\"pid\": %u, \"tid\": %u",
+                      pid_, tid);
+    buf.append(head, static_cast<std::size_t>(n));
+    if (args.size() != 0) {
+        buf += ", \"args\": {";
+        bool first = true;
+        for (const TraceArg& a : args) {
+            if (!first)
+                buf += ", ";
+            first = false;
+            buf += '"';
+            buf += a.key;
+            buf += "\": ";
+            switch (a.kind) {
+              case TraceArg::Kind::U64:
+                n = std::snprintf(head, sizeof(head), "%llu",
+                                  static_cast<unsigned long long>(
+                                      a.u64));
+                buf.append(head, static_cast<std::size_t>(n));
+                break;
+              case TraceArg::Kind::F64:
+                buf += formatDouble(a.f64);
+                break;
+              case TraceArg::Kind::Str:
+                buf += '"';
+                buf += JsonWriter::escape(a.str);
+                buf += '"';
+                break;
+            }
+        }
+        buf += '}';
+    }
+    buf += '}';
+}
+
+void
+writeChromeTrace(std::ostream& os, const std::vector<TraceChunk>& chunks)
+{
+    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+    bool first = true;
+    const auto emit = [&](const std::string& text) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << text;
+    };
+    for (const TraceChunk& c : chunks) {
+        char meta[160];
+        std::snprintf(meta, sizeof(meta),
+                      "{\"name\": \"process_name\", \"ph\": \"M\", "
+                      "\"pid\": %u, \"tid\": 0, \"args\": {\"name\": "
+                      "\"%s\"}}",
+                      c.pid, JsonWriter::escape(c.label).c_str());
+        emit(meta);
+        if (!c.events.empty())
+            emit(c.events);
+        if (c.dropped != 0) {
+            char note[160];
+            std::snprintf(note, sizeof(note),
+                          "{\"name\": \"trace.truncated\", \"ph\": "
+                          "\"i\", \"ts\": 0, \"pid\": %u, \"tid\": 0, "
+                          "\"s\": \"g\", \"args\": {\"dropped\": %llu}}",
+                          c.pid,
+                          static_cast<unsigned long long>(c.dropped));
+            emit(note);
+        }
+    }
+    os << "\n]}\n";
+}
+
+} // namespace obs
+} // namespace tb

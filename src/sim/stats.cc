@@ -1,28 +1,15 @@
 #include "sim/stats.hh"
 
-#include <iomanip>
-
 namespace tb {
 namespace stats {
 
 void
-StatGroup::dump(std::ostream& os) const
+StatGroup::visit(StatVisitor& v) const
 {
-    os << std::left;
-    for (const auto& [name, s] : scalars) {
-        os << std::setw(44) << name << ' '
-           << std::setprecision(12) << s.value() << '\n';
-    }
-    for (const auto& [name, d] : dists) {
-        os << std::setw(44) << (name + ".count") << ' ' << d.count()
-           << '\n'
-           << std::setw(44) << (name + ".mean") << ' '
-           << std::setprecision(12) << d.mean() << '\n'
-           << std::setw(44) << (name + ".stddev") << ' ' << d.stddev()
-           << '\n'
-           << std::setw(44) << (name + ".min") << ' ' << d.min() << '\n'
-           << std::setw(44) << (name + ".max") << ' ' << d.max() << '\n';
-    }
+    for (const auto& [name, s] : scalars)
+        v.scalar(name, s.value());
+    for (const auto& [name, d] : dists)
+        v.distribution(name, d);
 }
 
 } // namespace stats

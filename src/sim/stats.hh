@@ -3,7 +3,10 @@
  * A small named-statistics package in the spirit of gem5's stats.
  *
  * Model objects register Scalar / Distribution stats against a
- * StatGroup; the group renders a text report. Everything is plain
+ * StatGroup. Export goes through the visitor seam: StatGroup::visit()
+ * walks every stat in sorted-name order and hands it to a StatVisitor,
+ * which is the only consumer interface — text and JSON rendering live
+ * in src/obs/stat_writers.hh, not here. Everything is plain
  * value-semantics; no global registry, so independent simulations can
  * coexist in one process (important for the benchmark harness, which
  * runs dozens of configurations back to back).
@@ -17,7 +20,6 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <ostream>
 #include <string>
 #include <vector>
 
@@ -57,7 +59,14 @@ class Distribution
 
     std::uint64_t count() const { return n; }
     double total() const { return sum; }
+    /**
+     * Smallest sample, or 0.0 when the distribution is empty. The 0.0
+     * convention is fine for text reports but ambiguous with a real
+     * zero sample, so machine-readable exporters must check count()
+     * and emit null for empty distributions (the JSON writer does).
+     */
     double min() const { return n ? lo : 0.0; }
+    /** Largest sample, or 0.0 when empty (see min()). */
     double max() const { return n ? hi : 0.0; }
     double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
 
@@ -89,6 +98,29 @@ class Distribution
     double hi = -std::numeric_limits<double>::infinity();
 };
 
+/**
+ * Consumer interface for stat export. visit() feeds every stat of a
+ * group through one of these; renderers (text, JSON) subclass it in
+ * src/obs/. Group bracketing is only used by multi-group walks
+ * (Machine::visitStats) — single-group visits never call it, hence
+ * the no-op defaults.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    /** A named group of stats begins (e.g. "net", "cpu3"). */
+    virtual void beginGroup(const std::string& name) { (void)name; }
+
+    /** The current group ends. */
+    virtual void endGroup() {}
+
+    virtual void scalar(const std::string& name, double value) = 0;
+    virtual void distribution(const std::string& name,
+                              const Distribution& d) = 0;
+};
+
 /** A flat namespace of named stats belonging to one simulation. */
 class StatGroup
 {
@@ -118,8 +150,12 @@ class StatGroup
         return scalars.count(name) != 0;
     }
 
-    /** Render all stats, sorted by name, to @p os. */
-    void dump(std::ostream& os) const;
+    /**
+     * Feed every stat to @p v: scalars first, then distributions,
+     * each set sorted by name. Does not bracket with begin/endGroup —
+     * that is the caller's job when walking multiple groups.
+     */
+    void visit(StatVisitor& v) const;
 
     /** Drop all stats. */
     void

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cpu/thread_context.hh"
@@ -32,6 +33,36 @@ struct BarrierTraceEntry
     Tick bit = 0;     ///< interval time of this instance (published)
     Tick compute = 0; ///< thread's compute time within the interval
     Tick stall = 0;   ///< thread's barrier stall time (bit - compute)
+};
+
+/**
+ * One completed sleep episode at a thrifty barrier: everything the
+ * paper's prediction story turns on (predicted vs. actual BIT, chosen
+ * sleep state, flush cost, which mechanism woke the thread and whether
+ * the wake was early or late relative to the release). Recorded only
+ * for arrivals that actually slept; exported via --stats-json
+ * (docs/OBSERVABILITY.md).
+ */
+struct BarrierEpisode
+{
+    BarrierPc pc = 0;
+    std::uint64_t instance = 0; ///< dynamic instance index of this PC
+    ThreadId tid = 0;
+    Tick predictedBit = 0; ///< predictor's BIT at sleep time
+    Tick actualBit = 0;    ///< published BIT of this instance
+    Tick sleepTick = 0;    ///< when the sleep was committed
+    Tick wakeTick = 0;     ///< when the CPU was Active again
+    Tick releaseTs = 0;    ///< thread-local release timestamp (BRTS')
+    Tick flushTicks = 0;   ///< pre-sleep flush cost (0 if snoopable)
+    Tick residualTicks = 0; ///< post-wake residual spin
+    std::string sleepState; ///< chosen low-power state
+    std::string wakeReason; ///< wake source (mem::wakeReasonName)
+
+    /** Woke before the release (internal timer undershot). */
+    bool earlyWake() const { return wakeTick < releaseTs; }
+
+    /** Woke after the release (paid transition latency on the tail). */
+    bool lateWake() const { return wakeTick > releaseTs; }
 };
 
 /** Aggregate synchronization statistics shared by an experiment. */
@@ -67,6 +98,10 @@ struct SyncStats
     /** Optional per-departure trace. */
     bool traceEnabled = false;
     std::vector<BarrierTraceEntry> trace;
+
+    /** Optional per-sleep-episode ledger (--stats-json). */
+    bool episodesEnabled = false;
+    std::vector<BarrierEpisode> episodes;
 };
 
 /** Abstract barrier (one static call site). */

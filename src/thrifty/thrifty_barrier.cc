@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "thrifty/spin_wait.hh"
 
@@ -24,7 +25,9 @@ ThriftyBarrier::ThriftyBarrier(EventQueue& queue, BarrierPc pc,
       wakeTick(total, kTickNever),
       arrivalInstance(total, 0),
       watchdog(total),
-      episodeFaulty(total, 0)
+      episodeFaulty(total, 0),
+      pendingEpisode(total),
+      episodeOpen(total, 0)
 {
     // Count, flag and published-BIT live on three distinct lines of a
     // shared page: check-in traffic and BIT reads must not disturb
@@ -58,6 +61,14 @@ ThriftyBarrier::arrive(cpu::ThreadContext& tc, std::function<void()> cont)
     const std::uint64_t want = localSense[tid] ^ 1u;
     localSense[tid] = static_cast<std::uint8_t>(want);
     episodeFaulty[tid] = 0;
+    episodeOpen[tid] = 0;
+
+    obs::TraceSink* trace = runtime.traceSink();
+    if (TB_TRACED(trace, obs::TraceCategory::Thrifty)) {
+        trace->instant(obs::TraceCategory::Thrifty, "arrive",
+                       curTick(), tid,
+                       {{"pc", barrierPc}, {"instance", instanceIdx}});
+    }
 
     tc.atomic(
         countAddr,
@@ -119,6 +130,16 @@ ThriftyBarrier::lastArrival(cpu::ThreadContext& tc, ThreadId tid,
                      if (auto* o = tc.controller().checkObserver())
                          o->onBarrierReleased(mem::lineAddr(flagAddr),
                                               instanceIdx);
+                     obs::TraceSink* trace = runtime.traceSink();
+                     if (TB_TRACED(trace,
+                                   obs::TraceCategory::Thrifty)) {
+                         trace->instant(
+                             obs::TraceCategory::Thrifty, "release",
+                             curTick(), tid,
+                             {{"pc", barrierPc},
+                              {"instance", instanceIdx},
+                              {"bit", actual_bit}});
+                     }
                      ++instanceIdx;
                      ++runtime.stats().instances;
                      runtime.advanceBrts(tid, actual_bit);
@@ -210,6 +231,19 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                 tc.controller().disarmFlagMonitor();
 
             ++stats.sleeps;
+            if (stats.episodesEnabled ||
+                TB_TRACED(runtime.traceSink(),
+                          obs::TraceCategory::Thrifty)) {
+                BarrierEpisode& ep = pendingEpisode[tid];
+                ep = BarrierEpisode{};
+                ep.pc = barrierPc;
+                ep.instance = arrivalInstance[tid];
+                ep.tid = tid;
+                ep.predictedBit = predicted_wake - runtime.brts(tid);
+                ep.sleepTick = curTick();
+                ep.sleepState = state->name;
+                episodeOpen[tid] = 1;
+            }
             if (conf.hardening.enabled) {
                 // Safety watchdog: no sleep episode outlives a bounded
                 // multiple of its own prediction, even if both wake-up
@@ -231,9 +265,26 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
             tc.cpu().enterSleep(
                 *state,
                 [this, &tc, tid, want,
-                 cont = std::move(cont)](mem::WakeReason) mutable {
+                 cont = std::move(cont)](mem::WakeReason reason) mutable {
                     watchdog[tid].cancel();
                     wakeTick[tid] = curTick();
+                    if (episodeOpen[tid]) {
+                        BarrierEpisode& ep = pendingEpisode[tid];
+                        ep.wakeTick = curTick();
+                        ep.wakeReason = mem::wakeReasonName(reason);
+                        ep.flushTicks = tc.cpu().episodeFlushTicks();
+                        obs::TraceSink* trace = runtime.traceSink();
+                        if (TB_TRACED(trace,
+                                      obs::TraceCategory::Thrifty)) {
+                            trace->complete(
+                                obs::TraceCategory::Thrifty, "sleep",
+                                ep.sleepTick,
+                                curTick() - ep.sleepTick, tid,
+                                {{"state", ep.sleepState},
+                                 {"predicted_bit", ep.predictedBit},
+                                 {"wake", ep.wakeReason}});
+                        }
+                    }
                     // Residual spin: verify the flag actually flipped
                     // (guards early wake-ups and false wake-ups).
                     std::function<void()> finish =
@@ -243,6 +294,10 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                                 static_cast<double>(curTick() -
                                                     wakeTick[tid]);
                             ++runtime.stats().residualSpins;
+                            if (episodeOpen[tid]) {
+                                pendingEpisode[tid].residualTicks =
+                                    curTick() - wakeTick[tid];
+                            }
                             const ThriftyConfig& c = runtime.config();
                             if (c.hardening.enabled)
                                 runtime.noteSleepEpisode(
@@ -292,6 +347,16 @@ ThriftyBarrier::depart(cpu::ThreadContext& tc, ThreadId tid,
                     static_cast<double>(bit_val)) {
                 runtime.predictor().disable(barrierPc, tid);
                 ++runtime.stats().cutoffs;
+            }
+        }
+        if (episodeOpen[tid]) {
+            episodeOpen[tid] = 0;
+            SyncStats& st = runtime.stats();
+            if (st.episodesEnabled) {
+                BarrierEpisode ep = std::move(pendingEpisode[tid]);
+                ep.actualBit = bit_val;
+                ep.releaseTs = release_ts;
+                st.episodes.push_back(std::move(ep));
             }
         }
         runtime.stats().totalStallTicks +=

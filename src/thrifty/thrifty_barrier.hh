@@ -126,6 +126,10 @@ class ThriftyBarrier : public Barrier, public SimObject
     std::vector<EventHandle> watchdog;
     /** Whether the thread's current episode hit a degradation event. */
     std::vector<std::uint8_t> episodeFaulty;
+    /** In-flight episode-ledger record per thread (episodeOpen set
+     *  between sleep commit and departure). */
+    std::vector<BarrierEpisode> pendingEpisode;
+    std::vector<std::uint8_t> episodeOpen;
 };
 
 } // namespace thrifty

@@ -25,6 +25,11 @@
 #include "thrifty/thrifty_config.hh"
 
 namespace tb {
+
+namespace obs {
+class TraceSink;
+} // namespace obs
+
 namespace thrifty {
 
 /** Shared state of all thrifty barriers in one program. */
@@ -44,6 +49,13 @@ class ThriftyRuntime
     BitPredictor& predictor() { return *pred; }
     const BitPredictor& predictor() const { return *pred; }
     SyncStats& stats() { return syncStats; }
+
+    /** Attach a structured-trace sink shared by all barriers of the
+     *  program (nullptr detaches). */
+    void setTraceSink(obs::TraceSink* sink) { trace_ = sink; }
+
+    /** The attached trace sink, or null. */
+    obs::TraceSink* traceSink() const { return trace_; }
 
     /** Thread @p tid's local release timestamp of the last barrier. */
     Tick brts(ThreadId tid) const { return brts_.at(tid); }
@@ -123,6 +135,7 @@ class ThriftyRuntime
     ThriftyConfig cfg;
     std::unique_ptr<BitPredictor> pred;
     SyncStats& syncStats;
+    obs::TraceSink* trace_ = nullptr;
     std::vector<Tick> brts_;
     std::map<std::pair<ThreadId, BarrierPc>, QuarantineState> quarantine_;
 };

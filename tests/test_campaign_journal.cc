@@ -283,6 +283,40 @@ TEST(ResultSerde, RealExperimentRoundTripsLosslessly)
     EXPECT_EQ(harness::serializeResult(back), line);
 }
 
+TEST(ResultSerde, EscapedStringsSurviveJournalRoundTrip)
+{
+    // The serde and journal now share obs::JsonWriter's escape policy;
+    // every escape class it can emit must come back byte-exact through
+    // a serialize -> journal record -> resume -> deserialize cycle.
+    harness::ExperimentResult r;
+    r.app = "quote\" slash\\ nl\n tab\t cr\r ctl\x01 end";
+    r.config = "Thrifty";
+    r.execTime = 123;
+    r.threads = 4;
+    r.faultSpec = "spec with \"quotes\" and \\u0007: \x07";
+
+    const std::string line = harness::serializeResult(r);
+    const std::string path = tempPath("escape_journal.jsonl");
+    {
+        CampaignJournal j;
+        j.open(path, /*resume=*/false);
+        j.record(0, fnv1a64("k"), 1, line);
+    }
+    CampaignJournal j;
+    j.open(path, /*resume=*/true);
+    ASSERT_EQ(j.loaded(), 1u);
+    std::string replayed;
+    ASSERT_TRUE(j.lookup(0, fnv1a64("k"), &replayed));
+    EXPECT_EQ(replayed, line);
+
+    const harness::ExperimentResult back =
+        harness::deserializeResult(replayed);
+    EXPECT_EQ(back.app, r.app);
+    EXPECT_EQ(back.faultSpec, r.faultSpec);
+    EXPECT_EQ(harness::serializeResult(back), line);
+    std::remove(path.c_str());
+}
+
 TEST(ResultSerde, RejectsMalformedInput)
 {
     EXPECT_THROW(harness::deserializeResult(""), FatalError);

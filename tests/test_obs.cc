@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the observability layer: the shared JSON writer, the
+ * trace sink + Chrome export, and the stat visitors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "obs/json_writer.hh"
+#include "obs/stat_writers.hh"
+#include "obs/trace.hh"
+#include "sim/stats.hh"
+
+namespace tb {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndSeparatorStyle)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("a", 1).field("b", "x");
+    w.key("list").beginArray().value(1).value(2).endArray();
+    w.key("nested").beginObject().field("c", true).endObject();
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"a\": 1, \"b\": \"x\", \"list\": [1, 2], "
+              "\"nested\": {\"c\": true}}");
+}
+
+TEST(JsonWriter, EscapePolicy)
+{
+    EXPECT_EQ(obs::JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(obs::JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(obs::JsonWriter::escape("\n\r\t"), "\\n\\r\\t");
+    EXPECT_EQ(obs::JsonWriter::escape(std::string("\x01", 1)),
+              "\\u0001");
+    // Non-control high bytes pass through untouched (UTF-8 stays
+    // UTF-8).
+    EXPECT_EQ(obs::JsonWriter::escape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(JsonWriter, DoublesRoundTripAtShortestForm)
+{
+    // Simple values must not pay 17 digits.
+    EXPECT_EQ(obs::formatDouble(0.25), "0.25");
+    EXPECT_EQ(obs::formatDouble(0.0), "0");
+    EXPECT_EQ(obs::formatDouble(-3.0), "-3");
+    // Whatever the form, strtod must give the exact bits back.
+    for (double v : {1.0 / 3.0, 0.1, 1e-300, 1.7976931348623157e308,
+                     36671479.4771562, -2.5e-7}) {
+        const std::string s = obs::formatDouble(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("nan", std::nan(""))
+        .field("inf", std::numeric_limits<double>::infinity());
+    w.key("empty").null();
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"nan\": null, \"inf\": null, \"empty\": null}");
+}
+
+TEST(TraceCategories, ParseAndNames)
+{
+    unsigned mask = 0;
+    EXPECT_TRUE(obs::parseCategories("all", &mask));
+    EXPECT_EQ(mask, obs::kAllTraceCategories);
+    EXPECT_TRUE(obs::parseCategories("sim,thrifty", &mask));
+    EXPECT_EQ(mask,
+              static_cast<unsigned>(obs::TraceCategory::Sim) |
+                  static_cast<unsigned>(obs::TraceCategory::Thrifty));
+    EXPECT_FALSE(obs::parseCategories("bogus", &mask));
+    EXPECT_FALSE(obs::parseCategories("", &mask));
+    EXPECT_FALSE(obs::parseCategories("sim,,mem", &mask));
+    EXPECT_STREQ(obs::categoryName(obs::TraceCategory::Noc), "noc");
+}
+
+TEST(TraceSink, MaskGatesCategories)
+{
+    obs::TraceSink sink(
+        static_cast<unsigned>(obs::TraceCategory::Thrifty), 3);
+    EXPECT_TRUE(sink.enabled(obs::TraceCategory::Thrifty));
+    EXPECT_FALSE(sink.enabled(obs::TraceCategory::Sim));
+    EXPECT_EQ(sink.pid(), 3u);
+
+    sink.instant(obs::TraceCategory::Thrifty, "arrive", 1000, 2,
+                 {{"pc", 77u}});
+    sink.complete(obs::TraceCategory::Thrifty, "sleep", 2000, 500, 2);
+    EXPECT_EQ(sink.eventCount(), 2u);
+    EXPECT_NE(sink.events().find("\"arrive\""), std::string::npos);
+    EXPECT_NE(sink.events().find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(sink.events().find("\"pid\": 3"), std::string::npos);
+}
+
+TEST(TraceSink, PerCategoryCapDropsDeterministically)
+{
+    obs::TraceSink sink(obs::kAllTraceCategories, 0,
+                        /*maxEventsPerCategory=*/4);
+    for (int i = 0; i < 10; ++i)
+        sink.instant(obs::TraceCategory::Sim, "e", i, 0);
+    // The mem category has its own budget, unaffected by sim's.
+    sink.instant(obs::TraceCategory::Mem, "m", 0, 0);
+    EXPECT_EQ(sink.eventCount(), 5u);
+    EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(ChromeTrace, DocumentStructureAndTruncationMarker)
+{
+    obs::TraceSink sink(obs::kAllTraceCategories, 0,
+                        /*maxEventsPerCategory=*/1);
+    sink.instant(obs::TraceCategory::Sim, "kept", 1000000, 0);
+    sink.instant(obs::TraceCategory::Sim, "droppedEvent", 2000000, 0);
+
+    obs::TraceChunk chunk;
+    chunk.pid = sink.pid();
+    chunk.label = "Ocean/Thrifty";
+    chunk.events = sink.events();
+    chunk.dropped = sink.dropped();
+
+    std::ostringstream os;
+    obs::writeChromeTrace(os, {chunk});
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("process_name"), std::string::npos);
+    EXPECT_NE(doc.find("Ocean/Thrifty"), std::string::npos);
+    EXPECT_NE(doc.find("trace.truncated"), std::string::npos);
+    EXPECT_EQ(doc.find("droppedEvent"), std::string::npos);
+}
+
+TEST(StatWriters, TextKeepsZeroConventionJsonEmitsNull)
+{
+    stats::StatGroup g;
+    g.scalar("hits") = 3.0;
+    g.distribution("empty"); // created, never sampled
+
+    std::ostringstream text;
+    obs::TextStatWriter tw(text);
+    g.visit(tw);
+    EXPECT_NE(text.str().find("empty.min"), std::string::npos);
+    EXPECT_EQ(text.str().find("null"), std::string::npos);
+
+    std::ostringstream json;
+    obs::JsonWriter w(json);
+    w.beginObject();
+    obs::JsonStatWriter jw(w);
+    g.visit(jw);
+    w.endObject();
+    EXPECT_NE(json.str().find("\"min\": null"), std::string::npos);
+    EXPECT_NE(json.str().find("\"max\": null"), std::string::npos);
+    EXPECT_NE(json.str().find("\"hits\": 3"), std::string::npos);
+}
+
+TEST(StatWriters, PopulatedDistributionJsonCarriesMoments)
+{
+    stats::StatGroup g;
+    g.distribution("lat").sample(2.0);
+    g.distribution("lat").sample(4.0);
+
+    std::ostringstream json;
+    obs::JsonWriter w(json);
+    w.beginObject();
+    obs::JsonStatWriter jw(w);
+    g.visit(jw);
+    w.endObject();
+    EXPECT_EQ(json.str(),
+              "{\"lat\": {\"count\": 2, \"total\": 6, \"mean\": 3, "
+              "\"stddev\": 1, \"min\": 2, \"max\": 4}}");
+}
+
+TEST(StatWriters, TeeForwardsToEverySink)
+{
+    stats::StatGroup g;
+    g.scalar("x") = 1.0;
+
+    std::ostringstream a, b;
+    obs::TextStatWriter wa(a), wb(b);
+    obs::TeeStatVisitor tee({&wa, &wb});
+    g.visit(tee);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find('x'), std::string::npos);
+}
+
+} // namespace
+} // namespace tb

@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "obs/stat_writers.hh"
 #include "sim/stats.hh"
 
 namespace tb {
@@ -60,19 +61,50 @@ TEST(Stats, GroupGetOrCreate)
     EXPECT_FALSE(g.hasScalar("missing"));
 }
 
-TEST(Stats, GroupDumpContainsNamesSorted)
+TEST(Stats, GroupVisitRendersNamesSorted)
 {
     stats::StatGroup g;
     g.scalar("zeta") = 1.0;
     g.scalar("alpha") = 2.0;
     g.distribution("lat").sample(5.0);
     std::ostringstream os;
-    g.dump(os);
+    obs::TextStatWriter w(os);
+    g.visit(w);
     const std::string out = os.str();
     EXPECT_NE(out.find("alpha"), std::string::npos);
     EXPECT_NE(out.find("zeta"), std::string::npos);
     EXPECT_NE(out.find("lat.mean"), std::string::npos);
     EXPECT_LT(out.find("alpha"), out.find("zeta"));
+}
+
+TEST(Stats, GroupVisitOrderIsScalarsThenDistributions)
+{
+    // visit() feeds scalars first, then distributions, each sorted.
+    struct Recorder : stats::StatVisitor
+    {
+        std::vector<std::string> names;
+        void scalar(const std::string& n, double) override
+        {
+            names.push_back(n);
+        }
+        void distribution(const std::string& n,
+                          const stats::Distribution&) override
+        {
+            names.push_back("dist:" + n);
+        }
+    };
+
+    stats::StatGroup g;
+    g.distribution("b_dist").sample(1.0);
+    g.scalar("z_scalar") = 1.0;
+    g.scalar("a_scalar") = 2.0;
+    g.distribution("a_dist").sample(2.0);
+
+    Recorder rec;
+    g.visit(rec);
+    const std::vector<std::string> want{"a_scalar", "z_scalar",
+                                        "dist:a_dist", "dist:b_dist"};
+    EXPECT_EQ(rec.names, want);
 }
 
 TEST(Stats, GroupClear)

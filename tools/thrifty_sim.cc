@@ -14,11 +14,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "fault/fault_spec.hh"
+#include "harness/campaign_journal.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "obs/stat_writers.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "workloads/app_profile.hh"
 
@@ -67,6 +72,15 @@ usage(const char* argv0)
         "(see docs/CHECKING.md)\n"
         "  --stats            dump per-component statistics after the "
         "run\n"
+        "  --stats-json FILE  write the run's statistics (result, "
+        "machine stats,\n"
+        "                     per-episode prediction ledger) as JSON "
+        "to FILE\n"
+        "  --trace FILE[:CATS]\n"
+        "                     write a Chrome trace_event JSON file "
+        "(load in Perfetto);\n"
+        "                     CATS is a comma list of sim,mem,noc,"
+        "thrifty (default all)\n"
         "  --compare          also run Baseline and print normalized "
         "results\n"
         "  --json             machine-readable output\n"
@@ -133,6 +147,9 @@ main(int argc, char** argv)
     bool three_hop = false;
     bool check = false;
     bool dump_stats = false;
+    std::string stats_json_path;
+    std::string trace_path;
+    unsigned trace_mask = obs::kAllTraceCategories;
     bool json = false;
     bool compare = false;
     bool hardening = false;
@@ -232,6 +249,22 @@ main(int argc, char** argv)
                 check = true;
             } else if (a == "--stats") {
                 dump_stats = true;
+            } else if (a == "--stats-json") {
+                stats_json_path = need(i);
+            } else if (a == "--trace") {
+                const std::string spec = need(i);
+                const std::size_t colon = spec.find(':');
+                trace_path = spec.substr(0, colon);
+                if (trace_path.empty())
+                    fatal("option --trace needs a file name "
+                          "(try --help)");
+                if (colon != std::string::npos &&
+                    !obs::parseCategories(spec.substr(colon + 1),
+                                          &trace_mask)) {
+                    fatal("option --trace: bad category list '",
+                          spec.substr(colon + 1),
+                          "' (known: sim,mem,noc,thrifty,all)");
+                }
             } else if (a == "--json") {
                 json = true;
             } else if (a == "--compare") {
@@ -251,8 +284,35 @@ main(int argc, char** argv)
 
         harness::RunOptions opt;
         opt.check = check;
-        if (dump_stats)
-            opt.statsOut = &std::cerr;
+
+        // Statistics flow through the visitor seam: --stats renders
+        // the text report on stderr, --stats-json buffers a machine
+        // sub-document for the JSON file; both at once tee.
+        obs::TextStatWriter text_stats(std::cerr);
+        std::ostringstream machine_json;
+        obs::JsonWriter machine_writer(machine_json);
+        std::unique_ptr<obs::JsonStatWriter> json_stats;
+        std::unique_ptr<obs::TeeStatVisitor> tee;
+        if (!stats_json_path.empty()) {
+            machine_writer.beginObject();
+            json_stats =
+                std::make_unique<obs::JsonStatWriter>(machine_writer);
+            opt.episodeLedger = true;
+        }
+        if (dump_stats && json_stats) {
+            tee = std::make_unique<obs::TeeStatVisitor>(
+                std::vector<stats::StatVisitor*>{&text_stats,
+                                                 json_stats.get()});
+            opt.statsVisitor = tee.get();
+        } else if (dump_stats) {
+            opt.statsVisitor = &text_stats;
+        } else if (json_stats) {
+            opt.statsVisitor = json_stats.get();
+        }
+
+        obs::TraceSink trace_sink(trace_mask, 0);
+        if (!trace_path.empty())
+            opt.traceSink = &trace_sink;
         if (hardening) {
             custom.hardening.enabled = true;
             customized = true;
@@ -282,6 +342,33 @@ main(int argc, char** argv)
                       << ") ...\n";
         }
         const auto r = harness::runExperiment(sys, app, kind, opt);
+
+        if (!stats_json_path.empty()) {
+            machine_writer.endObject();
+            std::ostringstream doc;
+            obs::JsonWriter w(doc);
+            w.beginObject();
+            harness::report::writeResultJson(w, r);
+            w.key("machine").raw(machine_json.str());
+            w.key("episodes").beginArray();
+            for (const auto& ep : r.sync.episodes)
+                harness::report::writeEpisodeJson(w, ep);
+            w.endArray();
+            w.endObject();
+            harness::writeFileAtomic(stats_json_path,
+                                     doc.str() + "\n");
+        }
+        if (!trace_path.empty()) {
+            std::vector<obs::TraceChunk> chunks(1);
+            chunks[0].pid = trace_sink.pid();
+            chunks[0].label =
+                app.name + "/" + harness::configName(kind);
+            chunks[0].events = trace_sink.events();
+            chunks[0].dropped = trace_sink.dropped();
+            std::ostringstream doc;
+            obs::writeChromeTrace(doc, chunks);
+            harness::writeFileAtomic(trace_path, doc.str());
+        }
 
         if (compare && kind != harness::ConfigKind::Baseline) {
             const auto base = harness::runExperiment(
