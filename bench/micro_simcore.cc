@@ -39,6 +39,7 @@ namespace {
 
 using namespace tb;
 
+// tblint-allow(TBL002): genuine wall-clock — benchmark timing
 using Clock = std::chrono::steady_clock;
 
 double

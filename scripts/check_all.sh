@@ -8,12 +8,13 @@
 #   scripts/check_all.sh             # all presets
 #   scripts/check_all.sh address     # just one
 #   scripts/check_all.sh faults      # fault campaign only
+#   scripts/check_all.sh lint        # tblint static analysis only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-    presets=(check faults address undefined thread)
+    presets=(lint check faults address undefined thread)
 fi
 
 run_preset() {
@@ -31,14 +32,35 @@ run_preset() {
         flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo
                -DTB_SANITIZE=$preset)
         ;;
+      lint)
+        flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+        ;;
       *)
         echo "unknown preset '$preset'" >&2
-        echo "expected: check, faults, address, undefined or thread" >&2
+        echo "expected: lint, check, faults, address, undefined" \
+             "or thread" >&2
         return 1
         ;;
     esac
 
     echo "==== preset $preset ===="
+    if [ "$preset" = lint ]; then
+        # Static analysis (docs/CHECKING.md): build tblint and sweep
+        # the whole tree; any finding fails the preset. With clang
+        # available, also prove the TB_GUARDED_BY annotations under
+        # -Wthread-safety (compile-only).
+        cmake -B "$dir" -G Ninja "${flags[@]}"
+        cmake --build "$dir" -j --target tblint
+        "$dir/tools/tblint/tblint" src tools bench
+        if command -v clang++ >/dev/null 2>&1; then
+            cmake -B "$dir-tsa" -G Ninja "${flags[@]}" \
+                -DCMAKE_CXX_COMPILER=clang++ -DTB_THREAD_SAFETY=ON
+            cmake --build "$dir-tsa" -j
+        else
+            echo "clang++ not found: skipping TB_THREAD_SAFETY build"
+        fi
+        return 0
+    fi
     cmake -B "$dir" -G Ninja "${flags[@]}"
     cmake --build "$dir" -j
     if [ "$preset" = faults ]; then

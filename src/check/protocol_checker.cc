@@ -1,7 +1,9 @@
 #include "check/protocol_checker.hh"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -451,14 +453,22 @@ ProtocolChecker::onSnoopableChange(NodeId node, bool snoopable)
         return;
     ++checks;
     const std::uint64_t b = bit(node);
+    // Violations reach the report verbatim, so collect the offending
+    // addresses and sort before emitting — the shadow map's traversal
+    // order must not leak into artifacts.
+    std::vector<Addr> dirty;
+    // tblint-allow(TBL001): order laundered by the sort below
     for (const auto& [line, sh] : lines) {
-        if ((sh.mod & b) && map->isShared(line)) {
-            lineViolation(line,
-                          nodeName(node) +
-                              " entered a non-snooping sleep state "
-                              "still holding dirty shared line " +
-                              hex(line));
-        }
+        if ((sh.mod & b) && map->isShared(line))
+            dirty.push_back(line);
+    }
+    std::sort(dirty.begin(), dirty.end());
+    for (const Addr line : dirty) {
+        lineViolation(line,
+                      nodeName(node) +
+                          " entered a non-snooping sleep state "
+                          "still holding dirty shared line " +
+                          hex(line));
     }
 }
 

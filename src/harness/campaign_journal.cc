@@ -29,18 +29,18 @@ writeFileAtomic(const std::string& path, const std::string& content)
     {
         std::FILE* f = std::fopen(tmp.c_str(), "wb");
         if (!f)
-            fatal("cannot write ", tmp, ": ", std::strerror(errno));
+            fatal("cannot write ", tmp, ": ", errnoMessage(errno));
         const bool ok =
             std::fwrite(content.data(), 1, content.size(), f) ==
                 content.size() &&
             std::fflush(f) == 0;
         std::fclose(f);
         if (!ok)
-            fatal("short write to ", tmp, ": ", std::strerror(errno));
+            fatal("short write to ", tmp, ": ", errnoMessage(errno));
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         fatal("cannot rename ", tmp, " -> ", path, ": ",
-              std::strerror(errno));
+              errnoMessage(errno));
 }
 
 std::string
@@ -168,6 +168,7 @@ parseLine(const std::string& line, std::size_t* index, JournalEntry* e)
 
 CampaignJournal::~CampaignJournal()
 {
+    LockGuard lock(mu_);
     if (out_)
         std::fclose(out_);
 }
@@ -175,7 +176,7 @@ CampaignJournal::~CampaignJournal()
 void
 CampaignJournal::open(const std::string& path, bool resume)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     path_ = path;
     entries_.clear();
     loaded_ = 0;
@@ -198,14 +199,14 @@ CampaignJournal::open(const std::string& path, bool resume)
     out_ = std::fopen(path.c_str(), resume ? "ab" : "wb");
     if (!out_)
         fatal("cannot open journal ", path, ": ",
-              std::strerror(errno));
+              errnoMessage(errno));
 }
 
 bool
 CampaignJournal::lookup(std::size_t index, std::uint64_t configHash,
                         std::string* result) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     const auto it = entries_.find(index);
     if (it == entries_.end() || it->second.configHash != configHash)
         return false;
@@ -217,7 +218,7 @@ void
 CampaignJournal::record(std::size_t index, std::uint64_t configHash,
                         std::uint64_t seed, const std::string& result)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (!out_)
         return;
     entries_[index] = JournalEntry{configHash, seed, result};
@@ -234,7 +235,7 @@ CampaignJournal::record(std::size_t index, std::uint64_t configHash,
 void
 CampaignJournal::flush()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (out_)
         std::fflush(out_);
 }

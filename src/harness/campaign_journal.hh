@@ -22,8 +22,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "sim/thread_safety.hh"
 
 namespace tb {
 namespace harness {
@@ -65,10 +66,18 @@ class CampaignJournal
     void open(const std::string& path, bool resume);
 
     /** Whether open() succeeded (journalling is optional). */
-    bool active() const { return out_ != nullptr; }
+    bool active() const
+    {
+        LockGuard lock(mu_);
+        return out_ != nullptr;
+    }
 
     /** Journal file path ("" when inactive). */
-    const std::string& path() const { return path_; }
+    std::string path() const
+    {
+        LockGuard lock(mu_);
+        return path_;
+    }
 
     /**
      * Look up the recorded result of point @p index. Returns true and
@@ -87,7 +96,11 @@ class CampaignJournal
                 std::uint64_t seed, const std::string& result);
 
     /** Entries loaded from a resumed journal. */
-    std::size_t loaded() const { return loaded_; }
+    std::size_t loaded() const
+    {
+        LockGuard lock(mu_);
+        return loaded_;
+    }
 
     /** Flush buffered records to disk (SIGINT path; also per-record). */
     void flush();
@@ -96,11 +109,11 @@ class CampaignJournal
     static std::string escapeJson(const std::string& s);
 
   private:
-    std::string path_;
-    std::FILE* out_ = nullptr;
-    std::map<std::size_t, JournalEntry> entries_;
-    std::size_t loaded_ = 0;
-    mutable std::mutex mu_;
+    mutable Mutex mu_;
+    std::string path_ TB_GUARDED_BY(mu_);
+    std::FILE* out_ TB_GUARDED_BY(mu_) = nullptr;
+    std::map<std::size_t, JournalEntry> entries_ TB_GUARDED_BY(mu_);
+    std::size_t loaded_ TB_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace harness

@@ -7,6 +7,7 @@
 #include <csignal>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include <fcntl.h>
@@ -50,10 +51,13 @@ void
 sleepInterruptible(std::uint64_t ms)
 {
     using namespace std::chrono;
-    const auto until = steady_clock::now() + milliseconds(ms);
-    while (!g_stop_requested && steady_clock::now() < until) {
-        const auto left = duration_cast<milliseconds>(
-            until - steady_clock::now());
+    const auto now = [] {
+        // tblint-allow(TBL002): genuine wall-clock — retry backoff
+        return steady_clock::now();
+    };
+    const auto until = now() + milliseconds(ms);
+    while (!g_stop_requested && now() < until) {
+        const auto left = duration_cast<milliseconds>(until - now());
         std::this_thread::sleep_for(
             std::min<milliseconds>(left, milliseconds(10)));
     }
@@ -187,7 +191,7 @@ CampaignSupervisor::clearInterruptForTest()
 
 CampaignSupervisor::~CampaignSupervisor()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (std::thread& t : abandoned_) {
         if (t.joinable())
             t.detach();
@@ -197,7 +201,7 @@ CampaignSupervisor::~CampaignSupervisor()
 void
 CampaignSupervisor::joinAbandonedForTest()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (std::thread& t : abandoned_) {
         if (t.joinable())
             t.join();
@@ -272,7 +276,7 @@ CampaignSupervisor::runAttemptInProcess(const PointTask& task,
         return box->a;
     }
     {
-        std::lock_guard<std::mutex> g(mu_);
+        LockGuard g(mu_);
         abandoned_.push_back(std::move(th));
     }
     Attempt a;
@@ -292,14 +296,14 @@ CampaignSupervisor::runAttemptForked(const PointTask& task,
 
     int fds[2];
     if (::pipe(fds) != 0) {
-        a.payload = std::string("pipe: ") + std::strerror(errno);
+        a.payload = std::string("pipe: ") + errnoMessage(errno);
         return a;
     }
     const pid_t pid = ::fork();
     if (pid < 0) {
         ::close(fds[0]);
         ::close(fds[1]);
-        a.payload = std::string("fork: ") + std::strerror(errno);
+        a.payload = std::string("fork: ") + errnoMessage(errno);
         return a;
     }
     if (pid == 0) {
@@ -333,6 +337,7 @@ CampaignSupervisor::runAttemptForked(const PointTask& task,
     ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
     std::string payload;
     char buf[4096];
+    // tblint-allow(TBL002): genuine wall-clock — attempt deadline
     const auto start = steady_clock::now();
     int status = 0;
     bool timed_out = false;
@@ -348,6 +353,7 @@ CampaignSupervisor::runAttemptForked(const PointTask& task,
         if (w == pid)
             break;
         if (policy_.deadlineMs != 0 &&
+            // tblint-allow(TBL002): genuine wall-clock — deadline
             duration_cast<milliseconds>(steady_clock::now() - start)
                     .count() >=
                 static_cast<long long>(policy_.deadlineMs)) {
@@ -398,10 +404,9 @@ CampaignSupervisor::runAttemptForked(const PointTask& task,
     }
     if (WIFSIGNALED(status)) {
         const int sig = WTERMSIG(status);
-        const char* name = strsignal(sig);
         a.outcome = PointOutcome::Crash;
         a.payload = "child killed by signal " + std::to_string(sig) +
-                    " (" + (name ? name : "?") + ")";
+                    " (" + signalName(sig) + ")";
         return a;
     }
     a.outcome = PointOutcome::Crash;

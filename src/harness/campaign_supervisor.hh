@@ -42,11 +42,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "sim/thread_safety.hh"
 
 #include "harness/campaign_journal.hh"
 
@@ -211,8 +212,9 @@ class CampaignSupervisor
     SupervisorPolicy policy_;
     CampaignJournal* journal_ = nullptr;
     std::vector<std::string> results_;
-    std::vector<std::thread> abandoned_;
-    std::mutex mu_; ///< guards abandoned_
+    Mutex mu_;
+    /// Timed-out attempt threads, kept alive until process exit.
+    std::vector<std::thread> abandoned_ TB_GUARDED_BY(mu_);
     std::atomic<std::uint64_t> retries_{0};
 };
 

@@ -79,7 +79,7 @@ ObsCapture::deposit(std::size_t index, const ExperimentResult& r,
         e.statsLine = line.str() + "\n";
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     entries_[index] = std::move(e);
 }
 
@@ -90,7 +90,7 @@ ObsCapture::renderTraceFile() const
         return "";
     std::vector<obs::TraceChunk> chunks;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         for (const auto& [index, e] : entries_) {
             obs::TraceChunk c;
             c.pid = static_cast<std::uint32_t>(index);
@@ -111,7 +111,7 @@ ObsCapture::renderStatsFile() const
     if (!statsEnabled())
         return "";
     std::string out;
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (const auto& [index, e] : entries_)
         out += e.statsLine;
     return out;
@@ -125,7 +125,7 @@ ObsCapture::predictionSummaryJson() const
     std::uint64_t episodes = 0, early = 0, late = 0;
     double abs_err = 0.0;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         for (const auto& [index, e] : entries_) {
             episodes += e.episodes;
             early += e.earlyWakes;

@@ -32,9 +32,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "sim/thread_safety.hh"
 
 #include "harness/campaign_cli.hh"
 #include "harness/experiment.hh"
@@ -107,12 +108,18 @@ class ObsCapture
         double absErrTicks = 0.0;
     };
 
+    // Set once in the constructor, read-only afterwards — safe to
+    // read without the lock.
     std::string campaign_;
     std::string tracePath_;
     unsigned traceMask_ = obs::kAllTraceCategories;
     std::string statsPath_;
-    std::map<std::size_t, Entry> entries_;
-    mutable std::mutex mu_;
+
+    mutable Mutex mu_;
+    /// Deposited per-point artifacts; workers insert concurrently,
+    /// renderers walk in point order (std::map keeps artifacts
+    /// byte-identical regardless of --jobs interleaving).
+    std::map<std::size_t, Entry> entries_ TB_GUARDED_BY(mu_);
 };
 
 } // namespace harness

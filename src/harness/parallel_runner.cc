@@ -40,6 +40,13 @@ ParallelCampaignRunner::run(
         return;
     }
 
+    // Concurrency discipline (not expressible to -Wthread-safety, see
+    // sim/thread_safety.hh): there is no mutex here by design. `next`
+    // is a lock-free claim counter, each claimed index is owned by
+    // exactly one worker, and `errors[i]` is only ever written by the
+    // worker that claimed i — writes are index-disjoint. The join
+    // below is the sole synchronization edge; after it the caller
+    // thread reads `errors` exclusively.
     std::atomic<std::size_t> next{0};
 
     const auto worker = [&]() {

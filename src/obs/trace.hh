@@ -113,10 +113,13 @@ struct TraceArg
 /**
  * Buffers rendered trace events for one simulation run.
  *
- * Not thread-safe: like the EventQueue, one sink belongs to one
- * single-threaded simulation. Ticks are picoseconds; Chrome timestamps
- * are microseconds, so events render `ts`/`dur` as tick/1e6 with six
- * decimals (exact at tick resolution).
+ * Not thread-safe *by confinement*: like the EventQueue, one sink
+ * belongs to one single-threaded simulation, so it carries no lock and
+ * no TB_GUARDED_BY annotations (sim/thread_safety.hh) — parallel
+ * campaigns give every point its own sink and merge under
+ * ObsCapture's lock at deposit time. Ticks are picoseconds; Chrome
+ * timestamps are microseconds, so events render `ts`/`dur` as
+ * tick/1e6 with six decimals (exact at tick resolution).
  */
 class TraceSink
 {

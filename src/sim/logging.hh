@@ -89,6 +89,22 @@ inform(Args&&... args)
     detail::emitInform(detail::concat(std::forward<Args>(args)...));
 }
 
+/**
+ * Render @p err (an errno value) as "message (errno N)". Replacement
+ * for std::strerror, which returns a pointer into static storage and
+ * is not thread-safe — campaign workers report I/O errors
+ * concurrently.
+ */
+std::string errnoMessage(int err);
+
+/**
+ * Deterministic name for signal @p sig ("SIGSEGV", ...). Replacement
+ * for strsignal(), which is mt-unsafe and locale-dependent — signal
+ * names reach crash payloads in journaled artifacts, so the spelling
+ * must not vary with the environment.
+ */
+std::string signalName(int sig);
+
 /** Number of warn() calls so far (tests use this to observe warnings). */
 std::uint64_t warnCount();
 

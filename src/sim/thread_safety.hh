@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotations (docs/CHECKING.md).
+ *
+ * The simulator kernel is single-threaded by design; threads exist
+ * only in the harness layer (parallel campaigns, supervised attempts)
+ * and in the capture buffers they report through. The locking there is
+ * simple — one mutex per container — which is exactly the discipline
+ * clang's `-Wthread-safety` can prove at compile time. These macros
+ * expand to the clang attributes under clang and to nothing elsewhere,
+ * so annotated code stays portable to gcc.
+ *
+ * std::mutex is not annotated in libstdc++/libc++, so annotated code
+ * uses tb::Mutex (an annotated wrapper) with tb::LockGuard. Both
+ * compile to the std primitives; only the attributes differ.
+ *
+ * Build with -DTB_THREAD_SAFETY=ON (clang only) to turn violations
+ * into errors; CI's static-analysis job does.
+ */
+
+#ifndef TB_SIM_THREAD_SAFETY_HH_
+#define TB_SIM_THREAD_SAFETY_HH_
+
+#include <mutex>
+
+#if defined(__clang__)
+#define TB_TSA(x) __attribute__((x))
+#else
+#define TB_TSA(x)
+#endif
+
+/** The annotated type is a lockable capability. */
+#define TB_CAPABILITY(x) TB_TSA(capability(x))
+/** RAII type that acquires in its ctor and releases in its dtor. */
+#define TB_SCOPED_CAPABILITY TB_TSA(scoped_lockable)
+/** The member may only be touched while holding @p x. */
+#define TB_GUARDED_BY(x) TB_TSA(guarded_by(x))
+/** The pointee may only be touched while holding @p x. */
+#define TB_PT_GUARDED_BY(x) TB_TSA(pt_guarded_by(x))
+/** The function must be called with the capability held. */
+#define TB_REQUIRES(...) TB_TSA(requires_capability(__VA_ARGS__))
+/** The function acquires the capability and does not release it. */
+#define TB_ACQUIRE(...) TB_TSA(acquire_capability(__VA_ARGS__))
+/** The function releases the capability. */
+#define TB_RELEASE(...) TB_TSA(release_capability(__VA_ARGS__))
+/** The function must be called with the capability NOT held. */
+#define TB_EXCLUDES(...) TB_TSA(locks_excluded(__VA_ARGS__))
+/** Opt a function out of the analysis (trusted manual reasoning). */
+#define TB_NO_THREAD_SAFETY_ANALYSIS TB_TSA(no_thread_safety_analysis)
+
+namespace tb {
+
+/** std::mutex with thread-safety-analysis attributes. */
+class TB_CAPABILITY("mutex") Mutex
+{
+  public:
+    void lock() TB_ACQUIRE() { mu_.lock(); }
+    void unlock() TB_RELEASE() { mu_.unlock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/** std::lock_guard over tb::Mutex, visible to the analysis. */
+class TB_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex& mu) TB_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~LockGuard() TB_RELEASE() { mu_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+  private:
+    Mutex& mu_;
+};
+
+} // namespace tb
+
+#endif // TB_SIM_THREAD_SAFETY_HH_

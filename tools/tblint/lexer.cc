@@ -1,0 +1,251 @@
+#include "tblint/lexer.hh"
+
+#include <cctype>
+
+namespace tblint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/**
+ * Scan comment text for suppression directives: the allow tag
+ * immediately followed by a parenthesized comma-separated rule list,
+ * then a colon and the reason. @p line is the line the comment starts
+ * on; directives in multi-line block comments account for embedded
+ * newlines.
+ */
+void
+collectAllows(const std::string& comment, int line,
+              std::vector<Allow>* out)
+{
+    static const std::string kTag = "tblint-allow";
+    std::size_t at = 0;
+    int cur = line;
+    std::size_t scanned = 0;
+    while ((at = comment.find(kTag, at)) != std::string::npos) {
+        for (; scanned < at; ++scanned)
+            cur += comment[scanned] == '\n';
+        std::size_t p = at + kTag.size();
+        at = p;
+        if (p >= comment.size() || comment[p] != '(')
+            continue;
+        const std::size_t close = comment.find(')', ++p);
+        if (close == std::string::npos)
+            continue;
+        Allow a;
+        a.line = cur;
+        std::string id;
+        for (std::size_t i = p; i <= close; ++i) {
+            const char c = comment[i];
+            if (c == ',' || c == ')') {
+                id = trim(id);
+                if (!id.empty())
+                    a.rules.push_back(id);
+                id.clear();
+            } else {
+                id += c;
+            }
+        }
+        std::size_t after = close + 1;
+        if (after < comment.size() && comment[after] == ':') {
+            std::size_t end = comment.find('\n', after);
+            if (end == std::string::npos)
+                end = comment.size();
+            a.reason = trim(comment.substr(after + 1, end - after - 1));
+        }
+        out->push_back(std::move(a));
+        at = close;
+    }
+}
+
+} // namespace
+
+LexedFile
+lex(const std::string& content)
+{
+    LexedFile out;
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool at_line_start = true; // only whitespace seen since newline
+
+    const auto peek = [&](std::size_t k) -> char {
+        return i + k < n ? content[i + k] : '\0';
+    };
+
+    while (i < n) {
+        const char c = content[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            at_line_start = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            std::size_t end = content.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            collectAllows(content.substr(i, end - i), line,
+                          &out.allows);
+            i = end;
+            continue;
+        }
+
+        // Block comment (may span lines).
+        if (c == '/' && peek(1) == '*') {
+            std::size_t end = content.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            const std::string body = content.substr(i, end - i);
+            collectAllows(body, line, &out.allows);
+            for (char b : body)
+                line += b == '\n';
+            i = end;
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on its line; fold
+        // backslash continuations into one PP token.
+        if (c == '#' && at_line_start) {
+            const int start_line = line;
+            std::string text;
+            while (i < n) {
+                const char d = content[i];
+                if (d == '\n') {
+                    if (!text.empty() && text.back() == '\\') {
+                        text.pop_back();
+                        ++line;
+                        ++i;
+                        continue;
+                    }
+                    break;
+                }
+                text += d;
+                ++i;
+            }
+            out.tokens.push_back({TokKind::PP, text, start_line});
+            continue;
+        }
+        at_line_start = false;
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"') {
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < n && content[p] != '(' && delim.size() < 16)
+                delim += content[p++];
+            const std::string terminator = ")" + delim + "\"";
+            std::size_t end = content.find(terminator, p);
+            std::string body;
+            if (end == std::string::npos) {
+                end = n;
+                body = content.substr(p < n ? p + 1 : n);
+            } else {
+                body = content.substr(p + 1, end - p - 1);
+                end += terminator.size();
+            }
+            out.tokens.push_back({TokKind::Str, body, line});
+            for (std::size_t k = i; k < end && k < n; ++k)
+                line += content[k] == '\n';
+            i = end;
+            continue;
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::string body;
+            std::size_t p = i + 1;
+            while (p < n && content[p] != quote &&
+                   content[p] != '\n') {
+                if (content[p] == '\\' && p + 1 < n) {
+                    body += content[p];
+                    body += content[p + 1];
+                    p += 2;
+                } else {
+                    body += content[p++];
+                }
+            }
+            out.tokens.push_back({quote == '"' ? TokKind::Str
+                                               : TokKind::Chr,
+                                  body, line});
+            i = p < n ? p + 1 : n;
+            continue;
+        }
+
+        if (identStart(c)) {
+            std::size_t p = i + 1;
+            while (p < n && identChar(content[p]))
+                ++p;
+            out.tokens.push_back(
+                {TokKind::Ident, content.substr(i, p - i), line});
+            i = p;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            // pp-number: digits, letters, dots, and exponent signs.
+            std::size_t p = i + 1;
+            while (p < n &&
+                   (identChar(content[p]) || content[p] == '.' ||
+                    content[p] == '\'' ||
+                    ((content[p] == '+' || content[p] == '-') &&
+                     (content[p - 1] == 'e' || content[p - 1] == 'E' ||
+                      content[p - 1] == 'p' || content[p - 1] == 'P'))))
+                ++p;
+            out.tokens.push_back(
+                {TokKind::Number, content.substr(i, p - i), line});
+            i = p;
+            continue;
+        }
+
+        // Punctuation; only `::` and `->` combine.
+        if (c == ':' && peek(1) == ':') {
+            out.tokens.push_back({TokKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && peek(1) == '>') {
+            out.tokens.push_back({TokKind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+} // namespace tblint

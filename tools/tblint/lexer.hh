@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal C++ lexer for tblint (docs/CHECKING.md, "Static analysis").
+ *
+ * tblint's rules are lexical invariants — "no unordered iteration
+ * feeding an emitter", "no wall-clock call outside the whitelist" —
+ * so the tool does not need a real C++ front end. This lexer produces
+ * just enough structure for the matchers in rules.cc:
+ *
+ *  - identifiers, numbers, string/char literals and punctuation as
+ *    individual tokens carrying their source line;
+ *  - a whole preprocessor logical line (continuations folded) as one
+ *    token, so include-layering rules can match on the full directive;
+ *  - comments stripped, except that suppression directives inside
+ *    them — the allow tag, a parenthesized rule list, `: reason` —
+ *    are collected per line for the suppression pass.
+ *
+ * Only `::` and `->` are combined into multi-character punctuation —
+ * they are the two spellings the matchers must distinguish (qualified
+ * names, member calls). Everything else, including `>>` inside nested
+ * template argument lists, stays single-character, which is exactly
+ * what the balanced-angle-bracket skipper in rules.cc wants.
+ */
+
+#ifndef TB_TOOLS_TBLINT_LEXER_HH_
+#define TB_TOOLS_TBLINT_LEXER_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tblint {
+
+enum class TokKind
+{
+    Ident,  ///< identifier or keyword
+    Number, ///< pp-number (value never interpreted)
+    Str,    ///< string literal, text is the *body* (no quotes)
+    Chr,    ///< character literal, text is the body
+    Punct,  ///< punctuation; `::` and `->` are single tokens
+    PP,     ///< one whole preprocessor logical line
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line; ///< 1-based line of the token's first character
+};
+
+/** One suppression directive lifted from a comment. */
+struct Allow
+{
+    std::vector<std::string> rules; ///< rule IDs, e.g. {"TBL002"}
+    std::string reason;             ///< text after the colon, trimmed
+    int line;                       ///< line the directive sits on
+};
+
+/** Lexing result: token stream plus the suppression directives. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<Allow> allows;
+};
+
+/**
+ * Tokenize @p content. Never fails: unterminated literals and other
+ * malformations degrade to best-effort tokens, which at worst costs a
+ * rule a match — a linter must not crash on the code it polices.
+ */
+LexedFile lex(const std::string& content);
+
+} // namespace tblint
+
+#endif // TB_TOOLS_TBLINT_LEXER_HH_

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * tblint CLI: the repo's determinism/concurrency/layering linter.
+ *
+ *   tblint [--fix-hints] [--list-rules] <file-or-dir>...
+ *
+ * Directories are walked recursively for *.cc / *.hh. Exit status:
+ * 0 clean, 1 findings, 2 usage or I/O error — the same contract as
+ * the campaign binaries, so CI and scripts/check_all.sh can gate on
+ * it directly. See docs/CHECKING.md ("Static analysis") for the rule
+ * catalog and the suppression syntax.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tblint/rules.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void
+usage(const char* argv0, int status)
+{
+    std::fprintf(
+        status == 0 ? stdout : stderr,
+        "usage: %s [--fix-hints] [--list-rules] <file-or-dir>...\n"
+        "  --fix-hints   print a fix suggestion under each finding\n"
+        "  --list-rules  print the rule catalog and exit\n"
+        "Lints *.cc / *.hh for determinism, event-handle lifetime and\n"
+        "layering invariants (docs/CHECKING.md, \"Static analysis\").\n"
+        "Suppress a finding with  // tblint-allow(TBLxxx): reason\n"
+        "on the same line or the line above.\n",
+        argv0);
+    std::exit(status);
+}
+
+bool
+lintableFile(const fs::path& p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh";
+}
+
+/** Expand files/directories into a sorted, deduplicated file list. */
+std::vector<std::string>
+collectFiles(const std::vector<std::string>& paths, bool* io_error)
+{
+    std::vector<std::string> files;
+    for (const std::string& p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (fs::recursive_directory_iterator
+                     it(p, fs::directory_options::skip_permission_denied,
+                        ec),
+                 end;
+                 it != end; it.increment(ec)) {
+                if (ec)
+                    break;
+                if (it->is_regular_file(ec) && lintableFile(it->path()))
+                    files.push_back(it->path().string());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(p);
+        } else {
+            std::fprintf(stderr, "tblint: cannot access '%s'\n",
+                         p.c_str());
+            *io_error = true;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool fix_hints = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--fix-hints") == 0) {
+            fix_hints = true;
+        } else if (std::strcmp(a, "--list-rules") == 0) {
+            for (const tblint::RuleInfo& r : tblint::ruleCatalog())
+                std::printf("%s  %-22s %s\n", r.id, r.name, r.summary);
+            return 0;
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            usage(argv[0], 0);
+        } else if (a[0] == '-') {
+            std::fprintf(stderr, "tblint: unknown option '%s'\n", a);
+            usage(argv[0], 2);
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.empty())
+        usage(argv[0], 2);
+
+    bool io_error = false;
+    const std::vector<std::string> files =
+        collectFiles(paths, &io_error);
+
+    std::size_t findings = 0;
+    for (const std::string& file : files) {
+        for (const tblint::Finding& f : tblint::lintFile(file)) {
+            if (f.rule == "IO") {
+                std::fprintf(stderr, "tblint: %s: %s\n",
+                             f.path.c_str(), f.message.c_str());
+                io_error = true;
+                continue;
+            }
+            ++findings;
+            std::printf("%s:%d: %s: %s\n", f.path.c_str(), f.line,
+                        f.rule.c_str(), f.message.c_str());
+            if (fix_hints && !f.hint.empty())
+                std::printf("    hint: %s\n", f.hint.c_str());
+        }
+    }
+
+    if (io_error)
+        return 2;
+    if (findings) {
+        std::fprintf(stderr, "tblint: %zu finding%s in %zu file%s\n",
+                     findings, findings == 1 ? "" : "s", files.size(),
+                     files.size() == 1 ? "" : "s");
+        return 1;
+    }
+    std::fprintf(stderr, "tblint: clean (%zu files)\n", files.size());
+    return 0;
+}
