@@ -21,6 +21,7 @@
 #include "harness/parallel_runner.hh"
 #include "harness/report.hh"
 #include "obs/json_writer.hh"
+#include "svc/distributed.hh"
 #include "workloads/app_profile.hh"
 
 namespace tb {
@@ -73,30 +74,22 @@ runAppConfigMatrix(const harness::SystemConfig& sys,
 }
 
 /**
- * Supervised variant of runAppConfigMatrix for the figure campaigns:
- * the same (app x configuration) point space run under a
- * CampaignSupervisor, with each point's full ExperimentResult
- * serialized losslessly so it survives --isolate's process boundary
- * and the journal's disk boundary. @p groups is filled exactly like
- * runAppConfigMatrix for every ok/journaled point; consult the
- * returned report before rendering — failed points leave
- * default-constructed entries. A non-null @p capture records each
- * in-process point's trace and stats (--trace / --stats-json).
+ * The (app x configuration) matrix as a supervised PointTask. The
+ * closures reference @p sys, @p apps, @p opts and @p capture — all
+ * must outlive the returned task. The config hash covers everything
+ * that shapes a point's result, so journal and result-cache entries
+ * never satisfy a differently-configured campaign.
  */
-inline harness::SupervisorReport
-runAppConfigMatrixSupervised(
-    const harness::SystemConfig& sys,
-    const std::vector<workloads::AppProfile>& apps,
-    const harness::CampaignOptions& opts, const char* prog,
-    harness::CampaignJournal* journal,
-    std::vector<std::vector<harness::ExperimentResult>>* groups,
-    harness::ObsCapture* capture = nullptr)
+inline harness::PointTask
+matrixPointTask(const harness::SystemConfig& sys,
+                const std::vector<workloads::AppProfile>& apps,
+                const harness::CampaignOptions& opts,
+                const char* prog,
+                harness::ObsCapture* capture = nullptr)
 {
     const std::vector<harness::ConfigKind> kinds = figureConfigs();
-    const std::size_t count = apps.size() * kinds.size();
-
     harness::PointTask task;
-    task.run = [&](std::size_t i) {
+    task.run = [&sys, &apps, capture, kinds](std::size_t i) {
         const std::size_t a = i / kinds.size();
         const std::size_t k = i % kinds.size();
         harness::RunOptions ro;
@@ -112,7 +105,7 @@ runAppConfigMatrixSupervised(
         }
         return harness::serializeResult(r);
     };
-    task.key = [&](std::size_t i) {
+    task.key = [&sys, &apps, prog, kinds](std::size_t i) {
         const std::size_t a = i / kinds.size();
         const std::size_t k = i % kinds.size();
         std::ostringstream id;
@@ -123,28 +116,73 @@ runAppConfigMatrixSupervised(
            << "|iters=" << apps[a].iterations;
         return harness::fnv1a64(id.str());
     };
-    task.seed = [&](std::size_t) { return sys.seed; };
-    task.repro = [&](std::size_t i) {
+    task.seed = [&sys](std::size_t) { return sys.seed; };
+    task.repro = [&opts, prog](std::size_t i) {
         return std::string(prog) + " --only-point " +
                std::to_string(i) + opts.reproFlags();
     };
+    return task;
+}
 
-    harness::CampaignSupervisor supervisor(opts.policy);
-    if (journal && journal->active())
-        supervisor.attachJournal(journal);
-    const harness::SupervisorReport report =
-        supervisor.run(count, task);
+/**
+ * Supervised variant of runAppConfigMatrix for the figure campaigns:
+ * the same (app x configuration) point space run under whatever
+ * execution mode the command line selected — the local
+ * CampaignSupervisor by default, the distributed work-queue daemon
+ * with --serve (docs/ROBUSTNESS.md, "Distributed campaigns") — with
+ * each point's full ExperimentResult serialized losslessly so it
+ * survives --isolate's process boundary, the journal's disk boundary
+ * and the daemon's socket boundary alike. @p groups is filled exactly
+ * like runAppConfigMatrix for every resolved point; consult the
+ * returned run's report before rendering — failed points leave
+ * default-constructed entries. A non-null @p capture records each
+ * in-process point's trace and stats (--trace / --stats-json).
+ */
+inline svc::CampaignRun
+runAppConfigMatrixSupervised(
+    const harness::SystemConfig& sys,
+    const std::vector<workloads::AppProfile>& apps,
+    const harness::CampaignOptions& opts, const char* prog,
+    harness::CampaignJournal* journal,
+    std::vector<std::vector<harness::ExperimentResult>>* groups,
+    harness::ObsCapture* capture = nullptr)
+{
+    const std::vector<harness::ConfigKind> kinds = figureConfigs();
+    const std::size_t count = apps.size() * kinds.size();
+    const harness::PointTask task =
+        matrixPointTask(sys, apps, opts, prog, capture);
+
+    svc::CampaignRun run =
+        svc::runCampaignPoints(opts, count, task, journal, prog);
 
     groups->assign(apps.size(),
                    std::vector<harness::ExperimentResult>(
                        kinds.size()));
     for (std::size_t i = 0; i < count; ++i) {
-        if (supervisor.results()[i].empty())
+        if (run.results[i].empty())
             continue;
         (*groups)[i / kinds.size()][i % kinds.size()] =
-            harness::deserializeResult(supervisor.results()[i]);
+            harness::deserializeResult(run.results[i]);
     }
-    return report;
+    return run;
+}
+
+/**
+ * Worker-mode entry of the figure campaigns (--worker ADDR): lease
+ * matrix points from the daemon until it reports Done. Returns the
+ * process exit code; the caller must not print the banner or touch
+ * artifact files in this mode — the daemon owns all campaign output.
+ */
+inline int
+runAppConfigMatrixWorker(
+    const harness::SystemConfig& sys,
+    const std::vector<workloads::AppProfile>& apps,
+    const harness::CampaignOptions& opts, const char* prog)
+{
+    const harness::PointTask task =
+        matrixPointTask(sys, apps, opts, prog);
+    return svc::runCampaignWorker(
+        opts, apps.size() * figureConfigs().size(), task);
 }
 
 /** One point of a robustness campaign (seeds or faults sweep). */
@@ -250,15 +288,26 @@ extractJsonU64(const std::string& line, const std::string& key)
  * run. The supervisor counter line (kind "supervisor") goes to stdout
  * only: it legitimately differs between a straight and a resumed run
  * (journaled/retries counts), so it must not pollute the artifact.
+ * A distributed campaign adds its daemon counters (@p serviceSummary,
+ * kind "service") to stdout and its crash ledger (@p ledgerJsonl,
+ * kind "crash-ledger") to the manifest — the manifest file persists
+ * whenever the ledger is non-empty, even for a campaign that
+ * ultimately succeeded, because "a worker died and the queue
+ * recovered" is exactly what the ledger exists to record.
  */
 inline int
 finishSupervisedCampaign(const harness::CampaignOptions& opts,
                          const harness::SupervisorReport& report,
                          const std::string& campaign,
                          const std::string& artifact,
-                         const harness::ObsCapture* capture = nullptr)
+                         const harness::ObsCapture* capture = nullptr,
+                         const std::string& serviceSummary = "",
+                         const std::string& ledgerJsonl = "")
 {
-    std::cout << report.summaryJson(campaign) << std::flush;
+    std::cout << report.summaryJson(campaign);
+    if (!serviceSummary.empty())
+        std::cout << serviceSummary;
+    std::cout << std::flush;
     if (capture && capture->statsEnabled())
         std::cout << capture->predictionSummaryJson() << std::flush;
     if (capture)
@@ -266,10 +315,11 @@ finishSupervisedCampaign(const harness::CampaignOptions& opts,
 
     std::ostringstream manifest;
     report.writeManifest(manifest, campaign);
+    manifest << ledgerJsonl;
     if (!manifest.str().empty())
         std::cerr << manifest.str() << std::flush;
     if (!opts.manifestPath.empty()) {
-        if (!report.ok())
+        if (!report.ok() || !ledgerJsonl.empty())
             harness::writeFileAtomic(opts.manifestPath,
                                      manifest.str());
         else
@@ -281,6 +331,20 @@ finishSupervisedCampaign(const harness::CampaignOptions& opts,
     if (report.interrupted)
         return 130;
     return report.failures() == 0 ? 0 : 1;
+}
+
+/** finishSupervisedCampaign over a full CampaignRun (any mode). */
+inline int
+finishSupervisedCampaign(const harness::CampaignOptions& opts,
+                         const svc::CampaignRun& run,
+                         const std::string& campaign,
+                         const std::string& artifact,
+                         const harness::ObsCapture* capture = nullptr)
+{
+    return finishSupervisedCampaign(opts, run.report, campaign,
+                                    artifact, capture,
+                                    run.serviceSummary,
+                                    run.ledgerJsonl);
 }
 
 /** Standard banner for every bench binary. */

@@ -9,13 +9,16 @@
  *   figure5_energy [--jobs N] [--deadline-ms N] [--retries N]
  *                  [--backoff-ms N] [--isolate] [--journal FILE]
  *                  [--resume] [--out FILE] [--manifest FILE]
- *                  [--only-point I]
+ *                  [--only-point I] [--serve ADDR | --worker ADDR]
+ *                  [--cache DIR]
  *
  * The 50 (app x configuration) simulations run under the campaign
  * supervisor: sharded over --jobs threads, optionally deadline-bounded
  * / retried / forked per point, and journaled so an interrupted run
  * resumes with byte-identical output (see docs/ROBUSTNESS.md,
- * "Supervised campaigns").
+ * "Supervised campaigns"). With --serve the same point space is
+ * served to --worker processes over the distributed work queue
+ * ("Distributed campaigns"), with byte-identical final output.
  */
 
 #include <iostream>
@@ -61,6 +64,11 @@ main(int argc, char** argv)
         return 0;
     }
 
+    if (!opts.workerAddr.empty()) {
+        return bench::runAppConfigMatrixWorker(sys, apps, opts,
+                                               "figure5_energy");
+    }
+
     bench::banner("Figure 5 — normalized energy consumption", sys);
 
     harness::CampaignJournal journal;
@@ -68,10 +76,10 @@ main(int argc, char** argv)
         journal.open(opts.journalPath, opts.resume);
 
     std::vector<std::vector<harness::ExperimentResult>> groups;
-    const harness::SupervisorReport report =
-        bench::runAppConfigMatrixSupervised(
-            sys, apps, opts, "figure5_energy", &journal, &groups,
-            &capture);
+    const svc::CampaignRun run = bench::runAppConfigMatrixSupervised(
+        sys, apps, opts, "figure5_energy", &journal, &groups,
+        &capture);
+    const harness::SupervisorReport& report = run.report;
     journal.flush();
 
     std::ostringstream artifact;
@@ -100,7 +108,7 @@ main(int argc, char** argv)
                   << " — see the failure manifest\n";
     }
 
-    return bench::finishSupervisedCampaign(opts, report,
+    return bench::finishSupervisedCampaign(opts, run,
                                            "figure5_energy",
                                            artifact.str(), &capture);
 }

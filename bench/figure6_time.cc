@@ -7,11 +7,12 @@
  *   figure6_time [--jobs N] [--deadline-ms N] [--retries N]
  *                [--backoff-ms N] [--isolate] [--journal FILE]
  *                [--resume] [--out FILE] [--manifest FILE]
- *                [--only-point I]
+ *                [--only-point I] [--serve ADDR | --worker ADDR]
+ *                [--cache DIR]
  *
  * The 50 (app x configuration) simulations run under the campaign
  * supervisor — same surface as figure5_energy (docs/ROBUSTNESS.md,
- * "Supervised campaigns").
+ * "Supervised campaigns" and "Distributed campaigns").
  */
 
 #include <iostream>
@@ -57,6 +58,11 @@ main(int argc, char** argv)
         return 0;
     }
 
+    if (!opts.workerAddr.empty()) {
+        return bench::runAppConfigMatrixWorker(sys, apps, opts,
+                                               "figure6_time");
+    }
+
     bench::banner("Figure 6 — normalized execution time", sys);
 
     harness::CampaignJournal journal;
@@ -64,10 +70,10 @@ main(int argc, char** argv)
         journal.open(opts.journalPath, opts.resume);
 
     std::vector<std::vector<harness::ExperimentResult>> groups;
-    const harness::SupervisorReport report =
-        bench::runAppConfigMatrixSupervised(
-            sys, apps, opts, "figure6_time", &journal, &groups,
-            &capture);
+    const svc::CampaignRun run = bench::runAppConfigMatrixSupervised(
+        sys, apps, opts, "figure6_time", &journal, &groups,
+        &capture);
+    const harness::SupervisorReport& report = run.report;
     journal.flush();
 
     std::ostringstream artifact;
@@ -95,7 +101,7 @@ main(int argc, char** argv)
                   << " — see the failure manifest\n";
     }
 
-    return bench::finishSupervisedCampaign(opts, report,
+    return bench::finishSupervisedCampaign(opts, run,
                                            "figure6_time",
                                            artifact.str(), &capture);
 }

@@ -18,6 +18,7 @@
  *                     [--retries N] [--backoff-ms N] [--isolate]
  *                     [--journal FILE] [--resume] [--out FILE]
  *                     [--manifest FILE] [--only-point I]
+ *                     [--serve ADDR | --worker ADDR] [--cache DIR]
  *
  * Points are independent simulations supervised by
  * harness::CampaignSupervisor: sharded over --jobs threads, bounded
@@ -217,13 +218,6 @@ main(int argc, char** argv)
         return 0;
     }
 
-    tb::bench::banner("Robustness — fault-injection campaign",
-                      harness::SystemConfig::small(dims.back()));
-
-    harness::CampaignJournal journal;
-    if (!opts.journalPath.empty())
-        journal.open(opts.journalPath, opts.resume);
-
     harness::ObsCapture capture(opts, "faults");
     harness::PointTask task;
     task.run = [&](std::size_t i) {
@@ -241,18 +235,26 @@ main(int argc, char** argv)
                opts.reproFlags() + "   # " + pointLabel(points[i]);
     };
 
-    harness::CampaignSupervisor supervisor(opts.policy);
-    if (journal.active())
-        supervisor.attachJournal(&journal);
-    const harness::SupervisorReport report =
-        supervisor.run(points.size(), task);
+    if (!opts.workerAddr.empty())
+        return tb::svc::runCampaignWorker(opts, points.size(), task);
+
+    tb::bench::banner("Robustness — fault-injection campaign",
+                      harness::SystemConfig::small(dims.back()));
+
+    harness::CampaignJournal journal;
+    if (!opts.journalPath.empty())
+        journal.open(opts.journalPath, opts.resume);
+
+    const tb::svc::CampaignRun crun = tb::svc::runCampaignPoints(
+        opts, points.size(), task, &journal, "faults");
+    const harness::SupervisorReport& report = crun.report;
     journal.flush();
 
     // Canonical campaign output: deterministic across straight,
     // supervised and resumed runs (--out persists it atomically).
     std::ostringstream artifact;
     std::uint64_t injected = 0, watchdogs = 0, quarantines = 0;
-    for (const std::string& line : supervisor.results()) {
+    for (const std::string& line : crun.results) {
         if (line.empty())
             continue;
         artifact << line;
@@ -323,14 +325,13 @@ main(int argc, char** argv)
     std::fputs(artifact.str().c_str(), stdout);
     std::fflush(stdout);
 
-    harness::SupervisorReport final_report = report;
     if (failures > static_cast<unsigned>(report.failures())) {
         // The determinism check failed: surface it through the exit
         // code even though it is not a supervised point.
         const int rc = tb::bench::finishSupervisedCampaign(
-            opts, final_report, "faults", artifact.str(), &capture);
+            opts, crun, "faults", artifact.str(), &capture);
         return rc == 0 ? 1 : rc;
     }
     return tb::bench::finishSupervisedCampaign(
-        opts, final_report, "faults", artifact.str(), &capture);
+        opts, crun, "faults", artifact.str(), &capture);
 }

@@ -9,6 +9,7 @@
  *                    [--backoff-ms N] [--isolate] [--journal FILE]
  *                    [--resume] [--out FILE] [--manifest FILE]
  *                    [--only-point I]
+ *                    [--serve ADDR | --worker ADDR] [--cache DIR]
  *
  * Each (seed, application) pair is one supervised campaign point
  * running the Baseline / Thrifty-Halt / Thrifty triple; points are
@@ -162,13 +163,6 @@ main(int argc, char** argv)
         return 0;
     }
 
-    tb::bench::banner("Robustness — headline averages across seeds",
-                      harness::SystemConfig::paperDefault());
-
-    harness::CampaignJournal journal;
-    if (!opts.journalPath.empty())
-        journal.open(opts.journalPath, opts.resume);
-
     harness::ObsCapture capture(opts, "seeds");
     harness::PointTask task;
     task.run = [&](std::size_t i) {
@@ -188,11 +182,19 @@ main(int argc, char** argv)
                points[i].app;
     };
 
-    harness::CampaignSupervisor supervisor(opts.policy);
-    if (journal.active())
-        supervisor.attachJournal(&journal);
-    const harness::SupervisorReport report =
-        supervisor.run(points.size(), task);
+    if (!opts.workerAddr.empty())
+        return tb::svc::runCampaignWorker(opts, points.size(), task);
+
+    tb::bench::banner("Robustness — headline averages across seeds",
+                      harness::SystemConfig::paperDefault());
+
+    harness::CampaignJournal journal;
+    if (!opts.journalPath.empty())
+        journal.open(opts.journalPath, opts.resume);
+
+    const tb::svc::CampaignRun crun = tb::svc::runCampaignPoints(
+        opts, points.size(), task, &journal, "seeds");
+    const harness::SupervisorReport& report = crun.report;
     journal.flush();
 
     std::ostringstream artifact;
@@ -211,7 +213,7 @@ main(int argc, char** argv)
             double h_sum = 0.0, t_sum = 0.0, slow_sum = 0.0;
             for (std::size_t a = 0; a < apps_per_seed; ++a) {
                 const std::string& art =
-                    supervisor.results()[s * apps_per_seed + a];
+                    crun.results[s * apps_per_seed + a];
                 std::string json;
                 double h = 0.0, t = 0.0, slow = 0.0;
                 if (!parseArtifact(art, &json, &h, &t, &slow)) {
@@ -272,7 +274,7 @@ main(int argc, char** argv)
                     report.interrupted ? ", interrupted" : "");
     }
 
-    return tb::bench::finishSupervisedCampaign(opts, report, "seeds",
+    return tb::bench::finishSupervisedCampaign(opts, crun, "seeds",
                                                artifact.str(),
                                                &capture);
 }

@@ -9,12 +9,13 @@
 #   scripts/check_all.sh address     # just one
 #   scripts/check_all.sh faults      # fault campaign only
 #   scripts/check_all.sh lint        # tblint static analysis only
+#   scripts/check_all.sh distributed # daemon/worker kill smoke test
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-    presets=(lint check faults address undefined thread)
+    presets=(lint check faults address undefined thread distributed)
 fi
 
 run_preset() {
@@ -32,13 +33,13 @@ run_preset() {
         flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo
                -DTB_SANITIZE=$preset)
         ;;
-      lint)
+      lint|distributed)
         flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
         ;;
       *)
         echo "unknown preset '$preset'" >&2
-        echo "expected: lint, check, faults, address, undefined" \
-             "or thread" >&2
+        echo "expected: lint, check, faults, address, undefined," \
+             "thread or distributed" >&2
         return 1
         ;;
     esac
@@ -59,6 +60,15 @@ run_preset() {
         else
             echo "clang++ not found: skipping TB_THREAD_SAFETY build"
         fi
+        return 0
+    fi
+    if [ "$preset" = distributed ]; then
+        # Fault-tolerance smoke test of the work-queue service: a
+        # campaign survives a SIGKILLed worker byte-identically, and
+        # a warm result cache replays it with zero simulations.
+        cmake -B "$dir" -G Ninja "${flags[@]}"
+        cmake --build "$dir" -j --target figure6_time
+        BUILD_DIR="$dir" scripts/distributed_smoke.sh
         return 0
     fi
     cmake -B "$dir" -G Ninja "${flags[@]}"

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end fault-tolerance smoke test for the distributed campaign
+# service (docs/ROBUSTNESS.md, "Distributed campaigns"):
+#
+#   1. run a campaign bench serially -> reference artifact;
+#   2. run the same bench as daemon + N workers, SIGKILL one worker
+#      mid-campaign: the daemon must finish with exit 0, the artifact
+#      must be byte-identical to the serial run, and the failure
+#      manifest must record the kill in the crash ledger;
+#   3. re-serve the same campaign against the now-warm result cache
+#      with no workers at all: every point must resolve from the
+#      cache (zero leases, zero simulations) and the artifact must
+#      again be byte-identical.
+#
+#   scripts/distributed_smoke.sh [--bench NAME] [--workers N]
+#
+# Default bench is figure6_time: long enough (~4 s serial) that a
+# kill at t+1 s reliably lands mid-lease, short enough for CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=figure6_time
+WORKERS=3
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --bench)     BENCH="$2"; shift 2 ;;
+        --bench=*)   BENCH="${1#--bench=}"; shift ;;
+        --workers)   WORKERS="$2"; shift 2 ;;
+        --workers=*) WORKERS="${1#--workers=}"; shift ;;
+        *)
+            echo "usage: $0 [--bench NAME] [--workers N]" >&2
+            exit 2 ;;
+    esac
+done
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BIN="$BUILD_DIR/bench/$BENCH"
+if [ ! -x "$BIN" ]; then
+    echo "distributed_smoke: $BIN not built" >&2
+    echo "  cmake -B $BUILD_DIR && cmake --build $BUILD_DIR -j" >&2
+    exit 2
+fi
+
+D=$(mktemp -d)
+trap 'rm -rf "$D"' EXIT
+
+fail() {
+    echo "distributed_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+echo "== serial reference ($BENCH)"
+"$BIN" --out "$D/serial.json" > /dev/null
+
+# --- Phase 2: daemon + workers, one worker SIGKILLed mid-campaign ---
+#
+# The kill only lands in the crash ledger if the victim holds a lease
+# at that instant. Workers spend almost all their time mid-lease, but
+# a fast campaign can finish before t+1s or the victim can be between
+# points, so retry the whole phase a few times before declaring
+# failure.
+run_with_kill() {
+    local attempt="$1"
+    local sock="unix:$D/$BENCH.$attempt.sock"
+    rm -f "$D/dist.json" "$D/dist.manifest.json"
+
+    "$BIN" --serve "$sock" --cache "$D/cache" \
+        --out "$D/dist.json" --manifest "$D/dist.manifest.json" \
+        > "$D/daemon.$attempt.txt" 2>&1 &
+    local daemon=$!
+
+    local pids=()
+    for i in $(seq 1 "$WORKERS"); do
+        "$BIN" --worker "$sock" --worker-name "w$i" \
+            > /dev/null 2>&1 &
+        pids+=($!)
+    done
+
+    sleep 1
+    local victim="${pids[0]}"
+    kill -9 "$victim" 2> /dev/null || true
+    echo "   killed worker w1 (pid $victim) at t+1s"
+
+    local rc=0
+    wait "$daemon" || rc=$?
+    wait "${pids[@]}" 2> /dev/null || true
+    [ "$rc" -eq 0 ] || fail "daemon exited $rc (attempt $attempt)"
+    cmp "$D/serial.json" "$D/dist.json" ||
+        fail "distributed artifact differs from serial (attempt $attempt)"
+
+    # The ledger records the kill: the daemon saw the dead socket (or
+    # missed heartbeats) and reassigned the victim's lease.
+    [ -s "$D/dist.manifest.json" ] || return 1
+    grep -q '"kind": "crash-ledger"' "$D/dist.manifest.json" || return 1
+    grep -Eq '"reason": "(disconnect|heartbeat-timeout)"' \
+        "$D/dist.manifest.json" || return 1
+    return 0
+}
+
+echo "== distributed run: $WORKERS workers, SIGKILL one mid-campaign"
+ok=0
+for attempt in 1 2 3; do
+    # Cold cache each attempt so every phase-2 pass actually leases.
+    rm -rf "$D/cache"
+    if run_with_kill "$attempt"; then
+        ok=1
+        break
+    fi
+    echo "   kill missed the lease window, retrying ($attempt/3)"
+done
+[ "$ok" -eq 1 ] ||
+    fail "no attempt recorded the worker kill in the crash ledger"
+echo "   artifact byte-identical to serial; kill in crash ledger"
+
+# --- Phase 3: warm cache, no workers: zero simulations ---
+echo "== warm-cache re-serve (no workers)"
+"$BIN" --serve "unix:$D/$BENCH.warm.sock" --cache "$D/cache" \
+    --out "$D/warm.json" > "$D/warm.txt" 2>&1 ||
+    fail "warm-cache daemon exited nonzero"
+cmp "$D/serial.json" "$D/warm.json" ||
+    fail "warm-cache artifact differs from serial"
+grep -q '"leases": 0' "$D/warm.txt" ||
+    fail "warm-cache run leased points (expected zero leases)"
+grep -q '"ok": 0' "$D/warm.txt" ||
+    fail "warm-cache run simulated points (expected all cached)"
+grep -Eq '"cache_hits": [1-9]' "$D/warm.txt" ||
+    fail "warm-cache run reports no cache hits"
+echo "   zero leases, zero simulations, artifact byte-identical"
+
+echo "distributed_smoke: OK ($BENCH, $WORKERS workers)"

@@ -21,7 +21,9 @@ usage(const char* prog, const char* complaint, bool allowQuick)
         "       [--backoff-ms N] [--isolate] [--journal FILE] "
         "[--resume]\n"
         "       [--out FILE] [--manifest FILE] [--only-point I]\n"
-        "       [--trace FILE[:categories]] [--stats-json FILE]\n",
+        "       [--trace FILE[:categories]] [--stats-json FILE]\n"
+        "       [--serve ADDR | --worker ADDR] [--cache DIR]\n"
+        "       [--lease-ms N] [--heartbeat-ms N] [--worker-name S]\n",
         prog, complaint, prog, allowQuick ? "[--quick] " : "");
     std::exit(2);
 }
@@ -131,6 +133,33 @@ CampaignOptions::parse(int argc, char** argv, bool allowQuick)
                 usage(prog, "option --stats-json needs a file name",
                       allowQuick);
             }
+        } else if (opt == "--serve") {
+            o.serveAddr = value(i);
+            if (o.serveAddr.empty())
+                usage(prog, "option --serve needs an address",
+                      allowQuick);
+        } else if (opt == "--worker") {
+            o.workerAddr = value(i);
+            if (o.workerAddr.empty())
+                usage(prog, "option --worker needs an address",
+                      allowQuick);
+        } else if (opt == "--cache") {
+            o.cacheDir = value(i);
+            if (o.cacheDir.empty())
+                usage(prog, "option --cache needs a directory",
+                      allowQuick);
+        } else if (opt == "--lease-ms") {
+            o.leaseMs =
+                parseU64(prog, "--lease-ms", value(i), allowQuick);
+        } else if (opt == "--heartbeat-ms") {
+            o.heartbeatMs = parseU64(prog, "--heartbeat-ms", value(i),
+                                     allowQuick);
+            if (o.heartbeatMs == 0) {
+                usage(prog, "option --heartbeat-ms: must be >= 1",
+                      allowQuick);
+            }
+        } else if (opt == "--worker-name") {
+            o.workerName = value(i);
         } else if (opt == "--quick" && allowQuick) {
             o.quick = true;
         } else {
@@ -143,6 +172,14 @@ CampaignOptions::parse(int argc, char** argv, bool allowQuick)
 
     if (o.resume && o.journalPath.empty())
         usage(prog, "--resume requires --journal FILE", allowQuick);
+    if (!o.serveAddr.empty() && !o.workerAddr.empty()) {
+        usage(prog, "--serve and --worker are mutually exclusive",
+              allowQuick);
+    }
+    if (!o.workerAddr.empty() && o.onlyPoint >= 0) {
+        usage(prog, "--worker and --only-point are mutually exclusive",
+              allowQuick);
+    }
     return o;
 }
 

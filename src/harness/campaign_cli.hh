@@ -19,6 +19,17 @@
  *   --only-point I    run just point I inline (repro mode)
  *   --quick           CI-sized subset (benches that support it)
  *
+ * plus the distributed surface (docs/ROBUSTNESS.md, "Distributed
+ * campaigns"):
+ *
+ *   --serve ADDR      run as the campaign daemon on unix:PATH or
+ *                     tcp:HOST:PORT; points execute on workers
+ *   --worker ADDR     run as a worker of the daemon at ADDR
+ *   --cache DIR       content-addressed result cache directory
+ *   --lease-ms N      per-lease deadline on the daemon (default 60000)
+ *   --heartbeat-ms N  worker heartbeat interval (default 1000)
+ *   --worker-name S   announced worker identity (default pid@host)
+ *
  * plus the observability surface (docs/OBSERVABILITY.md):
  *
  *   --trace FILE[:categories]   write a Chrome trace_event JSON file
@@ -53,6 +64,18 @@ struct CampaignOptions
     /** Category mask for --trace (defaults to every category). */
     unsigned traceMask = obs::kAllTraceCategories;
     std::string statsJsonPath; ///< "" = no stats JSONL
+    std::string serveAddr;     ///< "" = not a daemon
+    std::string workerAddr;    ///< "" = not a worker
+    std::string cacheDir;      ///< "" = no result cache
+    std::uint64_t leaseMs = 60000;
+    std::uint64_t heartbeatMs = 1000;
+    std::string workerName;    ///< "" = pid@host
+
+    /** Any distributed role selected (--serve / --worker). */
+    bool distributed() const
+    {
+        return !serveAddr.empty() || !workerAddr.empty();
+    }
 
     /**
      * Parse @p argv strictly. Unknown options, malformed numbers,

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -187,10 +188,42 @@ CampaignJournal::open(const std::string& path, bool resume)
         while (in && std::getline(in, line)) {
             std::size_t index = 0;
             JournalEntry e;
-            if (parseLine(line, &index, &e)) {
-                entries_[index] = std::move(e);
-                ++loaded_;
+            if (!parseLine(line, &index, &e))
+                continue; // torn/partial line: not yet recorded
+            // A point may legitimately appear twice (crash between
+            // write and rename, journal shared across resumes) but
+            // only with identical content. Conflicting entries mean
+            // two campaigns — or two concurrent daemons — shared this
+            // journal file, and silently keeping either one would
+            // poison every later resume.
+            const auto it = entries_.find(index);
+            if (it != entries_.end()) {
+                char a[17], b[17];
+                std::snprintf(a, sizeof(a), "%016" PRIx64,
+                              it->second.configHash);
+                std::snprintf(b, sizeof(b), "%016" PRIx64,
+                              e.configHash);
+                if (it->second.configHash != e.configHash) {
+                    fatal("journal ", path, ": point ", index,
+                          " recorded under conflicting config hashes ",
+                          a, " and ", b,
+                          " — this journal was shared by two "
+                          "different campaigns (concurrent writers?); "
+                          "delete it or give each campaign its own "
+                          "--journal file");
+                }
+                if (it->second.result != e.result) {
+                    fatal("journal ", path, ": point ", index,
+                          " (config ", a,
+                          ") recorded twice with different results — "
+                          "concurrent writers or a nondeterministic "
+                          "point; this journal cannot be trusted for "
+                          "--resume");
+                }
             }
+            if (it == entries_.end())
+                ++loaded_;
+            entries_[index] = std::move(e);
         }
     }
 

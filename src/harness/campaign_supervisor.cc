@@ -14,6 +14,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "harness/posix_io.hh"
 #include "obs/json_writer.hh"
 #include "sim/logging.hh"
 
@@ -58,6 +59,7 @@ sleepInterruptible(std::uint64_t ms)
     const auto until = now() + milliseconds(ms);
     while (!g_stop_requested && now() < until) {
         const auto left = duration_cast<milliseconds>(until - now());
+        // tblint-allow(TBL002): retry backoff runs on host time
         std::this_thread::sleep_for(
             std::min<milliseconds>(left, milliseconds(10)));
     }
@@ -71,6 +73,7 @@ outcomeName(PointOutcome o)
     switch (o) {
       case PointOutcome::Ok:               return "ok";
       case PointOutcome::Journaled:        return "journaled";
+      case PointOutcome::Cached:           return "cached";
       case PointOutcome::Exception:        return "exception";
       case PointOutcome::CheckerViolation: return "checker-violation";
       case PointOutcome::Timeout:          return "timeout";
@@ -104,7 +107,8 @@ SupervisorReport::writeManifest(std::ostream& os,
     for (std::size_t i = 0; i < points.size(); ++i) {
         const PointRecord& r = points[i];
         if (r.outcome == PointOutcome::Ok ||
-            r.outcome == PointOutcome::Journaled)
+            r.outcome == PointOutcome::Journaled ||
+            r.outcome == PointOutcome::Cached)
             continue;
         if (r.outcome == PointOutcome::NotRun && !interrupted)
             continue;
@@ -142,6 +146,7 @@ SupervisorReport::summaryJson(const std::string& campaign) const
         .field("points", points.size())
         .field("ok", count(PointOutcome::Ok))
         .field("journaled", count(PointOutcome::Journaled))
+        .field("cached", count(PointOutcome::Cached))
         .field("retries", retries)
         .field("timeouts", count(PointOutcome::Timeout))
         .field("crashes", count(PointOutcome::Crash))
@@ -310,17 +315,12 @@ CampaignSupervisor::runAttemptForked(const PointTask& task,
         // Child: run the point, stream the artifact (or diagnostic)
         // back, and _exit with a classification code — no atexit, no
         // stdio flush (inherited buffers would duplicate output).
+        // writeFull retries EINTR; with SIGPIPE ignored, a parent that
+        // died mid-transfer surfaces as EPIPE and the child just
+        // exits — either way the parent side classifies the point.
         ::close(fds[0]);
         const Attempt child = classifyRun(task.run, i);
-        const char* p = child.payload.data();
-        std::size_t n = child.payload.size();
-        while (n > 0) {
-            const ssize_t w = ::write(fds[1], p, n);
-            if (w <= 0)
-                break;
-            p += w;
-            n -= static_cast<std::size_t>(w);
-        }
+        writeFull(fds[1], child.payload.data(), child.payload.size());
         ::close(fds[1]);
         int code = 3;
         if (child.outcome == PointOutcome::Ok)
@@ -342,14 +342,19 @@ CampaignSupervisor::runAttemptForked(const PointTask& task,
     int status = 0;
     bool timed_out = false;
     for (;;) {
+        // readSome retries EINTR (SIGINT/SIGCHLD must not abort the
+        // drain) but passes EAGAIN through — the pipe is non-blocking.
         for (;;) {
-            const ssize_t r = ::read(fds[0], buf, sizeof(buf));
+            const ssize_t r = readSome(fds[0], buf, sizeof(buf));
             if (r > 0)
                 payload.append(buf, static_cast<std::size_t>(r));
             else
                 break;
         }
-        const pid_t w = ::waitpid(pid, &status, WNOHANG);
+        pid_t w;
+        do {
+            w = ::waitpid(pid, &status, WNOHANG);
+        } while (w < 0 && errno == EINTR);
         if (w == pid)
             break;
         if (policy_.deadlineMs != 0 &&
@@ -358,14 +363,18 @@ CampaignSupervisor::runAttemptForked(const PointTask& task,
                     .count() >=
                 static_cast<long long>(policy_.deadlineMs)) {
             ::kill(pid, SIGKILL);
-            ::waitpid(pid, &status, 0);
+            pid_t rw;
+            do {
+                rw = ::waitpid(pid, &status, 0);
+            } while (rw < 0 && errno == EINTR);
             timed_out = true;
             break;
         }
+        // tblint-allow(TBL002): deadline watch on the forked child
         std::this_thread::sleep_for(milliseconds(1));
     }
     for (;;) {
-        const ssize_t r = ::read(fds[0], buf, sizeof(buf));
+        const ssize_t r = readSome(fds[0], buf, sizeof(buf));
         if (r > 0)
             payload.append(buf, static_cast<std::size_t>(r));
         else
@@ -432,6 +441,21 @@ CampaignSupervisor::supervisePoint(const PointTask& task,
             return;
         }
     }
+    if (cacheLookup_) {
+        std::string stored;
+        if (cacheLookup_(key, &stored)) {
+            results_[i] = std::move(stored);
+            rec.outcome = PointOutcome::Cached;
+            // A cache hit still lands in the journal so a later
+            // --resume of this campaign replays it without the cache.
+            if (journal_ && journal_->active()) {
+                journal_->record(i, key,
+                                 task.seed ? task.seed(i) : 0,
+                                 results_[i]);
+            }
+            return;
+        }
+    }
 
     Attempt last;
     last.outcome = PointOutcome::NotRun;
@@ -454,6 +478,8 @@ CampaignSupervisor::supervisePoint(const PointTask& task,
                                  task.seed ? task.seed(i) : 0,
                                  results_[i]);
             }
+            if (cacheStore_)
+                cacheStore_(key, results_[i]);
             return;
         }
         if (interruptRequested())
@@ -467,6 +493,11 @@ CampaignSupervisor::supervisePoint(const PointTask& task,
 SupervisorReport
 CampaignSupervisor::run(std::size_t count, const PointTask& task)
 {
+    // A child of --isolate may write its artifact into a pipe whose
+    // parent-side reader is gone (campaign interrupted): EPIPE, not
+    // process death.
+    ignoreSigpipe();
+
     SupervisorReport report;
     report.points.assign(count, PointRecord{});
     results_.assign(count, std::string());

@@ -59,6 +59,7 @@ enum class PointOutcome
 {
     Ok,               ///< point completed, result deposited
     Journaled,        ///< skipped: result replayed from the journal
+    Cached,           ///< skipped: artifact served by the result cache
     Exception,        ///< threw (FatalError or other std::exception)
     CheckerViolation, ///< threw PanicError (protocol/liveness checker)
     Timeout,          ///< exceeded the per-point deadline
@@ -160,6 +161,23 @@ class CampaignSupervisor
     void attachJournal(CampaignJournal* journal) { journal_ = journal; }
 
     /**
+     * Content-addressed result cache hooks (svc::ResultCache, passed
+     * as functions to keep harness free of a svc dependency). The
+     * lookup is consulted after the journal; a hit classifies the
+     * point Cached and skips the simulation. Successful points are
+     * offered to @p store. Both run on the supervising thread of the
+     * point (callers must supply thread-safe hooks when jobs > 1).
+     */
+    void
+    attachCache(
+        std::function<bool(std::uint64_t, std::string*)> lookup,
+        std::function<void(std::uint64_t, const std::string&)> store)
+    {
+        cacheLookup_ = std::move(lookup);
+        cacheStore_ = std::move(store);
+    }
+
+    /**
      * Run all @p count points under the policy. Never throws for
      * point failures — every point is classified in the returned
      * report and successful results are available via results().
@@ -211,6 +229,8 @@ class CampaignSupervisor
 
     SupervisorPolicy policy_;
     CampaignJournal* journal_ = nullptr;
+    std::function<bool(std::uint64_t, std::string*)> cacheLookup_;
+    std::function<void(std::uint64_t, const std::string&)> cacheStore_;
     std::vector<std::string> results_;
     Mutex mu_;
     /// Timed-out attempt threads, kept alive until process exit.

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * EINTR-safe POSIX I/O helpers shared by every harness-layer process
+ * boundary: the --isolate fork pipe in campaign_supervisor.cc and the
+ * socket transport of the distributed campaign service (src/svc).
+ *
+ * Two failure modes keep recurring around pipes and sockets:
+ *
+ *  - **EINTR**: any signal (SIGINT from the campaign handler, SIGCHLD
+ *    from a reaped worker) can interrupt a blocking read/write/poll
+ *    mid-call. Every loop here retries transparently.
+ *  - **SIGPIPE**: writing to a pipe or socket whose reader died kills
+ *    the whole process by default. A supervisor or daemon must never
+ *    die because one of its children/workers did, so process setup
+ *    calls ignoreSigpipe() once and write failures surface as EPIPE
+ *    return values instead.
+ */
+
+#ifndef TB_HARNESS_POSIX_IO_HH_
+#define TB_HARNESS_POSIX_IO_HH_
+
+#include <cstddef>
+#include <string>
+
+#include <sys/types.h>
+
+namespace tb {
+namespace harness {
+
+/**
+ * Ignore SIGPIPE process-wide (idempotent). After this, a write to a
+ * dead reader fails with EPIPE instead of terminating the process —
+ * the only behaviour a multi-client daemon or a forking supervisor
+ * can live with.
+ */
+void ignoreSigpipe();
+
+/**
+ * Write all @p n bytes of @p buf to @p fd, retrying on EINTR and on
+ * short writes. Returns true when everything was written; false on
+ * any other error (errno is preserved, EPIPE included).
+ */
+bool writeFull(int fd, const void* buf, std::size_t n);
+
+/**
+ * Read exactly @p n bytes into @p buf, retrying on EINTR and short
+ * reads. Returns @p n on success, 0 on clean EOF before the first
+ * byte, and -1 on error or on EOF mid-record (errno 0 in the
+ * truncated-record case).
+ */
+ssize_t readFull(int fd, void* buf, std::size_t n);
+
+/**
+ * One read(2) attempt that retries EINTR only. Returns the byte
+ * count, 0 on EOF, and -1 with errno EAGAIN/EWOULDBLOCK untouched so
+ * non-blocking callers can distinguish "no data yet" from errors.
+ */
+ssize_t readSome(int fd, void* buf, std::size_t n);
+
+/**
+ * poll(2) a single descriptor for @p events, retrying on EINTR with
+ * the timeout re-armed. Returns the revents mask (0 on timeout), or
+ * -1 on a real poll error. Passing @p fd = -1 (poll ignores negative
+ * descriptors) turns this into a plain interruptible sleep.
+ */
+int pollOne(int fd, short events, int timeoutMs);
+
+/** Drain @p fd to @p out until EOF (EINTR-safe); false on error. */
+bool readToEof(int fd, std::string* out);
+
+} // namespace harness
+} // namespace tb
+
+#endif // TB_HARNESS_POSIX_IO_HH_

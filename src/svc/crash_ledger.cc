@@ -1,0 +1,48 @@
+#include "svc/crash_ledger.hh"
+
+#include "obs/json_writer.hh"
+
+namespace tb {
+namespace svc {
+
+void
+CrashLedger::add(std::uint64_t workerId,
+                 const std::string& workerName,
+                 const std::string& reason, long point,
+                 const std::string& detail)
+{
+    events_.push_back(
+        CrashEvent{workerId, workerName, reason, point, detail});
+}
+
+std::size_t
+CrashLedger::count(const std::string& reason) const
+{
+    std::size_t n = 0;
+    for (const CrashEvent& e : events_)
+        n += e.reason == reason;
+    return n;
+}
+
+void
+CrashLedger::writeJsonl(std::ostream& os,
+                        const std::string& campaign) const
+{
+    for (const CrashEvent& e : events_) {
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.field("campaign", campaign)
+            .field("kind", "crash-ledger")
+            .field("worker", e.workerId)
+            .field("worker_name", e.workerName)
+            .field("reason", e.reason);
+        if (e.point >= 0)
+            w.field("point", static_cast<std::uint64_t>(e.point));
+        w.field("detail", e.detail);
+        w.endObject();
+        os << '\n';
+    }
+}
+
+} // namespace svc
+} // namespace tb

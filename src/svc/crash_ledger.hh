@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-worker crash ledger of a distributed campaign.
+ *
+ * Every worker failure the daemon observes — a socket that died
+ * (SIGKILL, OOM, network drop all look the same: EOF/EPIPE), a
+ * heartbeat that stopped, a lease that expired, a frame that did not
+ * parse, a point error the worker itself reported — is recorded with
+ * the worker's identity, the affected point and a reason. The ledger
+ * is appended to the PR 4 failure manifest as `"kind":
+ * "crash-ledger"` JSONL lines, so one file answers "what failed and
+ * who lost it" for supervised and distributed campaigns alike. The
+ * idiom follows the boot/reset-reason ledgers of embedded platforms:
+ * a reset is only diagnosable if its reason was persisted *before*
+ * recovery starts.
+ */
+
+#ifndef TB_SVC_CRASH_LEDGER_HH_
+#define TB_SVC_CRASH_LEDGER_HH_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tb {
+namespace svc {
+
+/** One observed worker failure. */
+struct CrashEvent
+{
+    std::uint64_t workerId = 0;
+    std::string workerName; ///< "pid@host" as announced in Hello
+    std::string reason;     ///< leaseLossName() vocabulary
+    long point = -1;        ///< affected point; -1 = none/connection
+    std::string detail;     ///< free-form diagnostic
+};
+
+/** Append-only in-memory ledger, rendered into the manifest. */
+class CrashLedger
+{
+  public:
+    void add(std::uint64_t workerId, const std::string& workerName,
+             const std::string& reason, long point,
+             const std::string& detail);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    const std::vector<CrashEvent>& events() const { return events_; }
+
+    /** Events with the given reason (tests, summaries). */
+    std::size_t count(const std::string& reason) const;
+
+    /**
+     * One `"kind": "crash-ledger"` JSON line per event, in
+     * observation order — the manifest shape next to the PR 4
+     * per-point failure lines.
+     */
+    void writeJsonl(std::ostream& os,
+                    const std::string& campaign) const;
+
+  private:
+    std::vector<CrashEvent> events_;
+};
+
+} // namespace svc
+} // namespace tb
+
+#endif // TB_SVC_CRASH_LEDGER_HH_

@@ -1,0 +1,162 @@
+#include "svc/distributed.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/thread_safety.hh"
+#include "svc/campaignd.hh"
+#include "svc/worker.hh"
+
+namespace tb {
+namespace svc {
+
+namespace {
+
+/** The supervisor's default key function, mirrored for the daemon. */
+std::uint64_t
+pointKey(const harness::PointTask& task, std::size_t i)
+{
+    return task.key ? task.key(i)
+                    : harness::fnv1a64("point:" + std::to_string(i));
+}
+
+std::vector<std::uint64_t>
+pointKeys(const harness::PointTask& task, std::size_t count)
+{
+    std::vector<std::uint64_t> keys(count);
+    for (std::size_t i = 0; i < count; ++i)
+        keys[i] = pointKey(task, i);
+    return keys;
+}
+
+CampaignRun
+runLocal(const harness::CampaignOptions& opts, std::size_t count,
+         const harness::PointTask& task,
+         harness::CampaignJournal* journal, ResultCache* cache)
+{
+    harness::CampaignSupervisor supervisor(opts.policy);
+    if (journal && journal->active())
+        supervisor.attachJournal(journal);
+    if (cache && cache->active()) {
+        // The supervisor may run points on several threads; the cache
+        // itself is single-threaded, so the hooks serialize on a
+        // mutex shared by both closures.
+        auto mu = std::make_shared<Mutex>();
+        supervisor.attachCache(
+            [cache, mu](std::uint64_t key, std::string* out) {
+                LockGuard lock(*mu);
+                return cache->lookup(key, out);
+            },
+            [cache, mu](std::uint64_t key, const std::string& r) {
+                LockGuard lock(*mu);
+                cache->store(key, r);
+            });
+    }
+    CampaignRun run;
+    run.report = supervisor.run(count, task);
+    run.results = supervisor.results();
+    return run;
+}
+
+CampaignRun
+runServed(const harness::CampaignOptions& opts, std::size_t count,
+          const harness::PointTask& task,
+          harness::CampaignJournal* journal, ResultCache* cache,
+          const std::string& campaignName)
+{
+    ServiceOptions so;
+    so.listen = opts.serveAddr;
+    so.campaign = campaignName;
+    so.heartbeatMs = opts.heartbeatMs;
+    so.queue.maxAttempts =
+        std::max(opts.policy.maxAttempts, kServedMinAttempts);
+    so.queue.backoffBaseMs = opts.policy.backoffBaseMs;
+    so.queue.backoffCapMs = opts.policy.backoffCapMs;
+    so.queue.leaseMs = opts.leaseMs;
+    so.queue.seed = opts.policy.seed;
+
+    CampaignService service(so);
+    if (journal && journal->active())
+        service.attachJournal(journal);
+    if (cache && cache->active())
+        service.attachCache(cache);
+    service.setKeys(pointKeys(task, count));
+    if (task.seed) {
+        std::vector<std::uint64_t> seeds(count);
+        for (std::size_t i = 0; i < count; ++i)
+            seeds[i] = task.seed(i);
+        service.setSeeds(std::move(seeds));
+    }
+
+    CampaignRun run;
+    run.report = service.run(count);
+    run.results = service.results();
+    run.serviceSummary = service.stats().summaryJson(campaignName);
+    if (!service.ledger().empty()) {
+        std::ostringstream os;
+        service.ledger().writeJsonl(os, campaignName);
+        run.ledgerJsonl = os.str();
+    }
+    // A served campaign leaves no repro commands behind (the daemon
+    // never ran the point itself); synthesize them like the local
+    // supervisor so the failure manifest stays actionable.
+    if (task.repro) {
+        for (std::size_t i = 0; i < count; ++i) {
+            harness::PointRecord& r = run.report.points[i];
+            if (r.outcome != harness::PointOutcome::Ok &&
+                r.outcome != harness::PointOutcome::Journaled &&
+                r.outcome != harness::PointOutcome::Cached)
+                r.repro = task.repro(i);
+        }
+    }
+    return run;
+}
+
+} // namespace
+
+CampaignRun
+runCampaignPoints(const harness::CampaignOptions& opts,
+                  std::size_t count, const harness::PointTask& task,
+                  harness::CampaignJournal* journal,
+                  const std::string& campaignName)
+{
+    if (!opts.workerAddr.empty())
+        panic("runCampaignPoints called in worker mode; dispatch to "
+              "runCampaignWorker first");
+
+    ResultCache cache;
+    if (!opts.cacheDir.empty())
+        cache.open(opts.cacheDir); // warns and stays inactive on failure
+
+    CampaignRun run =
+        opts.serveAddr.empty()
+            ? runLocal(opts, count, task, journal, &cache)
+            : runServed(opts, count, task, journal, &cache,
+                        campaignName);
+    run.cache = cache.stats();
+    return run;
+}
+
+int
+runCampaignWorker(const harness::CampaignOptions& opts,
+                  std::size_t count, const harness::PointTask& task)
+{
+    WorkerOptions wo;
+    wo.connect = opts.workerAddr;
+    wo.name = opts.workerName;
+    wo.count = count;
+    wo.keys = pointKeys(task, count);
+
+    CampaignWorker worker(wo);
+    std::string err;
+    if (!worker.run(task.run, &err)) {
+        std::fprintf(stderr, "campaign worker: %s\n", err.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace svc
+} // namespace tb

@@ -1,0 +1,106 @@
+#include "svc/result_cache.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "harness/campaign_journal.hh"
+#include "sim/logging.hh"
+
+namespace tb {
+namespace svc {
+
+namespace {
+
+std::string
+keyName(std::uint64_t key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, key);
+    return buf;
+}
+
+} // namespace
+
+bool
+ResultCache::open(const std::string& dir)
+{
+    dir_.clear();
+    if (dir.empty())
+        return false;
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        warn("result cache: cannot create ", dir, ": ",
+             errnoMessage(errno), " — running uncached");
+        return false;
+    }
+    if (::access(dir.c_str(), W_OK | X_OK) != 0) {
+        warn("result cache: ", dir, " is not writable: ",
+             errnoMessage(errno), " — running uncached");
+        return false;
+    }
+    dir_ = dir;
+    return true;
+}
+
+std::string
+ResultCache::entryPath(std::uint64_t key) const
+{
+    return dir_ + "/" + keyName(key) + ".tbr";
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, std::string* result)
+{
+    if (!active())
+        return false;
+    const std::string path = entryPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ++stats_.misses;
+        return false;
+    }
+    std::string header;
+    std::getline(in, header);
+    std::uint64_t sum = 0;
+    const bool headerOk =
+        std::sscanf(header.c_str(), "TBCACHE1 %16" SCNx64, &sum) == 1;
+    std::string body;
+    if (headerOk) {
+        std::ostringstream os;
+        os << in.rdbuf();
+        body = os.str();
+    }
+    if (!headerOk || harness::fnv1a64(body) != sum) {
+        // Corrupt entry: evict so the rerun repairs the cache, and
+        // make sure corruption never masquerades as a result.
+        in.close();
+        std::remove(path.c_str());
+        ++stats_.evictions;
+        ++stats_.misses;
+        warn("result cache: evicted corrupted entry ", path);
+        return false;
+    }
+    *result = std::move(body);
+    ++stats_.hits;
+    return true;
+}
+
+void
+ResultCache::store(std::uint64_t key, const std::string& result)
+{
+    if (!active())
+        return;
+    char header[32];
+    std::snprintf(header, sizeof(header), "TBCACHE1 %016" PRIx64 "\n",
+                  harness::fnv1a64(result));
+    harness::writeFileAtomic(entryPath(key), header + result);
+    ++stats_.stores;
+}
+
+} // namespace svc
+} // namespace tb

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Content-addressed result cache for campaign sweep points.
+ *
+ * A campaign point is fully determined by its config hash — the same
+ * FNV-1a key the CampaignJournal records (sweep shape, flags,
+ * workload knobs, seed). The cache maps that key to the point's
+ * serialized artifact on disk, so a repeated point — across
+ * campaigns, across daemon restarts, across machines sharing a
+ * filesystem — is a cache hit instead of a re-simulation. Million-
+ * point sweeps stay tractable exactly to the extent repeated points
+ * become hits.
+ *
+ * Layout: one file per key, `<dir>/<%016x key>.tbr`, containing a
+ * `TBCACHE1 <%016x fnv1a-checksum>` header line followed by the
+ * artifact bytes, written via atomic tmp+rename. Every lookup
+ * re-verifies the checksum: a corrupted entry (torn write, bit rot,
+ * truncation) is *evicted* — unlinked and counted — and reported as
+ * a miss, so corruption costs one re-simulation, never a wrong
+ * artifact. Unlike the journal (scoped to one campaign file, indexed
+ * by point number), the cache is keyed purely by content hash and
+ * shared by everything.
+ */
+
+#ifndef TB_SVC_RESULT_CACHE_HH_
+#define TB_SVC_RESULT_CACHE_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace tb {
+namespace svc {
+
+/** Hit/miss/eviction accounting of one cache instance. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0; ///< corrupted entries removed
+};
+
+/** On-disk content-addressed store of point artifacts. */
+class ResultCache
+{
+  public:
+    /**
+     * Attach to @p dir, creating it (one level) if missing. Returns
+     * false — cache disabled, campaign proceeds uncached — when the
+     * directory cannot be created or is not writable.
+     */
+    bool open(const std::string& dir);
+
+    bool active() const { return !dir_.empty(); }
+    const std::string& dir() const { return dir_; }
+
+    /**
+     * Look up @p key. True (and @p result filled) only when an entry
+     * exists *and* its checksum verifies; a corrupted entry is
+     * evicted and counted, then reported as a miss.
+     */
+    bool lookup(std::uint64_t key, std::string* result);
+
+    /** Store @p result under @p key (atomic tmp+rename; overwrites). */
+    void store(std::uint64_t key, const std::string& result);
+
+    const CacheStats& stats() const { return stats_; }
+
+    /** Entry path of @p key (tests and diagnostics). */
+    std::string entryPath(std::uint64_t key) const;
+
+  private:
+    std::string dir_;
+    CacheStats stats_;
+};
+
+} // namespace svc
+} // namespace tb
+
+#endif // TB_SVC_RESULT_CACHE_HH_

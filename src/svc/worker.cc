@@ -1,0 +1,292 @@
+#include "svc/worker.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "harness/campaign_journal.hh"
+#include "harness/campaign_supervisor.hh"
+#include "harness/posix_io.hh"
+#include "sim/logging.hh"
+#include "svc/campaignd.hh"
+#include "svc/net.hh"
+
+namespace tb {
+namespace svc {
+
+namespace {
+
+std::string
+defaultWorkerName()
+{
+    char host[256] = "unknown";
+    ::gethostname(host, sizeof(host) - 1);
+    host[sizeof(host) - 1] = '\0';
+    return std::to_string(::getpid()) + "@" + host;
+}
+
+/** Whether errno @p e means "the daemon is simply gone". */
+bool
+peerGone(int e)
+{
+    return e == EPIPE || e == ECONNRESET;
+}
+
+} // namespace
+
+CampaignWorker::CampaignWorker(WorkerOptions opts)
+    : opts_(std::move(opts))
+{
+    if (opts_.name.empty())
+        opts_.name = defaultWorkerName();
+}
+
+CampaignWorker::~CampaignWorker()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+CampaignWorker::sendLocked(FrameType type, const std::string& payload)
+{
+    LockGuard lock(sendMu_);
+    return fd_ >= 0 && sendFrame(fd_, type, payload);
+}
+
+bool
+CampaignWorker::handshake(std::string* err)
+{
+    // Retry the connect while the daemon starts up (binds its socket,
+    // replays its journal): workers and daemon are normally launched
+    // together, and a bounded retry here beats sleeps in every
+    // launcher script.
+    const std::uint64_t stepMs = 100;
+    for (std::uint64_t waited = 0;; waited += stepMs) {
+        fd_ = connectTo(opts_.connect, err);
+        if (fd_ >= 0)
+            break;
+        if (waited >= opts_.connectWaitMs)
+            return false;
+        harness::pollOne(-1, 0, static_cast<int>(stepMs));
+    }
+
+    std::string hello;
+    appendU64(&hello, opts_.count);
+    appendU64(&hello, fingerprintKeys(opts_.keys));
+    appendString(&hello, opts_.name);
+    if (!sendLocked(FrameType::Hello, hello)) {
+        *err = "hello: " + errnoMessage(errno);
+        return false;
+    }
+
+    Frame f;
+    const int rc = recvFrame(fd_, &f, err);
+    if (rc <= 0) {
+        if (rc == 0)
+            *err = "daemon closed the connection during handshake";
+        return false;
+    }
+    if (f.type == FrameType::Reject) {
+        PayloadReader r(f.payload);
+        *err = "rejected by daemon: " + r.str();
+        return false;
+    }
+    if (f.type != FrameType::HelloAck) {
+        *err = std::string("expected hello-ack, got ") +
+               frameTypeName(f.type);
+        return false;
+    }
+    PayloadReader r(f.payload);
+    workerId_ = r.u64();
+    heartbeatMs_ = r.u64();
+    r.u64(); // leaseMs: informational
+    const std::uint64_t flags = r.u64();
+    if (!r.ok()) {
+        *err = "malformed hello-ack";
+        return false;
+    }
+    if (heartbeatMs_ == 0)
+        heartbeatMs_ = 1000;
+    if (flags & kHelloAckWantKeys) {
+        std::string keys;
+        keys.reserve(8 * opts_.keys.size());
+        for (std::uint64_t k : opts_.keys)
+            appendU64(&keys, k);
+        if (!sendLocked(FrameType::Keys, keys)) {
+            *err = "keys upload: " + errnoMessage(errno);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+CampaignWorker::executePoint(
+    std::size_t point,
+    const std::function<std::string(std::size_t)>& fn,
+    std::string* err)
+{
+    // Heartbeat thread: proves liveness to the daemon while the
+    // simulation runs. The condition variable both paces the interval
+    // and lets the main thread stop it instantly once the point ends.
+    std::mutex hbMu;
+    std::condition_variable hbCv;
+    bool finished = false;
+    std::thread hb([&]() {
+        std::unique_lock<std::mutex> lock(hbMu);
+        for (;;) {
+            if (hbCv.wait_for(
+                    lock, std::chrono::milliseconds(heartbeatMs_),
+                    [&]() { return finished; }))
+                return;
+            std::string p;
+            appendU64(&p, point);
+            if (!sendLocked(FrameType::Heartbeat, p))
+                return; // socket died; the main recv will see it too
+            ++stats_.heartbeats;
+        }
+    });
+
+    harness::PointOutcome outcome = harness::PointOutcome::Ok;
+    std::string payload;
+    try {
+        payload = fn(point);
+    } catch (const PanicError& e) {
+        outcome = harness::PointOutcome::CheckerViolation;
+        payload = e.what();
+    } catch (const std::exception& e) {
+        outcome = harness::PointOutcome::Exception;
+        payload = e.what();
+    } catch (...) {
+        outcome = harness::PointOutcome::Exception;
+        payload = "unknown exception";
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(hbMu);
+        finished = true;
+    }
+    hbCv.notify_all();
+    hb.join();
+
+    bool sent;
+    if (outcome == harness::PointOutcome::Ok) {
+        std::string p;
+        appendU64(&p, point);
+        appendU64(&p, point < opts_.keys.size() ? opts_.keys[point]
+                                                : 0);
+        appendU64(&p, harness::fnv1a64(payload));
+        appendString(&p, payload);
+        sent = sendLocked(FrameType::Result, p);
+        if (sent)
+            ++stats_.results;
+    } else {
+        std::string p;
+        appendU64(&p, point);
+        appendU64(&p, static_cast<std::uint64_t>(outcome));
+        appendString(&p, payload);
+        sent = sendLocked(FrameType::PointError, p);
+        if (sent)
+            ++stats_.pointErrors;
+    }
+    if (!sent && !peerGone(errno)) {
+        *err = "report for point " + std::to_string(point) + ": " +
+               errnoMessage(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+CampaignWorker::run(
+    const std::function<std::string(std::size_t)>& fn,
+    std::string* err)
+{
+    harness::ignoreSigpipe();
+    if (!handshake(err))
+        return false;
+
+    for (;;) {
+        if (!sendLocked(FrameType::LeaseRequest, "")) {
+            if (peerGone(errno)) {
+                warn("campaign worker: daemon gone; assuming the "
+                     "campaign ended");
+                return true;
+            }
+            *err = "lease request: " + errnoMessage(errno);
+            return false;
+        }
+        Frame f;
+        const int rc = recvFrame(fd_, &f, err);
+        if (rc == 0 || (rc < 0 && peerGone(errno))) {
+            // The daemon resolved the campaign (possibly via another
+            // worker) and exited between our frames. Not a worker
+            // failure: real daemon crashes surface in the daemon's
+            // own exit status and artifacts.
+            warn("campaign worker: daemon gone; assuming the "
+                 "campaign ended");
+            return true;
+        }
+        if (rc < 0)
+            return false;
+        switch (f.type) {
+          case FrameType::LeaseGrant: {
+            PayloadReader r(f.payload);
+            const std::size_t point =
+                static_cast<std::size_t>(r.u64());
+            ++stats_.leases;
+            if (!executePoint(point, fn, err))
+                return false;
+            // The daemon acks every report; Done can follow
+            // immediately when ours was the last point.
+            Frame ack;
+            const int arc = recvFrame(fd_, &ack, err);
+            if (arc == 0 || (arc < 0 && peerGone(errno))) {
+                warn("campaign worker: daemon gone; assuming the "
+                     "campaign ended");
+                return true;
+            }
+            if (arc < 0)
+                return false;
+            if (ack.type == FrameType::Done) {
+                sendLocked(FrameType::Goodbye, "");
+                return true;
+            }
+            break;
+          }
+          case FrameType::NoWork: {
+            PayloadReader r(f.payload);
+            const std::uint64_t hint = r.u64();
+            ++stats_.noWorkWaits;
+            // Wait as hinted, but wake early if the daemon speaks
+            // (usually the final Done broadcast).
+            harness::pollOne(
+                fd_, POLLIN,
+                static_cast<int>(
+                    std::min<std::uint64_t>(hint ? hint : 100, 1000)));
+            break;
+          }
+          case FrameType::Done:
+            sendLocked(FrameType::Goodbye, "");
+            return true;
+          case FrameType::Reject: {
+            PayloadReader r(f.payload);
+            *err = "rejected by daemon: " + r.str();
+            return false;
+          }
+          default:
+            *err = std::string("unexpected frame from daemon: ") +
+                   frameTypeName(f.type);
+            return false;
+        }
+    }
+}
+
+} // namespace svc
+} // namespace tb

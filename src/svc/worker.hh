@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Campaign worker client: leases points from a CampaignService and
+ * streams artifacts back (docs/ROBUSTNESS.md, "Distributed
+ * campaigns").
+ *
+ * A worker is deliberately stateless about the campaign: it knows the
+ * point space (count + per-point config hashes) and how to execute a
+ * point; everything else — what to run next, retry budgets, whether
+ * the work already exists in the journal or cache — lives in the
+ * daemon. That is what makes a SIGKILLed worker free: it held only
+ * leases, and leases come back.
+ *
+ * While a point simulates, a heartbeat thread keeps the connection
+ * demonstrably alive at the daemon-announced interval; a worker wedged
+ * inside a simulation stops heartbeating and is declared dead after
+ * kHeartbeatMisses intervals, bounding the daemon's exposure without
+ * any worker-side watchdog.
+ */
+
+#ifndef TB_SVC_WORKER_HH_
+#define TB_SVC_WORKER_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/thread_safety.hh"
+#include "svc/frame.hh"
+
+namespace tb {
+namespace svc {
+
+/** One worker process's configuration. */
+struct WorkerOptions
+{
+    std::string connect;           ///< unix:PATH or tcp:HOST:PORT
+    std::string name;              ///< announced id; "" = "pid@host"
+    std::size_t count = 0;         ///< point-space size
+    std::vector<std::uint64_t> keys; ///< per-point config hashes
+    /// How long to keep retrying the initial connect. Workers are
+    /// typically launched alongside the daemon; this absorbs the
+    /// daemon's startup (journal replay, cache scan) without the
+    /// launcher needing sleeps.
+    std::uint64_t connectWaitMs = 5000;
+};
+
+/** Client-side counters (smoke tests assert on these). */
+struct WorkerStats
+{
+    std::uint64_t leases = 0;
+    std::uint64_t results = 0;
+    std::uint64_t pointErrors = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t noWorkWaits = 0;
+};
+
+/** Lease/execute/report loop of one worker process. */
+class CampaignWorker
+{
+  public:
+    explicit CampaignWorker(WorkerOptions opts);
+    ~CampaignWorker();
+
+    CampaignWorker(const CampaignWorker&) = delete;
+    CampaignWorker& operator=(const CampaignWorker&) = delete;
+
+    /**
+     * Connect, handshake, then lease and execute points via @p fn
+     * until the daemon reports the campaign Done. @p fn returns the
+     * point's serialized artifact; exceptions become PointError
+     * frames classified like the local supervisor (PanicError ->
+     * checker-violation, anything else -> exception). Returns true on
+     * a clean Done; false (with a diagnostic in @p err) on rejection
+     * or connection loss.
+     */
+    bool run(const std::function<std::string(std::size_t)>& fn,
+             std::string* err);
+
+    const WorkerStats& stats() const { return stats_; }
+    std::uint64_t workerId() const { return workerId_; }
+
+  private:
+    bool handshake(std::string* err);
+    bool executePoint(
+        std::size_t point,
+        const std::function<std::string(std::size_t)>& fn,
+        std::string* err);
+    bool sendLocked(FrameType type, const std::string& payload);
+
+    WorkerOptions opts_;
+    int fd_ = -1;
+    Mutex sendMu_; ///< main loop and heartbeat thread share the socket
+    std::uint64_t workerId_ = 0;
+    std::uint64_t heartbeatMs_ = 1000;
+    WorkerStats stats_;
+};
+
+} // namespace svc
+} // namespace tb
+
+#endif // TB_SVC_WORKER_HH_

@@ -165,6 +165,124 @@ TEST(CampaignJournal, SkipsTornAndCorruptLines)
     std::remove(path.c_str());
 }
 
+TEST(CampaignJournal, DuplicateIdenticalLinesTolerated)
+{
+    // The same record twice (resume after a crash between fflush and
+    // exit, journal appended across runs) is benign: same bytes, last
+    // one wins, counted once.
+    const std::string path = tempPath("journal_dup.jsonl");
+    {
+        CampaignJournal j;
+        j.open(path, false);
+        j.record(0, 0xaaaa, 1, "same");
+    }
+    const std::string one = slurp(path);
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << one;
+    }
+    CampaignJournal j;
+    j.open(path, /*resume=*/true);
+    EXPECT_EQ(j.loaded(), 1u);
+    std::string out;
+    EXPECT_TRUE(j.lookup(0, 0xaaaa, &out));
+    EXPECT_EQ(out, "same");
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, ConflictingConfigHashesRejected)
+{
+    // Two campaigns (or two concurrent daemons) sharing one journal
+    // file: the same point under different config hashes. Silently
+    // keeping either entry would poison every later resume, so open()
+    // must refuse with a diagnostic naming the point and both hashes.
+    const std::string path = tempPath("journal_conflict_cfg.jsonl");
+    {
+        CampaignJournal j;
+        j.open(path, false);
+        j.record(2, 0x1111, 1, "campaign A bytes");
+    }
+    {
+        CampaignJournal j;
+        j.open(path, /*resume=*/true);
+        j.record(2, 0x2222, 1, "campaign B bytes");
+    }
+    CampaignJournal j;
+    try {
+        j.open(path, /*resume=*/true);
+        FAIL() << "conflicting config hashes must be rejected";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("point 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("0000000000001111"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("0000000000002222"), std::string::npos)
+            << msg;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, ConflictingResultsRejected)
+{
+    // Same point, same config hash, different result bytes: either
+    // concurrent writers interleaved or a point is nondeterministic.
+    // Both make the journal unusable for byte-identical resume.
+    const std::string path = tempPath("journal_conflict_res.jsonl");
+    {
+        CampaignJournal j;
+        j.open(path, false);
+        j.record(0, 0xaaaa, 1, "first bytes");
+    }
+    {
+        CampaignJournal j;
+        j.open(path, /*resume=*/true);
+        j.record(0, 0xaaaa, 1, "second bytes");
+    }
+    CampaignJournal j;
+    EXPECT_THROW(j.open(path, /*resume=*/true), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, TornFinalLineFuzz)
+{
+    // A writer can die at any byte of the final record (ENOSPC,
+    // SIGKILL). Whatever the cut point, open(resume) must neither
+    // crash nor resurrect the torn record — the intact prefix loads,
+    // the torn tail is simply rerun.
+    const std::string path = tempPath("journal_torn_fuzz.jsonl");
+    const std::string tricky = "r\"quote\\slash\nnewline\ttab";
+    std::string full;
+    {
+        CampaignJournal j;
+        j.open(path, false);
+        j.record(0, 0xaaaa, 1, "intact first record");
+        j.record(1, 0xbbbb, 2, tricky);
+        full = slurp(path);
+    }
+    const std::size_t first_nl = full.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    for (std::size_t cut = first_nl + 1; cut < full.size(); ++cut) {
+        writeFileAtomic(path, full.substr(0, cut));
+        CampaignJournal j;
+        j.open(path, /*resume=*/true);
+        std::string out;
+        EXPECT_TRUE(j.lookup(0, 0xaaaa, &out)) << "cut at " << cut;
+        EXPECT_EQ(out, "intact first record");
+        if (cut == full.size() - 1) {
+            // Only the trailing newline is missing: the record itself
+            // is complete and checksummed, so it legitimately loads.
+            EXPECT_EQ(j.loaded(), 2u);
+            EXPECT_TRUE(j.lookup(1, 0xbbbb, &out));
+            EXPECT_EQ(out, tricky);
+        } else {
+            EXPECT_EQ(j.loaded(), 1u) << "cut at " << cut;
+            EXPECT_FALSE(j.lookup(1, 0xbbbb, &out))
+                << "cut at " << cut;
+        }
+    }
+    std::remove(path.c_str());
+}
+
 /**
  * The resume contract end to end through the supervisor: a first run
  * completes half the campaign (the rest fails), a second run with

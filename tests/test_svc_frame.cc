@@ -1,0 +1,202 @@
+/**
+ * @file
+ * TBF1 frame protocol tests: payload builder/reader round trips,
+ * encode/decode through the incremental FrameReader at every chunk
+ * boundary, blocking send/recv over a socketpair, and the malformed-
+ * header paths (bad magic, wrong version, oversized payload) that
+ * must poison a connection instead of desynchronizing it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "svc/frame.hh"
+
+namespace tb {
+namespace {
+
+using svc::appendString;
+using svc::appendU64;
+using svc::Frame;
+using svc::FrameReader;
+using svc::FrameType;
+using svc::PayloadReader;
+
+TEST(SvcPayload, U64AndStringRoundTrip)
+{
+    std::string binary = "artifact with ";
+    binary += '\0';
+    binary += " byte inside";
+
+    std::string p;
+    appendU64(&p, 0);
+    appendU64(&p, 0xdeadbeefcafef00dull);
+    appendString(&p, "");
+    appendString(&p, binary);
+    appendU64(&p, 42);
+
+    PayloadReader r(p);
+    EXPECT_EQ(r.u64(), 0u);
+    EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(r.str(), "");
+    EXPECT_EQ(r.str(), binary);
+    EXPECT_EQ(r.u64(), 42u);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SvcPayload, OverrunSetsNotOk)
+{
+    std::string p;
+    appendU64(&p, 7);
+    PayloadReader r(p);
+    EXPECT_EQ(r.u64(), 7u);
+    EXPECT_EQ(r.u64(), 0u) << "past-the-end read yields zero";
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.exhausted());
+}
+
+TEST(SvcPayload, TruncatedStringSetsNotOk)
+{
+    std::string p;
+    appendString(&p, "hello");
+    p.resize(p.size() - 2); // sever the string body
+    PayloadReader r(p);
+    (void)r.str();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(SvcFrame, EncodeHeaderShape)
+{
+    std::string payload;
+    appendU64(&payload, 5);
+    const std::string wire =
+        svc::encodeFrame(FrameType::Heartbeat, payload);
+    ASSERT_EQ(wire.size(), 12u + payload.size());
+    EXPECT_EQ(wire.compare(0, 4, "TBF1"), 0);
+    // version 1, little-endian
+    EXPECT_EQ(static_cast<unsigned char>(wire[4]), 1u);
+    EXPECT_EQ(static_cast<unsigned char>(wire[5]), 0u);
+    // type Heartbeat = 3
+    EXPECT_EQ(static_cast<unsigned char>(wire[6]), 3u);
+    // length 8
+    EXPECT_EQ(static_cast<unsigned char>(wire[8]), 8u);
+}
+
+TEST(SvcFrame, ReaderDecodesAtEveryChunkBoundary)
+{
+    std::string payload;
+    appendU64(&payload, 9);
+    appendString(&payload, "result bytes");
+    const std::string wire =
+        svc::encodeFrame(FrameType::Result, payload) +
+        svc::encodeFrame(FrameType::Goodbye, "") +
+        svc::encodeFrame(FrameType::Heartbeat, std::string(8, '\0'));
+
+    // Split the stream at every possible boundary: framing must not
+    // depend on how poll() happened to chunk the bytes.
+    for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+        FrameReader reader;
+        std::vector<Frame> frames;
+        ASSERT_TRUE(reader.feed(wire.data(), cut, &frames));
+        ASSERT_TRUE(reader.feed(wire.data() + cut, wire.size() - cut,
+                                &frames));
+        ASSERT_EQ(frames.size(), 3u) << "cut at " << cut;
+        EXPECT_EQ(frames[0].type, FrameType::Result);
+        EXPECT_EQ(frames[0].payload, payload);
+        EXPECT_EQ(frames[1].type, FrameType::Goodbye);
+        EXPECT_TRUE(frames[1].payload.empty());
+        EXPECT_EQ(frames[2].type, FrameType::Heartbeat);
+    }
+}
+
+TEST(SvcFrame, BadMagicPoisonsReader)
+{
+    std::string wire = svc::encodeFrame(FrameType::Goodbye, "");
+    wire[0] = 'X';
+    FrameReader reader;
+    std::vector<Frame> frames;
+    EXPECT_FALSE(reader.feed(wire.data(), wire.size(), &frames));
+    EXPECT_TRUE(frames.empty());
+    EXPECT_FALSE(reader.error().empty());
+    // Once poisoned, even good bytes are refused: framing is
+    // unrecoverable after desync.
+    const std::string good = svc::encodeFrame(FrameType::Goodbye, "");
+    EXPECT_FALSE(reader.feed(good.data(), good.size(), &frames));
+}
+
+TEST(SvcFrame, WrongVersionRejected)
+{
+    std::string wire = svc::encodeFrame(FrameType::Goodbye, "");
+    wire[4] = 2; // future protocol version
+    FrameReader reader;
+    std::vector<Frame> frames;
+    EXPECT_FALSE(reader.feed(wire.data(), wire.size(), &frames));
+    EXPECT_NE(reader.error().find("version"), std::string::npos);
+}
+
+TEST(SvcFrame, OversizedPayloadRejected)
+{
+    std::string wire = svc::encodeFrame(FrameType::Goodbye, "");
+    // Forge length = 0xffffffff: must be refused before allocation.
+    std::memset(&wire[8], 0xff, 4);
+    FrameReader reader;
+    std::vector<Frame> frames;
+    EXPECT_FALSE(reader.feed(wire.data(), wire.size(), &frames));
+    EXPECT_FALSE(reader.error().empty());
+}
+
+TEST(SvcFrame, SendRecvOverSocketpair)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    std::string payload;
+    appendU64(&payload, 3);
+    appendString(&payload, "over the wire");
+    ASSERT_TRUE(svc::sendFrame(sv[0], FrameType::Result, payload));
+
+    Frame f;
+    std::string err;
+    ASSERT_EQ(svc::recvFrame(sv[1], &f, &err), 1) << err;
+    EXPECT_EQ(f.type, FrameType::Result);
+    EXPECT_EQ(f.payload, payload);
+
+    // Clean close on one end is EOF (0), not an error, on the other.
+    ::close(sv[0]);
+    EXPECT_EQ(svc::recvFrame(sv[1], &f, &err), 0);
+    ::close(sv[1]);
+}
+
+TEST(SvcFrame, RecvRejectsGarbageHeader)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const char garbage[12] = {'n', 'o', 't', 'a', 'f', 'r',
+                              'a', 'm', 'e', '!', '!', '!'};
+    ASSERT_EQ(::write(sv[0], garbage, sizeof(garbage)),
+              static_cast<ssize_t>(sizeof(garbage)));
+    Frame f;
+    std::string err;
+    EXPECT_EQ(svc::recvFrame(sv[1], &f, &err), -1);
+    EXPECT_FALSE(err.empty());
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(SvcFrame, TypeNamesCoverProtocol)
+{
+    EXPECT_STREQ(svc::frameTypeName(FrameType::Hello), "hello");
+    EXPECT_STREQ(svc::frameTypeName(FrameType::LeaseGrant),
+                 "lease-grant");
+    EXPECT_STREQ(svc::frameTypeName(FrameType::Reject), "reject");
+}
+
+} // namespace
+} // namespace tb

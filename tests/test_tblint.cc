@@ -223,6 +223,31 @@ TEST(TblintWallClock, MethodNamedTimeIsClean)
     EXPECT_TRUE(fs.empty());
 }
 
+TEST(TblintWallClock, SleepFamilyFires)
+{
+    // Blocking sleeps hide latency from lease/heartbeat machinery —
+    // daemons and workers must wait on poll() timeouts instead.
+    const auto fs = lintContent("src/svc/a.cc", R"tb(
+        void waitAround() {
+            sleep(1);
+            usleep(100);
+            nanosleep(&ts, nullptr);
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+        }
+    )tb");
+    EXPECT_EQ(countRule(fs, "TBL002"), 4u);
+}
+
+TEST(TblintWallClock, MethodNamedSleepIsClean)
+{
+    // The power model's sleep-state transitions (`cpu.sleep(state)`)
+    // are simulation behaviour, not libc sleep().
+    const auto fs = lintContent("src/a.cc", R"tb(
+        void park(Cpu& cpu) { cpu.sleep(SleepState::DeepNap); }
+    )tb");
+    EXPECT_TRUE(fs.empty());
+}
+
 // ----------------------------------------------------------------------
 // TBL003 — pointer identity in output
 // ----------------------------------------------------------------------

@@ -233,7 +233,14 @@ isBannedClockCall(const std::string& s)
     return s == "time" || s == "clock" || s == "rand" ||
            s == "srand" || s == "gettimeofday" ||
            s == "clock_gettime" || s == "timespec_get" ||
-           s == "localtime" || s == "gmtime" || s == "mktime";
+           s == "localtime" || s == "gmtime" || s == "mktime" ||
+           // Blocking sleeps are wall-clock dependencies too: a
+           // daemon/worker that sleeps hides latency from the lease
+           // and heartbeat machinery. Wait on poll() timeouts
+           // (harness::pollOne) so waits are interruptible and
+           // visibly bounded.
+           s == "sleep" || s == "usleep" || s == "nanosleep" ||
+           s == "alarm" || s == "sleep_for" || s == "sleep_until";
 }
 
 void
@@ -272,9 +279,11 @@ ruleWallClock(const FileCtx& ctx, std::vector<Finding>* out)
             t[i - 1].text != "do" && t[i - 1].text != "case")
             continue;
         if (i > 0 && isPunct(t, i - 1, "::")) {
-            // std::time / ::time stay banned; Foo::time is a method.
+            // std::time / ::time / this_thread::sleep_for stay
+            // banned; Foo::time is a method.
             if (i > 1 && t[i - 2].kind == TokKind::Ident &&
-                t[i - 2].text != "std")
+                t[i - 2].text != "std" &&
+                t[i - 2].text != "this_thread")
                 continue;
         }
         emit(out, ctx, "TBL002", t[i].line,
