@@ -89,10 +89,13 @@ matrixPointTask(const harness::SystemConfig& sys,
 {
     const std::vector<harness::ConfigKind> kinds = figureConfigs();
     harness::PointTask task;
-    task.run = [&sys, &apps, capture, kinds](std::size_t i) {
+    task.run = [&sys, &apps, &opts, capture, kinds](std::size_t i) {
         const std::size_t a = i / kinds.size();
         const std::size_t k = i % kinds.size();
         harness::RunOptions ro;
+        // Like --jobs, --sim-threads never changes a point's result
+        // (parallel_sim.hh), so it stays out of task.key below.
+        ro.simThreads = opts.simThreads;
         harness::ObsCapture::PointScope scope;
         if (capture)
             capture->arm(i, &ro, &scope);
@@ -244,6 +247,13 @@ struct MicroMetric
     double value = 0.0;
     std::uint64_t ops = 0; ///< operations contributing to the value
     double wallSeconds = 0.0;
+    /**
+     * Host worker threads the metric was measured with (PDES
+     * benchmarks); 0 = thread-independent metric, field omitted.
+     * compare_bench.py only enforces absolute speedup floors on
+     * lines that actually ran multi-threaded (threads >= 4).
+     */
+    unsigned threads = 0;
 };
 
 /** Emit one microbenchmark metric as a single campaign-JSON line. */
@@ -258,6 +268,8 @@ printMicroJson(std::ostream& os, const MicroMetric& m)
         .field("value", m.value)
         .field("ops", m.ops)
         .field("wall_s", m.wallSeconds);
+    if (m.threads != 0)
+        w.field("threads", m.threads);
     w.endObject();
     os << '\n';
 }

@@ -10,12 +10,32 @@
 #   scripts/check_all.sh faults      # fault campaign only
 #   scripts/check_all.sh lint        # tblint static analysis only
 #   scripts/check_all.sh distributed # daemon/worker kill smoke test
+#   scripts/check_all.sh pdes        # --sim-threads determinism matrix
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [ "${1:-}" = "--help" ] || [ "${1:-}" = "-h" ]; then
+    cat <<'EOF'
+usage: scripts/check_all.sh [preset ...]
+
+Presets (default: all of them, in this order):
+  lint         tblint static analysis + clang -Wthread-safety build
+  check        Debug + TB_CHECK=ON test suite (docs/CHECKING.md)
+  faults       multi-seed fault campaign (docs/ROBUSTNESS.md)
+  address      AddressSanitizer test suite
+  undefined    UBSanitizer test suite
+  thread       ThreadSanitizer test suite
+  distributed  daemon/worker SIGKILL smoke test (docs/ROBUSTNESS.md)
+  pdes         --sim-threads 1/2/4/8 determinism matrix
+               (docs/PERFORMANCE.md, "Parallel simulation (PDES)")
+EOF
+    exit 0
+fi
+
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-    presets=(lint check faults address undefined thread distributed)
+    presets=(lint check faults address undefined thread distributed
+             pdes)
 fi
 
 run_preset() {
@@ -36,10 +56,13 @@ run_preset() {
       lint|distributed)
         flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
         ;;
+      pdes)
+        flags=(-DCMAKE_BUILD_TYPE=Release)
+        ;;
       *)
         echo "unknown preset '$preset'" >&2
         echo "expected: lint, check, faults, address, undefined," \
-             "thread or distributed" >&2
+             "thread, distributed or pdes" >&2
         return 1
         ;;
     esac
@@ -60,6 +83,16 @@ run_preset() {
         else
             echo "clang++ not found: skipping TB_THREAD_SAFETY build"
         fi
+        return 0
+    fi
+    if [ "$preset" = pdes ]; then
+        # PDES determinism matrix (docs/PERFORMANCE.md): the same
+        # simulations at --sim-threads 1/2/4/8 must write
+        # byte-identical artifacts.
+        cmake -B "$dir" -G Ninja "${flags[@]}"
+        cmake --build "$dir" -j --target thrifty_sim figure6_time
+        BUILD_DIR="$dir" OUT_DIR="$dir/pdes_determinism" \
+            scripts/pdes_determinism.sh
         return 0
     fi
     if [ "$preset" = distributed ]; then

@@ -20,9 +20,19 @@ Policy:
   normalized value regresses by more than ``--threshold`` (default 25%).
   Improvements never fail; a large improvement is a hint to refresh the
   baseline (see docs/PERFORMANCE.md).
-* Metrics with unit "ticks" are simulated quantities and must be
-  bit-identical per seed: any difference is a determinism failure, not
-  a perf regression, and always fails regardless of threshold.
+* Metrics with unit "ticks" or "count" are simulated quantities and
+  must be bit-identical per seed: any difference is a determinism
+  failure, not a perf regression, and always fails regardless of
+  threshold.
+* Metrics with unit "x" (the PDES fire-loop speedup) are host-relative
+  ratios: they are never calibration-normalized and never compared
+  against the baseline value (a 1-core baseline host legitimately
+  records ~1.0x). Instead they gate on an absolute floor
+  (``--speedup-floor``, default 1.5) — enforced only when the metric
+  line reports ``threads >= 4``, because the target cannot hold on
+  smaller hosts.
+* Metrics with unit "ratio" (null-message/stall overhead) are
+  host-timing diagnostics: printed for the reviewer, never gated.
 * Supervised campaigns emit one counter line per run
   (``"kind": "supervisor"``: retries, timeouts, isolated crashes,
   journaled resumes — see docs/ROBUSTNESS.md). Counters found in the
@@ -45,7 +55,10 @@ import sys
 
 
 def load_metrics(path):
-    """Return {benchmark: (unit, value)} for simcore lines in *path*."""
+    """Return {benchmark: (unit, value, threads)} for simcore lines.
+
+    ``threads`` is 0 for thread-independent metrics (field absent).
+    """
     metrics = {}
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -59,7 +72,8 @@ def load_metrics(path):
                     continue
                 if obj.get("campaign") != "simcore":
                     continue
-                metrics[obj["benchmark"]] = (obj["unit"], obj["value"])
+                metrics[obj["benchmark"]] = (obj["unit"], obj["value"],
+                                             obj.get("threads", 0))
     except OSError as e:
         sys.exit(f"compare_bench: cannot read {path}: {e}")
     if not metrics:
@@ -148,6 +162,9 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="max fractional throughput regression "
                          "(default 0.25)")
+    ap.add_argument("--speedup-floor", type=float, default=1.5,
+                    help="absolute floor for unit-'x' metrics measured "
+                         "with threads >= 4 (default 1.5)")
     args = ap.parse_args()
 
     base = load_metrics(args.baseline)
@@ -168,7 +185,7 @@ def main():
     print("-" * len(header))
 
     failures = list(supervisor_failures)
-    for name, (unit, base_val) in sorted(base.items()):
+    for name, (unit, base_val, _base_thr) in sorted(base.items()):
         if name == "calibration":
             continue
         if name not in cur:
@@ -176,20 +193,43 @@ def main():
             print(f"{name:<28} {base_val:>12.4g} {'--':>12} {'--':>12} "
                   f"{'--':>8}  MISSING")
             continue
-        cur_unit, cur_val = cur[name]
+        cur_unit, cur_val, cur_thr = cur[name]
         if cur_unit != unit:
             failures.append(
                 f"{name}: unit changed {unit} -> {cur_unit}")
             continue
-        if unit == "ticks":
+        if unit in ("ticks", "count"):
             ok = cur_val == base_val
             status = "ok (exact)" if ok else "DETERMINISM MISMATCH"
             if not ok:
                 failures.append(
-                    f"{name}: simulated ticks changed "
+                    f"{name}: simulated {unit} changed "
                     f"{base_val:g} -> {cur_val:g} (must be bit-stable)")
             print(f"{name:<28} {base_val:>12.6g} {cur_val:>12.6g} "
                   f"{cur_val:>12.6g} {'--':>8}  {status}")
+            continue
+        if unit == "x":
+            # Host-relative speedup: no calibration, no baseline
+            # delta (the baseline host's core count sets its value).
+            # Gate on the absolute floor when measured with >= 4
+            # threads; report-only below that.
+            if cur_thr >= 4:
+                ok = cur_val >= args.speedup_floor
+                status = ("ok (floor)" if ok else "BELOW SPEEDUP FLOOR")
+                if not ok:
+                    failures.append(
+                        f"{name}: {cur_val:.2f}x at {cur_thr} threads "
+                        f"is below the {args.speedup_floor:.2f}x floor")
+            else:
+                status = f"info ({cur_thr} thread(s), floor waived)"
+            print(f"{name:<28} {base_val:>12.4g} {cur_val:>12.4g} "
+                  f"{cur_val:>12.4g} {'--':>8}  {status}")
+            continue
+        if unit == "ratio":
+            # Host-timing diagnostic (null-message/stall overhead):
+            # informational only.
+            print(f"{name:<28} {base_val:>12.4g} {cur_val:>12.4g} "
+                  f"{cur_val:>12.4g} {'--':>8}  info (not gated)")
             continue
         norm = cur_val / calib if calib > 0 else cur_val
         delta = norm / base_val - 1.0

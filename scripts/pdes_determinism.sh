@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# PDES determinism matrix (docs/PERFORMANCE.md, "Parallel simulation"):
+# run one representative single simulation (thrifty_sim) and one full
+# supervised campaign (figure6_time) at --sim-threads 1, 2, 4 and 8,
+# and require every artifact — result JSON, --stats-json, --trace, and
+# the campaign's TBRESULT1 --out file — to be byte-identical to the
+# serial (--sim-threads 1) reference. This is the per-simulation
+# analogue of the --jobs determinism diffs: worker threads inside the
+# engine must never be observable in any output.
+#
+#   BUILD_DIR=build OUT_DIR=pdes_determinism scripts/pdes_determinism.sh
+#
+# The binaries (tools/thrifty_sim, bench/figure6_time) must already be
+# built in $BUILD_DIR. Artifacts stay in $OUT_DIR for upload on
+# failure. Exit 0 = all thread counts identical, 1 = divergence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_DIR=${OUT_DIR:-pdes_determinism}
+THREADS=${THREADS:-1 2 4 8}
+
+sim=$BUILD_DIR/tools/thrifty_sim
+fig=$BUILD_DIR/bench/figure6_time
+for bin in "$sim" "$fig"; do
+    if [ ! -x "$bin" ]; then
+        echo "pdes_determinism: $bin not built" >&2
+        exit 2
+    fi
+done
+
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+for t in $THREADS; do
+    d=$OUT_DIR/t$t
+    mkdir -p "$d"
+    echo "==== --sim-threads $t ===="
+    "$sim" --app Volrend --config T --dim 4 --sim-threads "$t" --json \
+        --stats-json "$d/sim_stats.json" --trace "$d/sim_trace.json" \
+        > "$d/sim_result.json"
+    "$fig" --sim-threads "$t" --out "$d/figure6.out" \
+        --stats-json "$d/figure6_stats.jsonl" \
+        --trace "$d/figure6_trace.json" > /dev/null
+done
+
+ref=$OUT_DIR/t${THREADS%% *}
+fail=0
+for t in $THREADS; do
+    d=$OUT_DIR/t$t
+    [ "$d" = "$ref" ] && continue
+    for f in sim_result.json sim_stats.json sim_trace.json \
+             figure6.out figure6_stats.jsonl figure6_trace.json; do
+        if ! cmp -s "$ref/$f" "$d/$f"; then
+            echo "MISMATCH: $f differs between --sim-threads" \
+                 "${ref#"$OUT_DIR"/t} and --sim-threads $t" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "pdes_determinism: FAILED — artifacts in $OUT_DIR" >&2
+    exit 1
+fi
+echo "pdes_determinism: all artifacts byte-identical at" \
+     "--sim-threads $THREADS"

@@ -2,12 +2,18 @@
 # Rebuild everything, run the test suite, and regenerate every table,
 # figure, ablation and extension result into results/.
 #
-#   scripts/run_all.sh [--jobs N] [--resume] [--distributed [N]]
+#   scripts/run_all.sh [--jobs N] [--sim-threads N] [--resume]
+#                      [--distributed [N]]
 #
 # --jobs N shards the campaign-style benches (figure5_energy,
 # figure6_time, robustness_faults, robustness_seeds) across N host
 # threads. Their output is byte-identical to a serial run, so N only
 # affects wall time.
+#
+# --sim-threads N drives each individual simulation through the
+# conservative PDES engine with N worker threads (docs/PERFORMANCE.md,
+# "Parallel simulation (PDES)"). Like --jobs, results are
+# byte-identical at any N.
 #
 # --distributed [N] runs the campaign benches through the distributed
 # work queue instead: each bench binary runs once as the daemon
@@ -27,6 +33,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=1
+SIM_THREADS=1
 RESUME=0
 DISTRIBUTED=0
 WORKERS=3
@@ -34,13 +41,16 @@ while [ $# -gt 0 ]; do
     case "$1" in
         --jobs)   JOBS="$2"; shift 2 ;;
         --jobs=*) JOBS="${1#--jobs=}"; shift ;;
+        --sim-threads)   SIM_THREADS="$2"; shift 2 ;;
+        --sim-threads=*) SIM_THREADS="${1#--sim-threads=}"; shift ;;
         --resume) RESUME=1; shift ;;
         --distributed)
             DISTRIBUTED=1; shift
             case "${1:-}" in [0-9]*) WORKERS="$1"; shift ;; esac ;;
         --distributed=*) DISTRIBUTED=1; WORKERS="${1#--distributed=}"; shift ;;
         *)
-            echo "usage: $0 [--jobs N] [--resume] [--distributed [N]]" >&2
+            echo "usage: $0 [--jobs N] [--sim-threads N] [--resume]" \
+                 "[--distributed [N]]" >&2
             exit 2 ;;
     esac
 done
@@ -55,7 +65,8 @@ mkdir -p results results/.journal
 # emitted by atomic rename, failure manifest on any failed point.
 campaign_args() {
     local name="$1"
-    local args="--jobs $JOBS --journal results/.journal/$name.jsonl"
+    local args="--jobs $JOBS --sim-threads $SIM_THREADS"
+    args="$args --journal results/.journal/$name.jsonl"
     args="$args --out results/$name.json"
     args="$args --manifest results/$name.manifest.json"
     [ "$RESUME" = 1 ] && args="$args --resume"

@@ -16,7 +16,7 @@ usage(const char* prog, const char* complaint, bool allowQuick)
     std::fprintf(
         stderr,
         "%s: %s\n"
-        "usage: %s %s[--jobs N] [--deadline-ms N] "
+        "usage: %s %s[--jobs N] [--sim-threads N] [--deadline-ms N] "
         "[--retries N]\n"
         "       [--backoff-ms N] [--isolate] [--journal FILE] "
         "[--resume]\n"
@@ -84,6 +84,13 @@ CampaignOptions::parse(int argc, char** argv, bool allowQuick)
                 parseU64(prog, "--jobs", value(i), allowQuick));
             if (o.policy.jobs == 0)
                 usage(prog, "option --jobs: must be >= 1", allowQuick);
+        } else if (opt == "--sim-threads") {
+            o.simThreads = static_cast<unsigned>(
+                parseU64(prog, "--sim-threads", value(i), allowQuick));
+            if (o.simThreads == 0) {
+                usage(prog, "option --sim-threads: must be >= 1",
+                      allowQuick);
+            }
         } else if (opt == "--deadline-ms") {
             o.policy.deadlineMs =
                 parseU64(prog, "--deadline-ms", value(i), allowQuick);

@@ -8,6 +8,8 @@
  * and exits 2, never a silent fallback:
  *
  *   --jobs N          shard points over N worker threads
+ *   --sim-threads N   PDES worker threads inside each simulation
+ *                     (byte-identical results at any N; default 1)
  *   --deadline-ms N   per-point wall-clock deadline (0 = none)
  *   --retries N       extra attempts per failed point
  *   --backoff-ms N    base of the exponential retry backoff
@@ -54,6 +56,13 @@ namespace harness {
 struct CampaignOptions
 {
     SupervisorPolicy policy;
+    /**
+     * PDES worker threads per simulation (--sim-threads,
+     * harness/parallel_sim.hh). Like --jobs it never changes results,
+     * so it is excluded from config hashes, journals, caches and
+     * reproFlags().
+     */
+    unsigned simThreads = 1;
     std::string journalPath; ///< "" = no journal
     bool resume = false;
     std::string outPath;      ///< "" = stdout only

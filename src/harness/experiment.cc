@@ -5,6 +5,7 @@
 
 #include "check/protocol_checker.hh"
 #include "fault/fault_injector.hh"
+#include "harness/parallel_sim.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "thrifty/conventional_barrier.hh"
@@ -154,7 +155,9 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
         app, provider, sys.seed);
 
     program.start();
-    machine.run();
+    // PDES or serial by options.simThreads; byte-identical results
+    // either way (parallel_sim.hh), so nothing downstream branches.
+    runMachinePdes(machine, options.simThreads);
 
     if (!program.finished())
         panic("experiment deadlocked: ", app.name, " under ",

@@ -171,6 +171,15 @@ struct RunOptions
      * checker is armed.
      */
     Tick livenessBudget = 0;
+    /**
+     * Worker threads driving this one simulation through the
+     * conservative PDES engine (harness/parallel_sim.hh); 1 = the
+     * serial reference engine. Never affects results — stats, traces
+     * and artifacts are byte-identical at any value — so it is NOT
+     * part of the experiment's identity (config hashes, journals and
+     * result caches ignore it, exactly like --jobs).
+     */
+    unsigned simThreads = 1;
 };
 
 /**

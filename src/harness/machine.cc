@@ -82,6 +82,12 @@ Tick
 Machine::run()
 {
     eq.run();
+    return finalize();
+}
+
+Tick
+Machine::finalize()
+{
     for (auto& c : cpus)
         c->finalize();
     return eq.now();

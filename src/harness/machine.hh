@@ -92,6 +92,15 @@ class Machine
      */
     Tick run();
 
+    /**
+     * Close every CPU's accounting interval after the event queue was
+     * drained by an external driver — the conservative PDES runner
+     * (harness/parallel_sim.hh) drives eq through a pdes::Engine and
+     * then calls this. run() is exactly drain + finalize().
+     * @return the final simulated tick.
+     */
+    Tick finalize();
+
     /** Machine-wide energy/time ledger (valid after run()). */
     power::EnergyAccount totalEnergy() const;
 

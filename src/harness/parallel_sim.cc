@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Multi-threaded single-simulation driver (see parallel_sim.hh).
+ */
+
+#include "harness/parallel_sim.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/machine.hh"
+
+namespace tb {
+namespace harness {
+
+PdesRunReport
+runMachinePdes(Machine& machine, unsigned threads)
+{
+    PdesRunReport report;
+    report.threads = threads < 1 ? 1u : threads;
+    report.modelLookahead =
+        machine.memory().fabric().minMessageLatency();
+
+    if (report.threads <= 1) {
+        report.finalTick = machine.run();
+        return report;
+    }
+
+    pdes::Engine::Config cfg;
+    cfg.threads = report.threads;
+    pdes::Engine engine(cfg);
+    // The whole model is one external partition (see the header for
+    // why per-node partitions need the per-hop NoC rework first), so
+    // the queue keeps its plain insertion-order scheduling and the
+    // executed event order is the serial order by construction.
+    engine.addExternalPartition("machine", machine.eventQueue());
+    engine.run();
+    report.finalTick = machine.finalize();
+    report.engine = engine.stats();
+    return report;
+}
+
+unsigned
+parseSimThreadsArg(int argc, char** argv)
+{
+    const auto usage = [&](const char* text) {
+        std::fprintf(stderr,
+                     "%s: --sim-threads: '%s' is not a positive "
+                     "integer\nusage: %s [--sim-threads N]\n",
+                     argv[0], text, argv[0]);
+        std::exit(2);
+    };
+    unsigned threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char* text = nullptr;
+        if (std::strcmp(argv[i], "--sim-threads") == 0 && i + 1 < argc)
+            text = argv[++i];
+        else if (std::strncmp(argv[i], "--sim-threads=", 14) == 0)
+            text = argv[i] + 14;
+        if (!text)
+            continue;
+        // Strict: `--sim-threads 4x` must not silently serialize.
+        errno = 0;
+        char* end = nullptr;
+        const long v = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0' || errno == ERANGE || v < 1)
+            usage(text);
+        threads = static_cast<unsigned>(v);
+    }
+    return threads;
+}
+
+} // namespace harness
+} // namespace tb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Multi-threaded single-simulation driver: runs one Machine under the
+ * conservative PDES engine (sim/pdes.hh), selected by --sim-threads N
+ * in thrifty_sim and the campaign CLI.
+ *
+ * Contract: any thread count produces byte-identical stats, traces
+ * and campaign artifacts to the serial engine — the per-simulation
+ * analogue of what --jobs guarantees per sweep point. The CI
+ * pdes-determinism job diffs the artifacts at 1/2/4/8 threads.
+ *
+ * Today the whole machine model executes as ONE engine partition:
+ * the coherence fabric reserves every link along a route at send
+ * time in global event order, and the thrifty runtime's barrier
+ * bookkeeping (predictor, BRTS, quarantine) mutates shared state
+ * with zero modeled latency — both give a per-node split zero
+ * conservative lookahead, so a per-node partitioning cannot yet be
+ * bit-exact. The engine, its channels and the lookahead bound the
+ * model WILL use (Fabric::minMessageLatency, 48 ns) are in place and
+ * exercised at full parallelism by the engine tests and the
+ * micro_simcore PDES workload; moving the NoC link reservation to
+ * per-hop timing so node clusters become real partitions is ROADMAP
+ * item 2. See docs/PERFORMANCE.md "Parallel simulation (PDES)".
+ */
+
+#ifndef TB_HARNESS_PARALLEL_SIM_HH_
+#define TB_HARNESS_PARALLEL_SIM_HH_
+
+#include "sim/pdes.hh"
+#include "sim/types.hh"
+
+namespace tb {
+namespace harness {
+
+class Machine;
+
+/** Outcome of driving one Machine under the PDES engine. */
+struct PdesRunReport
+{
+    Tick finalTick = 0;
+    /** Worker threads actually used. */
+    unsigned threads = 1;
+    /** The model's conservative lookahead bound (48 ns NoC minimum),
+     *  recorded so diagnostics and docs state the real number. */
+    Tick modelLookahead = 0;
+    /** Engine counters (empty when threads == 1 ran serially). */
+    pdes::EngineStats engine;
+};
+
+/**
+ * Drain @p machine's event queue with @p threads workers and close
+ * its accounting intervals. threads <= 1 is exactly Machine::run();
+ * threads > 1 drives the queue through a pdes::Engine. Results are
+ * byte-identical either way (see file comment).
+ */
+PdesRunReport runMachinePdes(Machine& machine, unsigned threads);
+
+/**
+ * Strict --sim-threads option scan, same contract as
+ * ParallelCampaignRunner::parseJobsArg: accepts `--sim-threads N` and
+ * `--sim-threads=N`, rejects anything that is not one whole integer
+ * >= 1 with a usage message and exit 2, and returns 1 when the option
+ * is absent.
+ */
+unsigned parseSimThreadsArg(int argc, char** argv);
+
+} // namespace harness
+} // namespace tb
+
+#endif // TB_HARNESS_PARALLEL_SIM_HH_

@@ -47,6 +47,12 @@ Fabric::toDirectory(NodeId from, Msg msg)
     });
 }
 
+Tick
+Fabric::minMessageLatency() const
+{
+    return net.config().minCrossNodeLatency();
+}
+
 void
 Fabric::toController(NodeId from, NodeId dst, Msg msg)
 {

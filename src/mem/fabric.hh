@@ -43,6 +43,15 @@ class Fabric
     /** Home node of the line @p a belongs to. */
     NodeId home(Addr a) const { return map.home(a); }
 
+    /**
+     * Minimum latency of any coherence message between two distinct
+     * nodes. Every fabric hop rides the NoC, so this is exactly the
+     * network's minimum cross-node latency — the conservative
+     * lookahead bound a per-node PDES partitioning of the memory
+     * system would use (docs/PERFORMANCE.md "Parallel simulation").
+     */
+    Tick minMessageLatency() const;
+
     /** The placement map (for shared/private queries). */
     const AddressMap& addressMap() const { return map; }
 

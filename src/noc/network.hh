@@ -59,6 +59,16 @@ struct NetworkConfig
 
     /** Number of nodes (2^dimension). */
     unsigned nodes() const { return 1u << dimension; }
+
+    /**
+     * Minimum latency of any cross-node message: marshal + one
+     * pin-to-pin hop + unmarshal, with zero contention and a
+     * single-flit payload. Nothing a node sends can affect another
+     * node sooner, which makes this the machine's natural
+     * conservative lookahead for per-node PDES partitioning
+     * (sim/pdes.hh, docs/PERFORMANCE.md).
+     */
+    Tick minCrossNodeLatency() const { return marshal + pinToPin + marshal; }
 };
 
 /**

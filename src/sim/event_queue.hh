@@ -360,6 +360,53 @@ class EventQueue
     }
 
     /**
+     * Schedule @p f with an explicit tie-break key: events at equal
+     * (when, priority) run in ascending (@p stream, @p order) order
+     * instead of insertion order.
+     *
+     * This is the substrate of the conservative PDES engine
+     * (sim/pdes.hh): a partition's queue receives both locally
+     * scheduled events and events merged in from peer partitions'
+     * channels, and the merge happens at horizon boundaries whose
+     * timing depends on host-thread scheduling. Keying every entry by
+     * (origin partition, origin sequence) makes the executed total
+     * order (time, priority, partition, seq) — a function of the
+     * simulation alone, never of when a merge happened to run.
+     *
+     * A queue must be driven either entirely through schedule() or
+     * entirely through scheduleKeyed(): the two pack their heap keys
+     * differently, so mixing them interleaves ties arbitrarily (each
+     * style alone is a strict total order).
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  std::is_invocable_v<std::decay_t<F>&>>>
+    EventHandle
+    scheduleKeyed(Tick when, int priority, std::uint16_t stream,
+                  std::uint32_t order, F&& f)
+    {
+        const std::uint32_t idx = prepareSlot(when, priority);
+        Slot& s = slot(idx);
+        s.callback.emplace(std::forward<F>(f));
+        heapPush(HeapEntry{when, packKeyedKey(priority, stream, order),
+                           idx});
+        ++livePending;
+        return EventHandle(this, idx, s.gen);
+    }
+
+    /**
+     * Tick of the earliest live pending event, or kTickNever when the
+     * queue is empty. Reaps canceled events sitting at the head (the
+     * same pass runOne()/run() perform), so the answer is exact.
+     */
+    Tick
+    nextTick()
+    {
+        dropDead();
+        return heap.empty() ? kTickNever : heap.front().when;
+    }
+
+    /**
      * Execute the single next pending event.
      * @return true if an event ran, false if the queue was empty.
      */
@@ -448,6 +495,20 @@ class EventQueue
         const auto biased = static_cast<std::uint16_t>(
             static_cast<std::uint16_t>(priority) ^ 0x8000u);
         return (std::uint64_t{biased} << kSeqBits) | seq;
+    }
+
+    /**
+     * Key layout for scheduleKeyed(): the 48 sequence bits split into
+     * a 16-bit stream id over a 32-bit per-stream order, so the packed
+     * word still compares as (priority, stream, order) in one compare.
+     */
+    static std::uint64_t
+    packKeyedKey(int priority, std::uint16_t stream, std::uint32_t order)
+    {
+        const auto biased = static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(priority) ^ 0x8000u);
+        return (std::uint64_t{biased} << kSeqBits) |
+               (std::uint64_t{stream} << 32) | order;
     }
 
     Slot&

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Conservative PDES engine implementation (see pdes.hh for the
+ * algorithm and the determinism argument).
+ */
+
+#include "sim/pdes.hh"
+
+#include <algorithm>
+#include <thread>
+
+namespace tb {
+namespace pdes {
+
+using detail::Channel;
+using detail::ChannelMsg;
+
+// ---------------------------------------------------------------------
+// Partition
+// ---------------------------------------------------------------------
+
+Partition::Partition(PartitionId id, std::string name,
+                     EventQueue* externalQueue)
+    : id_(id), name_(std::move(name)),
+      external_(externalQueue != nullptr)
+{
+    if (external_) {
+        eq_ = externalQueue;
+    } else {
+        owned_ = std::make_unique<EventQueue>();
+        eq_ = owned_.get();
+    }
+}
+
+std::uint32_t
+Partition::takeSeq()
+{
+    if (nextSeq_ == ~std::uint32_t{0}) {
+        panic("pdes: partition ", id_, " '", name_,
+              "' exhausted its 2^32 event sequence space");
+    }
+    return nextSeq_++;
+}
+
+Channel&
+Partition::channelTo(PartitionId dst) const
+{
+    for (Channel* c : outs_) {
+        if (c->dst == dst)
+            return *c;
+    }
+    panic("pdes: partition ", id_, " '", name_,
+          "' has no channel to partition ", dst,
+          " (declare it with Engine::connect before run)");
+}
+
+void
+Partition::push(Channel& c, ChannelMsg&& m)
+{
+    if (m.when < now() + c.lookahead) {
+        panic("pdes: send on channel ", c.src, "->", c.dst,
+              " violates conservative lookahead: when=", m.when,
+              " < now=", now(), " + lookahead=", c.lookahead);
+    }
+    LockGuard g(c.mu);
+    c.mailbox.push_back(std::move(m));
+}
+
+void
+Partition::send(PartitionId dst, Tick when, std::function<void()> fn,
+                int priority)
+{
+    if (!fn)
+        panic("pdes: send with empty callback");
+    Channel& c = channelTo(dst);
+    ChannelMsg m;
+    m.when = when;
+    m.priority = priority;
+    m.seq = takeSeq();
+    m.kind = ChannelMsg::Kind::Payload;
+    m.fn = std::move(fn);
+    ++stats_.sent;
+    push(c, std::move(m));
+}
+
+RemoteHandle
+Partition::sendCancelable(PartitionId dst, Tick when,
+                          std::function<void()> fn, int priority)
+{
+    if (!fn)
+        panic("pdes: send with empty callback");
+    Channel& c = channelTo(dst);
+    ChannelMsg m;
+    m.when = when;
+    m.priority = priority;
+    m.seq = takeSeq();
+    m.kind = ChannelMsg::Kind::Cancelable;
+    m.fn = std::move(fn);
+    RemoteHandle h{dst, m.seq};
+    ++stats_.sent;
+    push(c, std::move(m));
+    return h;
+}
+
+void
+Partition::cancel(const RemoteHandle& h, Tick when)
+{
+    if (!h.valid())
+        return;
+    Channel& c = channelTo(h.dst);
+    ChannelMsg m;
+    m.when = when;
+    m.priority = 0;
+    m.seq = takeSeq();
+    m.target = h.seq;
+    m.kind = ChannelMsg::Kind::Cancel;
+    ++stats_.cancelsSent;
+    push(c, std::move(m));
+}
+
+Tick
+Partition::lookaheadTo(PartitionId dst) const
+{
+    return channelTo(dst).lookahead;
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+Partition&
+Engine::addPartition(std::string name)
+{
+    if (ran_)
+        panic("pdes: addPartition after run");
+    if (parts_.size() >= kNoPartition)
+        panic("pdes: partition id space (2^16 - 1) exhausted");
+    const auto id = static_cast<PartitionId>(parts_.size());
+    parts_.emplace_back(new Partition(id, std::move(name), nullptr));
+    return *parts_.back();
+}
+
+Partition&
+Engine::addExternalPartition(std::string name, EventQueue& eq)
+{
+    if (ran_)
+        panic("pdes: addExternalPartition after run");
+    if (parts_.size() >= kNoPartition)
+        panic("pdes: partition id space (2^16 - 1) exhausted");
+    const auto id = static_cast<PartitionId>(parts_.size());
+    parts_.emplace_back(new Partition(id, std::move(name), &eq));
+    return *parts_.back();
+}
+
+void
+Engine::connect(PartitionId src, PartitionId dst, Tick lookahead)
+{
+    if (ran_)
+        panic("pdes: connect after run");
+    if (src >= parts_.size() || dst >= parts_.size())
+        panic("pdes: connect with unknown partition id");
+    if (src == dst)
+        panic("pdes: self-channel ", src, "->", dst, " is meaningless");
+    if (lookahead == 0) {
+        panic("pdes: channel ", src, "->", dst,
+              " needs positive lookahead (conservative "
+              "synchronization cannot make progress across a "
+              "zero-latency edge)");
+    }
+    if (parts_[src]->external_ || parts_[dst]->external_) {
+        panic("pdes: external partition cannot take channels (its "
+              "queue keeps plain insertion-order scheduling, which "
+              "has no deterministic cross-partition tie-break)");
+    }
+    for (const Channel* c : parts_[src]->outs_) {
+        if (c->dst == dst)
+            panic("pdes: duplicate channel ", src, "->", dst);
+    }
+    channels_.emplace_back(new Channel);
+    Channel& c = *channels_.back();
+    c.src = src;
+    c.dst = dst;
+    c.lookahead = lookahead;
+    // The sender sits at tick 0 before run(), so lookahead itself is
+    // the initial conservative bound.
+    c.clock.store(lookahead, std::memory_order_relaxed);
+    parts_[src]->outs_.push_back(&c);
+    parts_[dst]->ins_.push_back(&c);
+}
+
+void
+Engine::publishWake()
+{
+    // Pairs with the park path: the parker loads wakeVersion_ after
+    // its fruitless sweep and re-checks it under the monitor before
+    // waiting; we bump wakeVersion_ and then peek at the parked
+    // count. Both atomics are seq_cst, so either the parker sees the
+    // new version (and skips the wait) or we see its parked count
+    // (and notify under the monitor) — no lost wake-up.
+    wakeVersion_.fetch_add(1);
+    if (parkedPeek_.load() > 0) {
+        std::lock_guard<std::mutex> g(monitorMu_);
+        parkCv_.notify_all();
+    }
+}
+
+bool
+Engine::step(Partition& p)
+{
+    bool progress = false;
+
+    // 1. Per input channel: read the conservative bound FIRST
+    // (acquire), then drain the mailbox. Every message below the
+    // bound was pushed before the bound was published, so this order
+    // guarantees the fire loop never trusts a bound whose messages it
+    // has not merged. Merge timing cannot reorder execution: each
+    // entry carries its origin (partition, seq) key.
+    Tick lbts = kTickNever;
+    for (Channel* c : p.ins_) {
+        lbts = std::min(lbts, c->clock.load(std::memory_order_acquire));
+        {
+            LockGuard g(c->mu);
+            if (!c->mailbox.empty())
+                p.mergeBuf_.swap(c->mailbox);
+        }
+        Partition* self = &p;
+        for (ChannelMsg& m : p.mergeBuf_) {
+            progress = true;
+            switch (m.kind) {
+            case ChannelMsg::Kind::Payload:
+                ++p.stats_.merged;
+                p.eq_->scheduleKeyed(m.when, m.priority, c->src, m.seq,
+                                     std::move(m.fn));
+                break;
+            case ChannelMsg::Kind::Cancelable: {
+                ++p.stats_.merged;
+                const std::uint64_t key =
+                    Partition::remoteKey(c->src, m.seq);
+                EventHandle h = p.eq_->scheduleKeyed(
+                    m.when, m.priority, c->src, m.seq,
+                    [self, key, fn = std::move(m.fn)]() mutable {
+                        self->remotePending_.erase(key);
+                        fn();
+                    });
+                p.remotePending_.emplace(key, h);
+                break;
+            }
+            case ChannelMsg::Kind::Cancel: {
+                const std::uint64_t key =
+                    Partition::remoteKey(c->src, m.target);
+                p.eq_->scheduleKeyed(
+                    m.when, m.priority, c->src, m.seq, [self, key]() {
+                        auto it = self->remotePending_.find(key);
+                        if (it != self->remotePending_.end()) {
+                            it->second.cancel();
+                            self->remotePending_.erase(it);
+                        }
+                    });
+                break;
+            }
+            }
+        }
+        p.mergeBuf_.clear();
+    }
+
+    // 2. Fire everything strictly below the LBTS. Events at exactly
+    // the bound must wait: a message timestamped at it may yet arrive.
+    const Tick next = p.eq_->nextTick();
+    if (next < lbts) {
+        const std::uint64_t before = p.eq_->eventsExecuted();
+        p.eq_->run(lbts == kTickNever ? kTickNever : lbts - 1);
+        p.stats_.fired += p.eq_->eventsExecuted() - before;
+        progress = true;
+    } else if (next != kTickNever) {
+        ++p.stats_.stallRounds;
+    }
+
+    // 3. Null messages: everything below lbts is done here, so the
+    // earliest future send is bounded by min(lbts, next local event).
+    // Publish that plus the per-channel lookahead.
+    const Tick safe = std::min(lbts, p.eq_->nextTick());
+    bool advanced = false;
+    for (Channel* c : p.outs_) {
+        const Tick bound = satAdd(safe, c->lookahead);
+        if (bound > c->clock.load(std::memory_order_relaxed)) {
+            c->clock.store(bound, std::memory_order_release);
+            ++p.stats_.nullPublishes;
+            advanced = true;
+        }
+    }
+    if (advanced)
+        publishWake();
+    return progress;
+}
+
+void
+Engine::worker(unsigned tid, const std::vector<Partition*>& mine)
+{
+    (void)tid;
+    while (!done_.load()) {
+        bool progress = false;
+        for (Partition* p : mine)
+            progress |= step(*p);
+        if (progress)
+            continue;
+
+        // Fruitless sweep (only clock publishes, if anything): park
+        // until some clock advances. The version is sampled after the
+        // sweep, so this worker's own publishes do not keep it awake
+        // — without that, lookahead creep across an idle window would
+        // busy-spin instead of converging through GVT rescues. A
+        // publish racing between this load and the re-check under the
+        // monitor is caught by the re-check; one racing after it is
+        // caught by publishWake()'s parked-count peek.
+        const std::uint64_t version = wakeVersion_.load();
+        std::unique_lock<std::mutex> lk(monitorMu_);
+        ++parkedWorkers_;
+        parkedPeek_.store(parkedWorkers_);
+        if (parkedWorkers_ == threadsUsed_ && !done_.load())
+            rescueLocked();
+        while (!done_.load() && wakeVersion_.load() == version)
+            parkCv_.wait(lk);
+        --parkedWorkers_;
+        parkedPeek_.store(parkedWorkers_);
+    }
+}
+
+void
+Engine::rescueLocked()
+{
+    // Every other worker is blocked in parkCv_.wait (they released
+    // monitorMu_, which this thread holds), so all partitions and
+    // mailboxes are quiescent and safe to scan from here.
+    Tick gvt = kTickNever;
+    for (auto& p : parts_)
+        gvt = std::min(gvt, p->eq_->nextTick());
+    for (auto& c : channels_) {
+        LockGuard g(c->mu);
+        for (const ChannelMsg& m : c->mailbox)
+            gvt = std::min(gvt, m.when);
+    }
+
+    if (gvt == kTickNever) {
+        // No pending event, no in-flight message anywhere: done.
+        done_.store(true);
+        parkCv_.notify_all();
+        return;
+    }
+
+    // Lookahead creep stalled the fleet short of the globally
+    // earliest pending work. No event below gvt exists anywhere, so
+    // every future send is bounded by gvt + lookahead — force the
+    // clocks there. The owner of the gvt event had LBTS <= gvt (it
+    // stalled), so its minimum input clock strictly advances past gvt
+    // and the next sweep fires that event: guaranteed progress.
+    ++gvtRescues_;
+    for (auto& c : channels_) {
+        const Tick bound = satAdd(gvt, c->lookahead);
+        if (bound > c->clock.load(std::memory_order_relaxed))
+            c->clock.store(bound, std::memory_order_release);
+    }
+    wakeVersion_.fetch_add(1);
+    parkCv_.notify_all();
+}
+
+void
+Engine::run()
+{
+    if (ran_)
+        panic("pdes: Engine::run is one-shot");
+    ran_ = true;
+    if (parts_.empty())
+        return;
+
+    threadsUsed_ = std::max(
+        1u,
+        std::min(cfg_.threads, static_cast<unsigned>(parts_.size())));
+
+    // Static partition ownership: partition i belongs to worker
+    // i % threads. Ownership never moves, so partition state needs no
+    // locking — only channels are shared.
+    std::vector<std::vector<Partition*>> assign(threadsUsed_);
+    for (std::size_t i = 0; i < parts_.size(); ++i)
+        assign[i % threadsUsed_].push_back(parts_[i].get());
+
+    if (threadsUsed_ == 1) {
+        worker(0, assign[0]);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threadsUsed_);
+    for (unsigned t = 0; t < threadsUsed_; ++t)
+        pool.emplace_back([this, t, &assign] { worker(t, assign[t]); });
+    for (auto& th : pool)
+        th.join();
+}
+
+EngineStats
+Engine::stats() const
+{
+    EngineStats s;
+    s.threads = threadsUsed_;
+    s.partitions = static_cast<unsigned>(parts_.size());
+    s.gvtRescues = gvtRescues_;
+    for (const auto& p : parts_) {
+        const PartitionStats& ps = p->stats_;
+        s.fired += ps.fired;
+        s.scheduled += ps.scheduled;
+        s.sent += ps.sent;
+        s.merged += ps.merged;
+        s.cancelsSent += ps.cancelsSent;
+        s.nullPublishes += ps.nullPublishes;
+        s.stallRounds += ps.stallRounds;
+        s.finalTick = std::max(s.finalTick, p->eq_->now());
+    }
+    return s;
+}
+
+} // namespace pdes
+} // namespace tb

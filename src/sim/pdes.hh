@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Conservative parallel discrete-event simulation (PDES) engine.
+ *
+ * The machine model is partitioned into Partitions, each owning one
+ * slab EventQueue (event_queue.hh) and executed by exactly one worker
+ * thread at a time. Cross-partition communication goes through
+ * timestamped Channels declared up front with a positive *lookahead*:
+ * a message sent while the source partition sits at simulated time s
+ * must carry a timestamp >= s + lookahead. That bound is the classic
+ * Chandy-Misra-Bryant contract, and it is what lets each partition
+ * compute a conservative lower bound on incoming timestamps (LBTS)
+ * and fire every local event strictly below it without ever seeing a
+ * straggler.
+ *
+ * Null messages are clock-only channel updates: after a partition has
+ * processed everything below its LBTS, it publishes
+ * `min(LBTS, next local event) + lookahead` on every output channel
+ * even when it sent no payload, so neighbors' LBTS keeps advancing
+ * and the classic null-message deadlock cannot form. When every
+ * worker still stalls (lookahead creep across an idle window), the
+ * last thread to park performs a global-virtual-time rescue: with all
+ * other workers parked it computes GVT = the minimum timestamp of any
+ * pending event or in-flight message, force-advances every channel
+ * clock to GVT + lookahead, and wakes the fleet; if GVT is kTickNever
+ * the simulation is complete. Either some partition has work below
+ * its LBTS, or the rescue strictly advances the earliest partition's
+ * LBTS past GVT — so the engine always makes progress and always
+ * terminates.
+ *
+ * Determinism contract (docs/PERFORMANCE.md): execution order is the
+ * total order (time, priority, origin partition, origin sequence),
+ * enforced by EventQueue::scheduleKeyed. Merge timing, worker count,
+ * and host scheduling cannot change which key runs next, so any
+ * thread count produces bit-identical simulations. The per-partition
+ * diagnostic counters (null publishes, stall rounds, GVT rescues) ARE
+ * host-timing dependent and must never feed artifacts; the
+ * deterministic counters (fired/scheduled/sent/merged) may.
+ */
+
+#ifndef TB_SIM_PDES_HH_
+#define TB_SIM_PDES_HH_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/thread_safety.hh"
+#include "sim/types.hh"
+
+namespace tb {
+namespace pdes {
+
+/** Partition identifier; doubles as the heap tie-break stream id. */
+using PartitionId = std::uint16_t;
+
+/** Sentinel for "no partition". */
+inline constexpr PartitionId kNoPartition = ~PartitionId{0};
+
+class Engine;
+class Partition;
+
+/**
+ * Token for canceling a cross-partition event from its sender. Only
+ * events sent with Partition::sendCancelable produce live tokens.
+ */
+struct RemoteHandle
+{
+    PartitionId dst = kNoPartition;
+    std::uint32_t seq = 0;
+
+    bool valid() const { return dst != kNoPartition; }
+};
+
+/** Per-partition counters, readable after Engine::run() returns. */
+struct PartitionStats
+{
+    // Deterministic: pure functions of the simulation, identical at
+    // any worker count. Safe to export into artifacts.
+    std::uint64_t fired = 0;     ///< events executed
+    std::uint64_t scheduled = 0; ///< local schedule()/scheduleIn() calls
+    std::uint64_t sent = 0;      ///< payload messages sent
+    std::uint64_t merged = 0;    ///< payload messages merged in
+    std::uint64_t cancelsSent = 0;
+
+    // Host-timing diagnostics: vary run to run and with worker
+    // count. Never export these into deterministic artifacts.
+    std::uint64_t nullPublishes = 0; ///< clock-only channel updates
+    std::uint64_t stallRounds = 0;   ///< rounds gated by LBTS with work pending
+};
+
+/** Whole-engine aggregate of PartitionStats plus run-level counters. */
+struct EngineStats
+{
+    std::uint64_t fired = 0;
+    std::uint64_t scheduled = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t merged = 0;
+    std::uint64_t cancelsSent = 0;
+    std::uint64_t nullPublishes = 0; ///< diagnostic (host-timing)
+    std::uint64_t stallRounds = 0;   ///< diagnostic (host-timing)
+    std::uint64_t gvtRescues = 0;    ///< diagnostic (host-timing)
+    Tick finalTick = 0;              ///< deterministic: max partition time
+    unsigned threads = 0;
+    unsigned partitions = 0;
+};
+
+namespace detail {
+
+/**
+ * One directed src->dst link. The mailbox carries payloads; the clock
+ * is the null-message channel: a conservative lower bound on the
+ * timestamp of any message the source may still send. Producers push
+ * under the mutex and only then advance the clock (release), so a
+ * consumer that reads clock (acquire) before draining the mailbox is
+ * guaranteed to see every message with a timestamp below that bound.
+ */
+struct ChannelMsg
+{
+    enum class Kind : std::uint8_t { Payload, Cancelable, Cancel };
+
+    Tick when = 0;
+    std::int32_t priority = 0;
+    std::uint32_t seq = 0;    ///< sender-order sequence (tie-break key)
+    std::uint32_t target = 0; ///< Cancel: seq of the cancelable payload
+    Kind kind = Kind::Payload;
+    std::function<void()> fn;
+};
+
+struct Channel
+{
+    PartitionId src = kNoPartition;
+    PartitionId dst = kNoPartition;
+    Tick lookahead = 0;
+    std::atomic<Tick> clock{0};
+    Mutex mu;
+    std::vector<ChannelMsg> mailbox TB_GUARDED_BY(mu);
+};
+
+} // namespace detail
+
+/**
+ * One unit of sequential simulation: a slab EventQueue plus the
+ * channel endpoints wired to it. All methods are owner-confined: call
+ * them from setup code before Engine::run(), or from event callbacks
+ * executing on this partition — never from another partition's
+ * callbacks (that is what send() is for; tblint TBL022 enforces it).
+ */
+class Partition
+{
+  public:
+    PartitionId id() const { return id_; }
+    const std::string& name() const { return name_; }
+
+    /** Current simulated time of this partition. */
+    Tick now() const { return eq_->now(); }
+
+    /**
+     * Schedule a local event. Keyed by (this partition, local seq) so
+     * ties against merged remote events break deterministically.
+     */
+    template <typename F>
+    EventHandle
+    schedule(Tick when, F&& f, int priority = 0)
+    {
+        ++stats_.scheduled;
+        if (external_)
+            return eq_->schedule(when, std::forward<F>(f), priority);
+        return eq_->scheduleKeyed(when, priority, id_, takeSeq(),
+                                  std::forward<F>(f));
+    }
+
+    /** Schedule a local event @p delta ticks from now. */
+    template <typename F>
+    EventHandle
+    scheduleIn(Tick delta, F&& f, int priority = 0)
+    {
+        return schedule(now() + delta, std::forward<F>(f), priority);
+    }
+
+    /**
+     * Send an event to partition @p dst, to execute there at absolute
+     * tick @p when. A channel this->dst must exist and @p when must
+     * honor its lookahead: when >= now() + lookahead. This is the
+     * only legal way to affect another partition.
+     */
+    void send(PartitionId dst, Tick when, std::function<void()> fn,
+              int priority = 0);
+
+    /** send() variant returning a token usable with cancel(). */
+    RemoteHandle sendCancelable(PartitionId dst, Tick when,
+                                std::function<void()> fn,
+                                int priority = 0);
+
+    /**
+     * Cancel a cancelable cross-partition event. The cancel travels
+     * the same channel as the original send (same lookahead bound)
+     * and takes effect at tick @p when: it wins iff when is strictly
+     * below the target's tick — at or after it, the target has
+     * already fired (or fires first at an equal tick, since the
+     * target's tie-break key is necessarily smaller) and the cancel
+     * is a deterministic no-op, exactly like a late EventHandle
+     * cancel in the serial engine.
+     */
+    void cancel(const RemoteHandle& h, Tick when);
+
+    /** Lookahead of the channel this->dst (panics if none). */
+    Tick lookaheadTo(PartitionId dst) const;
+
+    /**
+     * Owner-thread escape hatch: the raw EventQueue, for wiring model
+     * objects that hold an EventQueue& into this partition. Touching
+     * another partition's queue through this is a data race AND a
+     * determinism bug — cross-partition work must use send(). tblint
+     * rule TBL022 flags call sites outside src/sim/.
+     */
+    EventQueue& unsafeQueue() { return *eq_; }
+
+    /** Counters for this partition (stable once Engine::run returns). */
+    const PartitionStats& stats() const { return stats_; }
+
+  private:
+    friend class Engine;
+
+    Partition(PartitionId id, std::string name,
+              EventQueue* externalQueue);
+
+    std::uint32_t takeSeq();
+    detail::Channel& channelTo(PartitionId dst) const;
+    void push(detail::Channel& c, detail::ChannelMsg&& m);
+
+    static std::uint64_t
+    remoteKey(PartitionId src, std::uint32_t seq)
+    {
+        return (std::uint64_t{src} << 32) | seq;
+    }
+
+    PartitionId id_;
+    std::string name_;
+    std::unique_ptr<EventQueue> owned_;
+    EventQueue* eq_;
+    bool external_;
+    std::uint32_t nextSeq_ = 0;
+    /** Input channels in creation order — the deterministic drain
+     *  order (irrelevant to execution order thanks to keyed ties, but
+     *  kept fixed so merge accounting is reproducible too). */
+    std::vector<detail::Channel*> ins_;
+    std::vector<detail::Channel*> outs_;
+    /** Merged cancelable events awaiting fire or cancel, by
+     *  (src, seq). Lookup-only (never iterated), so the unordered map
+     *  cannot leak host ordering into results. */
+    std::unordered_map<std::uint64_t, EventHandle> remotePending_;
+    /** Scratch buffer the merge loop swaps mailboxes into. */
+    std::vector<detail::ChannelMsg> mergeBuf_;
+    PartitionStats stats_;
+};
+
+/**
+ * The conservative engine: owns partitions and channels, runs the
+ * LBTS-gated fire loops on a fixed worker pool. One-shot: build the
+ * topology, seed initial events, call run() exactly once, then read
+ * stats. Worker count never affects simulation results — only wall
+ * time (see file comment for the argument).
+ */
+class Engine
+{
+  public:
+    struct Config
+    {
+        /** Worker threads; clamped to [1, partition count]. */
+        unsigned threads = 1;
+    };
+
+    Engine() = default;
+    explicit Engine(Config cfg) : cfg_(cfg) {}
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /** Create a partition with its own slab EventQueue. */
+    Partition& addPartition(std::string name);
+
+    /**
+     * Wrap an externally owned EventQueue (e.g. a Machine's) as a
+     * partition. External partitions keep the queue's plain
+     * insertion-order scheduling, so they cannot take channels:
+     * connect() refuses them. They exist to run a whole sequential
+     * model under the engine's worker pool and stats umbrella.
+     */
+    Partition& addExternalPartition(std::string name, EventQueue& eq);
+
+    /**
+     * Declare the directed channel src->dst with conservative
+     * @p lookahead (> 0): every message on it must be timestamped at
+     * least lookahead past the sender's clock at send time.
+     */
+    void connect(PartitionId src, PartitionId dst, Tick lookahead);
+
+    Partition& partition(PartitionId id) { return *parts_.at(id); }
+    std::size_t partitionCount() const { return parts_.size(); }
+
+    /**
+     * Run to global completion: every queue drained, every channel
+     * empty. Blocks until done; one-shot.
+     */
+    void run();
+
+    /** Aggregate counters; valid once run() has returned. */
+    EngineStats stats() const;
+
+  private:
+    friend class Partition;
+
+    bool step(Partition& p);
+    void worker(unsigned tid, const std::vector<Partition*>& mine);
+    void publishWake();
+
+    /**
+     * All-parked rescue: compute GVT, mark done or force-advance the
+     * channel clocks past it. Caller holds monitorMu_ with every
+     * other worker blocked in parkCv_ (their partitions' memory is
+     * visible through the mutex and cannot be touched concurrently),
+     * which is what makes scanning foreign queues here safe.
+     */
+    void rescueLocked();
+
+    static Tick
+    satAdd(Tick a, Tick b)
+    {
+        return a >= kTickNever - b ? kTickNever : a + b;
+    }
+
+    Config cfg_;
+    std::vector<std::unique_ptr<Partition>> parts_;
+    std::vector<std::unique_ptr<detail::Channel>> channels_;
+    bool ran_ = false;
+    unsigned threadsUsed_ = 0;
+
+    // Park/wake monitor. std::mutex (not tb::Mutex) because the
+    // condition variable needs it; the guarded fields below are only
+    // touched with monitorMu_ held — documented confinement, same as
+    // the other spots clang TSA cannot express (docs/CHECKING.md).
+    std::mutex monitorMu_;
+    std::condition_variable parkCv_;
+    unsigned parkedWorkers_ = 0;     // guarded by monitorMu_
+    std::uint64_t gvtRescues_ = 0;   // guarded by monitorMu_
+    /** Bumped (seq_cst) on every clock publish and rescue; a worker
+     *  only parks if it is unchanged since its fruitless sweep began
+     *  (Dekker pairing with parkedWorkers_, see publishWake()). */
+    std::atomic<std::uint64_t> wakeVersion_{0};
+    std::atomic<unsigned> parkedPeek_{0};
+    std::atomic<bool> done_{false};
+};
+
+} // namespace pdes
+} // namespace tb
+
+#endif // TB_SIM_PDES_HH_

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of the multi-threaded single-simulation driver
+ * (harness/parallel_sim.hh): the --sim-threads option scan, the
+ * PdesRunReport bookkeeping and — the contract that matters — real
+ * experiments whose serialized results are byte-identical at any
+ * worker thread count. The engine itself is covered by test_pdes.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/machine.hh"
+#include "harness/parallel_sim.hh"
+#include "harness/result_serde.hh"
+#include "workloads/app_profile.hh"
+
+namespace tb {
+namespace harness {
+namespace {
+
+TEST(ParallelSim, ParseSimThreadsArg)
+{
+    const char* none[] = {"prog"};
+    const char* pair[] = {"prog", "--sim-threads", "4"};
+    const char* eq[] = {"prog", "--sim-threads=8"};
+    const char* mixed[] = {"prog", "--quick", "--sim-threads", "2"};
+    auto parse = [](const char** argv, int argc) {
+        return parseSimThreadsArg(argc, const_cast<char**>(argv));
+    };
+    EXPECT_EQ(parse(none, 1), 1u);
+    EXPECT_EQ(parse(pair, 3), 4u);
+    EXPECT_EQ(parse(eq, 2), 8u);
+    EXPECT_EQ(parse(mixed, 4), 2u);
+}
+
+TEST(ParallelSimDeathTest, ParseSimThreadsArgRejectsMalformed)
+{
+    // Same contract as --jobs: `--sim-threads 4x` must be a usage
+    // error (exit 2), never a silent fallback to the serial engine.
+    auto parse = [](const char** argv, int argc) {
+        parseSimThreadsArg(argc, const_cast<char**>(argv));
+    };
+    const char* garbage[] = {"prog", "--sim-threads", "garbage"};
+    const char* trailing[] = {"prog", "--sim-threads", "4x"};
+    const char* zero[] = {"prog", "--sim-threads=0"};
+    const char* neg[] = {"prog", "--sim-threads=-2"};
+    const char* empty[] = {"prog", "--sim-threads="};
+    EXPECT_EXIT(parse(garbage, 3), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(trailing, 3), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(zero, 2), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(neg, 2), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(empty, 2), testing::ExitedWithCode(2),
+                "not a positive integer");
+}
+
+TEST(ParallelSim, ReportRecordsModelLookahead)
+{
+    // The conservative lookahead the partitioned model will use is
+    // the NoC's minimum cross-node latency: marshal + pin-to-pin +
+    // marshal = 16 + 16 + 16 ns on the default configuration.
+    Machine m(SystemConfig::small(2));
+    const PdesRunReport r = runMachinePdes(m, 1);
+    EXPECT_EQ(r.threads, 1u);
+    EXPECT_EQ(r.modelLookahead, 48 * kNanosecond);
+    EXPECT_EQ(r.modelLookahead,
+              m.memory().fabric().minMessageLatency());
+}
+
+TEST(ParallelSim, ThreadedDrainMatchesSerialFinalTick)
+{
+    // An empty machine drains immediately under either engine.
+    Machine serial(SystemConfig::small(1));
+    Machine threaded(SystemConfig::small(1));
+    const PdesRunReport a = runMachinePdes(serial, 1);
+    const PdesRunReport b = runMachinePdes(threaded, 4);
+    EXPECT_EQ(a.finalTick, b.finalTick);
+    EXPECT_EQ(b.threads, 4u);
+    EXPECT_EQ(b.engine.partitions, 1u);
+}
+
+/**
+ * The determinism contract end to end: a real experiment run under
+ * the PDES engine must serialize byte-identically to the serial
+ * reference, episode ledger and all. This is the same invariant the
+ * CI pdes-determinism job checks on whole campaign artifacts.
+ */
+TEST(ParallelSim, ExperimentResultsByteIdenticalAcrossThreadCounts)
+{
+    const SystemConfig sys = SystemConfig::small(3);
+    const workloads::AppProfile app = workloads::appByName("Volrend");
+
+    const auto runAt = [&](unsigned threads) {
+        RunOptions ro;
+        ro.episodeLedger = true;
+        ro.simThreads = threads;
+        return serializeResult(
+            runExperiment(sys, app, ConfigKind::Thrifty, ro));
+    };
+
+    const std::string serial = runAt(1);
+    EXPECT_EQ(serial, runAt(2));
+    EXPECT_EQ(serial, runAt(4));
+}
+
+} // namespace
+} // namespace harness
+} // namespace tb

@@ -590,6 +590,41 @@ ruleUnguardedTrace(const FileCtx& ctx, std::vector<Finding>* out)
 }
 
 // ----------------------------------------------------------------------
+// TBL022 — cross-partition queue access outside the channel API
+// ----------------------------------------------------------------------
+
+void
+ruleUnsafeQueueAccess(const FileCtx& ctx, std::vector<Finding>* out)
+{
+    // Partition::unsafeQueue() is the owner-thread escape hatch for
+    // wiring model objects into their own partition; the PDES engine
+    // itself (src/sim) is the only layer allowed to reach for it
+    // freely. Anywhere else, a call site is one partition touching a
+    // queue that may belong to another — a data race under threaded
+    // runs and a determinism bug even without one, because it bypasses
+    // the channel timestamps the LBTS computation trusts.
+    if (pathUnder(ctx.path, "src/sim"))
+        return;
+    const auto& t = ctx.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!isIdent(t, i, "unsafeQueue"))
+            continue;
+        if (i == 0 ||
+            !(isPunct(t, i - 1, ".") || isPunct(t, i - 1, "->")))
+            continue;
+        if (!isPunct(t, i + 1, "("))
+            continue;
+        emit(out, ctx, "TBL022", t[i].line,
+             "direct EventQueue access through 'unsafeQueue()' outside "
+             "src/sim — cross-partition work must travel a channel so "
+             "the conservative LBTS bound stays truthful",
+             "use Partition::send()/sendCancelable() for remote "
+             "effects; if this queue provably belongs to the calling "
+             "partition, say so in a tblint-allow reason");
+    }
+}
+
+// ----------------------------------------------------------------------
 // Driver + suppression pass
 // ----------------------------------------------------------------------
 
@@ -690,6 +725,9 @@ ruleCatalog()
         {"TBL021", "unguarded-trace",
          "TraceSink emission outside src/obs must sit under "
          "TB_TRACED() so -DTB_TRACING=OFF compiles it out"},
+        {"TBL022", "pdes-channel-bypass",
+         "no Partition::unsafeQueue() call sites outside src/sim — "
+         "cross-partition effects must use the channel API"},
     };
     return kRules;
 }
@@ -714,6 +752,7 @@ lintContent(const std::string& path, const std::string& content,
     ruleUseAfterCancel(ctx, &raw);
     ruleSimLayering(ctx, &raw);
     ruleUnguardedTrace(ctx, &raw);
+    ruleUnsafeQueueAccess(ctx, &raw);
 
     std::vector<Finding> kept;
     for (Finding& f : raw) {

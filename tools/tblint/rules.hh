@@ -33,6 +33,11 @@
  *   TBL021  layering: TraceSink::instant/complete calls outside
  *           src/obs must sit under a TB_TRACED(...) guard, so
  *           -DTB_TRACING=OFF compiles every seam out.
+ *   TBL022  layering: Partition::unsafeQueue() call sites outside
+ *           src/sim — a partition reaching into a raw EventQueue
+ *           bypasses the PDES channel timestamps that keep threaded
+ *           runs race-free and bit-identical to serial; remote
+ *           effects must use Partition::send().
  *
  * Findings are suppressed by an inline comment directive — the allow
  * tag with the rule ID in parentheses, then a mandatory reason — on

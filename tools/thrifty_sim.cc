@@ -58,6 +58,10 @@ usage(const char* argv0)
         "states (default all)\n"
         "  --three-hop        DASH-style direct owner-to-requester "
         "forwarding\n"
+        "  --sim-threads N    PDES worker threads driving the "
+        "simulation\n"
+        "                     (results byte-identical at any N; "
+        "default 1 = serial)\n"
         "  --faults SPEC      deterministic fault injection, e.g.\n"
         "                     seed=3,drop-wake=0.5,timer-drift=0.4 "
         "(see docs/ROBUSTNESS.md)\n"
@@ -144,6 +148,7 @@ main(int argc, char** argv)
     std::string config = "T";
     unsigned dim = 6;
     std::uint64_t seed = 1;
+    unsigned sim_threads = 1;
     bool three_hop = false;
     bool check = false;
     bool dump_stats = false;
@@ -199,6 +204,11 @@ main(int argc, char** argv)
                           " out of range [1, 6] (2..64 nodes)");
             } else if (a == "--seed") {
                 seed = parseUnsignedArg("--seed", need(i));
+            } else if (a == "--sim-threads") {
+                sim_threads = static_cast<unsigned>(
+                    parseUnsignedArg("--sim-threads", need(i)));
+                if (sim_threads == 0)
+                    fatal("option --sim-threads: must be >= 1");
             } else if (a == "--wakeup") {
                 const std::string v = need(i);
                 customized = true;
@@ -284,6 +294,7 @@ main(int argc, char** argv)
 
         harness::RunOptions opt;
         opt.check = check;
+        opt.simThreads = sim_threads;
 
         // Statistics flow through the visitor seam: --stats renders
         // the text report on stderr, --stats-json buffers a machine
