@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Crash-recovery chaos smoke test for the distributed campaign service
+# (docs/ROBUSTNESS.md, "Daemon crash recovery" and "Network fault
+# injection"):
+#
+#   1. run a campaign bench serially -> reference artifact;
+#   2. run the same bench as daemon + N workers with deterministic
+#      network faults injected on every worker socket, SIGKILL the
+#      daemon mid-campaign, restart it with `--serve --resume` on the
+#      same socket, then SIGKILL one worker: the restarted daemon must
+#      finish with exit 0 and an artifact byte-identical to the serial
+#      run, the manifest must record both the restart and the worker
+#      death in the crash ledger, and the surviving workers must
+#      report non-zero injected-fault counters.
+#
+#   scripts/chaos_smoke.sh [--bench NAME] [--workers N] [--faults SPEC]
+#
+# Default bench is figure6_time: long enough (~4 s serial) that a
+# daemon kill at t+1 s reliably lands mid-campaign, short enough for
+# CI. The whole phase retries a few times: on a fast machine the kill
+# can miss the campaign window, which proves nothing either way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=figure6_time
+WORKERS=3
+FAULTS="seed=7,corrupt=0.02,disconnect=0.05,short-write=0.3,split-read=0.3,delay=0.05:5"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --bench)     BENCH="$2"; shift 2 ;;
+        --bench=*)   BENCH="${1#--bench=}"; shift ;;
+        --workers)   WORKERS="$2"; shift 2 ;;
+        --workers=*) WORKERS="${1#--workers=}"; shift ;;
+        --faults)    FAULTS="$2"; shift 2 ;;
+        --faults=*)  FAULTS="${1#--faults=}"; shift ;;
+        *)
+            echo "usage: $0 [--bench NAME] [--workers N] [--faults SPEC]" >&2
+            exit 2 ;;
+    esac
+done
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BIN="$BUILD_DIR/bench/$BENCH"
+if [ ! -x "$BIN" ]; then
+    echo "chaos_smoke: $BIN not built" >&2
+    echo "  cmake -B $BUILD_DIR && cmake --build $BUILD_DIR -j" >&2
+    exit 2
+fi
+
+D=$(mktemp -d)
+trap 'rm -rf "$D"' EXIT
+
+fail() {
+    echo "chaos_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+echo "== serial reference ($BENCH)"
+"$BIN" --out "$D/serial.json" > /dev/null
+
+# --- Chaos phase: faulty transports, daemon SIGKILL + resume, worker
+# SIGKILL. Returns non-zero (-> retry) when the kills missed the
+# campaign window and the evidence is incomplete; hard-fails on any
+# correctness violation (exit code, artifact bytes).
+run_chaos() {
+    local attempt="$1"
+    local sock="unix:$D/$BENCH.$attempt.sock"
+    rm -f "$D/dist.json" "$D/dist.manifest.json" \
+        "$D/journal.jsonl" "$D/journal.jsonl.svc"
+    rm -rf "$D/cache" # cold cache each attempt so points actually lease
+
+    "$BIN" --serve "$sock" --journal "$D/journal.jsonl" \
+        --cache "$D/cache" --retries 9 \
+        --out "$D/dist.json" --manifest "$D/dist.manifest.json" \
+        > "$D/daemon1.$attempt.txt" 2>&1 &
+    local daemon=$!
+
+    local pids=()
+    for i in $(seq 1 "$WORKERS"); do
+        "$BIN" --worker "$sock" --worker-name "w$i" \
+            --net-faults "$FAULTS" --reconnect-ms 30000 \
+            > /dev/null 2> "$D/worker$i.$attempt.txt" &
+        pids+=($!)
+    done
+
+    sleep 1
+    if ! kill -9 "$daemon" 2> /dev/null; then
+        echo "   daemon finished before the t+1s kill; retrying"
+        wait "${pids[@]}" 2> /dev/null || true
+        return 1
+    fi
+    wait "$daemon" 2> /dev/null || true
+    echo "   SIGKILLed daemon (pid $daemon) at t+1s"
+
+    # Restart on the same socket: the service journal restores the
+    # queue (outstanding leases, attempt counts), the completion
+    # journal replays finished points, and the workers' reconnect
+    # budget rides out the gap.
+    "$BIN" --serve "$sock" --journal "$D/journal.jsonl" --resume \
+        --cache "$D/cache" --retries 9 \
+        --out "$D/dist.json" --manifest "$D/dist.manifest.json" \
+        > "$D/daemon2.$attempt.txt" 2>&1 &
+    daemon=$!
+
+    sleep 0.3
+    local victim="${pids[0]}"
+    if kill -9 "$victim" 2> /dev/null; then
+        echo "   SIGKILLed worker w1 (pid $victim)"
+    fi
+
+    local rc=0
+    wait "$daemon" || rc=$?
+    wait "${pids[@]}" 2> /dev/null || true
+    [ "$rc" -eq 0 ] ||
+        fail "restarted daemon exited $rc (attempt $attempt)"
+    cmp "$D/serial.json" "$D/dist.json" ||
+        fail "chaos artifact differs from serial (attempt $attempt)"
+
+    # Evidence: the restart and the worker death are both in the
+    # crash ledger, and the injected faults actually fired.
+    [ -s "$D/dist.manifest.json" ] || return 1
+    grep -q '"kind": "crash-ledger"' "$D/dist.manifest.json" || return 1
+    grep -q '"reason": "daemon-restart"' "$D/dist.manifest.json" ||
+        return 1
+    grep -Eq '"reason": "(disconnect|heartbeat-timeout)"' \
+        "$D/dist.manifest.json" || return 1
+    cat "$D"/worker*."$attempt".txt |
+        grep -q '"kind": "net-faults"' || return 1
+    cat "$D"/worker*."$attempt".txt |
+        grep -Eq '"total": [1-9]' || return 1
+    return 0
+}
+
+echo "== chaos run: $WORKERS faulty workers, daemon SIGKILL + resume," \
+    "worker SIGKILL"
+ok=0
+for attempt in 1 2 3; do
+    if run_chaos "$attempt"; then
+        ok=1
+        break
+    fi
+    echo "   evidence incomplete, retrying ($attempt/3)"
+done
+[ "$ok" -eq 1 ] ||
+    fail "no attempt produced complete chaos evidence (restart +" \
+        "worker kill in the ledger, faults fired)"
+echo "   artifact byte-identical to serial; restart + kill in ledger;" \
+    "faults fired"
+echo "chaos_smoke: OK ($BENCH, $WORKERS workers, faults: $FAULTS)"

@@ -10,6 +10,7 @@
 #   scripts/check_all.sh faults      # fault campaign only
 #   scripts/check_all.sh lint        # tblint static analysis only
 #   scripts/check_all.sh distributed # daemon/worker kill smoke test
+#   scripts/check_all.sh chaos       # daemon SIGKILL+resume under net faults
 #   scripts/check_all.sh pdes        # --sim-threads determinism matrix
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +27,8 @@ Presets (default: all of them, in this order):
   undefined    UBSanitizer test suite
   thread       ThreadSanitizer test suite
   distributed  daemon/worker SIGKILL smoke test (docs/ROBUSTNESS.md)
+  chaos        daemon SIGKILL + --serve --resume recovery under
+               injected network faults (docs/ROBUSTNESS.md)
   pdes         --sim-threads 1/2/4/8 determinism matrix
                (docs/PERFORMANCE.md, "Parallel simulation (PDES)")
 EOF
@@ -35,7 +38,7 @@ fi
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
     presets=(lint check faults address undefined thread distributed
-             pdes)
+             chaos pdes)
 fi
 
 run_preset() {
@@ -53,7 +56,7 @@ run_preset() {
         flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo
                -DTB_SANITIZE=$preset)
         ;;
-      lint|distributed)
+      lint|distributed|chaos)
         flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
         ;;
       pdes)
@@ -62,7 +65,7 @@ run_preset() {
       *)
         echo "unknown preset '$preset'" >&2
         echo "expected: lint, check, faults, address, undefined," \
-             "thread, distributed or pdes" >&2
+             "thread, distributed, chaos or pdes" >&2
         return 1
         ;;
     esac
@@ -102,6 +105,16 @@ run_preset() {
         cmake -B "$dir" -G Ninja "${flags[@]}"
         cmake --build "$dir" -j --target figure6_time
         BUILD_DIR="$dir" scripts/distributed_smoke.sh
+        return 0
+    fi
+    if [ "$preset" = chaos ]; then
+        # Crash-recovery chaos: daemon SIGKILLed mid-campaign and
+        # restarted with --serve --resume while every worker socket
+        # runs under deterministic network fault injection, plus one
+        # worker SIGKILL. Artifacts must stay byte-identical.
+        cmake -B "$dir" -G Ninja "${flags[@]}"
+        cmake --build "$dir" -j --target figure6_time
+        BUILD_DIR="$dir" scripts/chaos_smoke.sh
         return 0
     fi
     cmake -B "$dir" -G Ninja "${flags[@]}"

@@ -10,23 +10,86 @@
 
 namespace tb::fault {
 
-namespace {
+namespace spec {
 
-/** Parse a rate in [0, 1]; fatal() on junk or out-of-range values. */
 double
-parseRate(const std::string& key, const std::string& text)
+parseRate(const std::string& what, const std::string& key,
+          const std::string& text)
 {
     errno = 0;
     char* end = nullptr;
     double v = std::strtod(text.c_str(), &end);
     if (end == text.c_str() || *end != '\0' || errno == ERANGE)
-        fatal("fault spec: bad value '", text, "' for ", key,
+        fatal(what, ": bad value '", text, "' for ", key,
               " (expected a number)");
     if (v < 0.0 || v > 1.0)
-        fatal("fault spec: ", key, "=", text,
+        fatal(what, ": ", key, "=", text,
               " out of range (rates are probabilities in [0, 1])");
     return v;
 }
+
+std::uint64_t
+parseCount(const std::string& what, const std::string& key,
+           const std::string& text)
+{
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        text.find('-') != std::string::npos)
+        fatal(what, ": bad value '", text, "' for ", key,
+              " (expected a non-negative integer)");
+    return v;
+}
+
+std::string
+renderRate(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+std::vector<Pair>
+splitPairs(const std::string& what, const std::string& text)
+{
+    if (text.empty())
+        fatal(what, ": empty spec (expected key=value[,key=value...])");
+
+    std::vector<Pair> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string pair = text.substr(start, comma - start);
+        start = comma + 1;
+
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= pair.size())
+            fatal(what, ": malformed entry '", pair,
+                  "' (expected key=value)");
+        Pair p;
+        p.key = pair.substr(0, eq);
+        p.value = pair.substr(eq + 1);
+        const std::size_t colon = p.value.find(':');
+        if (colon != std::string::npos) {
+            p.arg = p.value.substr(colon + 1);
+            p.value = p.value.substr(0, colon);
+            if (p.value.empty() || p.arg.empty())
+                fatal(what, ": malformed entry '", pair,
+                      "' (expected key=value:arg)");
+        }
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+} // namespace spec
+
+namespace {
+
+constexpr const char* kWhat = "fault spec";
 
 /** Parse a non-negative number with optional ns/us/ms suffix. */
 Tick
@@ -70,14 +133,6 @@ renderDuration(Tick t)
     return buf;
 }
 
-std::string
-renderRate(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%g", v);
-    return buf;
-}
-
 } // namespace
 
 bool
@@ -94,12 +149,12 @@ FaultSpec::summary() const
     std::string out = "seed=" + std::to_string(seed);
     auto rate = [&](const char* key, double v) {
         if (v > 0.0)
-            out += std::string(",") + key + "=" + renderRate(v);
+            out += std::string(",") + key + "=" + spec::renderRate(v);
     };
     auto rateDur = [&](const char* key, double v, Tick d) {
         if (v > 0.0)
-            out += std::string(",") + key + "=" + renderRate(v) + ":" +
-                   renderDuration(d);
+            out += std::string(",") + key + "=" + spec::renderRate(v) +
+                   ":" + renderDuration(d);
     };
     rate("drop-wake", dropWake);
     rateDur("dup-wake", dupWake, dupWakeDelay);
@@ -117,36 +172,15 @@ FaultSpec
 FaultSpec::parse(const std::string& text)
 {
     FaultSpec s;
-    if (text.empty())
-        fatal("fault spec: empty spec (expected key=value[,key=value...])");
-
-    // Split on commas, then each pair on '=' and an optional ':'.
-    std::vector<std::string> pairs;
-    std::size_t start = 0;
-    while (start <= text.size()) {
-        std::size_t comma = text.find(',', start);
-        if (comma == std::string::npos)
-            comma = text.size();
-        pairs.push_back(text.substr(start, comma - start));
-        start = comma + 1;
-    }
-
-    for (const auto& pair : pairs) {
-        std::size_t eq = pair.find('=');
-        if (eq == std::string::npos || eq == 0 || eq + 1 >= pair.size())
-            fatal("fault spec: malformed entry '", pair,
-                  "' (expected key=value)");
-        std::string key = pair.substr(0, eq);
-        std::string value = pair.substr(eq + 1);
-        std::string dur;
-        std::size_t colon = value.find(':');
-        if (colon != std::string::npos) {
-            dur = value.substr(colon + 1);
-            value = value.substr(0, colon);
-            if (value.empty() || dur.empty())
-                fatal("fault spec: malformed entry '", pair,
-                      "' (expected key=rate:duration)");
-        }
+    // Split on commas, then each pair on '=' and an optional ':'
+    // (shared grammar primitives in fault::spec).
+    for (const spec::Pair& p : spec::splitPairs(kWhat, text)) {
+        const std::string& key = p.key;
+        const std::string& value = p.value;
+        const std::string& dur = p.arg;
+        auto parseRate = [&](const std::string& k, const std::string& v) {
+            return spec::parseRate(kWhat, k, v);
+        };
 
         auto noDuration = [&]() {
             if (!dur.empty())
@@ -156,12 +190,7 @@ FaultSpec::parse(const std::string& text)
 
         if (key == "seed") {
             noDuration();
-            errno = 0;
-            char* end = nullptr;
-            unsigned long long v = std::strtoull(value.c_str(), &end, 10);
-            if (end == value.c_str() || *end != '\0' || errno == ERANGE)
-                fatal("fault spec: bad seed '", value, "'");
-            s.seed = v;
+            s.seed = spec::parseCount(kWhat, key, value);
         } else if (key == "all") {
             noDuration();
             double v = parseRate(key, value);

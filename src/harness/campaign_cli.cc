@@ -23,7 +23,8 @@ usage(const char* prog, const char* complaint, bool allowQuick)
         "       [--out FILE] [--manifest FILE] [--only-point I]\n"
         "       [--trace FILE[:categories]] [--stats-json FILE]\n"
         "       [--serve ADDR | --worker ADDR] [--cache DIR]\n"
-        "       [--lease-ms N] [--heartbeat-ms N] [--worker-name S]\n",
+        "       [--lease-ms N] [--heartbeat-ms N] [--worker-name S]\n"
+        "       [--net-faults SPEC] [--reconnect-ms N]\n",
         prog, complaint, prog, allowQuick ? "[--quick] " : "");
     std::exit(2);
 }
@@ -167,6 +168,15 @@ CampaignOptions::parse(int argc, char** argv, bool allowQuick)
             }
         } else if (opt == "--worker-name") {
             o.workerName = value(i);
+        } else if (opt == "--net-faults") {
+            o.netFaultsSpec = value(i);
+            if (o.netFaultsSpec.empty()) {
+                usage(prog, "option --net-faults needs a spec",
+                      allowQuick);
+            }
+        } else if (opt == "--reconnect-ms") {
+            o.reconnectMs =
+                parseU64(prog, "--reconnect-ms", value(i), allowQuick);
         } else if (opt == "--quick" && allowQuick) {
             o.quick = true;
         } else {
@@ -185,6 +195,10 @@ CampaignOptions::parse(int argc, char** argv, bool allowQuick)
     }
     if (!o.workerAddr.empty() && o.onlyPoint >= 0) {
         usage(prog, "--worker and --only-point are mutually exclusive",
+              allowQuick);
+    }
+    if (!o.netFaultsSpec.empty() && o.workerAddr.empty()) {
+        usage(prog, "--net-faults requires --worker ADDR",
               allowQuick);
     }
     return o;

@@ -31,6 +31,11 @@
  *   --lease-ms N      per-lease deadline on the daemon (default 60000)
  *   --heartbeat-ms N  worker heartbeat interval (default 1000)
  *   --worker-name S   announced worker identity (default pid@host)
+ *   --net-faults SPEC deterministic network fault injection on this
+ *                     worker's socket (requires --worker; grammar in
+ *                     docs/ROBUSTNESS.md, "Network fault injection")
+ *   --reconnect-ms N  budget for transparent reconnection after
+ *                     losing the daemon socket (default 5000)
  *
  * plus the observability surface (docs/OBSERVABILITY.md):
  *
@@ -79,6 +84,14 @@ struct CampaignOptions
     std::uint64_t leaseMs = 60000;
     std::uint64_t heartbeatMs = 1000;
     std::string workerName;    ///< "" = pid@host
+    /**
+     * Raw --net-faults spec, parsed at the point of use (the harness
+     * layer cannot depend on svc's NetFaultSpec); "" = clean
+     * transport. Only valid with --worker.
+     */
+    std::string netFaultsSpec;
+    /** Worker reconnect budget after daemon loss (--reconnect-ms). */
+    std::uint64_t reconnectMs = 5000;
 
     /** Any distributed role selected (--serve / --worker). */
     bool distributed() const

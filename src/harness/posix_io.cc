@@ -4,6 +4,7 @@
 #include <csignal>
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace tb {
@@ -84,6 +85,26 @@ pollOne(int fd, short events, int timeoutMs)
             return -1;
         }
         return rc == 0 ? 0 : pfd.revents;
+    }
+}
+
+int
+pollMany(struct pollfd* fds, std::size_t n, int timeoutMs)
+{
+    const int rc = ::poll(fds, static_cast<nfds_t>(n), timeoutMs);
+    if (rc < 0 && errno == EINTR)
+        return 0; // treat like a timeout; callers re-poll
+    return rc;
+}
+
+int
+acceptOne(int listenFd)
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0 && errno == EINTR)
+            continue;
+        return fd;
     }
 }
 

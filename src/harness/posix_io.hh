@@ -24,6 +24,8 @@
 
 #include <sys/types.h>
 
+struct pollfd; // from <poll.h>; completed by callers that build fd sets
+
 namespace tb {
 namespace harness {
 
@@ -64,6 +66,24 @@ ssize_t readSome(int fd, void* buf, std::size_t n);
  * descriptors) turns this into a plain interruptible sleep.
  */
 int pollOne(int fd, short events, int timeoutMs);
+
+/**
+ * poll(2) an array of descriptors once. EINTR is reported as a
+ * timeout (return 0) rather than retried with the full timeout
+ * re-armed: multi-fd callers are event loops that recompute their
+ * deadline-derived timeout every round, so "pretend nothing was
+ * ready" converges while "retry for another full timeout" can starve
+ * the deadline bookkeeping. Returns the ready count, 0 on
+ * timeout/EINTR, -1 on a real poll error.
+ */
+int pollMany(struct pollfd* fds, std::size_t n, int timeoutMs);
+
+/**
+ * accept(2) one connection from @p listenFd, retrying on EINTR.
+ * Returns the connected descriptor, or -1 with errno preserved
+ * (EAGAIN/EWOULDBLOCK = nothing pending on a non-blocking socket).
+ */
+int acceptOne(int listenFd);
 
 /** Drain @p fd to @p out until EOF (EINTR-safe); false on error. */
 bool readToEof(int fd, std::string* out);

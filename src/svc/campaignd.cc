@@ -142,13 +142,17 @@ CampaignService::preResolveStored()
             journal_->lookup(i, keys_[i], &stored)) {
             results_[i] = std::move(stored);
             queue_->resolveStored(i,
-                                  harness::PointOutcome::Journaled);
+                                  harness::PointOutcome::Journaled,
+                                  keys_[i],
+                                  harness::fnv1a64(results_[i]));
             ++stats_.journalHits;
             continue;
         }
         if (cache_ && cache_->lookup(keys_[i], &stored)) {
             results_[i] = std::move(stored);
-            queue_->resolveStored(i, harness::PointOutcome::Cached);
+            queue_->resolveStored(i, harness::PointOutcome::Cached,
+                                  keys_[i],
+                                  harness::fnv1a64(results_[i]));
             if (journal_ && journal_->active()) {
                 journal_->record(
                     i, keys_[i],
@@ -160,6 +164,66 @@ CampaignService::preResolveStored()
         stats_.cacheHits = cache_->stats().hits;
         stats_.cacheMisses = cache_->stats().misses;
         stats_.cacheEvictions = cache_->stats().evictions;
+    }
+    if (svcJournal_ && svcJournal_->active())
+        svcJournal_->recordCampaign(fingerprint_, keys_.size());
+}
+
+void
+CampaignService::recoverServiceState()
+{
+    if (!svcJournal_ || !svcJournal_->active() ||
+        svcJournal_->loaded() == 0)
+        return;
+    const std::uint64_t now = nowMs();
+    std::size_t restored = 0, requeued = 0;
+    for (const auto& [i, rec] : svcJournal_->recovered()) {
+        if (i >= queue_->size())
+            continue; // journal from a larger campaign: fatal later
+        if (queue_->point(i).state !=
+            WorkQueue::Point::State::Pending)
+            continue; // completion journal already resolved it
+        // Re-arm the consumed attempts and replay the backoff that
+        // was pending at the crash, so the restarted queue paces
+        // retries exactly like the dead daemon would have.
+        std::uint64_t notBefore = 0;
+        if (rec.attempts >= 1) {
+            harness::SupervisorPolicy sp;
+            sp.backoffBaseMs = opts_.queue.backoffBaseMs;
+            sp.backoffCapMs = opts_.queue.backoffCapMs;
+            sp.seed = opts_.queue.seed;
+            notBefore =
+                now + harness::CampaignSupervisor::backoffDelayMs(
+                          sp, i, rec.attempts + 1);
+        }
+        queue_->restore(i, rec.attempts, notBefore);
+        ++restored;
+        if (rec.outstanding)
+            ++requeued;
+    }
+    // The restart itself is a crash event: the previous daemon died
+    // with this scheduling state on the books. Ledgering it puts the
+    // SIGKILL in the failure manifest next to the worker losses.
+    ledger_.add(0, "daemon", "daemon-restart", -1,
+                "recovered " +
+                    std::to_string(svcJournal_->loaded()) +
+                    " service-journal event(s): " +
+                    std::to_string(restored) +
+                    " unresolved point(s) restored, " +
+                    std::to_string(requeued) +
+                    " outstanding lease(s) requeued");
+}
+
+void
+CampaignService::failPoint(std::size_t point, LeaseLoss loss,
+                           harness::PointOutcome outcome,
+                           const std::string& message,
+                           std::uint64_t now)
+{
+    queue_->fail(point, loss, outcome, message, now);
+    if (svcJournal_ && svcJournal_->active()) {
+        svcJournal_->recordLoss(point, queue_->point(point).attempts,
+                                leaseLossName(loss));
     }
 }
 
@@ -186,9 +250,9 @@ CampaignService::failLeases(Connection* conn, LeaseLoss loss,
         ledger_.add(conn->workerId, conn->label(),
                     leaseLossName(loss), static_cast<long>(point),
                     detail);
-        queue_->fail(point, loss, harness::PointOutcome::Crash,
-                     "worker " + conn->label() + " lost: " + detail,
-                     now);
+        failPoint(point, loss, harness::PointOutcome::Crash,
+                  "worker " + conn->label() + " lost: " + detail,
+                  now);
     }
 }
 
@@ -332,6 +396,8 @@ CampaignService::onLeaseRequest(Connection* conn, const Frame&)
         return;
     }
     ++stats_.leases;
+    if (svcJournal_ && svcJournal_->active())
+        svcJournal_->recordLease(g.point, g.attempt, conn->label());
     std::string p;
     appendU64(&p, g.point);
     appendU64(&p, g.attempt);
@@ -377,10 +443,10 @@ CampaignService::onResult(Connection* conn, const Frame& f)
         ++stats_.protocolErrors;
         ledger_.add(conn->workerId, conn->label(), "protocol-error",
                     static_cast<long>(i), problem);
-        queue_->fail(i, LeaseLoss::ProtocolError,
-                     harness::PointOutcome::Crash,
-                     "worker " + conn->label() + ": " + problem,
-                     nowMs());
+        failPoint(i, LeaseLoss::ProtocolError,
+                  harness::PointOutcome::Crash,
+                  "worker " + conn->label() + ": " + problem,
+                  nowMs());
         std::string p;
         appendU64(&p, point);
         send(conn, FrameType::ResultAck, p);
@@ -395,9 +461,12 @@ CampaignService::onResult(Connection* conn, const Frame& f)
                              i < seeds_.size() ? seeds_[i] : 0,
                              results_[i]);
         }
+        if (svcJournal_ && svcJournal_->active())
+            svcJournal_->recordDone(i);
         if (cache_) {
             cache_->store(key, results_[i]);
             stats_.cacheMisses = cache_->stats().misses;
+            stats_.cacheEvictions = cache_->stats().evictions;
         }
         break;
       case CompleteOutcome::DuplicateMatch:
@@ -444,8 +513,8 @@ CampaignService::onPointError(Connection* conn, const Frame& f)
             : harness::PointOutcome::Exception;
     ledger_.add(conn->workerId, conn->label(), "point-error",
                 static_cast<long>(point), message);
-    queue_->fail(static_cast<std::size_t>(point),
-                 LeaseLoss::WorkerError, po, message, nowMs());
+    failPoint(static_cast<std::size_t>(point),
+              LeaseLoss::WorkerError, po, message, nowMs());
     std::string p;
     appendU64(&p, point);
     send(conn, FrameType::ResultAck, p);
@@ -497,19 +566,14 @@ CampaignService::dispatchFrame(Connection* conn, const Frame& frame)
 void
 CampaignService::acceptConnections()
 {
-    for (;;) {
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR)
-                continue;
-            return; // EAGAIN or transient accept failure
-        }
-        auto conn = std::make_unique<Connection>();
-        conn->fd = fd;
-        conn->lastActivityMs = nowMs();
-        conns_.push_back(std::move(conn));
-        return; // accept one per poll round; poll re-reports readiness
-    }
+    const int fd = harness::acceptOne(listenFd_);
+    if (fd < 0)
+        return; // EAGAIN or transient accept failure
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->lastActivityMs = nowMs();
+    conns_.push_back(std::move(conn));
+    // Accept one per poll round; poll re-reports readiness.
 }
 
 void
@@ -568,25 +632,36 @@ CampaignService::checkDeadlines()
                     "lease deadline of " +
                         std::to_string(opts_.queue.leaseMs) +
                         " ms passed without a result");
-        queue_->fail(point, LeaseLoss::Expired,
-                     harness::PointOutcome::Timeout,
-                     "lease deadline of " +
-                         std::to_string(opts_.queue.leaseMs) +
-                         " ms exceeded",
-                     now);
+        failPoint(point, LeaseLoss::Expired,
+                  harness::PointOutcome::Timeout,
+                  "lease deadline of " +
+                      std::to_string(opts_.queue.leaseMs) +
+                      " ms exceeded",
+                  now);
     }
-    // Heartbeat liveness: a connection holding leases whose last
-    // activity is older than kHeartbeatMisses intervals is dead even
-    // though the socket still looks open (wedged process, dead NAT).
+    // Heartbeat liveness: a connection whose last activity is older
+    // than kHeartbeatMisses intervals is dead even though the socket
+    // still looks open (wedged process, dead NAT). Lease-less
+    // connections are reaped on the same clock: a healthy idle worker
+    // sends LeaseRequests at least once a second, so prolonged
+    // silence means the peer is stuck — e.g. a corrupted frame header
+    // left the reader waiting for bytes that will never come, or a
+    // fuzz client is squatting on the listener — and closing is what
+    // unsticks a blocked worker into its reconnect path.
     for (auto& c : conns_) {
-        if (c->fd < 0 || queue_->leasedBy(c->workerId).empty())
+        if (c->fd < 0)
             continue;
         if (now - c->lastActivityMs >
             kHeartbeatMisses * opts_.heartbeatMs) {
             ++stats_.heartbeatTimeouts;
-            closeConnection(c.get(), LeaseLoss::HeartbeatLost,
-                            std::to_string(kHeartbeatMisses) +
-                                " heartbeat intervals missed");
+            const bool idle = queue_->leasedBy(c->workerId).empty();
+            closeConnection(
+                c.get(), LeaseLoss::HeartbeatLost,
+                idle ? "idle connection reaped (no frames for " +
+                           std::to_string(kHeartbeatMisses) +
+                           " heartbeat intervals)"
+                     : std::to_string(kHeartbeatMisses) +
+                           " heartbeat intervals missed");
         }
     }
 }
@@ -609,7 +684,14 @@ CampaignService::run(std::size_t count)
     if (haveKeys_ && keys_.size() != count)
         fatal("campaign service: ", keys_.size(),
               " keys for ", count, " points");
+    if (svcJournal_ && svcJournal_->active() &&
+        svcJournal_->hasCampaign() && svcJournal_->count() != count) {
+        fatal("campaign service: resumed service journal describes ",
+              svcJournal_->count(), " points, this campaign has ",
+              count, " — wrong --journal file?");
+    }
     preResolveStored();
+    recoverServiceState();
 
     std::string err;
     listenFd_ = listenOn(opts_.listen, &err);
@@ -637,9 +719,12 @@ CampaignService::run(std::size_t count)
                 waitMs, next > now ? next - now : std::uint64_t(1));
         waitMs = std::max<std::uint64_t>(
             std::min<std::uint64_t>(waitMs, 1000), 10);
-        const int rc = ::poll(pfds.data(), pfds.size(),
-                              static_cast<int>(waitMs));
-        if (rc < 0 && errno != EINTR)
+        // pollMany reports EINTR as a timeout, so a signal (SIGINT,
+        // SIGCHLD from --isolate) re-enters the loop and re-derives
+        // its deadline-bounded timeout instead of dying here.
+        const int rc = harness::pollMany(pfds.data(), pfds.size(),
+                                         static_cast<int>(waitMs));
+        if (rc < 0)
             fatal("campaign service: poll: ",
                   errnoMessage(errno));
         if (rc > 0) {

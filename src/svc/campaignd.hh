@@ -49,6 +49,7 @@
 #include "svc/crash_ledger.hh"
 #include "svc/frame.hh"
 #include "svc/result_cache.hh"
+#include "svc/service_journal.hh"
 #include "svc/work_queue.hh"
 
 namespace tb {
@@ -110,6 +111,17 @@ class CampaignService
     void attachCache(ResultCache* cache) { cache_ = cache; }
 
     /**
+     * Service journal making the daemon's scheduling state durable
+     * (docs/ROBUSTNESS.md, "Daemon crash recovery"); may be null.
+     * Must be open()ed by the caller; when it was opened with resume,
+     * run() replays it into the work queue before serving.
+     */
+    void attachServiceJournal(ServiceJournal* journal)
+    {
+        svcJournal_ = journal;
+    }
+
+    /**
      * Per-point config hashes / workload seeds. When set (the
      * campaign-binary --serve mode), journal and cache resolve
      * before any worker connects and worker-reported keys are
@@ -143,6 +155,10 @@ class CampaignService
     struct Connection;
 
     void preResolveStored();
+    void recoverServiceState();
+    void failPoint(std::size_t point, LeaseLoss loss,
+                   harness::PointOutcome outcome,
+                   const std::string& message, std::uint64_t nowMs);
     std::uint64_t nowMs() const;
     void acceptConnections();
     void serviceConnection(Connection* conn);
@@ -168,6 +184,7 @@ class CampaignService
     ServiceOptions opts_;
     harness::CampaignJournal* journal_ = nullptr;
     ResultCache* cache_ = nullptr;
+    ServiceJournal* svcJournal_ = nullptr;
     std::vector<std::uint64_t> keys_;
     std::vector<std::uint64_t> seeds_;
     bool haveKeys_ = false;

@@ -78,8 +78,18 @@ runServed(const harness::CampaignOptions& opts, std::size_t count,
     so.queue.seed = opts.policy.seed;
 
     CampaignService service(so);
-    if (journal && journal->active())
+    ServiceJournal svcJournal;
+    if (journal && journal->active()) {
         service.attachJournal(journal);
+        // The scheduling journal rides alongside the completion
+        // journal: <journal>.svc. Opening with the same --resume flag
+        // makes `--serve --resume` survive a daemon SIGKILL — leases,
+        // attempt counts and backoff state are replayed before the
+        // listener opens (docs/ROBUSTNESS.md, "Daemon crash
+        // recovery").
+        svcJournal.open(journal->path() + ".svc", opts.resume);
+        service.attachServiceJournal(&svcJournal);
+    }
     if (cache && cache->active())
         service.attachCache(cache);
     service.setKeys(pointKeys(task, count));
@@ -148,10 +158,31 @@ runCampaignWorker(const harness::CampaignOptions& opts,
     wo.name = opts.workerName;
     wo.count = count;
     wo.keys = pointKeys(task, count);
+    wo.reconnectWaitMs = opts.reconnectMs;
+    if (!opts.netFaultsSpec.empty()) {
+        // The spec is CLI input but only svc understands the grammar
+        // (the harness layer cannot depend on svc), so a bad value is
+        // caught here and treated as the usage error it is.
+        try {
+            wo.netFaults = NetFaultSpec::parse(opts.netFaultsSpec);
+        } catch (const FatalError& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
 
     CampaignWorker worker(wo);
     std::string err;
-    if (!worker.run(task.run, &err)) {
+    const bool ok = worker.run(task.run, &err);
+    if (wo.netFaults.enabled()) {
+        // Chaos evidence: prove the faults actually fired (the smoke
+        // test greps this line) and make a zero-fault run visibly
+        // vacuous.
+        const std::string line =
+            worker.faultCounters().summaryJson(worker.name());
+        std::fprintf(stderr, "%s", line.c_str());
+    }
+    if (!ok) {
         std::fprintf(stderr, "campaign worker: %s\n", err.c_str());
         return 1;
     }

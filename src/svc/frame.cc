@@ -12,7 +12,7 @@ namespace svc {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'B', 'F', '1'};
-constexpr std::size_t kHeaderSize = 12;
+constexpr std::size_t kHeaderSize = kFrameHeaderSize;
 
 void
 putU16(char* p, std::uint16_t v)
@@ -45,10 +45,11 @@ getU32(const char* p)
     return v;
 }
 
-/** Validate a 12-byte header; returns false with a diagnostic. */
+} // namespace
+
 bool
-parseHeader(const char* h, FrameType* type, std::uint32_t* length,
-            std::string* err)
+parseFrameHeader(const char* h, FrameType* type, std::uint32_t* length,
+                 std::string* err)
 {
     if (std::memcmp(h, kMagic, sizeof(kMagic)) != 0) {
         *err = "bad frame magic (peer is not speaking TBF1)";
@@ -72,8 +73,6 @@ parseHeader(const char* h, FrameType* type, std::uint32_t* length,
     *length = len;
     return true;
 }
-
-} // namespace
 
 const char*
 frameTypeName(FrameType t)
@@ -183,7 +182,7 @@ recvFrame(int fd, Frame* out, std::string* err)
         return -1;
     }
     std::uint32_t length = 0;
-    if (!parseHeader(header, &out->type, &length, err))
+    if (!parseFrameHeader(header, &out->type, &length, err))
         return -1;
     out->payload.resize(length);
     if (length > 0 &&
@@ -208,7 +207,7 @@ FrameReader::feed(const char* data, std::size_t n,
             return true;
         Frame f;
         std::uint32_t length = 0;
-        if (!parseHeader(buf_.data(), &f.type, &length, &error_)) {
+        if (!parseFrameHeader(buf_.data(), &f.type, &length, &error_)) {
             poisoned_ = true;
             return false;
         }

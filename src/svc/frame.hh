@@ -107,6 +107,18 @@ class PayloadReader
     bool ok_ = true;
 };
 
+/** Wire size of the fixed frame header. */
+constexpr std::size_t kFrameHeaderSize = 12;
+
+/**
+ * Validate a kFrameHeaderSize-byte header: magic, version, payload
+ * cap. True on success with @p type / @p length filled in; false with
+ * a diagnostic in @p err. Exposed for transports that reassemble the
+ * header from fragments (net_faults.cc) and for the protocol fuzzer.
+ */
+bool parseFrameHeader(const char* header, FrameType* type,
+                      std::uint32_t* length, std::string* err);
+
 /** Serialize a frame (header + payload) to wire bytes. */
 std::string encodeFrame(FrameType type, const std::string& payload);
 

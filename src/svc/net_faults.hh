@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic network fault injection for the campaign service
+ * transport (docs/ROBUSTNESS.md, "Network fault injection").
+ *
+ * A NetFaultSpec names the per-operation fault rates a FaultyTransport
+ * realizes against one worker's socket. Specs use the same
+ * `key=value[:arg]` grammar as `--faults` (shared primitives in
+ * fault::spec) so a failing run reproduces verbatim from a log line:
+ *
+ *     seed=7,short-write=0.3,split-read=0.3,corrupt=0.02,
+ *     disconnect=0.05,delay=0.1:5
+ *
+ * Injection is worker-side and wraps sendFrame/recvFrame, exercising
+ * exactly the failure surface a hostile network presents to the
+ * protocol: torn frame boundaries (short writes / split reads), stale
+ * peers (injected delays), dead peers mid-frame (disconnects), and
+ * line noise (byte corruption). The fault stream is a private
+ * tb::Random sequence seeded from (spec seed, worker name), so a run
+ * is reproducible per worker regardless of scheduling.
+ */
+
+#ifndef TB_SVC_NET_FAULTS_HH_
+#define TB_SVC_NET_FAULTS_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/random.hh"
+#include "svc/frame.hh"
+
+namespace tb {
+namespace svc {
+
+/** Rates (probability per frame) of each injected network fault. */
+struct NetFaultSpec
+{
+    /** Seed of the injector's private random stream. */
+    std::uint64_t seed = 1;
+
+    /** Probability an outbound frame is written in two raw writes. */
+    double shortWrite = 0.0;
+    /** Probability an inbound frame is read in header fragments. */
+    double splitRead = 0.0;
+    /** Probability an operation is delayed by delayMs first. */
+    double delay = 0.0;
+    /** Size of one injected delay, in milliseconds. */
+    std::uint64_t delayMs = 5;
+    /** Probability a send turns into a mid-frame disconnect. */
+    double disconnect = 0.0;
+    /** Probability one byte of an outbound frame is flipped. */
+    double corrupt = 0.0;
+
+    /** True if any fault rate is non-zero. */
+    bool enabled() const;
+
+    /** Canonical spec string (parses back to an identical spec). */
+    std::string summary() const;
+
+    /**
+     * Parse a spec string. Grammar: comma-separated `key=value` pairs
+     * with keys seed, short-write, split-read, delay (optional `:ms`
+     * suffix), disconnect, corrupt, and `all=<rate>` setting every
+     * rate at once. Calls fatal() on unknown keys, malformed numbers,
+     * or rates outside [0, 1].
+     */
+    static NetFaultSpec parse(const std::string& text);
+};
+
+/** Running totals of the faults one transport actually injected. */
+struct NetFaultCounters
+{
+    std::uint64_t shortWrites = 0;
+    std::uint64_t splitReads = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t disconnects = 0;
+    std::uint64_t corruptions = 0;
+
+    std::uint64_t total() const
+    {
+        return shortWrites + splitReads + delays + disconnects +
+               corruptions;
+    }
+
+    /** One `"kind": "net-faults"` JSON summary line (chaos smoke
+     *  greps these to prove every fault class actually fired). */
+    std::string summaryJson(const std::string& worker) const;
+};
+
+/**
+ * Drop-in wrapper over sendFrame/recvFrame that injects the faults a
+ * NetFaultSpec names. With no spec configured (or an all-zero one) it
+ * forwards verbatim — the worker always talks through one of these.
+ *
+ * Faults are injected on the worker side of the connection only; a
+ * fault that corrupts or tears a frame exercises the daemon's
+ * poison-and-ledger path, and a disconnect exercises the worker's own
+ * reconnect path (the injected errno is ECONNRESET so callers route
+ * it exactly like a daemon crash).
+ */
+class FaultyTransport
+{
+  public:
+    /** Arm @p spec; @p streamName (worker identity) salts the seed so
+     *  same-spec workers draw distinct deterministic streams. */
+    void configure(const NetFaultSpec& spec,
+                   const std::string& streamName);
+
+    bool enabled() const { return spec_.enabled(); }
+    const NetFaultSpec& spec() const { return spec_; }
+    const NetFaultCounters& counters() const { return counters_; }
+
+    /** sendFrame with injected delay/corruption/tearing/disconnect. */
+    bool sendFrame(int fd, FrameType type, const std::string& payload);
+
+    /** recvFrame with injected delay and fragmented header reads. */
+    int recvFrame(int fd, Frame* out, std::string* err);
+
+  private:
+    NetFaultSpec spec_;
+    NetFaultCounters counters_;
+    tb::Random rng_{1};
+};
+
+} // namespace svc
+} // namespace tb
+
+#endif // TB_SVC_NET_FAULTS_HH_

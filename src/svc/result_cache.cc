@@ -64,25 +64,52 @@ ResultCache::lookup(std::uint64_t key, std::string* result)
         ++stats_.misses;
         return false;
     }
-    std::string header;
-    std::getline(in, header);
+    std::ostringstream os;
+    os << in.rdbuf();
+    in.close();
+    const std::string data = os.str();
+
+    // Classify before trusting. Entries are written via atomic
+    // tmp+rename, but a writer dying under ENOSPC or SIGKILL can
+    // still leave zero-length or header-truncated files behind; each
+    // shape is evicted with its own diagnosis so an operator can tell
+    // torn writes from bit rot. The header is exactly "TBCACHE1 "
+    // plus 16 lowercase hex digits plus a newline — nothing looser.
+    const char* why = nullptr;
     std::uint64_t sum = 0;
-    const bool headerOk =
-        std::sscanf(header.c_str(), "TBCACHE1 %16" SCNx64, &sum) == 1;
-    std::string body;
-    if (headerOk) {
-        std::ostringstream os;
-        os << in.rdbuf();
-        body = os.str();
+    if (data.empty()) {
+        why = "zero-length entry (torn write?)";
+    } else if (data.size() < kCacheHeaderLen ||
+               data.compare(0, 9, "TBCACHE1 ") != 0 ||
+               data[kCacheHeaderLen - 1] != '\n') {
+        why = "truncated or malformed header";
+    } else {
+        for (std::size_t i = 9; i < kCacheHeaderLen - 1; ++i) {
+            const char c = data[i];
+            if (c >= '0' && c <= '9')
+                sum = sum * 16 + static_cast<std::uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                sum = sum * 16 +
+                      static_cast<std::uint64_t>(c - 'a' + 10);
+            else {
+                why = "truncated or malformed header";
+                break;
+            }
+        }
     }
-    if (!headerOk || harness::fnv1a64(body) != sum) {
-        // Corrupt entry: evict so the rerun repairs the cache, and
-        // make sure corruption never masquerades as a result.
-        in.close();
+    std::string body;
+    if (!why) {
+        body = data.substr(kCacheHeaderLen);
+        if (harness::fnv1a64(body) != sum)
+            why = "checksum mismatch";
+    }
+    if (why) {
+        // Evict so the rerun repairs the cache, and make sure
+        // corruption never masquerades as a result.
         std::remove(path.c_str());
         ++stats_.evictions;
         ++stats_.misses;
-        warn("result cache: evicted corrupted entry ", path);
+        warn("result cache: evicted ", path, ": ", why);
         return false;
     }
     *result = std::move(body);

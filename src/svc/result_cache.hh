@@ -25,11 +25,15 @@
 #ifndef TB_SVC_RESULT_CACHE_HH_
 #define TB_SVC_RESULT_CACHE_HH_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace tb {
 namespace svc {
+
+/** Exact on-disk header length: "TBCACHE1 " + 16 hex + '\n'. */
+constexpr std::size_t kCacheHeaderLen = 26;
 
 /** Hit/miss/eviction accounting of one cache instance. */
 struct CacheStats

@@ -1,0 +1,275 @@
+#include "svc/service_journal.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "harness/campaign_journal.hh"
+#include "sim/logging.hh"
+
+namespace tb {
+namespace svc {
+
+namespace {
+
+/** Offset just past `"key": ` (and the opening quote for strings). */
+std::size_t
+fieldStart(const std::string& line, const char* key, bool string_field)
+{
+    const std::string pat = std::string("\"") + key + "\": ";
+    const std::size_t at = line.find(pat);
+    if (at == std::string::npos)
+        return std::string::npos;
+    std::size_t off = at + pat.size();
+    if (string_field) {
+        if (off >= line.size() || line[off] != '"')
+            return std::string::npos;
+        ++off;
+    }
+    return off;
+}
+
+bool
+parseU64Field(const std::string& line, const char* key, int base,
+              std::uint64_t* out)
+{
+    const std::size_t off = fieldStart(line, key, base == 16);
+    if (off == std::string::npos)
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(line.c_str() + off, &end, base);
+    if (end == line.c_str() + off || errno == ERANGE)
+        return false;
+    *out = v;
+    return true;
+}
+
+/**
+ * Split a journal line into its checksum-covered body and verify the
+ * trailing `, "check": "%016x"}` seal. False (= skip the line) on a
+ * torn line, a foreign line, or a checksum mismatch.
+ */
+bool
+sealedBody(const std::string& line, std::string* body)
+{
+    const std::string pat = ", \"check\": \"";
+    const std::size_t at = line.rfind(pat);
+    if (at == std::string::npos ||
+        line.size() != at + pat.size() + 16 + 2 ||
+        line.compare(line.size() - 2, 2, "\"}") != 0)
+        return false;
+    std::uint64_t check = 0;
+    if (!parseU64Field(line.substr(at + 2), "check", 16, &check))
+        return false;
+    *body = line.substr(0, at);
+    return harness::fnv1a64(*body) == check;
+}
+
+/** Last field of a body is a string: extract and unescape it. The
+ *  body's final character is its closing quote. */
+bool
+trailingString(const std::string& body, const char* key,
+               std::string* out)
+{
+    const std::size_t off = fieldStart(body, key, true);
+    if (off == std::string::npos || body.empty() ||
+        body.back() != '"' || off > body.size() - 1)
+        return false;
+    // Escapes only ever shrink on decode; the writer used the shared
+    // JSON escape, so round-trip through the journal unescaper.
+    const std::string raw = body.substr(off, body.size() - 1 - off);
+    std::string plain;
+    plain.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] != '\\') {
+            plain += raw[i];
+            continue;
+        }
+        if (++i >= raw.size())
+            return false;
+        switch (raw[i]) {
+          case '"':  plain += '"'; break;
+          case '\\': plain += '\\'; break;
+          case 'n':  plain += '\n'; break;
+          case 'r':  plain += '\r'; break;
+          case 't':  plain += '\t'; break;
+          default:   return false; // \uXXXX never appears in names
+        }
+    }
+    *out = std::move(plain);
+    return true;
+}
+
+} // namespace
+
+ServiceJournal::~ServiceJournal()
+{
+    if (out_)
+        std::fclose(out_);
+}
+
+void
+ServiceJournal::open(const std::string& path, bool resume)
+{
+    path_ = path;
+    hasCampaign_ = false;
+    fingerprint_ = 0;
+    count_ = 0;
+    loaded_ = 0;
+    recovered_.clear();
+
+    if (resume) {
+        std::ifstream in(path);
+        std::string line;
+        while (in && std::getline(in, line)) {
+            std::string body;
+            if (!sealedBody(line, &body))
+                continue; // torn final line: event never landed
+            std::string kind;
+            {
+                const std::size_t off = fieldStart(body, "svc", true);
+                const std::size_t end =
+                    off == std::string::npos ? std::string::npos
+                                             : body.find('"', off);
+                if (end == std::string::npos)
+                    continue;
+                kind = body.substr(off, end - off);
+            }
+            if (kind == "campaign") {
+                std::uint64_t fp = 0, n = 0;
+                if (!parseU64Field(body, "fingerprint", 16, &fp) ||
+                    !parseU64Field(body, "count", 10, &n))
+                    continue;
+                if (hasCampaign_ &&
+                    (fp != fingerprint_ || n != count_)) {
+                    char a[17], b[17];
+                    std::snprintf(a, sizeof(a), "%016" PRIx64,
+                                  fingerprint_);
+                    std::snprintf(b, sizeof(b), "%016" PRIx64, fp);
+                    fatal("service journal ", path,
+                          ": conflicting campaign records (fingerprint ",
+                          a, "/", count_, " points vs ", b, "/", n,
+                          " points) — this journal was shared by two "
+                          "different campaigns; delete it or give each "
+                          "campaign its own --journal file");
+                }
+                hasCampaign_ = true;
+                fingerprint_ = fp;
+                count_ = n;
+                ++loaded_;
+                continue;
+            }
+            std::uint64_t point = 0;
+            if (!parseU64Field(body, "point", 10, &point))
+                continue;
+            PointRecovery& rec =
+                recovered_[static_cast<std::size_t>(point)];
+            if (kind == "lease" || kind == "loss") {
+                std::uint64_t attempt = 0;
+                if (!parseU64Field(body, "attempt", 10, &attempt))
+                    continue;
+                if (attempt > rec.attempts)
+                    rec.attempts = static_cast<unsigned>(attempt);
+                rec.outstanding = kind == "lease";
+                if (kind == "loss") {
+                    std::string reason;
+                    if (trailingString(body, "reason", &reason))
+                        rec.lastReason = std::move(reason);
+                }
+            } else if (kind == "done") {
+                // Completed: nothing to recover. The result itself
+                // lives in the completion journal; dropping the
+                // entry just keeps resume reports clean.
+                recovered_.erase(static_cast<std::size_t>(point));
+            } else {
+                continue; // unknown kind (newer writer): ignore
+            }
+            ++loaded_;
+        }
+    }
+
+    out_ = std::fopen(path.c_str(), resume ? "ab" : "wb");
+    if (!out_)
+        fatal("cannot open service journal ", path, ": ",
+              errnoMessage(errno));
+}
+
+void
+ServiceJournal::append(const std::string& body)
+{
+    if (!out_)
+        return;
+    std::fprintf(out_, "%s, \"check\": \"%016" PRIx64 "\"}\n",
+                 body.c_str(), harness::fnv1a64(body));
+    std::fflush(out_);
+}
+
+void
+ServiceJournal::recordCampaign(std::uint64_t fingerprint,
+                               std::uint64_t count)
+{
+    if (!out_)
+        return;
+    if (hasCampaign_ &&
+        (fingerprint != fingerprint_ || count != count_)) {
+        char a[17], b[17];
+        std::snprintf(a, sizeof(a), "%016" PRIx64, fingerprint_);
+        std::snprintf(b, sizeof(b), "%016" PRIx64, fingerprint);
+        fatal("service journal ", path_, ": resumed campaign "
+              "(fingerprint ", a, ", ", count_,
+              " points) does not match this campaign (fingerprint ",
+              b, ", ", count, " points) — wrong --journal file?");
+    }
+    hasCampaign_ = true;
+    fingerprint_ = fingerprint;
+    count_ = count;
+    char body[128];
+    std::snprintf(body, sizeof(body),
+                  "{\"svc\": \"campaign\", \"fingerprint\": "
+                  "\"%016" PRIx64 "\", \"count\": %" PRIu64,
+                  fingerprint, count);
+    append(body);
+}
+
+void
+ServiceJournal::recordLease(std::size_t point, unsigned attempt,
+                            const std::string& worker)
+{
+    if (!out_)
+        return;
+    std::string body = "{\"svc\": \"lease\", \"point\": " +
+                       std::to_string(point) + ", \"attempt\": " +
+                       std::to_string(attempt) + ", \"worker\": \"" +
+                       harness::CampaignJournal::escapeJson(worker) +
+                       "\"";
+    append(body);
+}
+
+void
+ServiceJournal::recordLoss(std::size_t point, unsigned attempt,
+                           const std::string& reason)
+{
+    if (!out_)
+        return;
+    std::string body = "{\"svc\": \"loss\", \"point\": " +
+                       std::to_string(point) + ", \"attempt\": " +
+                       std::to_string(attempt) + ", \"reason\": \"" +
+                       harness::CampaignJournal::escapeJson(reason) +
+                       "\"";
+    append(body);
+}
+
+void
+ServiceJournal::recordDone(std::size_t point)
+{
+    if (!out_)
+        return;
+    append("{\"svc\": \"done\", \"point\": " + std::to_string(point));
+}
+
+} // namespace svc
+} // namespace tb

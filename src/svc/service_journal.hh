@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Append-only service journal: crash recovery for the campaign daemon
+ * (docs/ROBUSTNESS.md, "Daemon crash recovery").
+ *
+ * The completion journal (harness::CampaignJournal) makes *results*
+ * durable; this journal makes the daemon's *scheduling state* durable.
+ * The daemon appends one JSONL record per scheduling event — lease
+ * grant, lease loss (with its retry reason), completion — plus one
+ * campaign-identity record (key-table fingerprint + point count). A
+ * SIGKILLed daemon restarted with `--serve --resume` replays the file
+ * and reconstructs the work queue: outstanding leases return to the
+ * queue with their attempt counts intact, lost attempts keep their
+ * backoff position, and points whose results the completion journal
+ * holds are never re-leased.
+ *
+ * Every line carries an FNV-1a checksum of its own body, so a torn
+ * final line (the daemon died mid-fprintf) fails validation and is
+ * skipped — exactly the CampaignJournal discipline. Replay is
+ * idempotent: attempts are the *maximum* attempt number seen, not a
+ * line count, and a point is outstanding iff its *last* event is a
+ * lease, so duplicated lines (crash between write and flush, journal
+ * concatenation) change nothing. A campaign record that conflicts
+ * with an existing one is fatal: the journal was shared by two
+ * different campaigns and cannot be trusted.
+ */
+
+#ifndef TB_SVC_SERVICE_JOURNAL_HH_
+#define TB_SVC_SERVICE_JOURNAL_HH_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace tb {
+namespace svc {
+
+/** Append-only JSONL record of daemon scheduling events. */
+class ServiceJournal
+{
+  public:
+    ServiceJournal() = default;
+    ~ServiceJournal();
+
+    ServiceJournal(const ServiceJournal&) = delete;
+    ServiceJournal& operator=(const ServiceJournal&) = delete;
+
+    /** Pre-crash scheduling state of one point, reconstructed on
+     *  resume. */
+    struct PointRecovery
+    {
+        /** Highest attempt number recorded (lease or loss). */
+        unsigned attempts = 0;
+        /** True when the last recorded event is a lease grant: the
+         *  daemon died while a worker held (or believed it held)
+         *  this point. */
+        bool outstanding = false;
+        /** Reason of the most recent recorded loss ("" if none). */
+        std::string lastReason;
+    };
+
+    /**
+     * Open the journal at @p path. With @p resume, existing records
+     * are replayed (torn or checksum-failing lines are skipped) and
+     * subsequent records append; without it any previous journal is
+     * truncated. Throws FatalError when the file cannot be opened or
+     * when it holds conflicting campaign-identity records.
+     */
+    void open(const std::string& path, bool resume);
+
+    /** Whether open() succeeded (service journalling is optional). */
+    bool active() const { return out_ != nullptr; }
+
+    /** Journal file path ("" when inactive). */
+    const std::string& path() const { return path_; }
+
+    /**
+     * Record the campaign identity once per run (duplicate identical
+     * records across resumes are tolerated on replay). Fatal when a
+     * resumed journal already names a different campaign.
+     */
+    void recordCampaign(std::uint64_t fingerprint, std::uint64_t count);
+
+    /** Record a lease grant; flushed line-by-line like every event. */
+    void recordLease(std::size_t point, unsigned attempt,
+                     const std::string& worker);
+
+    /** Record a lease loss and the retry reason that classified it. */
+    void recordLoss(std::size_t point, unsigned attempt,
+                    const std::string& reason);
+
+    /** Record an accepted completion (clears the outstanding lease). */
+    void recordDone(std::size_t point);
+
+    /** Whether a resumed journal carried a campaign-identity record. */
+    bool hasCampaign() const { return hasCampaign_; }
+    /** Key-table fingerprint of the resumed campaign (0 if none). */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+    /** Point count of the resumed campaign (0 if none). */
+    std::uint64_t count() const { return count_; }
+
+    /** Valid event lines replayed from a resumed journal. */
+    std::size_t loaded() const { return loaded_; }
+
+    /** Per-point recovery state of a resumed journal, excluding
+     *  points whose last event is a completion. */
+    const std::map<std::size_t, PointRecovery>& recovered() const
+    {
+        return recovered_;
+    }
+
+  private:
+    void append(const std::string& body);
+
+    std::string path_;
+    std::FILE* out_ = nullptr;
+    bool hasCampaign_ = false;
+    std::uint64_t fingerprint_ = 0;
+    std::uint64_t count_ = 0;
+    std::size_t loaded_ = 0;
+    std::map<std::size_t, PointRecovery> recovered_;
+};
+
+} // namespace svc
+} // namespace tb
+
+#endif // TB_SVC_SERVICE_JOURNAL_HH_

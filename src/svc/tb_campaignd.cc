@@ -130,8 +130,17 @@ main(int argc, char** argv)
 
         harness::CampaignSupervisor::installSigintHandler();
         svc::CampaignService service(so);
-        if (journal.active())
+        svc::ServiceJournal svcJournal;
+        if (journal.active()) {
             service.attachJournal(&journal);
+            // Scheduling durability rides alongside the completion
+            // journal (<journal>.svc): with --resume a SIGKILLed
+            // daemon restarts with leases, attempt counts and backoff
+            // state intact (docs/ROBUSTNESS.md, "Daemon crash
+            // recovery").
+            svcJournal.open(journalPath + ".svc", resume);
+            service.attachServiceJournal(&svcJournal);
+        }
         if (cache.active())
             service.attachCache(&cache);
 

@@ -6,7 +6,8 @@
  * line, so every worker of one campaign must be launched with the
  * same command — a mismatched worker is rejected at Hello.
  *
- *   tb_worker --connect ADDR --count N [--name S] -- CMD [ARGS...]
+ *   tb_worker --connect ADDR --count N [--name S]
+ *             [--net-faults SPEC] [--reconnect-ms N] -- CMD [ARGS...]
  *
  * Per lease of point I the worker runs `CMD ARGS... --only-point I`
  * (the repro-mode surface every campaign binary already has); a
@@ -31,7 +32,9 @@ usage(const char* complaint)
     std::fprintf(stderr,
                  "tb_worker: %s\n"
                  "usage: tb_worker --connect ADDR --count N "
-                 "[--name S] -- CMD [ARGS...]\n",
+                 "[--name S]\n"
+                 "       [--net-faults SPEC] [--reconnect-ms N] "
+                 "-- CMD [ARGS...]\n",
                  complaint);
     std::exit(2);
 }
@@ -83,6 +86,11 @@ main(int argc, char** argv)
                 std::strtoull(value(), nullptr, 10));
         else if (opt == "--name")
             wo.name = value();
+        else if (opt == "--net-faults")
+            wo.netFaults = svc::NetFaultSpec::parse(value());
+        else if (opt == "--reconnect-ms")
+            wo.reconnectWaitMs =
+                std::strtoull(value(), nullptr, 10);
         else if (opt == "--") {
             ++i;
             break;
@@ -121,6 +129,11 @@ main(int argc, char** argv)
                               std::to_string(point));
         },
         &err);
+    if (wo.netFaults.enabled()) {
+        const std::string line =
+            worker.faultCounters().summaryJson(worker.name());
+        std::fprintf(stderr, "%s", line.c_str());
+    }
     if (!ok) {
         std::fprintf(stderr, "tb_worker: %s\n", err.c_str());
         return 1;

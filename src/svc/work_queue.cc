@@ -24,7 +24,8 @@ WorkQueue::WorkQueue(std::size_t count, const QueuePolicy& policy)
 {}
 
 void
-WorkQueue::resolveStored(std::size_t i, harness::PointOutcome how)
+WorkQueue::resolveStored(std::size_t i, harness::PointOutcome how,
+                         std::uint64_t key, std::uint64_t checksum)
 {
     Point& p = points_.at(i);
     if (p.state == Point::State::Done ||
@@ -32,7 +33,23 @@ WorkQueue::resolveStored(std::size_t i, harness::PointOutcome how)
         return;
     p.state = Point::State::Done;
     p.outcome = how;
+    p.key = key;
+    p.checksum = checksum;
     --unresolved_;
+}
+
+void
+WorkQueue::restore(std::size_t i, unsigned attempts,
+                   std::uint64_t notBeforeMs)
+{
+    if (i >= points_.size())
+        return;
+    Point& p = points_[i];
+    if (p.state != Point::State::Pending)
+        return;
+    if (attempts > p.attempts)
+        p.attempts = attempts;
+    p.notBeforeMs = notBeforeMs;
 }
 
 LeaseGrant

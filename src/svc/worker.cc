@@ -37,6 +37,14 @@ peerGone(int e)
     return e == EPIPE || e == ECONNRESET;
 }
 
+/** Whether a recvFrame return means the connection is gone (EOF or a
+ *  peer-death errno) rather than a protocol-fatal condition. */
+bool
+lostFrame(int rc)
+{
+    return rc == 0 || (rc < 0 && peerGone(errno));
+}
+
 } // namespace
 
 CampaignWorker::CampaignWorker(WorkerOptions opts)
@@ -56,11 +64,21 @@ bool
 CampaignWorker::sendLocked(FrameType type, const std::string& payload)
 {
     LockGuard lock(sendMu_);
-    return fd_ >= 0 && sendFrame(fd_, type, payload);
+    return fd_ >= 0 && transport_.sendFrame(fd_, type, payload);
 }
 
-bool
-CampaignWorker::handshake(std::string* err)
+void
+CampaignWorker::dropConnection()
+{
+    LockGuard lock(sendMu_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+CampaignWorker::handshake(std::uint64_t waitMs, std::string* err)
 {
     // Retry the connect while the daemon starts up (binds its socket,
     // replays its journal): workers and daemon are normally launched
@@ -71,18 +89,23 @@ CampaignWorker::handshake(std::string* err)
         fd_ = connectTo(opts_.connect, err);
         if (fd_ >= 0)
             break;
-        if (waited >= opts_.connectWaitMs)
-            return false;
+        if (waited >= waitMs)
+            return 0;
         harness::pollOne(-1, 0, static_cast<int>(stepMs));
     }
 
+    // The handshake travels over the clean transport even under
+    // --net-faults: a corrupted Hello would surface as a config
+    // mismatch (Reject) and mask the fault as a campaign bug. Only
+    // post-handshake traffic is fault-injected.
     std::string hello;
     appendU64(&hello, opts_.count);
     appendU64(&hello, fingerprintKeys(opts_.keys));
     appendString(&hello, opts_.name);
-    if (!sendLocked(FrameType::Hello, hello)) {
+    if (!sendFrame(fd_, FrameType::Hello, hello)) {
         *err = "hello: " + errnoMessage(errno);
-        return false;
+        dropConnection();
+        return peerGone(errno) ? 0 : -1;
     }
 
     Frame f;
@@ -90,17 +113,20 @@ CampaignWorker::handshake(std::string* err)
     if (rc <= 0) {
         if (rc == 0)
             *err = "daemon closed the connection during handshake";
-        return false;
+        dropConnection();
+        return lostFrame(rc) ? 0 : -1;
     }
     if (f.type == FrameType::Reject) {
         PayloadReader r(f.payload);
         *err = "rejected by daemon: " + r.str();
-        return false;
+        dropConnection();
+        return -1;
     }
     if (f.type != FrameType::HelloAck) {
         *err = std::string("expected hello-ack, got ") +
                frameTypeName(f.type);
-        return false;
+        dropConnection();
+        return -1;
     }
     PayloadReader r(f.payload);
     workerId_ = r.u64();
@@ -109,7 +135,8 @@ CampaignWorker::handshake(std::string* err)
     const std::uint64_t flags = r.u64();
     if (!r.ok()) {
         *err = "malformed hello-ack";
-        return false;
+        dropConnection();
+        return -1;
     }
     if (heartbeatMs_ == 0)
         heartbeatMs_ = 1000;
@@ -118,19 +145,58 @@ CampaignWorker::handshake(std::string* err)
         keys.reserve(8 * opts_.keys.size());
         for (std::uint64_t k : opts_.keys)
             appendU64(&keys, k);
-        if (!sendLocked(FrameType::Keys, keys)) {
+        if (!sendFrame(fd_, FrameType::Keys, keys)) {
             *err = "keys upload: " + errnoMessage(errno);
-            return false;
+            dropConnection();
+            return peerGone(errno) ? 0 : -1;
         }
     }
-    return true;
+    return 1;
 }
 
-bool
+int
+CampaignWorker::reconnect(std::string* err)
+{
+    dropConnection();
+    if (opts_.reconnectWaitMs == 0)
+        return 0;
+    // The daemon restart window: retry the full handshake under the
+    // supervisor's deterministic exponential backoff, seeded by our
+    // identity so a fleet of restarting workers does not stampede the
+    // fresh daemon in lockstep. Identity is the name, not the old
+    // workerId — the restarted daemon hands out new ids.
+    harness::SupervisorPolicy sp;
+    sp.backoffBaseMs = 100;
+    sp.backoffCapMs = 2000;
+    sp.seed = harness::fnv1a64(opts_.name);
+    std::uint64_t waited = 0;
+    for (unsigned attempt = 1;; ++attempt) {
+        const std::uint64_t delay =
+            harness::CampaignSupervisor::backoffDelayMs(sp, 0,
+                                                        attempt + 1);
+        if (waited + delay > opts_.reconnectWaitMs)
+            return 0;
+        harness::pollOne(-1, 0, static_cast<int>(delay));
+        waited += delay;
+        std::string hsErr;
+        const int h = handshake(0, &hsErr);
+        if (h > 0) {
+            ++stats_.reconnects;
+            warn("campaign worker ", opts_.name, ": reconnected to ",
+                 opts_.connect, " after ", attempt, " attempt(s)");
+            return 1;
+        }
+        if (h < 0) {
+            *err = hsErr;
+            return -1;
+        }
+    }
+}
+
+void
 CampaignWorker::executePoint(
     std::size_t point,
-    const std::function<std::string(std::size_t)>& fn,
-    std::string* err)
+    const std::function<std::string(std::size_t)>& fn)
 {
     // Heartbeat thread: proves liveness to the daemon while the
     // simulation runs. The condition variable both paces the interval
@@ -175,7 +241,11 @@ CampaignWorker::executePoint(
     hbCv.notify_all();
     hb.join();
 
-    bool sent;
+    // Never send from here: stash the report so run() owns the
+    // submit/ack exchange and can resubmit it after a reconnect. The
+    // simulation's work survives any number of connection losses.
+    pending_.valid = true;
+    pending_.point = point;
     if (outcome == harness::PointOutcome::Ok) {
         std::string p;
         appendU64(&p, point);
@@ -183,24 +253,16 @@ CampaignWorker::executePoint(
                                                 : 0);
         appendU64(&p, harness::fnv1a64(payload));
         appendString(&p, payload);
-        sent = sendLocked(FrameType::Result, p);
-        if (sent)
-            ++stats_.results;
+        pending_.type = FrameType::Result;
+        pending_.payload = std::move(p);
     } else {
         std::string p;
         appendU64(&p, point);
         appendU64(&p, static_cast<std::uint64_t>(outcome));
         appendString(&p, payload);
-        sent = sendLocked(FrameType::PointError, p);
-        if (sent)
-            ++stats_.pointErrors;
+        pending_.type = FrameType::PointError;
+        pending_.payload = std::move(p);
     }
-    if (!sent && !peerGone(errno)) {
-        *err = "report for point " + std::to_string(point) + ": " +
-               errnoMessage(errno);
-        return false;
-    }
-    return true;
 }
 
 bool
@@ -209,29 +271,85 @@ CampaignWorker::run(
     std::string* err)
 {
     harness::ignoreSigpipe();
-    if (!handshake(err))
+    transport_.configure(opts_.netFaults, opts_.name);
+    if (handshake(opts_.connectWaitMs, err) <= 0)
         return false;
 
     for (;;) {
-        if (!sendLocked(FrameType::LeaseRequest, "")) {
-            if (peerGone(errno)) {
+        if (fd_ < 0) {
+            const int r = reconnect(err);
+            if (r < 0)
+                return false;
+            if (r == 0) {
+                // The daemon resolved the campaign (possibly via
+                // another worker) and exited; it stayed unreachable
+                // for the whole reconnect budget. Not a worker
+                // failure: real daemon crashes surface in the
+                // daemon's own exit status and artifacts.
                 warn("campaign worker: daemon gone; assuming the "
                      "campaign ended");
                 return true;
+            }
+        }
+
+        if (pending_.valid) {
+            // Submit the stashed report and wait for the ack; a lost
+            // connection anywhere in the exchange routes back through
+            // reconnect() with the report still pending.
+            if (!sendLocked(pending_.type, pending_.payload)) {
+                if (peerGone(errno)) {
+                    dropConnection();
+                    continue;
+                }
+                *err = "report for point " +
+                       std::to_string(pending_.point) + ": " +
+                       errnoMessage(errno);
+                return false;
+            }
+            Frame ack;
+            const int arc = transport_.recvFrame(fd_, &ack, err);
+            if (lostFrame(arc)) {
+                dropConnection();
+                continue;
+            }
+            if (arc < 0)
+                return false;
+            if (pending_.type == FrameType::Result)
+                ++stats_.results;
+            else
+                ++stats_.pointErrors;
+            pending_ = PendingReport{};
+            if (ack.type == FrameType::Done) {
+                sendLocked(FrameType::Goodbye, "");
+                return true;
+            }
+            if (ack.type == FrameType::Reject) {
+                PayloadReader r(ack.payload);
+                *err = "rejected by daemon: " + r.str();
+                return false;
+            }
+            if (ack.type != FrameType::ResultAck) {
+                *err = std::string(
+                           "expected result-ack, got ") +
+                       frameTypeName(ack.type);
+                return false;
+            }
+            continue;
+        }
+
+        if (!sendLocked(FrameType::LeaseRequest, "")) {
+            if (peerGone(errno)) {
+                dropConnection();
+                continue;
             }
             *err = "lease request: " + errnoMessage(errno);
             return false;
         }
         Frame f;
-        const int rc = recvFrame(fd_, &f, err);
-        if (rc == 0 || (rc < 0 && peerGone(errno))) {
-            // The daemon resolved the campaign (possibly via another
-            // worker) and exited between our frames. Not a worker
-            // failure: real daemon crashes surface in the daemon's
-            // own exit status and artifacts.
-            warn("campaign worker: daemon gone; assuming the "
-                 "campaign ended");
-            return true;
+        const int rc = transport_.recvFrame(fd_, &f, err);
+        if (lostFrame(rc)) {
+            dropConnection();
+            continue;
         }
         if (rc < 0)
             return false;
@@ -241,24 +359,8 @@ CampaignWorker::run(
             const std::size_t point =
                 static_cast<std::size_t>(r.u64());
             ++stats_.leases;
-            if (!executePoint(point, fn, err))
-                return false;
-            // The daemon acks every report; Done can follow
-            // immediately when ours was the last point.
-            Frame ack;
-            const int arc = recvFrame(fd_, &ack, err);
-            if (arc == 0 || (arc < 0 && peerGone(errno))) {
-                warn("campaign worker: daemon gone; assuming the "
-                     "campaign ended");
-                return true;
-            }
-            if (arc < 0)
-                return false;
-            if (ack.type == FrameType::Done) {
-                sendLocked(FrameType::Goodbye, "");
-                return true;
-            }
-            break;
+            executePoint(point, fn);
+            break; // the pending branch submits + awaits the ack
           }
           case FrameType::NoWork: {
             PayloadReader r(f.payload);

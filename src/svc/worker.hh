@@ -28,6 +28,7 @@
 
 #include "sim/thread_safety.hh"
 #include "svc/frame.hh"
+#include "svc/net_faults.hh"
 
 namespace tb {
 namespace svc {
@@ -44,6 +45,14 @@ struct WorkerOptions
     /// daemon's startup (journal replay, cache scan) without the
     /// launcher needing sleeps.
     std::uint64_t connectWaitMs = 5000;
+    /// Budget for transparent reconnection after losing an
+    /// established daemon socket mid-campaign: long enough to ride
+    /// out a daemon SIGKILL + `--serve --resume` restart. 0 restores
+    /// the old behaviour (treat daemon loss as campaign-over).
+    std::uint64_t reconnectWaitMs = 5000;
+    /// Deterministic network fault injection over this worker's
+    /// socket (--net-faults; all-zero = clean transport).
+    NetFaultSpec netFaults;
 };
 
 /** Client-side counters (smoke tests assert on these). */
@@ -54,6 +63,7 @@ struct WorkerStats
     std::uint64_t pointErrors = 0;
     std::uint64_t heartbeats = 0;
     std::uint64_t noWorkWaits = 0;
+    std::uint64_t reconnects = 0; ///< successful re-handshakes
 };
 
 /** Lease/execute/report loop of one worker process. */
@@ -71,9 +81,14 @@ class CampaignWorker
      * until the daemon reports the campaign Done. @p fn returns the
      * point's serialized artifact; exceptions become PointError
      * frames classified like the local supervisor (PanicError ->
-     * checker-violation, anything else -> exception). Returns true on
-     * a clean Done; false (with a diagnostic in @p err) on rejection
-     * or connection loss.
+     * checker-violation, anything else -> exception). A lost daemon
+     * socket is survivable: the worker finishes any in-flight point
+     * locally, reconnects under deterministic exponential backoff
+     * (bounded by reconnectWaitMs), re-announces itself by name, and
+     * resubmits the unacknowledged report. Returns true on a clean
+     * Done (or when the daemon stays gone past the reconnect budget —
+     * the campaign presumably ended); false (with a diagnostic in
+     * @p err) on rejection or a protocol-fatal exchange.
      */
     bool run(const std::function<std::string(std::size_t)>& fn,
              std::string* err);
@@ -81,12 +96,35 @@ class CampaignWorker
     const WorkerStats& stats() const { return stats_; }
     std::uint64_t workerId() const { return workerId_; }
 
+    /** Injected-fault counters (the --net-faults stderr line). */
+    const NetFaultCounters& faultCounters() const
+    {
+        return transport_.counters();
+    }
+
+    /** Announced identity (the pid@host default when unset). */
+    const std::string& name() const { return opts_.name; }
+
   private:
-    bool handshake(std::string* err);
-    bool executePoint(
+    /** A locally finished point whose report the daemon has not yet
+     *  acknowledged; survives reconnects until acked. */
+    struct PendingReport
+    {
+        bool valid = false;
+        std::size_t point = 0;
+        FrameType type = FrameType::Result;
+        std::string payload;
+    };
+
+    /** 1 = handshake complete, 0 = daemon unreachable (retryable),
+     *  -1 = protocol-fatal (rejected / malformed ack). */
+    int handshake(std::uint64_t waitMs, std::string* err);
+    /** 1 = reconnected, 0 = budget exhausted, -1 = fatal. */
+    int reconnect(std::string* err);
+    void dropConnection();
+    void executePoint(
         std::size_t point,
-        const std::function<std::string(std::size_t)>& fn,
-        std::string* err);
+        const std::function<std::string(std::size_t)>& fn);
     bool sendLocked(FrameType type, const std::string& payload);
 
     WorkerOptions opts_;
@@ -95,6 +133,8 @@ class CampaignWorker
     std::uint64_t workerId_ = 0;
     std::uint64_t heartbeatMs_ = 1000;
     WorkerStats stats_;
+    FaultyTransport transport_;
+    PendingReport pending_;
 };
 
 } // namespace svc

@@ -21,6 +21,7 @@
 #include "harness/experiment.hh"
 #include "harness/result_serde.hh"
 #include "sim/logging.hh"
+#include "sim/random.hh"
 #include "workloads/app_profile.hh"
 
 namespace tb {
@@ -280,6 +281,86 @@ TEST(CampaignJournal, TornFinalLineFuzz)
                 << "cut at " << cut;
         }
     }
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, DaemonWriterRecoveryFuzz)
+{
+    // The daemon's crash/restart write pattern: every restart may
+    // re-append records the previous incarnation already journaled
+    // (crash between fflush and exit), in arbitrary interleavings,
+    // and the final incarnation can die mid-line. Whatever the seed
+    // produces, resume must load every point exactly once with its
+    // original bytes and never resurrect the torn tail.
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        tb::Random rng(seed);
+        const std::string path =
+            tempPath("journal_recovery_fuzz.jsonl");
+        {
+            CampaignJournal j;
+            j.open(path, false);
+            for (std::size_t p = 0; p < 5; ++p)
+                j.record(p, 0x100 + p, p,
+                         "bytes:" + std::to_string(p));
+        }
+        std::vector<std::string> lines;
+        {
+            std::istringstream in(slurp(path));
+            for (std::string l; std::getline(in, l);)
+                lines.push_back(l);
+        }
+        ASSERT_EQ(lines.size(), 5u);
+        {
+            std::ofstream out(path,
+                              std::ios::app | std::ios::binary);
+            for (int k = 0; k < 8; ++k)
+                out << lines[rng.uniformInt(lines.size())] << "\n";
+            const std::string& torn =
+                lines[rng.uniformInt(lines.size())];
+            out << torn.substr(0,
+                               1 + rng.uniformInt(torn.size() - 1));
+        }
+        CampaignJournal j;
+        j.open(path, /*resume=*/true);
+        EXPECT_EQ(j.loaded(), 5u) << "seed " << seed;
+        std::string out;
+        for (std::size_t p = 0; p < 5; ++p) {
+            ASSERT_TRUE(j.lookup(p, 0x100 + p, &out))
+                << "seed " << seed << " point " << p;
+            EXPECT_EQ(out, "bytes:" + std::to_string(p));
+        }
+        std::remove(path.c_str());
+    }
+}
+
+TEST(CampaignJournal, InterleavedConflictStillFatal)
+{
+    // A same-index record under a different config hash is fatal even
+    // when buried mid-stream between benign duplicate lines — dedup
+    // must not skim past it.
+    const std::string path = tempPath("journal_mid_conflict.jsonl");
+    {
+        CampaignJournal j;
+        j.open(path, false);
+        j.record(1, 0x1111, 1, "campaign A bytes");
+    }
+    const std::string good = slurp(path);
+    std::string conflicting;
+    {
+        const std::string other =
+            tempPath("journal_mid_conflict_other.jsonl");
+        CampaignJournal j;
+        j.open(other, false);
+        j.record(1, 0x2222, 1, "campaign B bytes");
+        conflicting = slurp(other);
+        std::remove(other.c_str());
+    }
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << good << conflicting << good;
+    }
+    CampaignJournal j;
+    EXPECT_THROW(j.open(path, /*resume=*/true), FatalError);
     std::remove(path.c_str());
 }
 

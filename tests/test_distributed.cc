@@ -28,6 +28,7 @@
 #include "svc/frame.hh"
 #include "svc/net.hh"
 #include "svc/result_cache.hh"
+#include "svc/service_journal.hh"
 #include "svc/worker.hh"
 
 namespace tb {
@@ -425,6 +426,226 @@ TEST(Distributed, PointErrorsExhaustBudgetIntoManifest)
     std::ostringstream jsonl;
     service.ledger().writeJsonl(jsonl, "dist-test");
     EXPECT_NE(jsonl.str().find("point-error"), std::string::npos);
+}
+
+/**
+ * The worker half of crash recovery, against a hand-rolled fake
+ * daemon: the first daemon incarnation grants a lease and dies
+ * mid-exchange; the worker finishes the simulation locally, reconnects
+ * under backoff, re-announces its identity by name, and resubmits the
+ * stashed result to the second incarnation. No work is lost and no
+ * point reruns.
+ */
+TEST(Distributed, WorkerReconnectsAndResubmitsAfterDaemonLoss)
+{
+    const std::size_t kCount = 1;
+    const std::string addr = socketAddr("reconnect");
+    std::string lerr;
+    const int lfd = svc::listenOn(addr, &lerr);
+    ASSERT_GE(lfd, 0) << lerr;
+
+    WorkerOptions wo = workerOpts(addr, kCount, "phoenix");
+    wo.reconnectWaitMs = 30000; // the "restart" is instant here
+    CampaignWorker w(wo);
+    std::string werr;
+    bool ok = false;
+    int executed = 0;
+    std::thread worker([&]() {
+        ok = w.run(
+            [&](std::size_t i) {
+                ++executed;
+                return artifactOf(i);
+            },
+            &werr);
+    });
+
+    const auto expectFrame = [](int fd, FrameType t) {
+        Frame f;
+        std::string err;
+        EXPECT_EQ(svc::recvFrame(fd, &f, &err), 1) << err;
+        EXPECT_EQ(f.type, t) << svc::frameTypeName(f.type);
+        return f;
+    };
+    const auto sendAck = [](int fd, std::uint64_t workerId) {
+        std::string p;
+        svc::appendU64(&p, workerId);
+        svc::appendU64(&p, 50); // heartbeatMs
+        svc::appendU64(&p, 0);  // leaseMs
+        svc::appendU64(&p, 0);  // flags: keys not wanted
+        ASSERT_TRUE(svc::sendFrame(fd, FrameType::HelloAck, p));
+    };
+
+    // Incarnation 1: handshake, grant point 0, die mid-lease.
+    {
+        const int fd = harness::acceptOne(lfd);
+        ASSERT_GE(fd, 0);
+        expectFrame(fd, FrameType::Hello);
+        sendAck(fd, 7);
+        expectFrame(fd, FrameType::LeaseRequest);
+        std::string grant;
+        svc::appendU64(&grant, 0); // point
+        svc::appendU64(&grant, 1); // attempt
+        ASSERT_TRUE(svc::sendFrame(fd, FrameType::LeaseGrant, grant));
+        ::close(fd); // SIGKILL stand-in: lease outstanding, peer gone
+    }
+
+    // Incarnation 2: the worker comes back by name and leads with the
+    // finished point; ack it and end the campaign.
+    {
+        const int fd = harness::acceptOne(lfd);
+        ASSERT_GE(fd, 0);
+        const Frame hello = expectFrame(fd, FrameType::Hello);
+        PayloadReader hr(hello.payload);
+        EXPECT_EQ(hr.u64(), kCount);
+        EXPECT_EQ(hr.u64(), svc::fingerprintKeys(testKeys(kCount)));
+        EXPECT_EQ(hr.str(), "phoenix")
+            << "identity is re-announced by name after reconnect";
+        sendAck(fd, 8); // the restarted daemon hands out a new id
+
+        const Frame res = expectFrame(fd, FrameType::Result);
+        PayloadReader rr(res.payload);
+        EXPECT_EQ(rr.u64(), 0u);
+        EXPECT_EQ(rr.u64(), testKeys(kCount)[0]);
+        EXPECT_EQ(rr.u64(), fnv1a64(artifactOf(0)));
+        EXPECT_EQ(rr.str(), artifactOf(0))
+            << "the pre-crash simulation result survives the "
+               "reconnect verbatim";
+        std::string ack;
+        svc::appendU64(&ack, 0);
+        ASSERT_TRUE(svc::sendFrame(fd, FrameType::ResultAck, ack));
+        expectFrame(fd, FrameType::LeaseRequest);
+        ASSERT_TRUE(svc::sendFrame(fd, FrameType::Done, ""));
+        expectFrame(fd, FrameType::Goodbye);
+        ::close(fd);
+    }
+    worker.join();
+    ::close(lfd);
+    svc::cleanupAddress(addr);
+
+    EXPECT_TRUE(ok) << werr;
+    EXPECT_EQ(executed, 1) << "the point never reruns";
+    EXPECT_EQ(w.stats().reconnects, 1u);
+    EXPECT_EQ(w.stats().leases, 1u);
+    EXPECT_EQ(w.stats().results, 1u);
+}
+
+/**
+ * The daemon half of crash recovery: a service journal written by a
+ * "dead" incarnation (a lease outstanding on attempt 3, one point
+ * completed) is resumed by a fresh daemon, which restores the
+ * scheduling state — attempt counts intact, completed work replayed,
+ * the restart ledgered — and finishes the campaign with a new worker.
+ */
+TEST(Distributed, DaemonResumeRestoresSchedulingState)
+{
+    const std::size_t kCount = 3;
+    const auto keys = testKeys(kCount);
+    const std::string journalPath =
+        testing::TempDir() + "tb_dist_resume.jsonl";
+    const std::string svcPath = journalPath + ".svc";
+    std::remove(journalPath.c_str());
+    std::remove(svcPath.c_str());
+
+    // The dead incarnation's journals: point 1 completed (result in
+    // the completion journal, done event in the service journal);
+    // point 0 lost twice and leased out on attempt 3 at the kill.
+    {
+        harness::CampaignJournal j;
+        j.open(journalPath, /*resume=*/false);
+        j.record(1, keys[1], 0, artifactOf(1));
+    }
+    {
+        svc::ServiceJournal sj;
+        sj.open(svcPath, /*resume=*/false);
+        sj.recordCampaign(svc::fingerprintKeys(keys), kCount);
+        sj.recordLease(0, 1, "w-old");
+        sj.recordLoss(0, 1, "disconnect");
+        sj.recordLease(0, 2, "w-old");
+        sj.recordLoss(0, 2, "heartbeat-timeout");
+        sj.recordLease(0, 3, "w-old");
+        sj.recordLease(1, 1, "w-old");
+        sj.recordDone(1);
+    }
+
+    const std::string addr = socketAddr("svc_resume");
+    ServiceOptions so;
+    so.listen = addr;
+    so.campaign = "dist-test";
+    so.queue.maxAttempts = 9;
+    so.queue.backoffBaseMs = 1;
+    so.queue.backoffCapMs = 4;
+    CampaignService service(so);
+    service.setKeys(keys);
+    harness::CampaignJournal j;
+    j.open(journalPath, /*resume=*/true);
+    service.attachJournal(&j);
+    svc::ServiceJournal sj;
+    sj.open(svcPath, /*resume=*/true);
+    service.attachServiceJournal(&sj);
+
+    harness::SupervisorReport report;
+    std::thread daemon([&]() { report = service.run(kCount); });
+    CampaignWorker w(workerOpts(addr, kCount, "w-new"));
+    std::string err;
+    ASSERT_TRUE(w.run(artifactOf, &err)) << err;
+    daemon.join();
+
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.count(PointOutcome::Journaled), 1u);
+    EXPECT_EQ(report.count(PointOutcome::Ok), 2u);
+    // Point 0 carries its pre-crash history: restored at 3 attempts,
+    // +1 for the post-restart lease that completed it.
+    EXPECT_EQ(report.points[0].attempts, 4u);
+    EXPECT_EQ(report.points[2].attempts, 1u);
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(service.results()[i], artifactOf(i));
+
+    // The restart itself lands in the crash ledger, so the manifest
+    // records that this campaign crossed a daemon death.
+    std::ostringstream jsonl;
+    service.ledger().writeJsonl(jsonl, "dist-test");
+    EXPECT_NE(jsonl.str().find("daemon-restart"), std::string::npos);
+    std::remove(journalPath.c_str());
+    std::remove(svcPath.c_str());
+}
+
+/**
+ * Protocol hardening under the fault injector: every outbound frame
+ * torn into two raw writes and every inbound header fragmented, yet
+ * the campaign completes byte-identically with a clean ledger — frame
+ * reassembly is invisible to the daemon.
+ */
+TEST(Distributed, TornFramesCompleteCampaignIdentically)
+{
+    const std::size_t kCount = 8;
+    const std::string addr = socketAddr("faulty");
+    ServiceOptions so;
+    so.listen = addr;
+    so.campaign = "dist-test";
+    so.queue.maxAttempts = 1;
+
+    CampaignService service(so);
+    service.setKeys(testKeys(kCount));
+    harness::SupervisorReport report;
+    std::thread daemon([&]() { report = service.run(kCount); });
+
+    WorkerOptions wo = workerOpts(addr, kCount, "chaos");
+    wo.netFaults.seed = 11;
+    wo.netFaults.shortWrite = 1.0; // tear every outbound frame
+    wo.netFaults.splitRead = 1.0;  // fragment every inbound header
+    CampaignWorker w(wo);
+    std::string err;
+    EXPECT_TRUE(w.run(artifactOf, &err)) << err;
+    daemon.join();
+
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.count(PointOutcome::Ok), kCount);
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(service.results()[i], artifactOf(i));
+    EXPECT_GT(w.faultCounters().shortWrites, 0u);
+    EXPECT_GT(w.faultCounters().splitReads, 0u);
+    EXPECT_TRUE(service.ledger().empty())
+        << "torn frames are reassembled, never misread as crashes";
 }
 
 } // namespace

@@ -156,6 +156,61 @@ TEST(ResultCache, TruncatedEntryEvicted)
     EXPECT_EQ(c.stats().evictions, 1u);
 }
 
+TEST(ResultCache, ZeroLengthEntryEvicted)
+{
+    // The classic torn write: a daemon SIGKILLed between open and the
+    // first write leaves a zero-byte entry. It must classify as a
+    // miss, be evicted, and never poison a warm run.
+    ResultCache c;
+    ASSERT_TRUE(c.open(tempCacheDir("zero_len")));
+    c.store(0x4, "artifact");
+    {
+        std::ofstream out(c.entryPath(0x4),
+                          std::ios::binary | std::ios::trunc);
+    }
+    std::string out;
+    EXPECT_FALSE(c.lookup(0x4, &out));
+    EXPECT_EQ(c.stats().evictions, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+    std::ifstream gone(c.entryPath(0x4));
+    EXPECT_FALSE(gone.good()) << "the torn entry must leave the disk";
+}
+
+TEST(ResultCache, TruncatedHeaderEvicted)
+{
+    // Killed mid-header: fewer bytes than "TBCACHE1 " + 16 hex + \n.
+    ResultCache c;
+    ASSERT_TRUE(c.open(tempCacheDir("short_hdr")));
+    c.store(0x5, "artifact");
+    {
+        std::ofstream out(c.entryPath(0x5),
+                          std::ios::binary | std::ios::trunc);
+        out << "TBCACHE1 0123";
+    }
+    std::string out;
+    EXPECT_FALSE(c.lookup(0x5, &out));
+    EXPECT_EQ(c.stats().evictions, 1u);
+    std::ifstream gone(c.entryPath(0x5));
+    EXPECT_FALSE(gone.good());
+}
+
+TEST(ResultCache, NonHexChecksumEvicted)
+{
+    // Right length, wrong alphabet: the checksum field must be 16
+    // lowercase hex digits, not merely 16 bytes.
+    ResultCache c;
+    ASSERT_TRUE(c.open(tempCacheDir("bad_hex")));
+    c.store(0x6, "artifact");
+    {
+        std::ofstream out(c.entryPath(0x6),
+                          std::ios::binary | std::ios::trunc);
+        out << "TBCACHE1 0123456789abcdeZ\nbody";
+    }
+    std::string out;
+    EXPECT_FALSE(c.lookup(0x6, &out));
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
 TEST(ResultCache, UnusableDirectoryDegradesToUncached)
 {
     ResultCache c;

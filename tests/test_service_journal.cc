@@ -1,0 +1,318 @@
+/**
+ * @file
+ * ServiceJournal tests (docs/ROBUSTNESS.md, "Daemon crash recovery"):
+ * record/replay round trips of the daemon's scheduling state,
+ * idempotent replay under duplicated lines, torn-final-line
+ * tolerance, attempt counts as maxima, outstanding-lease detection,
+ * and the fatal conflicting-campaign-identity path.
+ */
+
+#include "svc/service_journal.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign_journal.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace tb {
+namespace {
+
+using svc::ServiceJournal;
+
+std::string
+tempPath(const std::string& name)
+{
+    const std::string p = testing::TempDir() + "tb_svcj_" + name;
+    std::remove(p.c_str());
+    return p;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(ServiceJournal, RecordThenResumeReconstructsState)
+{
+    const std::string path = tempPath("roundtrip.jsonl");
+    {
+        ServiceJournal j;
+        j.open(path, /*resume=*/false);
+        ASSERT_TRUE(j.active());
+        j.recordCampaign(0xfeed, 4);
+        // Point 0: leased, lost once, re-leased — daemon dies with the
+        // lease outstanding on attempt 2.
+        j.recordLease(0, 1, "w1");
+        j.recordLoss(0, 1, "disconnect");
+        j.recordLease(0, 2, "w2");
+        // Point 1: leased and completed — nothing to recover.
+        j.recordLease(1, 1, "w1");
+        j.recordDone(1);
+        // Point 2: lost and not yet re-leased — pending with backoff.
+        j.recordLease(2, 1, "w2 \"quoted\"");
+        j.recordLoss(2, 1, "heartbeat-timeout");
+    }
+    ServiceJournal j;
+    j.open(path, /*resume=*/true);
+    EXPECT_TRUE(j.hasCampaign());
+    EXPECT_EQ(j.fingerprint(), 0xfeedu);
+    EXPECT_EQ(j.count(), 4u);
+    EXPECT_GT(j.loaded(), 0u);
+
+    const auto& rec = j.recovered();
+    ASSERT_EQ(rec.count(0), 1u);
+    EXPECT_EQ(rec.at(0).attempts, 2u);
+    EXPECT_TRUE(rec.at(0).outstanding);
+    EXPECT_EQ(rec.at(0).lastReason, "disconnect");
+    EXPECT_EQ(rec.count(1), 0u) << "completed points never recover";
+    ASSERT_EQ(rec.count(2), 1u);
+    EXPECT_EQ(rec.at(2).attempts, 1u);
+    EXPECT_FALSE(rec.at(2).outstanding);
+    EXPECT_EQ(rec.at(2).lastReason, "heartbeat-timeout");
+    EXPECT_EQ(rec.count(3), 0u) << "untouched points never recover";
+    std::remove(path.c_str());
+}
+
+TEST(ServiceJournal, OpenWithoutResumeTruncates)
+{
+    const std::string path = tempPath("truncate.jsonl");
+    {
+        ServiceJournal j;
+        j.open(path, false);
+        j.recordCampaign(0x1, 1);
+        j.recordLease(0, 1, "w");
+    }
+    ServiceJournal j;
+    j.open(path, /*resume=*/false);
+    EXPECT_EQ(j.loaded(), 0u);
+    EXPECT_FALSE(j.hasCampaign());
+    EXPECT_TRUE(j.recovered().empty());
+    std::remove(path.c_str());
+}
+
+TEST(ServiceJournal, DuplicatedLinesReplayIdempotently)
+{
+    // Doubling the whole file (crash between fflush and exit, journal
+    // concatenation) must change nothing: attempts are maxima, not
+    // line counts, and outstanding-ness follows the last event.
+    const std::string path = tempPath("dup.jsonl");
+    {
+        ServiceJournal j;
+        j.open(path, false);
+        j.recordCampaign(0xabc, 2);
+        j.recordLease(0, 1, "w1");
+        j.recordLoss(0, 1, "disconnect");
+    }
+    const std::string once = slurp(path);
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << once;
+    }
+    ServiceJournal j;
+    j.open(path, /*resume=*/true);
+    EXPECT_EQ(j.fingerprint(), 0xabcu);
+    ASSERT_EQ(j.recovered().count(0), 1u);
+    EXPECT_EQ(j.recovered().at(0).attempts, 1u);
+    EXPECT_FALSE(j.recovered().at(0).outstanding);
+    std::remove(path.c_str());
+}
+
+TEST(ServiceJournal, TornFinalLineFuzzNeverResurrects)
+{
+    // Kill the writer at every possible byte of the final record: the
+    // intact prefix must replay, the torn tail must be skipped, and
+    // open() must never crash.
+    const std::string path = tempPath("torn_fuzz.jsonl");
+    std::string full;
+    {
+        ServiceJournal j;
+        j.open(path, false);
+        j.recordCampaign(0x77, 2);
+        j.recordLease(0, 1, "w1");
+        j.recordLease(1, 1, "name with \"quotes\" and \\slash");
+        full = slurp(path);
+    }
+    const std::size_t second_nl =
+        full.find('\n', full.find('\n') + 1);
+    ASSERT_NE(second_nl, std::string::npos);
+    for (std::size_t cut = second_nl + 1; cut < full.size(); ++cut) {
+        harness::writeFileAtomic(path, full.substr(0, cut));
+        ServiceJournal j;
+        j.open(path, /*resume=*/true);
+        EXPECT_TRUE(j.hasCampaign()) << "cut at " << cut;
+        ASSERT_EQ(j.recovered().count(0), 1u) << "cut at " << cut;
+        EXPECT_TRUE(j.recovered().at(0).outstanding);
+        if (cut < full.size() - 1) {
+            EXPECT_EQ(j.recovered().count(1), 0u)
+                << "torn line resurrected at cut " << cut;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ServiceJournal, CorruptedLineIsSkipped)
+{
+    // A line whose seal no longer matches its body (bit rot, manual
+    // edit) is skipped like a torn line, not trusted.
+    const std::string path = tempPath("corrupt.jsonl");
+    {
+        ServiceJournal j;
+        j.open(path, false);
+        j.recordCampaign(0x5, 2);
+        j.recordLease(0, 1, "w1");
+        j.recordLease(1, 3, "w2");
+    }
+    std::string full = slurp(path);
+    const auto at = full.find("\"point\": 1");
+    ASSERT_NE(at, std::string::npos);
+    full.replace(at, 10, "\"point\": 0");
+    harness::writeFileAtomic(path, full);
+    ServiceJournal j;
+    j.open(path, /*resume=*/true);
+    ASSERT_EQ(j.recovered().count(0), 1u);
+    EXPECT_EQ(j.recovered().at(0).attempts, 1u)
+        << "forged attempt count must not load";
+    EXPECT_EQ(j.recovered().count(1), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ServiceJournal, ConflictingCampaignIdentityIsFatal)
+{
+    const std::string path = tempPath("conflict.jsonl");
+    {
+        ServiceJournal j;
+        j.open(path, false);
+        j.recordCampaign(0x1111, 8);
+    }
+    {
+        // Same campaign re-recorded across a resume: tolerated.
+        ServiceJournal j;
+        j.open(path, /*resume=*/true);
+        j.recordCampaign(0x1111, 8);
+    }
+    {
+        // A different campaign writing into a resumed journal: fatal
+        // at the record call.
+        ServiceJournal j;
+        j.open(path, /*resume=*/true);
+        EXPECT_THROW(j.recordCampaign(0x2222, 8), FatalError);
+    }
+    {
+        // Two different campaign records already on disk: fatal at
+        // open(resume).
+        const std::string other = tempPath("conflict_other.jsonl");
+        ServiceJournal j2;
+        j2.open(other, false);
+        j2.recordCampaign(0x2222, 8);
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << slurp(other);
+        out.close();
+        std::remove(other.c_str());
+        ServiceJournal j;
+        EXPECT_THROW(j.open(path, /*resume=*/true), FatalError);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ServiceJournal, RandomInterleavingFuzz)
+{
+    // Seeded chaos: random event streams over 6 points, duplicated
+    // blocks, torn tail. Replay must agree with a straightforward
+    // in-memory model of the same events.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        tb::Random rng(seed);
+        const std::string path = tempPath("interleave_fuzz.jsonl");
+        struct Model
+        {
+            unsigned attempts = 0;
+            bool outstanding = false;
+            bool done = false;
+        };
+        std::vector<Model> model(6);
+        std::vector<std::string> lines;
+        {
+            ServiceJournal j;
+            j.open(path, false);
+            j.recordCampaign(0x9000 + seed, 6);
+            for (int ev = 0; ev < 40; ++ev) {
+                const std::size_t p =
+                    static_cast<std::size_t>(rng.uniformInt(6));
+                Model& m = model[p];
+                if (m.done)
+                    continue;
+                if (!m.outstanding) {
+                    ++m.attempts;
+                    m.outstanding = true;
+                    j.recordLease(p, m.attempts, "w");
+                } else if (rng.chance(0.5)) {
+                    m.outstanding = false;
+                    j.recordLoss(p, m.attempts, "disconnect");
+                } else {
+                    m.outstanding = false;
+                    m.done = true;
+                    j.recordDone(p);
+                }
+            }
+        }
+        {
+            std::istringstream in(slurp(path));
+            for (std::string l; std::getline(in, l);)
+                lines.push_back(l);
+            // Duplicate a random block, then tear a random line's
+            // prefix onto the tail.
+            std::ofstream out(path,
+                              std::ios::app | std::ios::binary);
+            for (int k = 0; k < 5; ++k)
+                out << lines[rng.uniformInt(lines.size())] << "\n";
+            const std::string& torn =
+                lines[rng.uniformInt(lines.size())];
+            out << torn.substr(0, 1 + rng.uniformInt(torn.size() - 1));
+        }
+        ServiceJournal j;
+        j.open(path, /*resume=*/true);
+        EXPECT_EQ(j.fingerprint(), 0x9000 + seed);
+        for (std::size_t p = 0; p < 6; ++p) {
+            const Model& m = model[p];
+            if (m.attempts == 0) {
+                EXPECT_EQ(j.recovered().count(p), 0u)
+                    << "seed " << seed << " point " << p;
+                continue;
+            }
+            if (m.done) {
+                // A duplicated lease line appended after the done can
+                // re-create the entry; that is harmless (recovery only
+                // touches points the completion journal left Pending)
+                // but the forged attempt count must stay bounded.
+                if (j.recovered().count(p)) {
+                    EXPECT_LE(j.recovered().at(p).attempts,
+                              m.attempts)
+                        << "seed " << seed << " point " << p;
+                }
+                continue;
+            }
+            // A duplicated lease line can legitimately flip a point
+            // back to outstanding (last-event-wins over the appended
+            // block), so only assert the attempt maximum, which no
+            // interleaving may change.
+            ASSERT_EQ(j.recovered().count(p), 1u)
+                << "seed " << seed << " point " << p;
+            EXPECT_EQ(j.recovered().at(p).attempts, m.attempts)
+                << "seed " << seed << " point " << p;
+        }
+        std::remove(path.c_str());
+    }
+}
+
+} // namespace
+} // namespace tb

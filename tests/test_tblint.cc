@@ -579,6 +579,66 @@ TEST(TblintUnsafeQueue, AllowSilences)
 }
 
 // ----------------------------------------------------------------------
+// TBL023 — raw POSIX I/O in src/svc
+// ----------------------------------------------------------------------
+
+TEST(TblintRawPosixIo, RawReadInSvcFires)
+{
+    const auto fs = lintContent("src/svc/conn.cc", R"tb(
+        ssize_t pull(int fd, char* buf, size_t n) {
+            return ::read(fd, buf, n);
+        }
+    )tb");
+    EXPECT_EQ(countRule(fs, "TBL023"), 1u);
+}
+
+TEST(TblintRawPosixIo, RawPollAndAcceptFire)
+{
+    const auto fs = lintContent("src/svc/loop.cc", R"tb(
+        void serve(int lfd, struct pollfd* fds, size_t n) {
+            (void)::poll(fds, n, 100);
+            (void)::accept(lfd, nullptr, nullptr);
+        }
+    )tb");
+    EXPECT_EQ(countRule(fs, "TBL023"), 2u);
+}
+
+TEST(TblintRawPosixIo, NamespacedReadIsClean)
+{
+    // `foo::read(` is a namespaced API, not the libc call; method
+    // calls and bare declarations are equally out of scope.
+    const auto fs = lintContent("src/svc/codec.cc", R"tb(
+        void load(Decoder& d, io::Source& src) {
+            io::read(src, &d);
+            d.read();
+        }
+    )tb");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(TblintRawPosixIo, OutsideSvcIsExempt)
+{
+    // posix_io.cc itself (src/harness) is where the raw calls live.
+    const auto fs = lintContent("src/harness/posix_io.cc", R"tb(
+        ssize_t readSome(int fd, char* buf, size_t n) {
+            return ::read(fd, buf, n);
+        }
+    )tb");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(TblintRawPosixIo, AllowSilences)
+{
+    const auto fs = lintContent("src/svc/conn.cc", R"tb(
+        void drain(int fd, char* buf, size_t n) {
+            // tblint-allow(TBL023): EOF probe where EINTR is handled by the caller
+            (void)::read(fd, buf, n);
+        }
+    )tb");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ----------------------------------------------------------------------
 // Engine plumbing
 // ----------------------------------------------------------------------
 

@@ -198,14 +198,22 @@ TEST(WorkQueue, LeasedByAndHeartbeatTrackOwnership)
 TEST(WorkQueue, ResolveStoredSkipsTheQueue)
 {
     WorkQueue q(3, policyWith(1));
-    q.resolveStored(0, PointOutcome::Journaled);
-    q.resolveStored(2, PointOutcome::Cached);
+    q.resolveStored(0, PointOutcome::Journaled, 0xaa, 0xbb);
+    q.resolveStored(2, PointOutcome::Cached, 0xcc, 0xdd);
 
     const LeaseGrant g = q.lease(1, 0);
     ASSERT_TRUE(g.granted);
     EXPECT_EQ(g.point, 1u) << "stored points are never leased";
     ASSERT_EQ(q.complete(1, 1, 1, 1), CompleteOutcome::Accepted);
     EXPECT_TRUE(q.allResolved());
+
+    // A reconnecting worker resubmitting a journal-resolved point is
+    // classified against the recorded identity, not rejected as a
+    // determinism violation.
+    EXPECT_EQ(q.complete(0, 9, 0xaa, 0xbb),
+              CompleteOutcome::DuplicateMatch);
+    EXPECT_EQ(q.complete(0, 9, 0xaa, 0xff),
+              CompleteOutcome::DuplicateMismatch);
 
     harness::SupervisorReport r;
     q.fillReport(&r);

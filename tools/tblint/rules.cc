@@ -625,6 +625,49 @@ ruleUnsafeQueueAccess(const FileCtx& ctx, std::vector<Finding>* out)
 }
 
 // ----------------------------------------------------------------------
+// TBL023 — raw POSIX I/O in src/svc
+// ----------------------------------------------------------------------
+
+void
+ruleRawPosixIo(const FileCtx& ctx, std::vector<Finding>* out)
+{
+    // The service layer must route socket I/O through the harness
+    // posix_io helpers (readFull/writeFull/pollMany/acceptOne): they
+    // own the EINTR-as-retry policy, so a signal landing mid-syscall
+    // — SIGCHLD from a forked point, a profiler, a debugger attach —
+    // never turns into a spurious disconnect or a torn frame. A raw
+    // ::read in src/svc is a reintroduced EINTR bug waiting for a
+    // signal to happen.
+    if (!pathUnder(ctx.path, "src/svc"))
+        return;
+    const auto& t = ctx.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!(isIdent(t, i, "read") || isIdent(t, i, "write") ||
+              isIdent(t, i, "poll") || isIdent(t, i, "accept")))
+            continue;
+        // Only the global-namespace spelling `::read(` counts;
+        // `foo::read(` is some namespaced API, `obj.read(` a method.
+        // A keyword before the `::` (`return ::read(...)`) is not a
+        // qualifier — the call is still global.
+        if (i == 0 || !isPunct(t, i - 1, "::"))
+            continue;
+        if (i >= 2 && t[i - 2].kind == TokKind::Ident &&
+            t[i - 2].text != "return" && t[i - 2].text != "throw")
+            continue;
+        if (!isPunct(t, i + 1, "("))
+            continue;
+        emit(out, ctx, "TBL023", t[i].line,
+             "raw '::" + t[i].text +
+                 "()' in src/svc — bypasses the harness posix_io "
+                 "EINTR-as-retry policy, so a mid-syscall signal "
+                 "becomes a spurious disconnect or torn frame",
+             "use harness::readFull/writeFull/pollOne/pollMany/"
+             "acceptOne; a deliberate raw call needs a tblint-allow "
+             "reason");
+    }
+}
+
+// ----------------------------------------------------------------------
 // Driver + suppression pass
 // ----------------------------------------------------------------------
 
@@ -728,6 +771,9 @@ ruleCatalog()
         {"TBL022", "pdes-channel-bypass",
          "no Partition::unsafeQueue() call sites outside src/sim — "
          "cross-partition effects must use the channel API"},
+        {"TBL023", "raw-posix-io",
+         "no raw ::read/::write/::poll/::accept in src/svc — socket "
+         "I/O must use the harness posix_io EINTR-safe helpers"},
     };
     return kRules;
 }
@@ -753,6 +799,7 @@ lintContent(const std::string& path, const std::string& content,
     ruleSimLayering(ctx, &raw);
     ruleUnguardedTrace(ctx, &raw);
     ruleUnsafeQueueAccess(ctx, &raw);
+    ruleRawPosixIo(ctx, &raw);
 
     std::vector<Finding> kept;
     for (Finding& f : raw) {
