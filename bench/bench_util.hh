@@ -94,8 +94,11 @@ matrixPointTask(const harness::SystemConfig& sys,
         const std::size_t k = i % kinds.size();
         harness::RunOptions ro;
         // Like --jobs, --sim-threads never changes a point's result
-        // (parallel_sim.hh), so it stays out of task.key below.
+        // (parallel_sim.hh), so it stays out of task.key below. The
+        // partition count selects the simulation plan and therefore
+        // DOES enter the key.
         ro.simThreads = opts.simThreads;
+        ro.simPartitions = opts.simPartitions;
         harness::ObsCapture::PointScope scope;
         if (capture)
             capture->arm(i, &ro, &scope);
@@ -108,7 +111,7 @@ matrixPointTask(const harness::SystemConfig& sys,
         }
         return harness::serializeResult(r);
     };
-    task.key = [&sys, &apps, prog, kinds](std::size_t i) {
+    task.key = [&sys, &apps, &opts, prog, kinds](std::size_t i) {
         const std::size_t a = i / kinds.size();
         const std::size_t k = i % kinds.size();
         std::ostringstream id;
@@ -117,6 +120,11 @@ matrixPointTask(const harness::SystemConfig& sys,
            << sys.noc.dimension << "|seed=" << sys.seed
            << "|three=" << sys.memory.threeHopForwarding
            << "|iters=" << apps[a].iterations;
+        // 0 means "the default plan for this node count" and hashes
+        // distinctly from an explicit count on purpose: cheap and
+        // always conservative.
+        if (opts.simPartitions != 0)
+            id << "|parts=" << opts.simPartitions;
         return harness::fnv1a64(id.str());
     };
     task.seed = [&sys](std::size_t) { return sys.seed; };

@@ -24,7 +24,8 @@ Policy:
   must be bit-identical per seed: any difference is a determinism
   failure, not a perf regression, and always fails regardless of
   threshold.
-* Metrics with unit "x" (the PDES fire-loop speedup) are host-relative
+* Metrics with unit "x" (the PDES fire-loop speedup and the full
+  partitioned-machine speedup, machine_pdes_speedup) are host-relative
   ratios: they are never calibration-normalized and never compared
   against the baseline value (a 1-core baseline host legitimately
   records ~1.0x). Instead they gate on an absolute floor

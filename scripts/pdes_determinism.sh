@@ -1,12 +1,24 @@
 #!/usr/bin/env bash
 # PDES determinism matrix (docs/PERFORMANCE.md, "Parallel simulation"):
-# run one representative single simulation (thrifty_sim) and one full
-# supervised campaign (figure6_time) at --sim-threads 1, 2, 4 and 8,
-# and require every artifact — result JSON, --stats-json, --trace, and
-# the campaign's TBRESULT1 --out file — to be byte-identical to the
-# serial (--sim-threads 1) reference. This is the per-simulation
-# analogue of the --jobs determinism diffs: worker threads inside the
-# engine must never be observable in any output.
+# two sweeps over --sim-threads 1, 2, 4 and 8, requiring every artifact
+# to be byte-identical to the serial (--sim-threads 1) reference.
+#
+# Sweep 1 — serial plan: one representative single simulation
+# (thrifty_sim with --trace/--stats-json, which force the serial plan)
+# and one full supervised campaign (figure6_time) with observability
+# artifacts attached. Compares result JSON, --stats-json, --trace and
+# the campaign's TBRESULT1 --out file.
+#
+# Sweep 2 — partitioned plan: the same binaries WITHOUT trace capture,
+# with an explicit --sim-partitions so the machine really decomposes
+# into cluster partitions (8 on the 64-node figure6 machine, 4 on the
+# 16-node thrifty_sim run). Worker threads drain real engine channels
+# here, so this is the sweep that proves the partitioned machine —
+# not just the one-partition umbrella — is deterministic.
+#
+# This is the per-simulation analogue of the --jobs determinism diffs:
+# worker threads inside the engine must never be observable in any
+# output.
 #
 #   BUILD_DIR=build OUT_DIR=pdes_determinism scripts/pdes_determinism.sh
 #
@@ -35,13 +47,18 @@ mkdir -p "$OUT_DIR"
 for t in $THREADS; do
     d=$OUT_DIR/t$t
     mkdir -p "$d"
-    echo "==== --sim-threads $t ===="
+    echo "==== --sim-threads $t (serial plan) ===="
     "$sim" --app Volrend --config T --dim 4 --sim-threads "$t" --json \
         --stats-json "$d/sim_stats.json" --trace "$d/sim_trace.json" \
         > "$d/sim_result.json"
     "$fig" --sim-threads "$t" --out "$d/figure6.out" \
         --stats-json "$d/figure6_stats.jsonl" \
         --trace "$d/figure6_trace.json" > /dev/null
+    echo "==== --sim-threads $t (partitioned plan) ===="
+    "$sim" --app Volrend --config T --dim 4 --sim-partitions 4 \
+        --sim-threads "$t" --json > "$d/sim_partitioned.json"
+    "$fig" --sim-threads "$t" --sim-partitions 8 \
+        --out "$d/figure6_partitioned.out" > /dev/null
 done
 
 ref=$OUT_DIR/t${THREADS%% *}
@@ -50,7 +67,8 @@ for t in $THREADS; do
     d=$OUT_DIR/t$t
     [ "$d" = "$ref" ] && continue
     for f in sim_result.json sim_stats.json sim_trace.json \
-             figure6.out figure6_stats.jsonl figure6_trace.json; do
+             figure6.out figure6_stats.jsonl figure6_trace.json \
+             sim_partitioned.json figure6_partitioned.out; do
         if ! cmp -s "$ref/$f" "$d/$f"; then
             echo "MISMATCH: $f differs between --sim-threads" \
                  "${ref#"$OUT_DIR"/t} and --sim-threads $t" >&2
@@ -64,4 +82,4 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "pdes_determinism: all artifacts byte-identical at" \
-     "--sim-threads $THREADS"
+     "--sim-threads $THREADS (serial and partitioned plans)"

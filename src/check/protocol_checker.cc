@@ -616,6 +616,25 @@ ProtocolChecker::onBarrierReleased(Addr flag_line, std::uint64_t instance)
 // ----------------------------------------------------------------------
 
 void
+ProtocolChecker::onNocDelivered(NodeId src, NodeId dst, unsigned bytes,
+                                Tick sendTick, Tick deliverTick,
+                                Tick zeroLoad)
+{
+    ++checks;
+    if (deliverTick < sendTick ||
+        deliverTick - sendTick < zeroLoad) {
+        nodeViolation(dst,
+                      "NoC delivered a " + std::to_string(bytes) +
+                          "-byte message from node " +
+                          std::to_string(src) + " in " +
+                          std::to_string(deliverTick - sendTick) +
+                          " ticks, below its zero-load bound of " +
+                          std::to_string(zeroLoad) +
+                          " (per-hop routing lost latency)");
+    }
+}
+
+void
 ProtocolChecker::onSchedule(Tick when, int priority, std::uint64_t seq,
                             Tick now_t)
 {

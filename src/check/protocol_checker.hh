@@ -58,6 +58,7 @@
 #include "mem/mem_types.hh"
 #include "mem/protocol_observer.hh"
 #include "sim/event_queue.hh"
+#include "sim/hooks.hh"
 #include "sim/types.hh"
 
 namespace tb {
@@ -126,7 +127,8 @@ struct TraceEntry
 /** The pluggable invariant checker. Attach with Machine::attachChecker
  *  (or setObserver/setCheckObserver on individual components). */
 class ProtocolChecker : public mem::ProtocolObserver,
-                        public EventQueueObserver
+                        public EventQueueObserver,
+                        public NocDeliveryAudit
 {
   public:
     explicit ProtocolChecker(const CheckerConfig& config);
@@ -185,6 +187,17 @@ class ProtocolChecker : public mem::ProtocolObserver,
                            std::uint64_t instance) override;
     void onDirStable(Addr line, mem::DirState state,
                      std::uint64_t sharers, NodeId owner) override;
+
+    // ------------------------------------------------------------------
+    // NocDeliveryAudit
+    // ------------------------------------------------------------------
+
+    /** Invariant: a delivery can never beat the network's own
+     *  contention-free bound — the per-hop path only ever *adds*
+     *  stalls to zeroLoadLatency. */
+    void onNocDelivered(NodeId src, NodeId dst, unsigned bytes,
+                        Tick sendTick, Tick deliverTick,
+                        Tick zeroLoad) override;
 
     // ------------------------------------------------------------------
     // EventQueueObserver

@@ -33,7 +33,7 @@ ThreadContext::store(Addr a, std::uint64_t v, std::function<void()> cont)
 }
 
 void
-ThreadContext::atomic(Addr a, std::function<std::uint64_t()> op,
+ThreadContext::atomic(Addr a, std::function<std::uint64_t(Tick)> op,
                       std::function<void(std::uint64_t)> cont)
 {
     ctrl.atomicRmw(a, std::move(op), std::move(cont));

@@ -45,8 +45,11 @@ class ThreadContext : public SimObject
     /** Coherent store. */
     void store(Addr a, std::uint64_t v, std::function<void()> cont);
 
-    /** Atomic fetch-op at @p a's home; @p cont gets the old value. */
-    void atomic(Addr a, std::function<std::uint64_t()> op,
+    /**
+     * Atomic fetch-op at @p a's home; @p op receives the home's tick
+     * at the serialization point, @p cont gets the old value.
+     */
+    void atomic(Addr a, std::function<std::uint64_t(Tick)> op,
                 std::function<void(std::uint64_t)> cont);
 
     /**

@@ -16,8 +16,8 @@ usage(const char* prog, const char* complaint, bool allowQuick)
     std::fprintf(
         stderr,
         "%s: %s\n"
-        "usage: %s %s[--jobs N] [--sim-threads N] [--deadline-ms N] "
-        "[--retries N]\n"
+        "usage: %s %s[--jobs N] [--sim-threads N] [--sim-partitions P]\n"
+        "       [--deadline-ms N] [--retries N]\n"
         "       [--backoff-ms N] [--isolate] [--journal FILE] "
         "[--resume]\n"
         "       [--out FILE] [--manifest FILE] [--only-point I]\n"
@@ -90,6 +90,13 @@ CampaignOptions::parse(int argc, char** argv, bool allowQuick)
                 parseU64(prog, "--sim-threads", value(i), allowQuick));
             if (o.simThreads == 0) {
                 usage(prog, "option --sim-threads: must be >= 1",
+                      allowQuick);
+            }
+        } else if (opt == "--sim-partitions") {
+            o.simPartitions = static_cast<unsigned>(parseU64(
+                prog, "--sim-partitions", value(i), allowQuick));
+            if (o.simPartitions == 0) {
+                usage(prog, "option --sim-partitions: must be >= 1",
                       allowQuick);
             }
         } else if (opt == "--deadline-ms") {
@@ -212,6 +219,11 @@ CampaignOptions::reproFlags() const
         flags += " --quick";
     if (policy.isolate)
         flags += " --isolate";
+    // Unlike --sim-threads, the partition count selects the
+    // simulation plan and so shapes results: a repro command must
+    // carry it.
+    if (simPartitions != 0)
+        flags += " --sim-partitions " + std::to_string(simPartitions);
     return flags;
 }
 

@@ -10,6 +10,9 @@
  *   --jobs N          shard points over N worker threads
  *   --sim-threads N   PDES worker threads inside each simulation
  *                     (byte-identical results at any N; default 1)
+ *   --sim-partitions P cluster partitions per simulation (selects the
+ *                     simulation plan, so it IS part of each point's
+ *                     identity; default: by node count)
  *   --deadline-ms N   per-point wall-clock deadline (0 = none)
  *   --retries N       extra attempts per failed point
  *   --backoff-ms N    base of the exponential retry backoff
@@ -68,6 +71,14 @@ struct CampaignOptions
      * reproFlags().
      */
     unsigned simThreads = 1;
+    /**
+     * Cluster partitions per simulation (--sim-partitions,
+     * RunOptions::simPartitions); 0 = default for the node count.
+     * Unlike simThreads this selects the simulation *plan* and can
+     * change results, so it IS part of config hashes, journal keys,
+     * cache keys and reproFlags().
+     */
+    unsigned simPartitions = 0;
     std::string journalPath; ///< "" = no journal
     bool resume = false;
     std::string outPath;      ///< "" = stdout only

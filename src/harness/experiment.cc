@@ -93,6 +93,16 @@ ConfigBarrierProvider::barrierFor(thrifty::BarrierPc pc)
     return *pos->second;
 }
 
+void
+ConfigBarrierProvider::mergeStats()
+{
+    // Thrifty barriers share the runtime's ledger, so repeated merges
+    // are harmless (a merged shard is left empty); conventional
+    // barriers each fold their own ledger.
+    for (auto& [pc, b] : barriers)
+        b->mergeStats();
+}
+
 ExperimentResult
 runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
               ConfigKind kind, const RunOptions& options)
@@ -117,7 +127,34 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
     // after the machine.
     std::unique_ptr<obs::TraceQueueObserver> traceObs;
 
-    Machine machine(sys);
+    // Fault injection without graceful degradation deadlocks by
+    // design (a dropped wake-up is unrecoverable), so unless the
+    // caller supplied an explicit custom configuration, switch the
+    // preset's hardening guard rails on for the run.
+    thrifty::ThriftyConfig hardened;
+    const thrifty::ThriftyConfig* custom = options.customConfig;
+    if (injector && !custom && kind != ConfigKind::Baseline) {
+        hardened = thriftyConfigFor(kind);
+        hardened.hardening.enabled = true;
+        custom = &hardened;
+    }
+
+    // Pick the simulation plan. Serial-only features — the checker's
+    // totally-ordered event stream, fault hooks, structured tracing,
+    // the hardening ladder's shared quarantine map — force one
+    // partition; everything else runs the partitioned plan so a
+    // single simulation can use multiple host threads.
+    const bool force_serial =
+        checker || injector || options.traceSink ||
+        (custom && custom->hardening.enabled);
+    const unsigned default_parts =
+        sys.numNodes() >= 16 ? sys.numNodes() / 8 : 1;
+    const unsigned parts =
+        force_serial ? 1
+                     : (options.simPartitions ? options.simPartitions
+                                              : default_parts);
+
+    Machine machine(sys, parts);
     if (checker)
         machine.attachChecker(*checker);
     if (injector)
@@ -135,18 +172,6 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
     sync.traceEnabled = options.trace;
     sync.episodesEnabled = options.episodeLedger;
 
-    // Fault injection without graceful degradation deadlocks by
-    // design (a dropped wake-up is unrecoverable), so unless the
-    // caller supplied an explicit custom configuration, switch the
-    // preset's hardening guard rails on for the run.
-    thrifty::ThriftyConfig hardened;
-    const thrifty::ThriftyConfig* custom = options.customConfig;
-    if (injector && !custom && kind != ConfigKind::Baseline) {
-        hardened = thriftyConfigFor(kind);
-        hardened.hardening.enabled = true;
-        custom = &hardened;
-    }
-
     ConfigBarrierProvider provider(machine, kind, custom, sync);
     if (options.traceSink && provider.runtime())
         provider.runtime()->setTraceSink(options.traceSink);
@@ -154,11 +179,18 @@ runExperiment(const SystemConfig& sys, const workloads::AppProfile& app,
         machine.eventQueue(), machine.memory(), machine.threadPtrs(),
         app, provider, sys.seed);
 
+    // Every allocation has happened (program regions and, eagerly,
+    // all barrier pages): freeze the address map and backend page
+    // table so no partition ever mutates their structure mid-run.
+    machine.memory().addressMap().seal();
+
     program.start();
-    // PDES or serial by options.simThreads; byte-identical results
-    // either way (parallel_sim.hh), so nothing downstream branches.
+    // Host thread count never affects results — stats, traces and
+    // artifacts are byte-identical at any simThreads value within the
+    // chosen partition plan (parallel_sim.hh).
     runMachinePdes(machine, options.simThreads);
 
+    provider.mergeStats();
     if (!program.finished())
         panic("experiment deadlocked: ", app.name, " under ",
               configName(kind));

@@ -117,6 +117,13 @@ class ConfigBarrierProvider : public workloads::BarrierProvider
 
     thrifty::Barrier& barrierFor(thrifty::BarrierPc pc) override;
 
+    /**
+     * Fold every barrier's per-thread stat shards into the shared
+     * SyncStats. Call after the machine's queues are drained, before
+     * reading the stats.
+     */
+    void mergeStats();
+
     /** The shared thrifty runtime (null for Baseline). */
     thrifty::ThriftyRuntime* runtime() { return rt.get(); }
 
@@ -180,6 +187,18 @@ struct RunOptions
      * result caches ignore it, exactly like --jobs).
      */
     unsigned simThreads = 1;
+    /**
+     * Cluster partitions the machine is split into for PDES execution
+     * (harness/machine.hh); 0 picks the default for the node count
+     * (nodes/8 for machines of 16+ nodes, else 1). Unlike simThreads,
+     * the partition count IS part of the simulation plan: serial and
+     * partitioned plans order some bookkeeping differently (see
+     * docs/PERFORMANCE.md), so runs only promise byte-identical
+     * results across simThreads *within* one partition count. Runs
+     * that need the serial plan (checker, fault injection, structured
+     * tracing, hardening) force 1 regardless.
+     */
+    unsigned simPartitions = 0;
 };
 
 /**

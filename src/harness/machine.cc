@@ -1,8 +1,10 @@
 #include "harness/machine.hh"
 
+#include <algorithm>
 #include <string>
 
 #include "check/protocol_checker.hh"
+#include "sim/logging.hh"
 
 namespace tb {
 namespace harness {
@@ -23,49 +25,96 @@ SystemConfig::small(unsigned dimension)
     return c;
 }
 
-Machine::Machine(const SystemConfig& config)
-    : cfg(config)
+Machine::Machine(const SystemConfig& config, unsigned partitions)
+    : cfg(config), parts_(partitions == 0 ? 1 : partitions)
 {
-    net = std::make_unique<noc::Network>(eq, cfg.noc);
-    mem_ = std::make_unique<mem::MemorySystem>(eq, *net, cfg.memory);
     const unsigned n = cfg.numNodes();
+    if ((parts_ & (parts_ - 1)) != 0 || parts_ > n)
+        fatal("machine partitions must be a power of two dividing the "
+              "node count; got ", parts_, " for ", n, " nodes");
+    if (parts_ > 1) {
+        clusterQs.reserve(parts_);
+        for (unsigned c = 0; c < parts_; ++c) {
+            clusterQs.push_back(std::make_unique<EventQueue>());
+            // Keyed mode must be set before ANY event is scheduled on
+            // the queue: every event then ties by (cluster, local
+            // order) instead of global insertion order, which is what
+            // makes partitioned runs byte-identical at any host
+            // thread count.
+            clusterQs.back()->setKeyedStream(
+                static_cast<std::uint16_t>(c));
+        }
+    }
+
+    const unsigned nodes_per_cluster = n / parts_;
+    binding.clusters = parts_;
+    binding.nodeQueue.resize(n);
+    binding.nodeCluster.resize(n);
+    for (NodeId i = 0; i < n; ++i) {
+        const unsigned c = i / nodes_per_cluster;
+        binding.nodeCluster[i] = static_cast<std::uint16_t>(c);
+        binding.nodeQueue[i] = parts_ > 1 ? clusterQs[c].get() : &eq;
+    }
+
+    net = std::make_unique<noc::Network>(rootQueue(), cfg.noc, "noc",
+                                         &hooks);
+    net->bindPartitions(&binding);
+    auto queue_for = [this](NodeId node) -> EventQueue& {
+        return *binding.nodeQueue[node];
+    };
+    mem_ = std::make_unique<mem::MemorySystem>(rootQueue(), *net,
+                                               cfg.memory, &hooks,
+                                               queue_for);
     cpus.reserve(n);
     threads.reserve(n);
     for (NodeId i = 0; i < n; ++i) {
+        EventQueue& q = queue_for(i);
         const std::string prefix = "node" + std::to_string(i);
         cpus.push_back(std::make_unique<cpu::Cpu>(
-            eq, i, mem_->controller(i), cfg.power, prefix + ".cpu"));
+            q, i, mem_->controller(i), cfg.power, prefix + ".cpu"));
         threads.push_back(std::make_unique<cpu::ThreadContext>(
-            eq, i, *cpus.back(), mem_->controller(i),
+            q, i, *cpus.back(), mem_->controller(i),
             prefix + ".thread"));
     }
+}
+
+EventQueue&
+Machine::clusterQueue(unsigned c)
+{
+    if (parts_ <= 1) {
+        if (c != 0)
+            panic("serial machine has only cluster 0");
+        return eq;
+    }
+    return *clusterQs.at(c);
 }
 
 void
 Machine::attachChecker(check::ProtocolChecker& checker)
 {
+    if (parts_ > 1)
+        panic("the protocol checker requires a serial machine (its "
+              "global bookkeeping assumes one totally-ordered event "
+              "stream); build the Machine with partitions = 1");
     checker.bindClock(&eq);
     checker.bindAddressMap(&mem_->addressMap());
     eq.setObserver(&checker);
-    mem_->attachObserver(&checker);
+    hooks.check = &checker;
+    hooks.nocAudit = &checker;
 }
 
 void
-Machine::attachFaultHooks(FaultHooks& hooks)
+Machine::attachFaultHooks(FaultHooks& fault_hooks)
 {
-    net->setFaultHooks(&hooks);
-    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
-        mem_->controller(n).setFaultHooks(&hooks);
-        cpus[n]->setFaultHooks(&hooks);
-    }
+    hooks.faults = &fault_hooks;
+    for (NodeId n = 0; n < cfg.numNodes(); ++n)
+        cpus[n]->setFaultHooks(&fault_hooks);
 }
 
 void
 Machine::attachTraceSink(obs::TraceSink* sink)
 {
-    net->setTraceSink(sink);
-    for (NodeId n = 0; n < cfg.numNodes(); ++n)
-        mem_->controller(n).setTraceSink(sink);
+    hooks.trace = sink;
 }
 
 std::vector<cpu::ThreadContext*>
@@ -81,6 +130,9 @@ Machine::threadPtrs()
 Tick
 Machine::run()
 {
+    if (parts_ > 1)
+        panic("a partitioned machine cannot be drained serially; "
+              "drive it with harness::runMachinePdes");
     eq.run();
     return finalize();
 }
@@ -90,7 +142,10 @@ Machine::finalize()
 {
     for (auto& c : cpus)
         c->finalize();
-    return eq.now();
+    Tick end = eq.now();
+    for (auto& q : clusterQs)
+        end = std::max(end, q->now());
+    return end;
 }
 
 power::EnergyAccount

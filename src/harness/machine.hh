@@ -1,8 +1,19 @@
 /**
  * @file
  * Whole-machine assembly: Table 1's 64-node CC-NUMA multiprocessor as
- * one object — event queue, hypercube network, coherent memory
+ * one object — event queue(s), hypercube network, coherent memory
  * system, one CPU + thread context per node.
+ *
+ * A machine can be built *partitioned*: its nodes are split into
+ * 2^j contiguous clusters, each with its own event queue, so a
+ * conservative PDES engine (sim/pdes.hh) can run the clusters on
+ * different host threads within ONE simulation. Cluster queues are put
+ * in keyed mode at construction — before any component schedules —
+ * which makes event ordering independent of which host thread merges
+ * what when; a partitioned run produces byte-identical artifacts at
+ * any --sim-threads count. Partitioned machines must be driven by
+ * harness::runMachinePdes (run() refuses), and serial-only instruments
+ * (protocol checker) refuse to attach to them.
  */
 
 #ifndef TB_HARNESS_MACHINE_HH_
@@ -17,6 +28,7 @@
 #include "noc/network.hh"
 #include "power/energy_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/hooks.hh"
 
 namespace tb {
 
@@ -49,10 +61,22 @@ struct SystemConfig
 class Machine
 {
   public:
-    explicit Machine(const SystemConfig& config);
+    /**
+     * @param partitions split the nodes into this many contiguous
+     *        clusters, each on its own event queue (power of two
+     *        dividing the node count; 1 = classic serial machine).
+     */
+    explicit Machine(const SystemConfig& config, unsigned partitions = 1);
 
     const SystemConfig& config() const { return cfg; }
-    EventQueue& eventQueue() { return eq; }
+
+    /**
+     * The machine's root event queue: the single queue of a serial
+     * machine, cluster 0's queue of a partitioned one. Component code
+     * must not use this to schedule onto other clusters' nodes.
+     */
+    EventQueue& eventQueue() { return rootQueue(); }
+
     noc::Network& network() { return *net; }
     mem::MemorySystem& memory() { return *mem_; }
 
@@ -62,10 +86,28 @@ class Machine
     /** All thread contexts, in thread-id order. */
     std::vector<cpu::ThreadContext*> threadPtrs();
 
+    /** Number of clusters this machine was built with (>= 1). */
+    unsigned partitions() const { return parts_; }
+
+    /** Cluster @p c's event queue (partitioned machines only). */
+    EventQueue& clusterQueue(unsigned c);
+
+    /** Cluster of node @p n (0 on a serial machine). */
+    unsigned cluster(NodeId n) const { return binding.nodeCluster[n]; }
+
     /**
-     * Arm @p checker over the whole machine: event queue, fabric and
-     * every controller/directory slice. The checker must outlive the
-     * machine (destructors cancel pending events through it).
+     * The node-to-queue map shared with the network. runMachinePdes
+     * installs (and uninstalls) the engine's crossSchedule channel
+     * here around a partitioned run.
+     */
+    noc::PartitionBinding& partitionBinding() { return binding; }
+
+    /**
+     * Arm @p checker over the whole machine: event queue, fabric,
+     * every controller/directory slice, and the NoC delivery audit.
+     * The checker must outlive the machine (destructors cancel pending
+     * events through it). Serial machines only — the checker's global
+     * bookkeeping assumes one totally-ordered event stream.
      */
     void attachChecker(check::ProtocolChecker& checker);
 
@@ -87,17 +129,19 @@ class Machine
 
     /**
      * Drain the event queue and close every CPU's accounting
-     * interval.
+     * interval. Serial machines only — a partitioned machine's queues
+     * must be driven together by runMachinePdes.
      * @return the final simulated tick.
      */
     Tick run();
 
     /**
-     * Close every CPU's accounting interval after the event queue was
+     * Close every CPU's accounting interval after the queue(s) were
      * drained by an external driver — the conservative PDES runner
-     * (harness/parallel_sim.hh) drives eq through a pdes::Engine and
-     * then calls this. run() is exactly drain + finalize().
-     * @return the final simulated tick.
+     * (harness/parallel_sim.hh) drives the machine through a
+     * pdes::Engine and then calls this. run() is exactly drain +
+     * finalize().
+     * @return the final simulated tick (max over all queues).
      */
     Tick finalize();
 
@@ -112,8 +156,19 @@ class Machine
     void visitStats(stats::StatVisitor& v);
 
   private:
+    EventQueue& rootQueue() { return parts_ > 1 ? *clusterQs[0] : eq; }
+
     SystemConfig cfg;
+    unsigned parts_ = 1;
     EventQueue eq;
+    /** Per-cluster queues (empty on a serial machine). */
+    std::vector<std::unique_ptr<EventQueue>> clusterQs;
+    /**
+     * Machine-wide instrumentation seams. Components hold a pointer to
+     * this one struct; attach* methods mutate its fields in place.
+     */
+    Hooks hooks;
+    noc::PartitionBinding binding;
     std::unique_ptr<noc::Network> net;
     std::unique_ptr<mem::MemorySystem> mem_;
     std::vector<std::unique_ptr<cpu::Cpu>> cpus;

@@ -2,25 +2,30 @@
  * @file
  * Multi-threaded single-simulation driver: runs one Machine under the
  * conservative PDES engine (sim/pdes.hh), selected by --sim-threads N
- * in thrifty_sim and the campaign CLI.
+ * (workers) and --sim-partitions P (clusters) in thrifty_sim and the
+ * campaign CLI.
  *
- * Contract: any thread count produces byte-identical stats, traces
- * and campaign artifacts to the serial engine — the per-simulation
- * analogue of what --jobs guarantees per sweep point. The CI
- * pdes-determinism job diffs the artifacts at 1/2/4/8 threads.
+ * A partitioned Machine (harness/machine.hh) splits its nodes into
+ * contiguous power-of-two clusters, one event queue each; this driver
+ * wraps every cluster queue as a *managed* engine partition and
+ * connects hypercube-adjacent cluster pairs with the NoC's pin-to-pin
+ * hop latency as the conservative lookahead. That bound is real: the
+ * network routes per hop, and a hop leaving cluster A cannot land in
+ * cluster B sooner than one pin-to-pin traversal after it was issued
+ * (noc/network.cc, Network::forward). The machine's PartitionBinding
+ * gets the engine's channel send installed as crossSchedule for the
+ * duration of the run — the only legal way an event crosses clusters.
  *
- * Today the whole machine model executes as ONE engine partition:
- * the coherence fabric reserves every link along a route at send
- * time in global event order, and the thrifty runtime's barrier
- * bookkeeping (predictor, BRTS, quarantine) mutates shared state
- * with zero modeled latency — both give a per-node split zero
- * conservative lookahead, so a per-node partitioning cannot yet be
- * bit-exact. The engine, its channels and the lookahead bound the
- * model WILL use (Fabric::minMessageLatency, 48 ns) are in place and
- * exercised at full parallelism by the engine tests and the
- * micro_simcore PDES workload; moving the NoC link reservation to
- * per-hop timing so node clusters become real partitions is ROADMAP
- * item 2. See docs/PERFORMANCE.md "Parallel simulation (PDES)".
+ * Contract: within one partition plan, any worker thread count
+ * produces byte-identical stats, traces and campaign artifacts — the
+ * per-simulation analogue of what --jobs guarantees per sweep point.
+ * Cluster queues run keyed (cluster, local order) event ordering, so
+ * merge timing and host scheduling cannot reorder anything. The CI
+ * pdes-determinism job diffs partitioned-machine artifacts at 1/2/4/8
+ * threads. The partition count itself IS part of the plan: the serial
+ * (1-partition) and partitioned plans order some barrier bookkeeping
+ * differently (docs/PERFORMANCE.md), so artifacts are compared across
+ * threads, never across partition counts.
  */
 
 #ifndef TB_HARNESS_PARALLEL_SIM_HH_
@@ -40,18 +45,24 @@ struct PdesRunReport
     Tick finalTick = 0;
     /** Worker threads actually used. */
     unsigned threads = 1;
-    /** The model's conservative lookahead bound (48 ns NoC minimum),
-     *  recorded so diagnostics and docs state the real number. */
+    /** Engine partitions the machine ran as (1 = serial plan). */
+    unsigned partitions = 1;
+    /** The conservative lookahead of the run's channels: the NoC
+     *  pin-to-pin hop latency for a partitioned machine, the fabric's
+     *  minimum end-to-end message latency for the single-partition
+     *  fallback. Recorded so diagnostics state the real number. */
     Tick modelLookahead = 0;
     /** Engine counters (empty when threads == 1 ran serially). */
     pdes::EngineStats engine;
 };
 
 /**
- * Drain @p machine's event queue with @p threads workers and close
- * its accounting intervals. threads <= 1 is exactly Machine::run();
- * threads > 1 drives the queue through a pdes::Engine. Results are
- * byte-identical either way (see file comment).
+ * Drain @p machine's event queue(s) with @p threads workers and close
+ * its accounting intervals. A serial (1-partition) machine with
+ * threads <= 1 is exactly Machine::run(); a partitioned machine is
+ * always engine-driven — its per-cluster queues must be drained
+ * together under the LBTS protocol even with one worker. Results are
+ * byte-identical at any thread count (see file comment).
  */
 PdesRunReport runMachinePdes(Machine& machine, unsigned threads);
 
@@ -63,6 +74,16 @@ PdesRunReport runMachinePdes(Machine& machine, unsigned threads);
  * is absent.
  */
 unsigned parseSimThreadsArg(int argc, char** argv);
+
+/**
+ * Strict --sim-partitions option scan, same parsing contract as
+ * parseSimThreadsArg (N >= 1, exit 2 on malformed input). Returns 0
+ * when the option is absent, meaning "pick the default for the node
+ * count" (harness/experiment.cc). The value must be a power of two
+ * dividing the machine's node count — the Machine constructor
+ * enforces that, since only it knows the node count.
+ */
+unsigned parseSimPartitionsArg(int argc, char** argv);
 
 } // namespace harness
 } // namespace tb

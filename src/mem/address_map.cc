@@ -1,5 +1,6 @@
 #include "mem/address_map.hh"
 
+#include "mem/backend.hh"
 #include "sim/logging.hh"
 
 namespace tb {
@@ -12,11 +13,22 @@ AddressMap::AddressMap(unsigned num_nodes)
         fatal("address map needs at least one node");
 }
 
+void
+AddressMap::seal()
+{
+    sealed_ = true;
+    if (backend)
+        backend->seal();
+}
+
 Addr
 AddressMap::allocPages(std::size_t bytes, bool shared, NodeId fixed_home)
 {
     if (bytes == 0)
         fatal("zero-byte allocation");
+    if (sealed_)
+        panic("allocation after the address map was sealed; workloads "
+              "must allocate all memory before the program starts");
     const std::size_t n_pages = (bytes + kPageBytes - 1) / kPageBytes;
     const Addr base = nextPage;
     for (std::size_t i = 0; i < n_pages; ++i) {
@@ -26,6 +38,8 @@ AddressMap::allocPages(std::size_t bytes, bool shared, NodeId fixed_home)
         pages.emplace(nextPage, PageInfo{h, shared});
         nextPage += kPageBytes;
     }
+    if (backend)
+        backend->ensureRange(base, n_pages * kPageBytes);
     return base;
 }
 

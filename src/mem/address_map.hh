@@ -21,12 +21,29 @@
 namespace tb {
 namespace mem {
 
+class Backend;
+
 /** Page-granular NUMA placement directory. */
 class AddressMap
 {
   public:
     /** @param num_nodes number of home nodes in the machine. */
     explicit AddressMap(unsigned num_nodes);
+
+    /**
+     * Bind the value backend: every subsequent allocation pre-faults
+     * its pages there, so the backend's page table is fully built
+     * before the simulation starts (a partitioned run must never
+     * rehash it mid-flight).
+     */
+    void bindBackend(Backend* b) { backend = b; }
+
+    /**
+     * Freeze the map (and the bound backend). Further allocations
+     * panic — workloads must allocate everything up front, which is
+     * what makes lock-free concurrent home() lookups safe.
+     */
+    void seal();
 
     /**
      * Allocate @p bytes of shared memory (page-aligned); the pages are
@@ -68,6 +85,8 @@ class AddressMap
     unsigned numNodes;
     Addr nextPage = kBaseAddr;
     unsigned nextSharedHome = 0;
+    Backend* backend = nullptr;
+    bool sealed_ = false;
     std::unordered_map<Addr, PageInfo> pages; ///< keyed by page base
 };
 

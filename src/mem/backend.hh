@@ -5,24 +5,38 @@
  * The simulator moves *timing*, not data, through the network; the
  * coherent value of every word lives here. Loads read the backend when
  * they complete; stores and atomics update it when the directory (the
- * serialization point) grants them. Because the whole machine runs in
- * one host thread and every conflicting access is serialized at the
- * line's home directory, this is an accurate model of the coherent
- * memory image.
+ * serialization point) grants them. Conflicting accesses to one word
+ * are serialized at the line's home directory, so per-word accesses
+ * never race even when the machine is partitioned across host threads.
+ *
+ * Storage is page-granular: the address map pre-faults every allocated
+ * page (ensureRange) and then seals the backend before the simulated
+ * program starts, so the page table never rehashes mid-run. That is
+ * what makes the image safe under partitioned execution — concurrent
+ * partitions touch disjoint words of pre-existing pages, never the map
+ * structure itself. The only same-page shared state is the written
+ * bitmap, which uses relaxed atomic fetch_or because two causally
+ * unrelated stores to different words of one page may land from
+ * different host threads.
  */
 
 #ifndef TB_MEM_BACKEND_HH_
 #define TB_MEM_BACKEND_HH_
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
+#include "mem/mem_types.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace tb {
 namespace mem {
 
-/** Sparse word-granular memory image (zero-initialized). */
+/** Sparse page-granular memory image (zero-initialized). */
 class Backend
 {
   public:
@@ -30,12 +44,22 @@ class Backend
     std::uint64_t
     read(Addr a) const
     {
-        auto it = words.find(a);
-        return it == words.end() ? 0 : it->second;
+        auto it = pages.find(pageAddr(a));
+        if (it == pages.end())
+            return 0;
+        return it->second->w[wordIndex(a)];
     }
 
     /** Write the 64-bit word at @p a. */
-    void write(Addr a, std::uint64_t v) { words[a] = v; }
+    void
+    write(Addr a, std::uint64_t v)
+    {
+        Page& p = pageFor(a);
+        const std::size_t i = wordIndex(a);
+        p.w[i] = v;
+        p.written[i / 64].fetch_or(std::uint64_t{1} << (i % 64),
+                                   std::memory_order_relaxed);
+    }
 
     /** Add @p delta to the word at @p a; returns the *old* value. */
     std::uint64_t
@@ -46,11 +70,81 @@ class Backend
         return old;
     }
 
+    /**
+     * Pre-fault every page overlapping [@p base, @p base + @p bytes).
+     * The address map calls this at allocation time; after seal() it is
+     * an error for a write to touch a page that was never faulted.
+     */
+    void
+    ensureRange(Addr base, std::size_t bytes)
+    {
+        if (sealed_)
+            panic("backend ensureRange after seal");
+        const Addr last = pageAddr(base + (bytes ? bytes - 1 : 0));
+        for (Addr p = pageAddr(base); p <= last; p += kPageBytes)
+            if (pages.find(p) == pages.end())
+                pages.emplace(p, std::make_unique<Page>());
+    }
+
+    /**
+     * Freeze the page table. Reads of never-faulted pages still return
+     * zero; writes to them panic (a sealed map mutation would race with
+     * concurrent partition lookups).
+     */
+    void seal() { sealed_ = true; }
+
+    bool sealed() const { return sealed_; }
+
     /** Number of distinct words ever written. */
-    std::size_t footprint() const { return words.size(); }
+    std::size_t
+    footprint() const
+    {
+        std::size_t n = 0;
+        // tblint-allow(TBL001): popcount sum is order-independent
+        for (const auto& [base, p] : pages)
+            for (const auto& bm : p->written)
+                n += static_cast<std::size_t>(std::popcount(
+                    bm.load(std::memory_order_relaxed)));
+        return n;
+    }
 
   private:
-    std::unordered_map<Addr, std::uint64_t> words;
+    static constexpr std::size_t kWordsPerPage = kPageBytes / 8;
+
+    struct Page
+    {
+        std::uint64_t w[kWordsPerPage]{};
+        std::atomic<std::uint64_t> written[kWordsPerPage / 64];
+
+        Page()
+        {
+            for (auto& bm : written)
+                bm.store(0, std::memory_order_relaxed);
+        }
+    };
+
+    static std::size_t
+    wordIndex(Addr a)
+    {
+        return static_cast<std::size_t>((a - pageAddr(a)) / 8);
+    }
+
+    Page&
+    pageFor(Addr a)
+    {
+        const Addr base = pageAddr(a);
+        auto it = pages.find(base);
+        if (it == pages.end()) {
+            if (sealed_)
+                panic("write to unfaulted page ", base,
+                      " after backend seal");
+            it = pages.emplace(base, std::make_unique<Page>()).first;
+        }
+        return *it->second;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    bool sealed_ = false;
 };
 
 } // namespace mem

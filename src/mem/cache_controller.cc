@@ -26,14 +26,15 @@ wakeReasonName(WakeReason r)
 CacheController::CacheController(EventQueue& queue, NodeId node,
                                  Fabric& fabric_, Backend& backend_,
                                  const ControllerConfig& config,
-                                 std::string name)
+                                 std::string name, const Hooks* hooks)
     : SimObject(queue, std::move(name)),
       nodeId(node),
       fabric(fabric_),
       backend(backend_),
       cfg(config),
       l1(config.l1),
-      l2(config.l2)
+      l2(config.l2),
+      hooks_(hooks)
 {
     if (cfg.l2Rt < cfg.l1Rt)
         fatal("L2 round trip must not be shorter than L1's");
@@ -73,7 +74,7 @@ CacheController::store(Addr a, std::uint64_t v, DoneCallback done)
 }
 
 void
-CacheController::atomicRmw(Addr a, std::function<std::uint64_t()> op,
+CacheController::atomicRmw(Addr a, std::function<std::uint64_t(Tick)> op,
                            LoadCallback done)
 {
     Pending p;
@@ -241,8 +242,8 @@ CacheController::completePending()
     Pending p = std::move(*pending);
     pending.reset();
 
-    if (TB_TRACED(trace, obs::TraceCategory::Mem)) {
-        trace->complete(
+    if (TB_TRACED(traceSink(), obs::TraceCategory::Mem)) {
+        traceSink()->complete(
             obs::TraceCategory::Mem,
             p.kind == Pending::Kind::Load ? "load" : "store",
             p.startTick, curTick() - p.startTick, nodeId,
@@ -251,15 +252,15 @@ CacheController::completePending()
     switch (p.kind) {
       case Pending::Kind::Load: {
         const std::uint64_t v = backend.read(p.addr);
-        if (obs)
-            obs->onLoadValue(nodeId, p.addr, v);
+        if (auto* ob = checkObserver())
+            ob->onLoadValue(nodeId, p.addr, v);
         p.loadDone(v);
         break;
       }
       case Pending::Kind::Store:
         backend.write(p.addr, p.storeValue);
-        if (obs)
-            obs->onStoreSerialized(nodeId, p.addr, p.storeValue);
+        if (auto* ob = checkObserver())
+            ob->onStoreSerialized(nodeId, p.addr, p.storeValue);
         p.storeDone();
         break;
       case Pending::Kind::Rmw:
@@ -305,8 +306,8 @@ CacheController::receive(const Msg& msg)
             panic(name(), ": stray RmwResult");
         Pending p = std::move(*pending);
         pending.reset();
-        if (TB_TRACED(trace, obs::TraceCategory::Mem)) {
-            trace->complete(obs::TraceCategory::Mem, "rmw",
+        if (TB_TRACED(traceSink(), obs::TraceCategory::Mem)) {
+            traceSink()->complete(obs::TraceCategory::Mem, "rmw",
                             p.startTick, curTick() - p.startTick,
                             nodeId, {{"line", p.line}});
         }
@@ -365,8 +366,8 @@ void
 CacheController::handleFwd(const Msg& msg)
 {
     hot.fwdsReceived.inc();
-    if (obs)
-        obs->onInterventionReceived(nodeId, msg.line);
+    if (auto* ob = checkObserver())
+        ob->onInterventionReceived(nodeId, msg.line);
     if (snoopable_) {
         serveFwd(msg);
         return;
@@ -390,8 +391,8 @@ CacheController::handleFwd(const Msg& msg)
 void
 CacheController::serveFwd(const Msg& msg)
 {
-    if (obs)
-        obs->onInterventionServed(nodeId, msg.line);
+    if (auto* ob = checkObserver())
+        ob->onInterventionServed(nodeId, msg.line);
     if (msg.requester != kInvalidNode) {
         serveFwdThreeHop(msg);
         return;
@@ -484,8 +485,8 @@ CacheController::serveFwdThreeHop(const Msg& msg)
     // both observe it.
     if (!is_gets && msg.hasStore) {
         backend.write(msg.storeAddr, msg.storeValue);
-        if (obs)
-            obs->onStoreSerialized(msg.requester, msg.storeAddr,
+        if (auto* ob = checkObserver())
+            ob->onStoreSerialized(msg.requester, msg.storeAddr,
                                    msg.storeValue);
     }
 
@@ -596,7 +597,7 @@ CacheController::maybeFireFlagMonitor(Addr line)
 {
     if (!flagMon.armed || flagMon.line != line)
         return;
-    if (faults) {
+    if (auto* faults = faultHooks()) {
         WakeDeliveryFault f = faults->wakeDelivery(nodeId);
         if (f.drop) {
             // The wake-up notification is swallowed between the
@@ -643,7 +644,7 @@ void
 CacheController::armWakeTimer(Tick delta)
 {
     wakeTimer.cancel();
-    if (faults) {
+    if (auto* faults = faultHooks()) {
         if (faults->wakeTimerFails(nodeId)) {
             // The timer hardware fails to arm: nothing will fire.
             statsGroup.scalar("faultTimerFailures").inc();
@@ -670,8 +671,8 @@ CacheController::disarmWakeTimer()
 Tick
 CacheController::triggerWake(WakeReason reason)
 {
-    if (obs)
-        obs->onWakeTrigger(nodeId, reason);
+    if (auto* ob = checkObserver())
+        ob->onWakeTrigger(nodeId, reason);
     // Whichever mechanism fires first cancels the other (hybrid
     // wake-up, Section 3.3.2).
     disarmWakeTimer();
@@ -705,7 +706,7 @@ CacheController::flushDirtyShared(DoneCallback done)
 
     Tick duration =
         static_cast<Tick>(to_flush.size()) * cfg.flushPerLine;
-    if (faults) {
+    if (auto* faults = faultHooks()) {
         Tick extra = faults->flushDelay(nodeId, to_flush.size());
         if (extra > 0) {
             statsGroup.scalar("faultFlushDelayTicks") +=
@@ -713,8 +714,8 @@ CacheController::flushDirtyShared(DoneCallback done)
             duration += extra;
         }
     }
-    if (TB_TRACED(trace, obs::TraceCategory::Mem)) {
-        trace->complete(obs::TraceCategory::Mem, "flush", curTick(),
+    if (TB_TRACED(traceSink(), obs::TraceCategory::Mem)) {
+        traceSink()->complete(obs::TraceCategory::Mem, "flush", curTick(),
                         duration, nodeId,
                         {{"lines", to_flush.size()}});
     }
@@ -732,8 +733,8 @@ CacheController::setSnoopable(bool snoopable)
     }
     const bool changed = snoopable_ != snoopable;
     snoopable_ = snoopable;
-    if (changed && obs)
-        obs->onSnoopableChange(nodeId, snoopable);
+    if (auto* ob = changed ? checkObserver() : nullptr)
+        ob->onSnoopableChange(nodeId, snoopable);
 }
 
 // ----------------------------------------------------------------------

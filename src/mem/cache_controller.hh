@@ -38,6 +38,7 @@
 #include "mem/mem_types.hh"
 #include "mem/protocol_observer.hh"
 #include "sim/event_queue.hh"
+#include "sim/hooks.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -91,9 +92,15 @@ class CacheController : public SimObject, public MsgSink
      */
     using WakeHandler = std::function<Tick(WakeReason)>;
 
+    /**
+     * @param hooks machine-wide instrumentation seams (checker, fault
+     *        injection, tracing); may be null for standalone use.
+     *        Fields are read at use time, so instruments can attach
+     *        after construction.
+     */
     CacheController(EventQueue& queue, NodeId node, Fabric& fabric,
                     Backend& backend, const ControllerConfig& config,
-                    std::string name);
+                    std::string name, const Hooks* hooks = nullptr);
 
     /** Cancels the wake timer so no dead callback can fire. */
     ~CacheController() override;
@@ -101,11 +108,12 @@ class CacheController : public SimObject, public MsgSink
     /** Node this controller belongs to. */
     NodeId node() const { return nodeId; }
 
-    /** Attach (or with nullptr detach) a protocol observer. */
-    void setCheckObserver(ProtocolObserver* observer) { obs = observer; }
-
     /** The attached protocol observer, or null. */
-    ProtocolObserver* checkObserver() const { return obs; }
+    ProtocolObserver*
+    checkObserver() const
+    {
+        return hooks_ ? hooks_->check : nullptr;
+    }
 
     // ------------------------------------------------------------------
     // CPU-facing demand interface (blocking: one outstanding access).
@@ -122,7 +130,7 @@ class CacheController : public SimObject, public MsgSink
      * (models a fetch-op). @p op runs exactly once at the
      * serialization point; @p done receives the pre-op value.
      */
-    void atomicRmw(Addr a, std::function<std::uint64_t()> op,
+    void atomicRmw(Addr a, std::function<std::uint64_t(Tick)> op,
                    LoadCallback done);
 
     /** True while a demand access is outstanding. */
@@ -179,12 +187,6 @@ class CacheController : public SimObject, public MsgSink
      * cache is accessible again.
      */
     Tick forceWake(WakeReason reason) { return triggerWake(reason); }
-
-    /** Attach fault-injection hooks (nullptr detaches). */
-    void setFaultHooks(FaultHooks* hooks) { faults = hooks; }
-
-    /** Attach a structured-trace sink (nullptr detaches). */
-    void setTraceSink(obs::TraceSink* sink) { trace = sink; }
 
     /**
      * Fault injection: deliver a spurious invalidation for @p a's
@@ -251,7 +253,7 @@ class CacheController : public SimObject, public MsgSink
         /** Tick the access was issued (trace span start). */
         Tick startTick = 0;
         std::uint64_t storeValue = 0;
-        std::function<std::uint64_t()> rmwOp;
+        std::function<std::uint64_t(Tick)> rmwOp;
         LoadCallback loadDone;
         DoneCallback storeDone;
     };
@@ -302,6 +304,20 @@ class CacheController : public SimObject, public MsgSink
     /** Trigger a wake-up through the installed handler. */
     Tick triggerWake(WakeReason reason);
 
+    /** Fault-injection seam, or null. */
+    FaultHooks*
+    faultHooks() const
+    {
+        return hooks_ ? hooks_->faults : nullptr;
+    }
+
+    /** Structured-trace seam, or null. */
+    obs::TraceSink*
+    traceSink() const
+    {
+        return hooks_ ? hooks_->trace : nullptr;
+    }
+
     /**
      * Fire the flag monitor for @p line if armed, consulting the
      * fault hooks: the notification can be dropped, duplicated, or
@@ -316,8 +332,8 @@ class CacheController : public SimObject, public MsgSink
     void
     noteLine(Addr line, LineState state)
     {
-        if (obs)
-            obs->onCacheLineState(nodeId, line, state);
+        if (auto* ob = checkObserver())
+            ob->onCacheLineState(nodeId, line, state);
     }
 
     NodeId nodeId;
@@ -340,11 +356,8 @@ class CacheController : public SimObject, public MsgSink
     bool snoopable_ = true;
     std::vector<Addr> deferred; ///< invalidations buffered during sleep
 
-    ProtocolObserver* obs = nullptr;
-    /** Optional fault injection (wake delivery, timer, flush). */
-    FaultHooks* faults = nullptr;
-    /** Optional structured tracing of demand accesses and flushes. */
-    obs::TraceSink* trace = nullptr;
+    /** Machine-wide instrumentation seams (may be null). */
+    const Hooks* hooks_;
 
     stats::StatGroup statsGroup;
 

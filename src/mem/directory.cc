@@ -11,14 +11,16 @@ namespace mem {
 
 Directory::Directory(EventQueue& queue, NodeId node, unsigned num_nodes,
                      Fabric& fabric_, Backend& backend_, Dram& dram_,
-                     std::string name, bool three_hop_forwarding)
+                     std::string name, bool three_hop_forwarding,
+                     const Hooks* hooks)
     : SimObject(queue, std::move(name)),
       nodeId(node),
       numNodes(num_nodes),
       threeHop(three_hop_forwarding),
       fabric(fabric_),
       backend(backend_),
-      dram(dram_)
+      dram(dram_),
+      hooks_(hooks)
 {
     if (num_nodes == 0 || num_nodes > kMaxNodes)
         fatal("directory supports 1..", kMaxNodes, " nodes, got ",
@@ -290,9 +292,9 @@ Directory::maybeFinishWrite(Addr line, LineDir& ld)
             const NodeId req = l.cur.src;
             std::uint64_t old = 0;
             if (l.cur.rmwOp)
-                old = l.cur.rmwOp();
-            if (obs)
-                obs->onRmwSerialized(req, l.cur.storeAddr, old,
+                old = l.cur.rmwOp(curTick());
+            if (auto* ob = checkObs())
+                ob->onRmwSerialized(req, l.cur.storeAddr, old,
                                      backend.read(l.cur.storeAddr));
             l.state = DirState::Uncached;
             l.sharers = 0;
@@ -311,8 +313,8 @@ Directory::maybeFinishWrite(Addr line, LineDir& ld)
     // behind this transaction observe the new value.
     if (ld.cur.hasStore) {
         backend.write(ld.cur.storeAddr, ld.cur.storeValue);
-        if (obs)
-            obs->onStoreSerialized(r, ld.cur.storeAddr,
+        if (auto* ob = checkObs())
+            ob->onStoreSerialized(r, ld.cur.storeAddr,
                                    ld.cur.storeValue);
     }
     send(r, makeMsg(ld.grantUpgrade ? MsgType::UpgradeAck
@@ -451,8 +453,8 @@ Directory::finish(Addr line, LineDir& ld)
 {
     ld.busy = false;
     ld.cur = Msg{};
-    if (obs)
-        obs->onDirStable(line, ld.state, ld.sharers, ld.owner);
+    if (auto* ob = checkObs())
+        ob->onDirStable(line, ld.state, ld.sharers, ld.owner);
     tryStart(line);
 }
 

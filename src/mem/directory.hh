@@ -29,6 +29,7 @@
 #include "mem/fabric.hh"
 #include "mem/mem_types.hh"
 #include "mem/protocol_observer.hh"
+#include "sim/hooks.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -57,10 +58,12 @@ class Directory : public SimObject, public MsgSink
      * @param fabric    Message routing layer.
      * @param backend   Global memory image (for AtomicRmw execution).
      * @param dram      This node's memory timing model.
+     * @param hooks     Machine-wide instrumentation seams (nullable).
      */
     Directory(EventQueue& queue, NodeId node, unsigned num_nodes,
               Fabric& fabric, Backend& backend, Dram& dram,
-              std::string name, bool three_hop_forwarding = false);
+              std::string name, bool three_hop_forwarding = false,
+              const Hooks* hooks = nullptr);
 
     /** Fabric delivery entry point. */
     void receive(const Msg& msg) override;
@@ -76,9 +79,6 @@ class Directory : public SimObject, public MsgSink
 
     /** True if a transaction is in flight on @p line. */
     bool lineBusy(Addr line) const;
-
-    /** Attach (or with nullptr detach) a protocol observer. */
-    void setCheckObserver(ProtocolObserver* observer) { obs = observer; }
 
     const stats::StatGroup& statistics() const { return statsGroup; }
 
@@ -129,6 +129,13 @@ class Directory : public SimObject, public MsgSink
 
     void send(NodeId dst, Msg msg);
 
+    /** The attached protocol observer, or null. */
+    ProtocolObserver*
+    checkObs() const
+    {
+        return hooks_ ? hooks_->check : nullptr;
+    }
+
     NodeId nodeId;
     unsigned numNodes;
     /**
@@ -143,7 +150,8 @@ class Directory : public SimObject, public MsgSink
     Backend& backend;
     Dram& dram;
     std::unordered_map<Addr, LineDir> lines;
-    ProtocolObserver* obs = nullptr;
+    /** Machine-wide instrumentation seams (may be null). */
+    const Hooks* hooks_;
     stats::StatGroup statsGroup;
 
     /** Cached references into statsGroup (resolved once; node-stable

@@ -5,8 +5,9 @@
 namespace tb {
 namespace mem {
 
-Dram::Dram(EventQueue& queue, const DramConfig& config, std::string name)
-    : SimObject(queue, std::move(name)), cfg(config)
+Dram::Dram(EventQueue& queue, const DramConfig& config, std::string name,
+           const Hooks* hooks)
+    : SimObject(queue, std::move(name)), cfg(config), hooks_(hooks)
 {}
 
 Tick

@@ -14,6 +14,7 @@
 
 #include <functional>
 
+#include "sim/hooks.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -34,7 +35,8 @@ struct DramConfig
 class Dram : public SimObject
 {
   public:
-    Dram(EventQueue& queue, const DramConfig& config, std::string name);
+    Dram(EventQueue& queue, const DramConfig& config, std::string name,
+         const Hooks* hooks = nullptr);
 
     /**
      * Perform a line read; @p done runs when the data is on its way
@@ -55,6 +57,10 @@ class Dram : public SimObject
     Tick reserveBus(Tick earliest);
 
     DramConfig cfg;
+    /** Machine-wide instrumentation seams (may be null; DRAM has no
+     *  active seams today, but takes the struct like every other
+     *  component so future ones need no plumbing). */
+    const Hooks* hooks_;
     Tick busFreeAt = 0;
     stats::StatGroup statsGroup;
 

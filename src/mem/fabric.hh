@@ -18,6 +18,7 @@
 #include "mem/mem_types.hh"
 #include "mem/protocol_observer.hh"
 #include "noc/network.hh"
+#include "sim/hooks.hh"
 
 namespace tb {
 namespace mem {
@@ -26,7 +27,12 @@ namespace mem {
 class Fabric
 {
   public:
-    Fabric(noc::Network& network, AddressMap& address_map);
+    /**
+     * @param hooks machine-wide instrumentation seams (nullable);
+     *        fields are read at use time.
+     */
+    Fabric(noc::Network& network, AddressMap& address_map,
+           const Hooks* hooks = nullptr);
 
     /** Register the cache controller for @p node. */
     void registerController(NodeId node, MsgSink& sink);
@@ -39,6 +45,18 @@ class Fabric
 
     /** Send @p msg from @p from to node @p dst's cache controller. */
     void toController(NodeId from, NodeId dst, Msg msg);
+
+    /**
+     * Raw timed control message outside the coherence protocol: @p fn
+     * runs on @p to's queue after the network latency of a @p bytes
+     * message. The thrifty runtime uses this for cross-node barrier
+     * bookkeeping (predictor updates, oracle releases), so that state
+     * rides the NoC with real cost and point-to-point ordering instead
+     * of teleporting. Not observer-visible — the protocol checker
+     * tracks coherence messages only.
+     */
+    void sendControl(NodeId from, NodeId to, unsigned bytes,
+                     noc::Network::Deliver fn);
 
     /** Home node of the line @p a belongs to. */
     NodeId home(Addr a) const { return map.home(a); }
@@ -55,18 +73,20 @@ class Fabric
     /** The placement map (for shared/private queries). */
     const AddressMap& addressMap() const { return map; }
 
-    /** Attach (or with nullptr detach) a protocol observer. */
-    void setObserver(ProtocolObserver* observer) { obs = observer; }
-
     /** The attached observer, or null. */
-    ProtocolObserver* observer() const { return obs; }
+    ProtocolObserver*
+    observer() const
+    {
+        return hooks_ ? hooks_->check : nullptr;
+    }
 
   private:
     noc::Network& net;
     AddressMap& map;
     std::vector<MsgSink*> controllers;
     std::vector<MsgSink*> directories;
-    ProtocolObserver* obs = nullptr;
+    /** Machine-wide instrumentation seams (may be null). */
+    const Hooks* hooks_;
 };
 
 } // namespace mem

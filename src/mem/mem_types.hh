@@ -138,12 +138,16 @@ struct Msg
 
     /**
      * For AtomicRmw: the operation, executed exactly once at the home
-     * directory at the transaction's serialization point. Returns the
-     * pre-op value, which travels back in RmwResult::rmwOld. Modeling
-     * note: this stands in for a fetch-op executed at the home memory
+     * directory at the transaction's serialization point, receiving
+     * the home's current tick. Returns the pre-op value, which travels
+     * back in RmwResult::rmwOld. The tick parameter lets fetch-op
+     * users (the barriers) timestamp per-thread bookkeeping with the
+     * serialization time itself — on a partitioned machine the home's
+     * clock is the only one the op may legally read. Modeling note:
+     * this stands in for a fetch-op executed at the home memory
      * controller (DESIGN.md section 6).
      */
-    std::function<std::uint64_t()> rmwOp;
+    std::function<std::uint64_t(Tick)> rmwOp;
 
     /** Network payload size in bytes for this message type. */
     unsigned bytes() const;

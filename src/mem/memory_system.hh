@@ -20,6 +20,7 @@
 #include "mem/fabric.hh"
 #include "noc/network.hh"
 #include "sim/event_queue.hh"
+#include "sim/hooks.hh"
 
 namespace tb {
 namespace mem {
@@ -44,9 +45,17 @@ class MemorySystem
     /**
      * Build controllers/directories/DRAM for every node of
      * @p network and register them with a new fabric.
+     *
+     * @param hooks    Machine-wide instrumentation seams, wired into
+     *                 every component (nullable).
+     * @param queueFor Event queue owning each node's components; when
+     *                 empty every node runs on @p queue. A partitioned
+     *                 machine maps node clusters to different queues.
      */
     MemorySystem(EventQueue& queue, noc::Network& network,
-                 const MemoryConfig& config);
+                 const MemoryConfig& config,
+                 const Hooks* hooks = nullptr,
+                 std::function<EventQueue&(NodeId)> queueFor = {});
 
     unsigned numNodes() const { return nodes; }
 
@@ -58,12 +67,6 @@ class MemorySystem
     const AddressMap& addressMap() const { return map; }
     Backend& backend() { return values; }
     Fabric& fabric() { return fab; }
-
-    /**
-     * Attach (or with nullptr detach) a protocol observer to the
-     * fabric and every controller and directory slice.
-     */
-    void attachObserver(ProtocolObserver* observer);
 
   private:
     unsigned nodes;

@@ -12,8 +12,8 @@ namespace tb {
 namespace noc {
 
 Network::Network(EventQueue& queue, const NetworkConfig& config,
-                 std::string name)
-    : SimObject(queue, std::move(name)), cfg(config)
+                 std::string name, const Hooks* machine_hooks)
+    : SimObject(queue, std::move(name)), cfg(config), hooks(machine_hooks)
 {
     if (cfg.dimension == 0 || cfg.dimension > 16)
         fatal("network dimension must be in [1,16], got ", cfg.dimension);
@@ -22,8 +22,49 @@ Network::Network(EventQueue& queue, const NetworkConfig& config,
     linkFreeAt.assign(static_cast<std::size_t>(cfg.nodes()) *
                           cfg.dimension,
                       0);
-    pairLastDelivery.assign(
-        static_cast<std::size_t>(cfg.nodes()) * cfg.nodes(), 0);
+    const std::size_t pairs =
+        static_cast<std::size_t>(cfg.nodes()) * cfg.nodes();
+    nextPairSeq.assign(pairs, 0);
+    expectedSeq.assign(pairs, 0);
+    pairLastDelivery.assign(pairs, 0);
+    oooStash.resize(pairs);
+    shards.resize(1);
+}
+
+void
+Network::bindPartitions(const PartitionBinding* binding)
+{
+    if (binding) {
+        if (binding->nodeQueue.size() != cfg.nodes() ||
+            binding->nodeCluster.size() != cfg.nodes())
+            fatal("partition binding does not cover the topology");
+        if (binding->clusters == 0)
+            fatal("partition binding needs at least one cluster");
+        for (auto c : binding->nodeCluster)
+            if (c >= binding->clusters)
+                fatal("node mapped to nonexistent cluster ", c);
+    }
+    foldStats(); // keep anything already recorded before resharding
+    parts = binding;
+    shards.assign(parts ? parts->clusters : 1, Shard{});
+}
+
+EventQueue&
+Network::queueOf(NodeId n) const
+{
+    return parts ? *parts->nodeQueue[n] : eq;
+}
+
+unsigned
+Network::clusterOf(NodeId n) const
+{
+    return parts ? parts->nodeCluster[n] : 0;
+}
+
+Network::Shard&
+Network::shardOf(NodeId n) const
+{
+    return shards[clusterOf(n)];
 }
 
 unsigned
@@ -53,87 +94,206 @@ Network::zeroLoadLatency(unsigned n_hops, unsigned bytes) const
            static_cast<Tick>(n_hops) * cfg.pinToPin + body;
 }
 
-Tick
-Network::deliveryTick(NodeId src, NodeId dst, unsigned bytes)
+void
+Network::inject(NodeId src, NodeId dst, unsigned bytes, Deliver fn)
 {
     const unsigned n = cfg.nodes();
     if (src >= n || dst >= n)
         panic("network send outside topology: src=", src, " dst=", dst);
+    if (!fn)
+        panic("network send without delivery callback");
 
-    const unsigned n_flits = flits(bytes);
-    const Tick ser_time = static_cast<Tick>(n_flits) * cfg.routerPeriod;
+    EventQueue& q = queueOf(src);
+    const Tick t0 = q.now();
+    auto f = std::make_shared<Flight>(
+        Flight{src, dst, bytes, nextPairSeq[pairIndex(src, dst)]++, t0,
+               std::move(fn)});
+    Shard& sh = shardOf(src);
+    sh.messages += 1.0;
+    sh.bytes += static_cast<double>(bytes);
 
-    Tick t = curTick() + cfg.marshal;
-    NodeId at = src;
-    // Dimension-order routing: correct differing address bits from the
-    // lowest dimension up, reserving each directed link on the way.
-    const NodeId diff = src ^ dst;
-    for (unsigned dim = 0; dim < cfg.dimension; ++dim) {
-        if (!((diff >> dim) & 1u))
-            continue;
-        if (faults) {
-            // An injected stall occupies the head of the worm on this
-            // link, so it lands before the contention accounting and
-            // naturally back-pressures messages queued behind it.
-            Tick stall = faults->linkStall(at, dim);
-            if (stall > 0) {
-                statsGroup.scalar("faultLinkStallTicks") +=
-                    static_cast<double>(stall);
-                t += stall;
-            }
-        }
-        if (cfg.modelContention) {
-            Tick& free_at = linkFreeAt[linkIndex(at, dim)];
-            if (free_at > t) {
-                hot.linkStallTicks +=
-                    static_cast<double>(free_at - t);
-                t = free_at;
-            }
-            free_at = t + ser_time;
-        }
-        t += cfg.pinToPin;
-        at ^= (NodeId{1} << dim);
+    // Marshaling happens at the source endpoint; the message reaches
+    // its first router (src's own, hence a local event) afterwards. A
+    // loopback message never enters a router at all.
+    const Tick entry = t0 + cfg.marshal;
+    if (src == dst) {
+        q.schedule(entry, [this, f]() {
+            arrivalEvent(f, queueOf(f->dst).now());
+        });
+        return;
     }
-    // Body flits pipeline behind the header on the final link.
-    t += static_cast<Tick>(n_flits - 1) * cfg.routerPeriod;
-    t += cfg.marshal; // unmarshal at the destination
+    q.schedule(entry, [this, f]() { hopEvent(f->src, f); });
+}
 
+void
+Network::hopEvent(NodeId at, const std::shared_ptr<Flight>& f)
+{
+    Tick t = queueOf(at).now();
+    // Dimension-order routing: correct the lowest differing address
+    // bit; the hop leaves through this router's link along that dim.
+    const unsigned dim =
+        static_cast<unsigned>(std::countr_zero(at ^ f->dst));
+    FaultHooks* faults = hooks ? hooks->faults : nullptr;
+    if (faults) {
+        // An injected stall occupies the head of the worm on this
+        // link, so it lands before the contention accounting and
+        // naturally back-pressures messages queued behind it.
+        Tick stall = faults->linkStall(at, dim);
+        if (stall > 0) {
+            shardOf(at).faultLinkStallTicks +=
+                static_cast<double>(stall);
+            t += stall;
+        }
+    }
+    if (cfg.modelContention) {
+        const Tick ser_time =
+            static_cast<Tick>(flits(f->bytes)) * cfg.routerPeriod;
+        Tick& free_at = linkFreeAt[linkIndex(at, dim)];
+        if (free_at > t) {
+            shardOf(at).linkStallTicks +=
+                static_cast<double>(free_at - t);
+            t = free_at;
+        }
+        free_at = t + ser_time;
+    }
+    const NodeId next = at ^ (NodeId{1} << dim);
+    const Tick when = t + cfg.pinToPin;
+    if (next == f->dst) {
+        forward(at, next, when,
+                [this, f, when]() { arrivalEvent(f, when); });
+    } else {
+        forward(at, next, when,
+                [this, f, next]() { hopEvent(next, f); });
+    }
+}
+
+void
+Network::forward(NodeId from, NodeId to, Tick when,
+                 EventQueue::Callback fn)
+{
+    const unsigned cfrom = clusterOf(from);
+    const unsigned cto = clusterOf(to);
+    if (cfrom == cto) {
+        queueOf(to).schedule(when, std::move(fn));
+        return;
+    }
+    if (!parts || !parts->crossSchedule)
+        panic("cross-cluster hop without an engine channel (cluster ",
+              cfrom, " -> ", cto,
+              "); partitioned machines must run under runMachinePdes");
+    parts->crossSchedule(cfrom, cto, when, std::move(fn));
+}
+
+void
+Network::arrivalEvent(const std::shared_ptr<Flight>& f, Tick t_arr)
+{
+    // Body flits pipeline behind the header on the final link, then
+    // the destination unmarshals.
+    Tick tail = t_arr +
+                static_cast<Tick>(flits(f->bytes) - 1) *
+                    cfg.routerPeriod +
+                cfg.marshal;
+    FaultHooks* faults = hooks ? hooks->faults : nullptr;
     if (faults) {
         // End-to-end delay spikes land *before* the ordering clamp so
         // a delayed message still cannot overtake an earlier one on
         // the same (src, dst) pair — the protocol's point-to-point
         // ordering assumption survives the fault.
-        Tick delay = faults->messageDelay(src, dst);
+        Tick delay = faults->messageDelay(f->src, f->dst);
         if (delay > 0) {
-            statsGroup.scalar("faultDelayTicks") +=
+            shardOf(f->dst).faultDelayTicks +=
                 static_cast<double>(delay);
-            t += delay;
+            tail += delay;
         }
     }
+    const std::size_t pair = pairIndex(f->src, f->dst);
+    if (f->seq != expectedSeq[pair]) {
+        // Arrived before a predecessor (a short message drains its
+        // tail faster than a long one): hold it until the pair's
+        // in-order point catches up.
+        oooStash[pair].emplace(f->seq, Stash{tail, f});
+        return;
+    }
+    deliverInOrder(f, tail);
+    auto& stash = oooStash[pair];
+    for (auto it = stash.find(expectedSeq[pair]); it != stash.end();
+         it = stash.find(expectedSeq[pair])) {
+        auto held = std::move(it->second);
+        stash.erase(it);
+        deliverInOrder(held.flight, held.tail);
+    }
+}
 
+void
+Network::deliverInOrder(const std::shared_ptr<Flight>& f, Tick tail)
+{
+    const std::size_t pair = pairIndex(f->src, f->dst);
+    Shard& sh = shardOf(f->dst);
     // Preserve point-to-point ordering: never deliver before an
-    // earlier message between the same endpoints (ties keep send
-    // order through the event queue's insertion sequence).
-    Tick& pair_last =
-        pairLastDelivery[static_cast<std::size_t>(src) * n + dst];
-    if (t < pair_last) {
-        hot.orderingStallTicks +=
-            static_cast<double>(pair_last - t);
-        t = pair_last;
+    // earlier message between the same endpoints. Also lifts a stashed
+    // message's tail to at least the current tick, since its
+    // predecessor was just delivered at now or later.
+    Tick& pair_last = pairLastDelivery[pair];
+    if (tail < pair_last) {
+        sh.orderingStallTicks += static_cast<double>(pair_last - tail);
+        tail = pair_last;
     }
-    pair_last = t;
+    pair_last = tail;
+    expectedSeq[pair] = f->seq + 1;
 
-    hot.messages.inc();
-    hot.bytes += bytes;
-    hot.latency.sample(static_cast<double>(t - curTick()));
-    hot.hops.sample(hops(src, dst));
+    sh.latency.sample(static_cast<double>(tail - f->t0));
+    sh.hops.sample(static_cast<double>(hops(f->src, f->dst)));
+    obs::TraceSink* trace = hooks ? hooks->trace : nullptr;
     if (TB_TRACED(trace, obs::TraceCategory::Noc)) {
-        trace->complete(obs::TraceCategory::Noc, "msg", curTick(),
-                        t - curTick(), src,
-                        {{"dst", dst}, {"bytes", bytes},
-                         {"hops", hops(src, dst)}});
+        trace->complete(obs::TraceCategory::Noc, "msg", f->t0,
+                        tail - f->t0, f->src,
+                        {{"dst", f->dst}, {"bytes", f->bytes},
+                         {"hops", hops(f->src, f->dst)}});
     }
-    return t;
+    if (hooks && hooks->nocAudit) {
+        hooks->nocAudit->onNocDelivered(
+            f->src, f->dst, f->bytes, f->t0, tail,
+            zeroLoadLatency(hops(f->src, f->dst), f->bytes));
+    }
+    queueOf(f->dst).schedule(tail, std::move(f->fn));
+}
+
+void
+Network::foldStats() const
+{
+    stats::Scalar& messages = statsGroup.scalar("messages");
+    stats::Scalar& bytes = statsGroup.scalar("bytes");
+    stats::Scalar& link_stall = statsGroup.scalar("linkStallTicks");
+    stats::Scalar& order_stall =
+        statsGroup.scalar("orderingStallTicks");
+    stats::Distribution& latency = statsGroup.distribution("latency");
+    stats::Distribution& hop_dist = statsGroup.distribution("hops");
+    // Fixed cluster order: tick values are integers, so the sums are
+    // exact either way, but keep the fold deterministic regardless.
+    for (Shard& sh : shards) {
+        messages += sh.messages;
+        bytes += sh.bytes;
+        link_stall += sh.linkStallTicks;
+        order_stall += sh.orderingStallTicks;
+        // Fault scalars appear only when a fault actually fired,
+        // matching the lazy creation of the eager implementation (the
+        // stat report's name set is part of the artifact format).
+        if (sh.faultLinkStallTicks != 0.0)
+            statsGroup.scalar("faultLinkStallTicks") +=
+                sh.faultLinkStallTicks;
+        if (sh.faultDelayTicks != 0.0)
+            statsGroup.scalar("faultDelayTicks") += sh.faultDelayTicks;
+        latency.merge(sh.latency);
+        hop_dist.merge(sh.hops);
+        sh = Shard{};
+    }
+}
+
+const stats::StatGroup&
+Network::statistics() const
+{
+    foldStats();
+    return statsGroup;
 }
 
 } // namespace noc

@@ -17,6 +17,29 @@
  * Each directed link is reserved for the message's serialization time,
  * which is how contention appears (subsequent messages on the same link
  * queue behind it, like blocked worms holding the channel).
+ *
+ * Routing is *hop-granular*: injection schedules an event at the
+ * message's first router, and every hop is its own event on the queue
+ * owning that router — it charges fault/contention stalls against its
+ * outgoing link, reserves it, and schedules the next hop (or the
+ * destination arrival). The old implementation walked the whole route
+ * eagerly at send time, reserving every link of the path in one go;
+ * that reads the far end's link state at the *send* tick, which is
+ * both physically wrong for wormhole contention (a worm cannot reserve
+ * a link it has not reached) and impossible to partition, since the
+ * route crosses queue ownership boundaries. With per-hop events, every
+ * piece of mutable state has exactly one owning cluster:
+ *
+ *   linkFreeAt[link]        — the cluster of the router the link leaves
+ *   nextPairSeq[src*n+dst]  — src's cluster (stamped at injection)
+ *   expectedSeq / pairLast /
+ *   out-of-order stash      — dst's cluster (checked at arrival)
+ *   stat shards             — one per cluster, folded on demand
+ *
+ * so a partitioned machine (harness/machine.hh) can run node clusters
+ * on different PDES partitions and the only cross-cluster traffic is
+ * the hop events themselves, which always lie >= pinToPin in the
+ * future — the engine's conservative lookahead.
  */
 
 #ifndef TB_NOC_NETWORK_HH_
@@ -24,21 +47,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/hooks.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace tb {
-
-class FaultHooks;
-
-namespace obs {
-class TraceSink;
-} // namespace obs
-
 namespace noc {
 
 /** Static configuration of the interconnect. */
@@ -72,6 +91,32 @@ struct NetworkConfig
 };
 
 /**
+ * How the machine's nodes map onto event queues. The machine always
+ * installs one of these (a serial machine maps every node to the one
+ * queue of cluster 0); a standalone Network without a binding behaves
+ * as a single cluster on its own queue. crossSchedule is only set
+ * while a PDES engine is driving the queues — it routes an event onto
+ * another cluster's queue through the engine's partition channels,
+ * which is the only legal way to touch a foreign queue mid-run.
+ */
+struct PartitionBinding
+{
+    /** Queue that owns each node's events. */
+    std::vector<EventQueue*> nodeQueue;
+    /** Cluster (= partition id) of each node. */
+    std::vector<std::uint16_t> nodeCluster;
+    /** Number of clusters; stat shards are folded in this order. */
+    unsigned clusters = 1;
+    /**
+     * Schedule @p fn at @p when on @p dstCluster's queue from
+     * @p srcCluster's worker. Null outside an engine-driven run.
+     */
+    std::function<void(unsigned srcCluster, unsigned dstCluster,
+                       Tick when, EventQueue::Callback fn)>
+        crossSchedule;
+};
+
+/**
  * The interconnection network.
  *
  * Endpoints register a delivery handler; senders hand the network a
@@ -85,56 +130,129 @@ class Network : public SimObject
     /** Callback invoked at the destination when a message arrives. */
     using Deliver = std::function<void()>;
 
+    /**
+     * @param hooks machine-wide instrumentation seams (fault
+     *        injection, tracing, delivery audit); may be null for
+     *        standalone use. Fields are read at use time, so the
+     *        machine can attach instruments after construction.
+     */
     Network(EventQueue& queue, const NetworkConfig& config,
-            std::string name = "noc");
+            std::string name = "noc", const Hooks* hooks = nullptr);
 
     /** Static configuration. */
     const NetworkConfig& config() const { return cfg; }
 
     /**
-     * Send @p bytes from @p src to @p dst; @p on_deliver runs when the
-     * message fully arrives. src == dst is allowed (local loopback,
-     * charged marshal + unmarshal only). The callable goes straight
-     * into the event queue — no std::function wrapper on the message
-     * path.
+     * Inject a message of @p bytes from @p src to @p dst; @p fn runs
+     * on @p dst's queue when the last flit arrives. src == dst is
+     * allowed (local loopback, charged marshal + unmarshal only).
+     * Must be called from an event running on @p src's queue.
+     */
+    void inject(NodeId src, NodeId dst, unsigned bytes, Deliver fn);
+
+    /**
+     * Legacy entry point, kept as a thin shim over inject(). Protocol
+     * and runtime code must go through mem::Fabric (tools/tblint rule
+     * TBL024) so every coherence message gets observer/audit coverage;
+     * direct send() is for the network's own tests and benchmarks.
      */
     template <typename F>
     void
     send(NodeId src, NodeId dst, unsigned bytes, F&& on_deliver)
     {
-        if constexpr (std::is_same_v<std::decay_t<F>, Deliver>) {
-            if (!on_deliver)
-                panic("network send without delivery callback");
-        }
-        eq.schedule(deliveryTick(src, dst, bytes),
-                    std::forward<F>(on_deliver));
+        inject(src, dst, bytes, Deliver(std::forward<F>(on_deliver)));
     }
+
+    /**
+     * Map nodes onto event queues (see PartitionBinding). Must be
+     * called before any traffic; pass nullptr to revert to the
+     * standalone single-cluster default.
+     */
+    void bindPartitions(const PartitionBinding* binding);
 
     /** Hamming distance — number of hops between two nodes. */
     unsigned hops(NodeId a, NodeId b) const;
 
     /**
      * Contention-free latency of a @p bytes message over @p n_hops
-     * hops. Useful for tests and analytic sanity checks.
+     * hops. This is an exact lower bound of per-hop delivery: the
+     * per-hop path adds only non-negative stalls to it, and the
+     * protocol checker audits every delivery against it
+     * (NocDeliveryAudit).
      */
     Tick zeroLoadLatency(unsigned n_hops, unsigned bytes) const;
 
-    /** Aggregate statistics for this network. */
-    const stats::StatGroup& statistics() const { return statsGroup; }
-
-    /** Attach fault-injection hooks (nullptr detaches). */
-    void setFaultHooks(FaultHooks* hooks) { faults = hooks; }
-
-    /** Attach a structured-trace sink (nullptr detaches). */
-    void setTraceSink(obs::TraceSink* sink) { trace = sink; }
+    /**
+     * Aggregate statistics for this network. Folds the per-cluster
+     * shards first; only call when the queues are quiescent.
+     */
+    const stats::StatGroup& statistics() const;
 
   private:
     /**
-     * Route one message: reserve links, charge contention/fault
-     * stalls and statistics, and return the tick the last flit
-     * reaches @p dst.
+     * One message in flight. Held by whichever hop event currently
+     * carries it; shared_ptr because cross-cluster forwarding rides
+     * std::function channels, which need copyable closures.
      */
-    Tick deliveryTick(NodeId src, NodeId dst, unsigned bytes);
+    struct Flight
+    {
+        NodeId src;
+        NodeId dst;
+        unsigned bytes;
+        /** Send-order stamp within the (src, dst) pair. */
+        std::uint64_t seq;
+        /** Injection tick (for latency stats and the audit). */
+        Tick t0;
+        Deliver fn;
+    };
+
+    /** A message that arrived before its (src, dst) predecessors. */
+    struct Stash
+    {
+        Tick tail;
+        std::shared_ptr<Flight> flight;
+    };
+
+    /**
+     * Per-cluster statistics shard. Hop events write the shard of the
+     * cluster they run on; foldStats() drains every shard into
+     * statsGroup in cluster order, so the published stats are
+     * identical for any partitioning of the same traffic.
+     */
+    struct Shard
+    {
+        double messages = 0;
+        double bytes = 0;
+        double linkStallTicks = 0;
+        double orderingStallTicks = 0;
+        double faultLinkStallTicks = 0;
+        double faultDelayTicks = 0;
+        stats::Distribution latency;
+        stats::Distribution hops;
+    };
+
+    /** One hop: charge the outgoing link at @p at, forward. */
+    void hopEvent(NodeId at, const std::shared_ptr<Flight>& f);
+
+    /** Last flit reached @p f->dst at @p t_arr: finish delivery. */
+    void arrivalEvent(const std::shared_ptr<Flight>& f, Tick t_arr);
+
+    /** In-order delivery: clamp against the pair's last delivery,
+     *  record stats, run the payload, then flush stashed successors. */
+    void deliverInOrder(const std::shared_ptr<Flight>& f, Tick tail);
+
+    /** Schedule @p fn at @p when on @p to's queue (cross-cluster hops
+     *  go through the engine channel). @p from is the node whose queue
+     *  the caller is running on. */
+    void forward(NodeId from, NodeId to, Tick when,
+                 EventQueue::Callback fn);
+
+    /** Drain all per-cluster shards into statsGroup. */
+    void foldStats() const;
+
+    EventQueue& queueOf(NodeId n) const;
+    unsigned clusterOf(NodeId n) const;
+    Shard& shardOf(NodeId n) const;
 
     /** Number of router cycles needed to serialize @p bytes. */
     unsigned flits(unsigned bytes) const;
@@ -142,44 +260,44 @@ class Network : public SimObject
     /** Index of the directed link leaving @p node along @p dim. */
     std::size_t linkIndex(NodeId node, unsigned dim) const;
 
+    std::size_t
+    pairIndex(NodeId src, NodeId dst) const
+    {
+        return static_cast<std::size_t>(src) * cfg.nodes() + dst;
+    }
+
     NetworkConfig cfg;
-    /** Earliest tick each directed link is free again. */
+    const Hooks* hooks;
+    const PartitionBinding* parts = nullptr;
+    /** Earliest tick each directed link is free again. Owned by the
+     *  cluster of the router the link leaves. */
     std::vector<Tick> linkFreeAt;
+    /** Next send-order stamp per (src, dst) pair. Owned by src's
+     *  cluster: stamped at injection, before the first hop departs. */
+    std::vector<std::uint64_t> nextPairSeq;
+    /** Next expected arrival stamp per (src, dst) pair. Owned by
+     *  dst's cluster. */
+    std::vector<std::uint64_t> expectedSeq;
     /**
      * Last delivery tick per (src, dst) pair. Messages between the
      * same endpoints are delivered in send order (single-virtual-
      * channel wormhole networks preserve point-to-point ordering; the
      * directory protocol relies on it: a forwarded intervention must
-     * not overtake the data grant that precedes it).
+     * not overtake the data grant that precedes it). Owned by dst's
+     * cluster.
      */
     std::vector<Tick> pairLastDelivery;
-    /** Optional fault injection (link stalls, message-delay spikes). */
-    FaultHooks* faults = nullptr;
-    /** Optional structured tracing of message deliveries. */
-    obs::TraceSink* trace = nullptr;
-    stats::StatGroup statsGroup;
-
-    /** Cached references into statsGroup (resolved once; node-stable
-     *  storage) so hot paths skip the name lookup. Declared after
-     *  statsGroup. */
-    struct HotStats
-    {
-        explicit HotStats(stats::StatGroup& g)
-            : messages(g.scalar("messages")),
-              bytes(g.scalar("bytes")),
-              linkStallTicks(g.scalar("linkStallTicks")),
-              orderingStallTicks(g.scalar("orderingStallTicks")),
-              latency(g.distribution("latency")),
-              hops(g.distribution("hops"))
-        {}
-
-        stats::Scalar& messages;
-        stats::Scalar& bytes;
-        stats::Scalar& linkStallTicks;
-        stats::Scalar& orderingStallTicks;
-        stats::Distribution& latency;
-        stats::Distribution& hops;
-    } hot{statsGroup};
+    /**
+     * Early arrivals waiting for their (src, dst) predecessors, keyed
+     * by seq. Per pair so each entry is owned by dst's cluster. A
+     * small message can physically catch up with a large predecessor
+     * on the shared tail (its last-hop body drains faster), so the
+     * clamp alone is not enough — delivery order must be restored
+     * explicitly.
+     */
+    std::vector<std::map<std::uint64_t, Stash>> oooStash;
+    mutable std::vector<Shard> shards;
+    mutable stats::StatGroup statsGroup;
 };
 
 } // namespace noc

@@ -344,7 +344,18 @@ class EventQueue
         const std::uint32_t idx = prepareSlot(when, priority);
         Slot& s = slot(idx);
         s.callback.emplace(std::forward<F>(f));
-        heapPush(HeapEntry{when, packKey(priority, s.seq), idx});
+        // In keyed mode every plain schedule() keys by (own stream,
+        // local order) so it ties deterministically against events
+        // merged in from peer partitions (which carry their origin
+        // stream). The local order counter is separate from the slot
+        // sequence: slot sequences are also consumed by merged events,
+        // whose arrival timing is host-dependent, and must never leak
+        // into an ordering key.
+        heapPush(HeapEntry{when,
+                           keyed_ ? packKeyedKey(priority, stream_,
+                                                 takeKeyedOrder())
+                                  : packKey(priority, s.seq),
+                           idx});
         ++livePending;
         return EventHandle(this, idx, s.gen);
     }
@@ -427,6 +438,32 @@ class EventQueue
 
     /** Total events executed since construction. */
     std::uint64_t eventsExecuted() const { return executed; }
+
+    /**
+     * Switch this queue into keyed mode: every plain schedule() from
+     * here on ties by (priority, @p stream, local order) instead of
+     * global insertion order, making it mixable with scheduleKeyed()
+     * merges from PDES channels (the two then share one strict total
+     * order). Used by managed engine partitions
+     * (pdes::Engine::addManagedPartition); @p stream must equal the
+     * partition id the queue is registered under, so local keys can
+     * never collide with merged keys (self-channels are forbidden).
+     * One-way and sticky: call before any event is scheduled.
+     */
+    void
+    setKeyedStream(std::uint16_t stream)
+    {
+        if (nextSeq != 0)
+            panic("setKeyedStream after events were scheduled");
+        keyed_ = true;
+        stream_ = stream;
+    }
+
+    /** True once setKeyedStream() switched this queue to keyed mode. */
+    bool keyed() const { return keyed_; }
+
+    /** The keyed-mode stream id (valid only when keyed()). */
+    std::uint16_t keyedStream() const { return stream_; }
 
     /** Attach (or with nullptr detach) a scheduling observer. */
     void setObserver(EventQueueObserver* observer) { obs = observer; }
@@ -558,6 +595,15 @@ class EventQueue
     /** Cold path of prepareSlot: diagnose and panic. */
     [[noreturn]] void rejectSchedule(Tick when, int priority) const;
 
+    /** Next keyed-mode local order value (32-bit stream-order space). */
+    std::uint32_t
+    takeKeyedOrder()
+    {
+        if (keyedOrder_ == ~std::uint32_t{0})
+            panic("keyed event queue exhausted its 2^32 order space");
+        return keyedOrder_++;
+    }
+
     /** Pop a free slot, growing the pool by one slab if exhausted. */
     std::uint32_t
     allocSlot()
@@ -618,6 +664,10 @@ class EventQueue
     std::uint64_t executed = 0;
     std::size_t livePending = 0;
     EventQueueObserver* obs = nullptr;
+    /** Keyed mode (setKeyedStream): plain schedule() packs keyed keys. */
+    bool keyed_ = false;
+    std::uint16_t stream_ = 0;
+    std::uint32_t keyedOrder_ = 0;
 };
 
 inline bool

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * One attachment struct for the cross-cutting instrumentation seams.
+ *
+ * Before the per-hop NoC rework, every component (Network, Fabric,
+ * CacheController, Directory, Dram) carried its own triplet of
+ * setObserver / setFaultHooks / setTraceSink setters and three
+ * nullable pointers, and every new seam meant copying that boilerplate
+ * a fourth time. Instead, the machine owns exactly one Hooks struct
+ * and wires a pointer to it into every component at construction;
+ * attaching a checker / fault injector / trace sink mutates the struct
+ * fields in place and every component sees the update through its
+ * stable pointer. All fields are nullable; components null-check at
+ * use (one predicted-not-taken branch on hot paths, same as before).
+ *
+ * Everything here is pointers to forward-declared types, so this
+ * header stays layering-neutral: sim-level components see only the
+ * fields they understand.
+ */
+
+#ifndef TB_SIM_HOOKS_HH_
+#define TB_SIM_HOOKS_HH_
+
+#include "sim/types.hh"
+
+namespace tb {
+
+class FaultHooks;
+
+namespace obs { class TraceSink; }
+namespace mem { class ProtocolObserver; }
+
+/**
+ * Audit seam for NoC delivery timing, implemented by the protocol
+ * checker: no message may arrive earlier than its zero-load latency
+ * (the per-hop path computes stalls incrementally, and this pins its
+ * lower bound to the closed form).
+ */
+class NocDeliveryAudit
+{
+  public:
+    virtual ~NocDeliveryAudit() = default;
+
+    /**
+     * A message of @p bytes from @p src finished delivery at @p dst.
+     * @p zeroLoad is the network's own contention-free latency for
+     * this (hops, bytes) — the invariant is
+     * deliverTick - sendTick >= zeroLoad.
+     */
+    virtual void onNocDelivered(NodeId src, NodeId dst, unsigned bytes,
+                                Tick sendTick, Tick deliverTick,
+                                Tick zeroLoad) = 0;
+};
+
+/** The machine-wide instrumentation attachment points. */
+struct Hooks
+{
+    /** Protocol invariant checker observer (src/check). */
+    mem::ProtocolObserver* check = nullptr;
+    /** Deterministic fault injection (src/fault). */
+    FaultHooks* faults = nullptr;
+    /** Structured trace sink (src/obs). */
+    obs::TraceSink* trace = nullptr;
+    /** NoC delivery-timing audit (zero-load lower bound). */
+    NocDeliveryAudit* nocAudit = nullptr;
+};
+
+} // namespace tb
+
+#endif // TB_SIM_HOOKS_HH_

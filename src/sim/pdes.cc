@@ -19,16 +19,15 @@ using detail::ChannelMsg;
 // Partition
 // ---------------------------------------------------------------------
 
-Partition::Partition(PartitionId id, std::string name,
+Partition::Partition(PartitionId id, std::string name, Kind kind,
                      EventQueue* externalQueue)
-    : id_(id), name_(std::move(name)),
-      external_(externalQueue != nullptr)
+    : id_(id), name_(std::move(name)), kind_(kind)
 {
-    if (external_) {
-        eq_ = externalQueue;
-    } else {
+    if (kind_ == Kind::Owned) {
         owned_ = std::make_unique<EventQueue>();
         eq_ = owned_.get();
+    } else {
+        eq_ = externalQueue;
     }
 }
 
@@ -136,7 +135,9 @@ Engine::addPartition(std::string name)
     if (parts_.size() >= kNoPartition)
         panic("pdes: partition id space (2^16 - 1) exhausted");
     const auto id = static_cast<PartitionId>(parts_.size());
-    parts_.emplace_back(new Partition(id, std::move(name), nullptr));
+    parts_.emplace_back(
+        new Partition(id, std::move(name), Partition::Kind::Owned,
+                      nullptr));
     return *parts_.back();
 }
 
@@ -148,7 +149,29 @@ Engine::addExternalPartition(std::string name, EventQueue& eq)
     if (parts_.size() >= kNoPartition)
         panic("pdes: partition id space (2^16 - 1) exhausted");
     const auto id = static_cast<PartitionId>(parts_.size());
-    parts_.emplace_back(new Partition(id, std::move(name), &eq));
+    parts_.emplace_back(
+        new Partition(id, std::move(name), Partition::Kind::External,
+                      &eq));
+    return *parts_.back();
+}
+
+Partition&
+Engine::addManagedPartition(std::string name, EventQueue& eq)
+{
+    if (ran_)
+        panic("pdes: addManagedPartition after run");
+    if (parts_.size() >= kNoPartition)
+        panic("pdes: partition id space (2^16 - 1) exhausted");
+    const auto id = static_cast<PartitionId>(parts_.size());
+    if (!eq.keyed() || eq.keyedStream() != id) {
+        panic("pdes: managed partition '", name, "' needs its queue in "
+              "keyed mode with stream ", id,
+              " (call EventQueue::setKeyedStream before scheduling "
+              "anything into it)");
+    }
+    parts_.emplace_back(
+        new Partition(id, std::move(name), Partition::Kind::Managed,
+                      &eq));
     return *parts_.back();
 }
 
@@ -167,7 +190,8 @@ Engine::connect(PartitionId src, PartitionId dst, Tick lookahead)
               "synchronization cannot make progress across a "
               "zero-latency edge)");
     }
-    if (parts_[src]->external_ || parts_[dst]->external_) {
+    if (parts_[src]->kind_ == Partition::Kind::External ||
+        parts_[dst]->kind_ == Partition::Kind::External) {
         panic("pdes: external partition cannot take channels (its "
               "queue keeps plain insertion-order scheduling, which "
               "has no deterministic cross-partition tie-break)");

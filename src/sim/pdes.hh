@@ -173,7 +173,10 @@ class Partition
     schedule(Tick when, F&& f, int priority = 0)
     {
         ++stats_.scheduled;
-        if (external_)
+        // External AND managed partitions delegate to the queue's own
+        // schedule(): an external queue keys by insertion order, a
+        // managed queue keys itself by (its stream, local order).
+        if (kind_ != Kind::Owned)
             return eq_->schedule(when, std::forward<F>(f), priority);
         return eq_->scheduleKeyed(when, priority, id_, takeSeq(),
                                   std::forward<F>(f));
@@ -231,7 +234,15 @@ class Partition
   private:
     friend class Engine;
 
-    Partition(PartitionId id, std::string name,
+    /** How the partition relates to its queue (see Engine factories). */
+    enum class Kind : std::uint8_t
+    {
+        Owned,    ///< engine-owned queue, keyed via scheduleKeyed
+        External, ///< foreign queue, plain insertion order, no channels
+        Managed,  ///< foreign queue in keyed mode, full channel citizen
+    };
+
+    Partition(PartitionId id, std::string name, Kind kind,
               EventQueue* externalQueue);
 
     std::uint32_t takeSeq();
@@ -248,7 +259,7 @@ class Partition
     std::string name_;
     std::unique_ptr<EventQueue> owned_;
     EventQueue* eq_;
-    bool external_;
+    Kind kind_;
     std::uint32_t nextSeq_ = 0;
     /** Input channels in creation order — the deterministic drain
      *  order (irrelevant to execution order thanks to keyed ties, but
@@ -297,6 +308,18 @@ class Engine
      * model under the engine's worker pool and stats umbrella.
      */
     Partition& addExternalPartition(std::string name, EventQueue& eq);
+
+    /**
+     * Wrap an externally owned EventQueue as a *managed* partition: a
+     * full channel citizen whose queue the model schedules into
+     * directly. The queue must already be in keyed mode with its
+     * stream equal to the partition id this call will assign (ids are
+     * assigned densely in creation order), so locally scheduled events
+     * and channel merges share one deterministic total order. This is
+     * how the machine model's per-cluster queues become real engine
+     * partitions (harness/parallel_sim.cc).
+     */
+    Partition& addManagedPartition(std::string name, EventQueue& eq);
 
     /**
      * Declare the directed channel src->dst with conservative

@@ -90,6 +90,32 @@ class Distribution
         return m != 0.0 ? stddev() / m : 0.0;
     }
 
+    /**
+     * Fold @p o into this distribution as if every one of its samples
+     * had been recorded here. Commutative in exact arithmetic, but
+     * floating-point sums are order-sensitive — callers that need
+     * bit-stable artifacts (the network's per-cluster stat shards)
+     * must merge in a fixed order.
+     */
+    void
+    merge(const Distribution& o)
+    {
+        if (o.n == 0)
+            return;
+        n += o.n;
+        sum += o.sum;
+        sumSq += o.sumSq;
+        lo = std::min(lo, o.lo);
+        hi = std::max(hi, o.hi);
+    }
+
+    /** Reset to the empty distribution. */
+    void
+    reset()
+    {
+        *this = Distribution{};
+    }
+
   private:
     std::uint64_t n = 0;
     double sum = 0.0;

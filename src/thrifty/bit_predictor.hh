@@ -38,6 +38,16 @@ class BitPredictor
     virtual ~BitPredictor() = default;
 
     /**
+     * Pre-insert barrier @p pc's table entry (idempotent; keeps any
+     * recorded state). Called at barrier construction so that runtime
+     * predictor access never mutates the table *structure* — on a
+     * partitioned machine different barriers' entries are touched from
+     * different host threads, which is only safe against a frozen
+     * table.
+     */
+    virtual void prepare(BarrierPc pc) = 0;
+
+    /**
      * Predict the interval time of the upcoming instance of barrier
      * @p pc for thread @p tid. Empty if there is no history yet or
      * prediction is disabled for this (pc, tid) — the thread then
@@ -68,6 +78,7 @@ class BitPredictor
 class LastValuePredictor : public BitPredictor
 {
   public:
+    void prepare(BarrierPc pc) override;
     std::optional<Tick> predict(BarrierPc pc,
                                 ThreadId tid) const override;
     void update(BarrierPc pc, Tick actual_bit) override;
@@ -96,6 +107,7 @@ class MovingAveragePredictor : public BitPredictor
     /** @param alpha weight of the newest sample, in (0, 1]. */
     explicit MovingAveragePredictor(double alpha = 0.5);
 
+    void prepare(BarrierPc pc) override;
     std::optional<Tick> predict(BarrierPc pc,
                                 ThreadId tid) const override;
     void update(BarrierPc pc, Tick actual_bit) override;

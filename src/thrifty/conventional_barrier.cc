@@ -17,9 +17,10 @@ ConventionalBarrier::ConventionalBarrier(EventQueue& queue, BarrierPc pc,
       barrierPc(pc),
       total(num_threads),
       backend(memory.backend()),
-      syncStats(stats),
+      ledger_(num_threads, stats),
       localSense(num_threads, 0),
-      arrivalTick(num_threads, 0)
+      arrivalTick(num_threads, 0),
+      snapInstance(num_threads, 0)
 {
     if (num_threads == 0)
         fatal("barrier needs at least one thread");
@@ -38,14 +39,14 @@ ConventionalBarrier::arrive(cpu::ThreadContext& tc,
     const ThreadId tid = tc.tid();
     if (tid >= total)
         panic(name(), ": thread ", tid, " outside barrier population");
-    ++syncStats.arrivals;
-    arrivalTick[tid] = curTick();
+    ++ledger_.shard(tid).arrivals;
+    arrivalTick[tid] = tc.curTick();
     const std::uint64_t want = localSense[tid] ^ 1u;
     localSense[tid] = static_cast<std::uint8_t>(want);
 
     tc.atomic(
         countAddr,
-        [this, &tc]() {
+        [this, &tc, tid](Tick) {
             const std::uint64_t old = backend.read(countAddr);
             backend.write(countAddr,
                           old + 1 == total ? 0 : old + 1);
@@ -56,6 +57,16 @@ ConventionalBarrier::arrive(cpu::ThreadContext& tc,
                 if (auto* o = tc.controller().checkObserver())
                     o->onBarrierArmed(mem::lineAddr(flagAddr),
                                       instanceIdx);
+            }
+            // Snapshot the instance this thread checked into, and for
+            // the closer advance it here — a spinner can observe the
+            // flag flip before the closer's completion reply returns,
+            // so the increment must happen at the serialization point,
+            // not in the completion callback.
+            snapInstance[tid] = instanceIdx;
+            if (old + 1 == total) {
+                ++instanceIdx;
+                ++ledger_.shard(tid).instances;
             }
             return old;
         },
@@ -68,21 +79,19 @@ ConventionalBarrier::arrive(cpu::ThreadContext& tc,
                              if (auto* o = tc.controller().checkObserver())
                                  o->onBarrierReleased(
                                      mem::lineAddr(flagAddr),
-                                     instanceIdx);
-                             ++instanceIdx;
-                             ++syncStats.instances;
-                             syncStats.totalStallTicks +=
-                                 static_cast<double>(curTick() -
+                                     snapInstance[tid]);
+                             ledger_.shard(tid).totalStallTicks +=
+                                 static_cast<double>(tc.curTick() -
                                                      arrivalTick[tid]);
                              cont();
                          });
                 return;
             }
-            ++syncStats.spins;
+            ++ledger_.shard(tid).spins;
             spinOnFlag(tc, flagAddr, want,
-                       [this, tid, cont = std::move(cont)]() {
-                           syncStats.totalStallTicks +=
-                               static_cast<double>(curTick() -
+                       [this, &tc, tid, cont = std::move(cont)]() {
+                           ledger_.shard(tid).totalStallTicks +=
+                               static_cast<double>(tc.curTick() -
                                                    arrivalTick[tid]);
                            cont();
                        });

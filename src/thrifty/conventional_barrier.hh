@@ -8,6 +8,12 @@
  * threads then spin on the flag line through the coherence protocol.
  * The count and flag live on distinct lines of shared pages, as any
  * competent barrier implementation arranges.
+ *
+ * Partitioning discipline: the dynamic instance index is home-confined
+ * — it advances only inside the check-in fetch-op at the count's home,
+ * and each thread reads back the instance it checked into from its own
+ * Snap slot. Statistics are charged to per-thread shards (SyncLedger)
+ * and folded after the run by mergeStats().
  */
 
 #ifndef TB_THRIFTY_CONVENTIONAL_BARRIER_HH_
@@ -45,7 +51,9 @@ class ConventionalBarrier : public Barrier, public SimObject
 
     BarrierPc pc() const override { return barrierPc; }
 
-    /** Dynamic instances completed so far. */
+    void mergeStats() override { ledger_.merge(); }
+
+    /** Dynamic instances completed so far (stable once drained). */
     std::uint64_t instances() const { return instanceIdx; }
 
     /** Address of the barrier flag (tests inspect its cache state). */
@@ -58,13 +66,17 @@ class ConventionalBarrier : public Barrier, public SimObject
     BarrierPc barrierPc;
     unsigned total;
     mem::Backend& backend;
-    SyncStats& syncStats;
+    SyncLedger ledger_;
 
     Addr countAddr;
     Addr flagAddr;
 
     std::vector<std::uint8_t> localSense;
     std::vector<Tick> arrivalTick;
+    /** Instance each thread checked into: written at the count's home
+     *  inside the fetch-op, read by the owner after the reply. */
+    std::vector<std::uint64_t> snapInstance;
+    /** Home-confined: advanced only inside the check-in fetch-op. */
     std::uint64_t instanceIdx = 0;
 };
 

@@ -18,12 +18,17 @@ ThriftyBarrier::ThriftyBarrier(EventQueue& queue, BarrierPc pc,
       barrierPc(pc),
       runtime(rt),
       backend(memory.backend()),
+      fab(memory.fabric()),
       total(rt.numThreads()),
       localSense(total, 0),
       arrivalTick(total, 0),
       computeTime(total, 0),
       wakeTick(total, kTickNever),
-      arrivalInstance(total, 0),
+      snap(total),
+      parkedTc(total, nullptr),
+      parkedCont(total),
+      releaseReady(total, 0),
+      releaseBit(total, 0),
       watchdog(total),
       episodeFaulty(total, 0),
       pendingEpisode(total),
@@ -36,6 +41,11 @@ ThriftyBarrier::ThriftyBarrier(EventQueue& queue, BarrierPc pc,
     countAddr = base;
     flagAddr = base + mem::kLineBytes;
     bitAddr = base + 2 * mem::kLineBytes;
+    homeNode = memory.addressMap().home(countAddr);
+    // Pre-insert this PC's predictor entry: runtime accesses (all at
+    // homeNode) then never mutate the table structure, so barriers
+    // whose homes land in different partitions touch disjoint entries.
+    runtime.predictor().prepare(pc);
 }
 
 ThriftyBarrier::~ThriftyBarrier()
@@ -51,12 +61,13 @@ ThriftyBarrier::arrive(cpu::ThreadContext& tc, std::function<void()> cont)
     if (tid >= total)
         panic(name(), ": thread ", tid, " outside barrier population");
 
-    SyncStats& st = runtime.stats();
+    SyncStats& st = runtime.stats(tid);
     ++st.arrivals;
-    arrivalTick[tid] = curTick();
-    computeTime[tid] = curTick() - runtime.brts(tid);
+    const Tick now = tc.curTick();
+    const Tick brts_tid = runtime.brts(tid);
+    arrivalTick[tid] = now;
+    computeTime[tid] = now - brts_tid;
     wakeTick[tid] = kTickNever;
-    arrivalInstance[tid] = instanceIdx;
 
     const std::uint64_t want = localSense[tid] ^ 1u;
     localSense[tid] = static_cast<std::uint8_t>(want);
@@ -65,14 +76,17 @@ ThriftyBarrier::arrive(cpu::ThreadContext& tc, std::function<void()> cont)
 
     obs::TraceSink* trace = runtime.traceSink();
     if (TB_TRACED(trace, obs::TraceCategory::Thrifty)) {
+        // instanceIdx is home-confined state; reading it here is only
+        // safe because structured tracing forces the serial plan
+        // (harness/experiment.cc).
         trace->instant(obs::TraceCategory::Thrifty, "arrive",
-                       curTick(), tid,
+                       now, tid,
                        {{"pc", barrierPc}, {"instance", instanceIdx}});
     }
 
     tc.atomic(
         countAddr,
-        [this, &tc]() {
+        [this, &tc, tid, brts_tid](Tick home_now) {
             const std::uint64_t old = backend.read(countAddr);
             backend.write(countAddr, old + 1 == total ? 0 : old + 1);
             // First check-in arms this dynamic instance, at the
@@ -84,6 +98,7 @@ ThriftyBarrier::arrive(cpu::ThreadContext& tc, std::function<void()> cont)
                     o->onBarrierArmed(mem::lineAddr(flagAddr),
                                       instanceIdx);
             }
+            homeCheckIn(tid, old, brts_tid, home_now);
             return old;
         },
         [this, &tc, tid, want,
@@ -96,57 +111,106 @@ ThriftyBarrier::arrive(cpu::ThreadContext& tc, std::function<void()> cont)
 }
 
 void
-ThriftyBarrier::lastArrival(cpu::ThreadContext& tc, ThreadId tid,
-                            std::uint64_t want,
-                            std::function<void()> cont)
+ThriftyBarrier::homeCheckIn(ThreadId tid, std::uint64_t old,
+                            Tick brts_tid, Tick home_now)
 {
-    // The last thread computes the actual interval time from its own
-    // local release timestamp (Section 3.2.1) ...
-    const Tick actual_bit = curTick() - runtime.brts(tid);
-
-    // ... feeds the predictor, unless the sample is inordinately large
-    // (context switch / I/O filter, Section 3.4.2) ...
     const ThriftyConfig& cfg = runtime.config();
+    Snap& sn = snap[tid];
+    sn = Snap{};
+    sn.instance = instanceIdx;
+
+    if (old + 1 != total) {
+        // Early check-in: snapshot the prediction here, at the count's
+        // serialization point — the only place the home-confined
+        // predictor table may be read.
+        if (cfg.oracle) {
+            arrivedEarly.push_back(tid);
+            return;
+        }
+        if (auto bit = runtime.predictor().predict(barrierPc, tid)) {
+            sn.hasPrediction = 1;
+            sn.predictedBit = *bit;
+        }
+        return;
+    }
+
+    // Last check-in: the serialization point of the count *is* the
+    // release point, so the actual interval time is measured here
+    // against the closer's own release timestamp (Section 3.2.1).
+    const Tick actual_bit = home_now - brts_tid;
+    sn.last = 1;
+    sn.actualBit = actual_bit;
+
+    // Feed the predictor, unless the sample is inordinately large
+    // (context switch / I/O filter, Section 3.4.2).
     bool skip_update = false;
     if (cfg.underpredictionFilter > 0.0) {
         if (auto prev = runtime.predictor().stored(barrierPc)) {
             if (static_cast<double>(actual_bit) >
                 cfg.underpredictionFilter * static_cast<double>(*prev)) {
                 skip_update = true;
-                ++runtime.stats().filteredUpdates;
+                ++runtime.stats(tid).filteredUpdates;
             }
         }
     }
     if (!skip_update)
         runtime.predictor().update(barrierPc, actual_bit);
 
-    // ... publishes the BIT, and only then flips the flag (the
-    // sequencing models the write fence of the paper's footnote 1).
+    ++instanceIdx;
+    ++runtime.stats(tid).instances;
+
+    if (cfg.oracle && !arrivedEarly.empty()) {
+        // The release notification to each parked thread is real
+        // cross-node bookkeeping: it rides the NoC from the count's
+        // home and pays the latency of a control message.
+        std::vector<ThreadId> batch = std::move(arrivedEarly);
+        arrivedEarly.clear();
+        for (ThreadId etid : batch) {
+            fab.sendControl(homeNode, static_cast<NodeId>(etid),
+                            mem::kCtrlBytes,
+                            [this, etid, actual_bit]() {
+                                oracleRelease(etid, actual_bit);
+                            });
+        }
+    }
+}
+
+void
+ThriftyBarrier::lastArrival(cpu::ThreadContext& tc, ThreadId tid,
+                            std::uint64_t want,
+                            std::function<void()> cont)
+{
+    // The BIT and the instance index were fixed at the home's
+    // serialization point; the reply carried them back in this
+    // thread's Snap slot.
+    const Tick actual_bit = snap[tid].actualBit;
+    const std::uint64_t instance = snap[tid].instance;
+
+    // Publish the BIT, and only then flip the flag (the sequencing
+    // models the write fence of the paper's footnote 1).
     tc.store(bitAddr, actual_bit, [this, &tc, tid, want, actual_bit,
+                                   instance,
                                    cont = std::move(cont)]() mutable {
         tc.store(flagAddr, want,
-                 [this, &tc, tid, actual_bit,
+                 [this, &tc, tid, actual_bit, instance,
                   cont = std::move(cont)]() {
                      if (auto* o = tc.controller().checkObserver())
                          o->onBarrierReleased(mem::lineAddr(flagAddr),
-                                              instanceIdx);
+                                              instance);
                      obs::TraceSink* trace = runtime.traceSink();
                      if (TB_TRACED(trace,
                                    obs::TraceCategory::Thrifty)) {
                          trace->instant(
                              obs::TraceCategory::Thrifty, "release",
-                             curTick(), tid,
+                             tc.curTick(), tid,
                              {{"pc", barrierPc},
-                              {"instance", instanceIdx},
+                              {"instance", instance},
                               {"bit", actual_bit}});
                      }
-                     ++instanceIdx;
-                     ++runtime.stats().instances;
                      runtime.advanceBrts(tid, actual_bit);
-                     runtime.stats().totalStallTicks +=
-                         static_cast<double>(curTick() -
+                     runtime.stats(tid).totalStallTicks +=
+                         static_cast<double>(tc.curTick() -
                                              arrivalTick[tid]);
-                     releaseParked(actual_bit);
                      traceDeparture(tid, actual_bit);
                      cont();
                  });
@@ -159,7 +223,7 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                              std::function<void()> cont)
 {
     const ThriftyConfig& cfg = runtime.config();
-    SyncStats& st = runtime.stats();
+    SyncStats& st = runtime.stats(tid);
 
     if (cfg.oracle) {
         park(tc, tid, std::move(cont));
@@ -170,7 +234,9 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
         // Bottom of the degradation ladder: this (thread, barrier)
         // pair burned through its faulty-episode allowance, so it
         // takes the conventional sense-reversal spin until the
-        // exponential backoff re-enables prediction.
+        // exponential backoff re-enables prediction. (Hardening
+        // forces the serial plan, so the shared quarantine map is
+        // safe here.)
         ++st.spins;
         spinOnFlag(tc, flagAddr, want,
                    [this, &tc, tid, cont = std::move(cont)]() mutable {
@@ -179,14 +245,15 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
         return;
     }
 
-    // Predict the stall ahead: estimated wake-up = BRTS + predicted
-    // BIT; stall = wake-up - now (Section 3.2.1).
+    // The prediction was snapshotted at the home's serialization
+    // point; estimated wake-up = BRTS + predicted BIT, stall =
+    // wake-up - now (Section 3.2.1).
     const power::SleepState* state = nullptr;
     Tick predicted_wake = 0;
-    if (auto bit = runtime.predictor().predict(barrierPc, tid)) {
-        predicted_wake = runtime.brts(tid) + *bit;
-        if (predicted_wake > curTick())
-            state = cfg.states.select(predicted_wake - curTick());
+    if (snap[tid].hasPrediction) {
+        predicted_wake = runtime.brts(tid) + snap[tid].predictedBit;
+        if (predicted_wake > tc.curTick())
+            state = cfg.states.select(predicted_wake - tc.curTick());
     }
 
     if (!state) {
@@ -208,7 +275,7 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
         flagAddr, want,
         [this, &tc, tid, want, state, predicted_wake,
          cont = std::move(cont)](bool already_flipped) mutable {
-            SyncStats& stats = runtime.stats();
+            SyncStats& stats = runtime.stats(tid);
             if (already_flipped) {
                 // The thread never slept, so no wake-up timestamp is
                 // recorded (the cutoff only judges actual sleepers).
@@ -222,10 +289,10 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                 // completes right at the predicted release.
                 const Tick lead = state->transitionLatency;
                 const Tick target =
-                    predicted_wake > curTick() + lead
+                    predicted_wake > tc.curTick() + lead
                         ? predicted_wake - lead
-                        : curTick();
-                tc.controller().armWakeTimer(target - curTick());
+                        : tc.curTick();
+                tc.controller().armWakeTimer(target - tc.curTick());
             }
             if (conf.wakeup == WakeupPolicy::Internal)
                 tc.controller().disarmFlagMonitor();
@@ -237,10 +304,10 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                 BarrierEpisode& ep = pendingEpisode[tid];
                 ep = BarrierEpisode{};
                 ep.pc = barrierPc;
-                ep.instance = arrivalInstance[tid];
+                ep.instance = snap[tid].instance;
                 ep.tid = tid;
                 ep.predictedBit = predicted_wake - runtime.brts(tid);
-                ep.sleepTick = curTick();
+                ep.sleepTick = tc.curTick();
                 ep.sleepState = state->name;
                 episodeOpen[tid] = 1;
             }
@@ -248,29 +315,31 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                 // Safety watchdog: no sleep episode outlives a bounded
                 // multiple of its own prediction, even if both wake-up
                 // mechanisms fail (lost invalidation + dead timer).
-                const Tick stall = predicted_wake > curTick()
-                                       ? predicted_wake - curTick()
+                const Tick stall = predicted_wake > tc.curTick()
+                                       ? predicted_wake - tc.curTick()
                                        : 0;
                 const Tick bound = std::max(
                     static_cast<Tick>(
                         conf.hardening.watchdogFactor *
                         static_cast<double>(stall)),
                     conf.hardening.watchdogMin);
-                watchdog[tid] = eq.scheduleIn(bound, [this, &tc, tid]() {
-                    ++runtime.stats().watchdogFires;
-                    episodeFaulty[tid] = 1;
-                    tc.controller().forceWake(mem::WakeReason::Watchdog);
-                });
+                watchdog[tid] = tc.eventQueue().scheduleIn(
+                    bound, [this, &tc, tid]() {
+                        ++runtime.stats(tid).watchdogFires;
+                        episodeFaulty[tid] = 1;
+                        tc.controller().forceWake(
+                            mem::WakeReason::Watchdog);
+                    });
             }
             tc.cpu().enterSleep(
                 *state,
                 [this, &tc, tid, want,
                  cont = std::move(cont)](mem::WakeReason reason) mutable {
                     watchdog[tid].cancel();
-                    wakeTick[tid] = curTick();
+                    wakeTick[tid] = tc.curTick();
                     if (episodeOpen[tid]) {
                         BarrierEpisode& ep = pendingEpisode[tid];
-                        ep.wakeTick = curTick();
+                        ep.wakeTick = tc.curTick();
                         ep.wakeReason = mem::wakeReasonName(reason);
                         ep.flushTicks = tc.cpu().episodeFlushTicks();
                         obs::TraceSink* trace = runtime.traceSink();
@@ -279,7 +348,7 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                             trace->complete(
                                 obs::TraceCategory::Thrifty, "sleep",
                                 ep.sleepTick,
-                                curTick() - ep.sleepTick, tid,
+                                tc.curTick() - ep.sleepTick, tid,
                                 {{"state", ep.sleepState},
                                  {"predicted_bit", ep.predictedBit},
                                  {"wake", ep.wakeReason}});
@@ -290,13 +359,14 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                     std::function<void()> finish =
                         [this, &tc, tid,
                          cont = std::move(cont)]() mutable {
-                            runtime.stats().residualSpinTicks +=
-                                static_cast<double>(curTick() -
+                            SyncStats& stf = runtime.stats(tid);
+                            stf.residualSpinTicks +=
+                                static_cast<double>(tc.curTick() -
                                                     wakeTick[tid]);
-                            ++runtime.stats().residualSpins;
+                            ++stf.residualSpins;
                             if (episodeOpen[tid]) {
                                 pendingEpisode[tid].residualTicks =
-                                    curTick() - wakeTick[tid];
+                                    tc.curTick() - wakeTick[tid];
                             }
                             const ThriftyConfig& c = runtime.config();
                             if (c.hardening.enabled)
@@ -311,11 +381,12 @@ ThriftyBarrier::earlyArrival(cpu::ThreadContext& tc, ThreadId tid,
                         // cache-hit loop only so long, then escalate
                         // to periodic coherent re-reads of the flag.
                         spinOnFlagBounded(
-                            eq, tc, flagAddr, want,
+                            tc.eventQueue(), tc, flagAddr, want,
                             c.hardening.residualSpinBudget,
                             c.hardening.recheckInterval,
                             [this, tid]() {
-                                ++runtime.stats().residualEscalations;
+                                ++runtime.stats(tid)
+                                      .residualEscalations;
                                 episodeFaulty[tid] = 1;
                             },
                             std::move(finish));
@@ -333,7 +404,7 @@ ThriftyBarrier::depart(cpu::ThreadContext& tc, ThreadId tid,
 {
     // Load the published BIT and advance the local release timestamp;
     // then check how late the wake-up was (Section 3.3.3).
-    tc.load(bitAddr, [this, tid, cont = std::move(cont)](
+    tc.load(bitAddr, [this, &tc, tid, cont = std::move(cont)](
                          std::uint64_t bit_val) mutable {
         runtime.advanceBrts(tid, bit_val);
         const Tick release_ts = runtime.brts(tid);
@@ -345,13 +416,21 @@ ThriftyBarrier::depart(cpu::ThreadContext& tc, ThreadId tid,
             if (static_cast<double>(penalty) >
                 cfg.overpredictionThreshold *
                     static_cast<double>(bit_val)) {
-                runtime.predictor().disable(barrierPc, tid);
-                ++runtime.stats().cutoffs;
+                ++runtime.stats(tid).cutoffs;
+                // The cutoff flips home-confined predictor state, so
+                // the disable rides to the PC's home as a control
+                // message with real NoC cost; predictions snapshotted
+                // before it lands still count as enabled.
+                fab.sendControl(static_cast<NodeId>(tid), homeNode,
+                                mem::kCtrlBytes, [this, tid]() {
+                                    runtime.predictor().disable(
+                                        barrierPc, tid);
+                                });
             }
         }
         if (episodeOpen[tid]) {
             episodeOpen[tid] = 0;
-            SyncStats& st = runtime.stats();
+            SyncStats& st = runtime.stats(tid);
             if (st.episodesEnabled) {
                 BarrierEpisode ep = std::move(pendingEpisode[tid]);
                 ep.actualBit = bit_val;
@@ -359,8 +438,8 @@ ThriftyBarrier::depart(cpu::ThreadContext& tc, ThreadId tid,
                 st.episodes.push_back(std::move(ep));
             }
         }
-        runtime.stats().totalStallTicks +=
-            static_cast<double>(curTick() - arrivalTick[tid]);
+        runtime.stats(tid).totalStallTicks +=
+            static_cast<double>(tc.curTick() - arrivalTick[tid]);
         traceDeparture(tid, bit_val);
         cont();
     });
@@ -370,16 +449,57 @@ void
 ThriftyBarrier::park(cpu::ThreadContext& tc, ThreadId tid,
                      std::function<void()> cont)
 {
+    if (releaseReady[tid]) {
+        // The release notification overtook this thread's own check-in
+        // reply (same home->node channel, but the reply pays extra
+        // controller completion latency): depart immediately.
+        releaseReady[tid] = 0;
+        const Tick bit = releaseBit[tid];
+        const Tick stall = tc.curTick() - arrivalTick[tid];
+        accrueOracleDwell(tc.cpu(), stall, tid);
+        runtime.advanceBrts(tid, bit);
+        runtime.stats(tid).totalStallTicks +=
+            static_cast<double>(stall);
+        traceDeparture(tid, bit);
+        tc.eventQueue().scheduleIn(0, std::move(cont));
+        return;
+    }
     tc.cpu().suspendAccounting();
-    parked.push_back(Parked{&tc, std::move(cont), tid, curTick()});
+    parkedTc[tid] = &tc;
+    parkedCont[tid] = std::move(cont);
 }
 
 void
-ThriftyBarrier::accrueOracleDwell(cpu::Cpu& cpu, Tick stall)
+ThriftyBarrier::oracleRelease(ThreadId tid, Tick actual_bit)
+{
+    if (!parkedCont[tid]) {
+        // The notification raced ahead of the thread's check-in
+        // completion; leave it for park() to consume.
+        releaseReady[tid] = 1;
+        releaseBit[tid] = actual_bit;
+        return;
+    }
+    cpu::ThreadContext& tc = *parkedTc[tid];
+    std::function<void()> cont = std::move(parkedCont[tid]);
+    parkedTc[tid] = nullptr;
+    parkedCont[tid] = nullptr;
+    const Tick stall = tc.curTick() - arrivalTick[tid];
+    accrueOracleDwell(tc.cpu(), stall, tid);
+    runtime.advanceBrts(tid, actual_bit);
+    runtime.stats(tid).totalStallTicks += static_cast<double>(stall);
+    traceDeparture(tid, actual_bit);
+    tc.cpu().resumeAccounting();
+    // Perfect wake-up: the thread resumes at the notification.
+    tc.eventQueue().scheduleIn(0, std::move(cont));
+}
+
+void
+ThriftyBarrier::accrueOracleDwell(cpu::Cpu& cpu, Tick stall,
+                                  ThreadId tid)
 {
     const power::PowerParams& pp = cpu.powerParams();
     const ThriftyConfig& cfg = runtime.config();
-    SyncStats& st = runtime.stats();
+    SyncStats& st = runtime.stats(tid);
 
     // Perfect knowledge: pick the minimum-energy option between
     // spinning the whole stall and each sleep state that fits.
@@ -415,31 +535,14 @@ ThriftyBarrier::accrueOracleDwell(cpu::Cpu& cpu, Tick stall)
 }
 
 void
-ThriftyBarrier::releaseParked(Tick actual_bit)
-{
-    std::vector<Parked> batch = std::move(parked);
-    parked.clear();
-    for (auto& p : batch) {
-        const Tick stall = curTick() - p.arrival;
-        accrueOracleDwell(p.tc->cpu(), stall);
-        runtime.advanceBrts(p.tid, actual_bit);
-        runtime.stats().totalStallTicks += static_cast<double>(stall);
-        traceDeparture(p.tid, actual_bit);
-        p.tc->cpu().resumeAccounting();
-        // Perfect wake-up: the thread resumes exactly at the release.
-        eq.scheduleIn(0, std::move(p.cont));
-    }
-}
-
-void
 ThriftyBarrier::traceDeparture(ThreadId tid, Tick bit)
 {
-    SyncStats& st = runtime.stats();
+    SyncStats& st = runtime.stats(tid);
     if (!st.traceEnabled)
         return;
     BarrierTraceEntry e;
     e.pc = barrierPc;
-    e.instance = arrivalInstance[tid];
+    e.instance = snap[tid].instance;
     e.tid = tid;
     e.bit = bit;
     e.compute = std::min(computeTime[tid], bit);

@@ -45,7 +45,7 @@ ThriftyLock::tryAcquire(cpu::ThreadContext& tc, ThreadId tid,
 {
     tc.atomic(
         lockAddr,
-        [this]() {
+        [this](Tick) {
             // Test-and-set at the home memory.
             const std::uint64_t old = backend.read(lockAddr);
             if (old == 0)

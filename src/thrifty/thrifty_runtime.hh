@@ -46,9 +46,31 @@ class ThriftyRuntime
 
     unsigned numThreads() const { return threads; }
     const ThriftyConfig& config() const { return cfg; }
+    /**
+     * The shared BIT predictor. On a partitioned machine the predictor
+     * table is *home-confined*: every read or write of barrier @p pc's
+     * entry must execute on the event queue of pc's count-line home
+     * node (ThriftyBarrier routes all predictor traffic through the
+     * check-in fetch-op and control messages to home). prepare() in
+     * the barrier constructor pre-inserts entries so runtime access
+     * never mutates the table structure.
+     */
     BitPredictor& predictor() { return *pred; }
     const BitPredictor& predictor() const { return *pred; }
-    SyncStats& stats() { return syncStats; }
+
+    /**
+     * Thread @p tid's synchronization-stat shard. Barrier code must
+     * charge counters here from the thread's own execution context;
+     * mergeStats() folds the shards into the experiment's SyncStats
+     * after the run (see SyncLedger).
+     */
+    SyncStats& stats(ThreadId tid) { return ledger_.shard(tid); }
+
+    /** The experiment's merge sink (== thread 0's shard). */
+    SyncStats& stats() { return ledger_.target(); }
+
+    /** Fold all per-thread shards into the target (post-run). */
+    void mergeStats() { ledger_.merge(); }
 
     /** Attach a structured-trace sink shared by all barriers of the
      *  program (nullptr detaches). */
@@ -88,7 +110,7 @@ class ThriftyRuntime
         if (it == quarantine_.end() || it->second.remaining == 0)
             return false;
         --it->second.remaining;
-        ++syncStats.fallbackEpisodes;
+        ++ledger_.shard(tid).fallbackEpisodes;
         return true;
     }
 
@@ -110,7 +132,7 @@ class ThriftyRuntime
         q.remaining = h.quarantineBase
                       << std::min(q.exponent, h.quarantineMaxExponent);
         ++q.exponent;
-        ++syncStats.quarantines;
+        ++ledger_.shard(tid).quarantines;
     }
 
     /** Number of (thread, barrier) pairs currently quarantined. */
@@ -134,7 +156,7 @@ class ThriftyRuntime
     unsigned threads;
     ThriftyConfig cfg;
     std::unique_ptr<BitPredictor> pred;
-    SyncStats& syncStats;
+    SyncLedger ledger_;
     obs::TraceSink* trace_ = nullptr;
     std::vector<Tick> brts_;
     std::map<std::pair<ThreadId, BarrierPc>, QuarantineState> quarantine_;

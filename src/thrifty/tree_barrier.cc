@@ -86,7 +86,7 @@ TreeBarrier::ascend(cpu::ThreadContext& tc, ThreadId tid,
 
     tc.atomic(
         g.count,
-        [this, &g]() {
+        [this, &g](Tick) {
             const std::uint64_t old = backend.read(g.count);
             backend.write(g.count, old + 1 == g.size ? 0 : old + 1);
             return old;

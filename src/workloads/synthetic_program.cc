@@ -56,6 +56,17 @@ SyntheticProgram::SyntheticProgram(EventQueue& queue,
         privateBase.push_back(memory.addressMap().allocPrivate(
             static_cast<NodeId>(t), app.privateBytes));
     }
+
+    stepIdx.assign(tcs.size(), 0);
+    finishTick_.assign(tcs.size(), 0);
+
+    // Materialize every barrier up front: on a partitioned machine
+    // threads reach first arrivals concurrently from different host
+    // threads, and barrier construction (provider map insert, shared-
+    // page allocation) must not race — nor happen after the address
+    // map is sealed.
+    for (const Step& s : sequence)
+        provider.barrierFor(s.spec->pc);
 }
 
 Random
@@ -118,8 +129,6 @@ SyntheticProgram::start()
 void
 SyntheticProgram::runStep(ThreadId tid, std::size_t step_idx)
 {
-    if (stepIdx.size() != tcs.size())
-        stepIdx.assign(tcs.size(), 0);
     stepIdx[tid] = step_idx;
     if (step_idx >= sequence.size()) {
         threadFinished(tid);
@@ -190,15 +199,30 @@ SyntheticProgram::issueAccess(ThreadId tid, const PhaseSpec& spec,
 void
 SyntheticProgram::threadFinished(ThreadId tid)
 {
+    // Per-thread bookkeeping only: threads of a partitioned machine
+    // finish on different host threads, so there is no shared counter
+    // to bump and no root clock to consult — the thread's own tick is
+    // its finish time.
     tcs[tid]->markDone();
-    ++finishedThreads;
-    lastFinish = std::max(lastFinish, eq.now());
+    finishTick_[tid] = tcs[tid]->curTick();
 }
 
 bool
 SyntheticProgram::finished() const
 {
-    return finishedThreads == tcs.size();
+    for (const cpu::ThreadContext* tc : tcs)
+        if (!tc->isDone())
+            return false;
+    return true;
+}
+
+Tick
+SyntheticProgram::finishTick() const
+{
+    Tick last = 0;
+    for (Tick t : finishTick_)
+        last = std::max(last, t);
+    return last;
 }
 
 } // namespace workloads

@@ -53,7 +53,7 @@ class SyntheticProgram
     bool finished() const;
 
     /** Tick at which the last thread finished (finished() first). */
-    Tick finishTick() const { return lastFinish; }
+    Tick finishTick() const;
 
     /** The profile this program was built from. */
     const AppProfile& profile() const { return app; }
@@ -100,8 +100,8 @@ class SyntheticProgram
     std::vector<Step> sequence; ///< prologue + loop x iterations
     Addr sharedBase = 0;
     std::vector<Addr> privateBase;
-    unsigned finishedThreads = 0;
-    Tick lastFinish = 0;
+    /** Per-thread finish ticks (thread-local clocks; no shared state). */
+    std::vector<Tick> finishTick_;
     std::vector<std::size_t> stepIdx;
 };
 

@@ -44,6 +44,8 @@ driveRounds(Machine& m, Barrier& barrier, unsigned instances,
     for (ThreadId t = 0; t < n; ++t)
         round(t, 0);
     m.run();
+    // Counters land in per-thread shards; fold them before asserts.
+    barrier.mergeStats();
 }
 
 TEST(ConventionalBarrier, ReleasesAllThreadsTogether)

@@ -216,7 +216,7 @@ TEST(Coherence, AtomicRmwReturnsOldValueAndSerializes)
     std::vector<std::uint64_t> olds;
     for (NodeId n = 0; n < 4; ++n) {
         r.mem.controller(n).atomicRmw(
-            ctr, [&r, ctr]() { return r.mem.backend().fetchAdd(ctr, 1); },
+            ctr, [&r, ctr](tb::Tick) { return r.mem.backend().fetchAdd(ctr, 1); },
             [&](std::uint64_t old) { olds.push_back(old); });
     }
     r.eq.run();
@@ -234,7 +234,7 @@ TEST(Coherence, AtomicRmwInvalidatesCachedCopies)
     r.loadSync(1, a);
     bool done = false;
     r.mem.controller(2).atomicRmw(
-        a, [&r, a]() { return r.mem.backend().fetchAdd(a, 1); },
+        a, [&r, a](tb::Tick) { return r.mem.backend().fetchAdd(a, 1); },
         [&](std::uint64_t) { done = true; });
     r.eq.run();
     EXPECT_TRUE(done);

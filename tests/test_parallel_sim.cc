@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "harness/experiment.hh"
@@ -60,6 +61,36 @@ TEST(ParallelSimDeathTest, ParseSimThreadsArgRejectsMalformed)
                 "not a positive integer");
 }
 
+TEST(ParallelSim, ParseSimPartitionsArg)
+{
+    // Absent means 0 — "pick the default plan for the node count" —
+    // which is distinct from an explicit --sim-partitions 1.
+    const char* none[] = {"prog"};
+    const char* pair[] = {"prog", "--sim-partitions", "8"};
+    const char* eq[] = {"prog", "--sim-partitions=4"};
+    const char* one[] = {"prog", "--sim-partitions", "1"};
+    auto parse = [](const char** argv, int argc) {
+        return parseSimPartitionsArg(argc, const_cast<char**>(argv));
+    };
+    EXPECT_EQ(parse(none, 1), 0u);
+    EXPECT_EQ(parse(pair, 3), 8u);
+    EXPECT_EQ(parse(eq, 2), 4u);
+    EXPECT_EQ(parse(one, 3), 1u);
+}
+
+TEST(ParallelSimDeathTest, ParseSimPartitionsArgRejectsMalformed)
+{
+    auto parse = [](const char** argv, int argc) {
+        parseSimPartitionsArg(argc, const_cast<char**>(argv));
+    };
+    const char* zero[] = {"prog", "--sim-partitions=0"};
+    const char* junk[] = {"prog", "--sim-partitions", "2x"};
+    EXPECT_EXIT(parse(zero, 2), testing::ExitedWithCode(2),
+                "not a positive integer");
+    EXPECT_EXIT(parse(junk, 3), testing::ExitedWithCode(2),
+                "not a positive integer");
+}
+
 TEST(ParallelSim, ReportRecordsModelLookahead)
 {
     // The conservative lookahead the partitioned model will use is
@@ -107,6 +138,54 @@ TEST(ParallelSim, ExperimentResultsByteIdenticalAcrossThreadCounts)
     const std::string serial = runAt(1);
     EXPECT_EQ(serial, runAt(2));
     EXPECT_EQ(serial, runAt(4));
+}
+
+TEST(ParallelSim, SixtyFourNodeMachineRunsEightRealPartitions)
+{
+    // The headline acceptance shape: a 64-node machine decomposes into
+    // eight managed engine partitions, every cross-cluster channel
+    // carrying the real (nonzero) pin-to-pin lookahead.
+    Machine m(SystemConfig::small(6), 8);
+    const PdesRunReport r = runMachinePdes(m, 2);
+    EXPECT_EQ(r.partitions, 8u);
+    EXPECT_EQ(r.engine.partitions, 8u);
+    EXPECT_EQ(r.modelLookahead, m.config().noc.pinToPin);
+    EXPECT_GT(r.modelLookahead, Tick{0});
+}
+
+/**
+ * The partitioned plan's own determinism contract: with the partition
+ * count fixed, the one-worker engine run is the plan's bit-exact
+ * reference and adding workers must never change the serialized
+ * result — stats and episode ledger included. A seeded scan over
+ * (app, partition count) points keeps the property honest beyond one
+ * hand-picked workload.
+ */
+TEST(ParallelSim, PartitionedExperimentByteIdenticalAcrossThreadCounts)
+{
+    const SystemConfig sys = SystemConfig::small(4); // 16 nodes
+    std::uint64_t lcg = 0x2545f4914f6cdd1dull;
+    const auto next = [&]() {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<unsigned>(lcg >> 33);
+    };
+    const char* apps[] = {"Volrend", "Radix", "Ocean"};
+    for (int trial = 0; trial < 3; ++trial) {
+        const workloads::AppProfile app =
+            workloads::appByName(apps[next() % 3]);
+        const unsigned parts = 1u << (1 + next() % 3); // 2, 4 or 8
+        const auto runAt = [&](unsigned threads) {
+            RunOptions ro;
+            ro.episodeLedger = true;
+            ro.simPartitions = parts;
+            ro.simThreads = threads;
+            return serializeResult(
+                runExperiment(sys, app, ConfigKind::Thrifty, ro));
+        };
+        const std::string reference = runAt(1);
+        EXPECT_EQ(reference, runAt(4))
+            << app.name << " at " << parts << " partitions";
+    }
 }
 
 } // namespace

@@ -117,7 +117,7 @@ TEST_P(CoherenceValueProperty, SequentialValueSemantics)
         } else if (rng.chance(0.15)) {
             std::optional<std::uint64_t> old;
             mem.controller(n).atomicRmw(
-                a, [&mem, a]() { return mem.backend().fetchAdd(a, 3); },
+                a, [&mem, a](tb::Tick) { return mem.backend().fetchAdd(a, 3); },
                 [&](std::uint64_t o) { old = o; });
             eq.run();
             ASSERT_TRUE(old.has_value());

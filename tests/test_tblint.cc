@@ -639,6 +639,94 @@ TEST(TblintRawPosixIo, AllowSilences)
 }
 
 // ----------------------------------------------------------------------
+// TBL024 — direct Network::send above the fabric
+// ----------------------------------------------------------------------
+
+TEST(TblintRawNocSend, MemberCallOnNetworkReferenceFires)
+{
+    const auto fs = lintContent("src/thrifty/notifier.cc", R"tb(
+        void Notifier::ping(noc::Network& net, NodeId a, NodeId b) {
+            net.send(a, b, 8, [] {});
+        }
+    )tb");
+    EXPECT_EQ(countRule(fs, "TBL024"), 1u);
+}
+
+TEST(TblintRawNocSend, DeclInCompanionHeaderIsSeen)
+{
+    // The member lives in the .hh, the call in the .cc.
+    const auto fs = lintContent(
+        "src/mem/router_glue.cc",
+        R"tb(
+        void Glue::push(NodeId a, NodeId b) {
+            net_.send(a, b, 72, [] {});
+        }
+        )tb",
+        R"tb(
+        class Glue {
+            noc::Network& net_;
+        };
+        )tb");
+    EXPECT_EQ(countRule(fs, "TBL024"), 1u);
+}
+
+TEST(TblintRawNocSend, QualifiedSpellingFires)
+{
+    const auto fs = lintContent("src/mem/a.cc", R"tb(
+        void poke(noc::Network* n) {
+            (n->*(&noc::Network::send))(0, 1, 8, [] {});
+        }
+    )tb");
+    EXPECT_EQ(countRule(fs, "TBL024"), 1u);
+}
+
+TEST(TblintRawNocSend, FabricAndPartitionSendsAreClean)
+{
+    // Fabric wrappers and PDES channel sends share the method name
+    // but not the receiver type.
+    const auto fs = lintContent("src/thrifty/notifier.cc", R"tb(
+        void Notifier::ping(mem::Fabric& fab, pdes::Partition& p) {
+            fab.sendControl(0, 1, 8, [] {});
+            p.send(1, when_, [] {});
+        }
+    )tb");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(TblintRawNocSend, DeliverAliasDoesNotPoisonNames)
+{
+    // `Network::Deliver fn` declares a callback, not a network.
+    const auto fs = lintContent("src/mem/a.cc", R"tb(
+        void stash(noc::Network::Deliver fn, Chan& chan) {
+            chan.send(std::move(fn));
+        }
+    )tb");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(TblintRawNocSend, OutsideProtocolLayersIsExempt)
+{
+    // The NoC's own tests and the harness drive Network::send freely.
+    const auto fs = lintContent("src/noc/network.cc", R"tb(
+        void Network::retire(noc::Network& peer) {
+            peer.send(0, 1, 8, [] {});
+        }
+    )tb");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(TblintRawNocSend, AllowSilences)
+{
+    const auto fs = lintContent("src/mem/fabric_like.cc", R"tb(
+        void Wrapper::fire(noc::Network& net) {
+            // tblint-allow(TBL024): this IS the sanctioned wrapper
+            net.send(0, 1, 8, [] {});
+        }
+    )tb");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ----------------------------------------------------------------------
 // Engine plumbing
 // ----------------------------------------------------------------------
 

@@ -169,7 +169,7 @@ TEST(ThreeHop, AtomicsStayCoherent)
     for (NodeId n = 0; n < 4; ++n) {
         r.mem.controller(n).atomicRmw(
             ctr,
-            [&r, ctr]() { return r.mem.backend().fetchAdd(ctr, 1); },
+            [&r, ctr](tb::Tick) { return r.mem.backend().fetchAdd(ctr, 1); },
             [&](std::uint64_t old) { olds.push_back(old); });
     }
     r.eq.run();

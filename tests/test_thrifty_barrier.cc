@@ -49,6 +49,8 @@ driveRounds(Machine& m, thrifty::Barrier& barrier, unsigned instances,
     for (ThreadId t = 0; t < n; ++t)
         round(t, 0);
     m.run();
+    // Counters land in per-thread shards; fold them before asserts.
+    barrier.mergeStats();
 }
 
 /** Imbalanced schedule: thread 0 is always ~1ms late. */
@@ -332,6 +334,7 @@ TEST(ThriftyBarrier, FalseWakeupSurvivesViaResidualSpin)
             r.m.memory().controller(1).injectSpuriousInvalidation(flag);
         });
     r.m.run();
+    r.barrier->mergeStats();
     // Everyone still departs, and not before the slow thread arrived.
     for (Tick d : departs)
         EXPECT_GE(d, kMillisecond);
@@ -373,6 +376,8 @@ TEST(ThriftyBarrier, MixedConventionalAndThriftyCoexist)
     for (ThreadId t = 0; t < 4; ++t)
         round(t, 0);
     m.run();
+    tb.mergeStats();
+    cb.mergeStats();
     // Six rounds, alternating thrifty/conventional: six instances.
     EXPECT_EQ(stats.instances, 6u);
     EXPECT_GT(stats.sleeps, 0u);

@@ -161,7 +161,7 @@ TEST(Timing, RmwCostsOneHomeRoundTripPlusDram)
     const Tick start = r.eq.now();
     std::optional<Tick> done;
     r.mem.controller(0).atomicRmw(
-        a, [&r, a]() { return r.mem.backend().fetchAdd(a, 1); },
+        a, [&r, a](tb::Tick) { return r.mem.backend().fetchAdd(a, 1); },
         [&](std::uint64_t) { done = r.eq.now(); });
     r.eq.run();
     ASSERT_TRUE(done.has_value());

@@ -668,6 +668,76 @@ ruleRawPosixIo(const FileCtx& ctx, std::vector<Finding>* out)
 }
 
 // ----------------------------------------------------------------------
+// TBL024 — direct Network::send above the fabric
+// ----------------------------------------------------------------------
+
+/**
+ * Names declared with type `Network` (value, reference or pointer) in
+ * @p t — `noc::Network& net;`, a constructor parameter, a local. The
+ * nested callback type `Network::Deliver fn` is not a network, so a
+ * `::` straight after the type name disqualifies the match.
+ */
+void
+collectNetworkNames(const std::vector<Token>& t,
+                    std::set<std::string>* names)
+{
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!isIdent(t, i, "Network"))
+            continue;
+        std::size_t after = i + 1;
+        if (isPunct(t, after, "::"))
+            continue;
+        while (isPunct(t, after, "&") || isPunct(t, after, "*") ||
+               isIdent(t, after, "const"))
+            ++after;
+        if (after < t.size() && t[after].kind == TokKind::Ident &&
+            !isPunct(t, after + 1, "("))
+            names->insert(t[after].text);
+    }
+}
+
+void
+ruleDirectNetworkSend(const FileCtx& ctx, std::vector<Finding>* out)
+{
+    // The protocol layers speak to the NoC only through mem::Fabric:
+    // its wrappers attach the coherence observer, the byte accounting
+    // and (on a partitioned machine) the cross-cluster channel hop
+    // that keeps the conservative lookahead truthful. A raw
+    // Network::send from src/mem or src/thrifty skips all three, so a
+    // message can arrive unobserved, unbilled, and — worst — inside
+    // another partition's past. The fabric itself carries the allows.
+    if (!pathUnder(ctx.path, "src/mem") &&
+        !pathUnder(ctx.path, "src/thrifty"))
+        return;
+    std::set<std::string> nets;
+    collectNetworkNames(ctx.toks, &nets);
+    collectNetworkNames(ctx.companion, &nets);
+    const auto& t = ctx.toks;
+    for (std::size_t i = 2; i < t.size(); ++i) {
+        if (!isIdent(t, i, "send"))
+            continue;
+        const bool member_call =
+            isPunct(t, i + 1, "(") &&
+            (isPunct(t, i - 1, ".") || isPunct(t, i - 1, "->")) &&
+            t[i - 2].kind == TokKind::Ident &&
+            nets.count(t[i - 2].text) != 0;
+        // The qualified spelling also covers member-pointer forms
+        // (`&Network::send`), where no call paren follows.
+        const bool qualified =
+            isPunct(t, i - 1, "::") && isIdent(t, i - 2, "Network");
+        if (!member_call && !qualified)
+            continue;
+        emit(out, ctx, "TBL024", t[i].line,
+             "direct Network::send above the fabric — the protocol "
+             "layers must not hand raw deliveries to the NoC",
+             "route the message through mem::Fabric "
+             "(toDirectory/toController/sendControl) or the per-hop "
+             "API so observer, byte accounting and partition channels "
+             "all see it");
+    }
+}
+
+// ----------------------------------------------------------------------
 // Driver + suppression pass
 // ----------------------------------------------------------------------
 
@@ -774,6 +844,10 @@ ruleCatalog()
         {"TBL023", "raw-posix-io",
          "no raw ::read/::write/::poll/::accept in src/svc — socket "
          "I/O must use the harness posix_io EINTR-safe helpers"},
+        {"TBL024", "raw-noc-send",
+         "no direct Network::send from src/mem or src/thrifty — "
+         "messages must travel mem::Fabric (or the hop API) so "
+         "observer, accounting and partition channels see them"},
     };
     return kRules;
 }
@@ -800,6 +874,7 @@ lintContent(const std::string& path, const std::string& content,
     ruleUnguardedTrace(ctx, &raw);
     ruleUnsafeQueueAccess(ctx, &raw);
     ruleRawPosixIo(ctx, &raw);
+    ruleDirectNetworkSend(ctx, &raw);
 
     std::vector<Finding> kept;
     for (Finding& f : raw) {

@@ -38,6 +38,14 @@
  *           bypasses the PDES channel timestamps that keep threaded
  *           runs race-free and bit-identical to serial; remote
  *           effects must use Partition::send().
+ *   TBL023  robustness: raw ::read/::write/::poll/::accept in
+ *           src/svc — socket I/O must use the harness posix_io
+ *           helpers, which own the EINTR-as-retry policy.
+ *   TBL024  layering: direct Network::send from src/mem or
+ *           src/thrifty — protocol messages must travel mem::Fabric
+ *           (or the per-hop API) so the coherence observer, byte
+ *           accounting and cross-partition channels all see them;
+ *           the fabric's own wrappers carry inline allows.
  *
  * Findings are suppressed by an inline comment directive — the allow
  * tag with the rule ID in parentheses, then a mandatory reason — on

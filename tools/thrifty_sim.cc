@@ -62,6 +62,12 @@ usage(const char* argv0)
         "simulation\n"
         "                     (results byte-identical at any N; "
         "default 1 = serial)\n"
+        "  --sim-partitions P cluster partitions of the machine "
+        "(power of two\n"
+        "                     dividing the node count; selects the "
+        "simulation plan;\n"
+        "                     default: nodes/8 for 16+ nodes, else "
+        "1)\n"
         "  --faults SPEC      deterministic fault injection, e.g.\n"
         "                     seed=3,drop-wake=0.5,timer-drift=0.4 "
         "(see docs/ROBUSTNESS.md)\n"
@@ -149,6 +155,7 @@ main(int argc, char** argv)
     unsigned dim = 6;
     std::uint64_t seed = 1;
     unsigned sim_threads = 1;
+    unsigned sim_partitions = 0;
     bool three_hop = false;
     bool check = false;
     bool dump_stats = false;
@@ -209,6 +216,11 @@ main(int argc, char** argv)
                     parseUnsignedArg("--sim-threads", need(i)));
                 if (sim_threads == 0)
                     fatal("option --sim-threads: must be >= 1");
+            } else if (a == "--sim-partitions") {
+                sim_partitions = static_cast<unsigned>(
+                    parseUnsignedArg("--sim-partitions", need(i)));
+                if (sim_partitions == 0)
+                    fatal("option --sim-partitions: must be >= 1");
             } else if (a == "--wakeup") {
                 const std::string v = need(i);
                 customized = true;
@@ -295,6 +307,7 @@ main(int argc, char** argv)
         harness::RunOptions opt;
         opt.check = check;
         opt.simThreads = sim_threads;
+        opt.simPartitions = sim_partitions;
 
         // Statistics flow through the visitor seam: --stats renders
         // the text report on stderr, --stats-json buffers a machine
